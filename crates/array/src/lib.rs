@@ -1,0 +1,574 @@
+//! The CFP-array: a compressed array representation of the FP-tree for the
+//! mine phase of CFP-growth (§3.4–§3.5 of the paper).
+//!
+//! The mine phase needs two access paths the build phase doesn't: sideways
+//! traversal of all nodes of one item (the FP-tree's nodelinks) and upward
+//! traversal to the root (parent pointers). The CFP-array provides both
+//! without storing either pointer:
+//!
+//! - Nodes are laid out **clustered by item**: all nodes of item `i` form
+//!   one consecutive *subarray*, and a small item index maps each item to
+//!   its subarray's starting byte. Sideways traversal is a sequential scan
+//!   of the subarray — the `nodelink` field is gone.
+//! - Each node is the triple `(Δitem, Δpos, count)`, variable-byte
+//!   encoded in that order. `Δitem` is the delta to the parent's item;
+//!   `Δpos` is the delta between the node's and its parent's *local
+//!   positions* (byte offsets within their subarrays), zigzag-encoded
+//!   because the DFS layout cannot guarantee a sign. Upward traversal
+//!   decodes two small varints and jumps — the `parent` pointer is gone
+//!   too.
+//! - A node without a parent (child of the root) stores `Δitem = item + 1`
+//!   (the virtual root sits at item −1), which the reader recognizes
+//!   because real parents would make `Δitem ≤ item`; its `Δpos` is 0.
+//!
+//! `count` here is the classic cumulative count, reconstructed from the
+//! CFP-tree's pcounts during conversion: the mine phase has no access to a
+//! node's children, so partial counts would be unusable (§3.4).
+//!
+//! [`convert`] implements the two-pass conversion of §3.5: the first DFS
+//! computes per-item subarray sizes and node positions, the second writes
+//! every triple directly to its final location, with per-subarray
+//! sequential access patterns.
+//!
+//! ```
+//! use cfp_array::convert;
+//! use cfp_tree::CfpTree;
+//!
+//! let mut tree = CfpTree::new(3);
+//! tree.insert(&[0, 1, 2], 5);
+//! tree.insert(&[1, 2], 4);
+//! let array = convert(&tree);
+//!
+//! // Sideways traversal without nodelinks: item 2 has two nodes.
+//! assert_eq!(array.subarray_len(2), 2);
+//! assert_eq!(array.item_support(2), 9);
+//! // Upward traversal without parent pointers.
+//! let node = array.subarray(2).next().unwrap();
+//! let mut path = Vec::new();
+//! array.prefix_path(2, &node, &mut path);
+//! assert!(path == vec![0, 1] || path == vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod serialize;
+pub mod stats;
+
+use cfp_encoding::{varint, zigzag};
+use cfp_metrics::HeapSize;
+use cfp_tree::{CfpTree, DfsEvent, DfsIter};
+
+/// A decoded CFP-array node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeView {
+    /// Local byte offset of this node within its subarray.
+    pub local: u64,
+    /// Delta to the parent item (`item + 1` for root children).
+    pub ditem: u32,
+    /// Delta between this node's and its parent's local positions.
+    pub dpos: i64,
+    /// Cumulative count (classic FP-tree count).
+    pub count: u64,
+}
+
+/// The compressed mine-phase representation of an FP-tree.
+#[derive(Clone, Debug, Default)]
+pub struct CfpArray {
+    data: Vec<u8>,
+    /// `starts[i]` = first byte of item `i`'s subarray; `starts[n]` = len.
+    starts: Vec<u64>,
+    /// Per-item support (sum of counts in the subarray).
+    supports: Vec<u64>,
+    num_nodes: u64,
+}
+
+impl CfpArray {
+    /// Number of items (subarrays).
+    pub fn num_items(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Number of nodes across all subarrays.
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    /// Support of `item` (sum of its nodes' counts).
+    pub fn item_support(&self, item: u32) -> u64 {
+        self.supports[item as usize]
+    }
+
+    /// Total encoded bytes of all triples.
+    pub fn data_bytes(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Average encoded bytes per node (Figure 6(b)).
+    pub fn avg_node_bytes(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.data.len() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Whether the array holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// The subarray byte boundaries (`starts[i]..starts[i+1]` is item
+    /// `i`'s range; length `num_items + 1`).
+    pub fn starts(&self) -> &[u64] {
+        &self.starts
+    }
+
+    /// The raw encoded triple bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Reassembles an array from its serialized parts (see
+    /// [`serialize`]); invariants are the writer's responsibility.
+    pub(crate) fn from_parts(
+        data: Vec<u8>,
+        starts: Vec<u64>,
+        supports: Vec<u64>,
+        num_nodes: u64,
+    ) -> Self {
+        debug_assert_eq!(starts.len(), supports.len() + 1);
+        debug_assert_eq!(*starts.last().unwrap_or(&0), data.len() as u64);
+        CfpArray { data, starts, supports, num_nodes }
+    }
+
+    /// Number of nodes of one item's subarray (counted by scanning).
+    pub fn subarray_len(&self, item: u32) -> usize {
+        self.subarray(item).count()
+    }
+
+    /// Iterates the nodes of `item`'s subarray in layout order (the
+    /// sideways traversal replacing nodelinks).
+    pub fn subarray(&self, item: u32) -> SubarrayIter<'_> {
+        let i = item as usize;
+        SubarrayIter {
+            data: &self.data[..self.starts[i + 1] as usize],
+            at: self.starts[i] as usize,
+            base: self.starts[i] as usize,
+        }
+    }
+
+    /// Decodes the node of `item` at local byte offset `local`.
+    pub fn node_at(&self, item: u32, local: u64) -> NodeView {
+        let at = (self.starts[item as usize] + local) as usize;
+        let (view, _) = decode_triple(&self.data, at, local);
+        view
+    }
+
+    /// The parent of a node, or `None` for children of the root.
+    pub fn parent_of(&self, item: u32, node: &NodeView) -> Option<(u32, u64)> {
+        if node.ditem == item + 1 {
+            return None;
+        }
+        debug_assert!(node.ditem >= 1 && node.ditem <= item);
+        let parent_item = item - node.ditem;
+        let parent_local = (node.local as i64 - node.dpos) as u64;
+        Some((parent_item, parent_local))
+    }
+
+    /// Collects the items on the path from the node's parent up to the
+    /// root, in ascending item order (the conditional pattern base of the
+    /// node, excluding the node itself).
+    pub fn prefix_path(&self, item: u32, node: &NodeView, out: &mut Vec<u32>) {
+        out.clear();
+        let mut cur_item = item;
+        let mut cur = *node;
+        while let Some((pi, pl)) = self.parent_of(cur_item, &cur) {
+            out.push(pi);
+            cur = self.node_at(pi, pl);
+            cur_item = pi;
+        }
+        out.reverse();
+    }
+}
+
+impl HeapSize for CfpArray {
+    fn heap_bytes(&self) -> u64 {
+        self.data.heap_bytes() + self.starts.heap_bytes() + self.supports.heap_bytes()
+    }
+}
+
+/// Iterator over one subarray.
+pub struct SubarrayIter<'a> {
+    data: &'a [u8],
+    at: usize,
+    base: usize,
+}
+
+impl Iterator for SubarrayIter<'_> {
+    type Item = NodeView;
+
+    fn next(&mut self) -> Option<NodeView> {
+        if self.at >= self.data.len() {
+            return None;
+        }
+        let local = (self.at - self.base) as u64;
+        let (view, next) = decode_triple(self.data, self.at, local);
+        self.at = next;
+        Some(view)
+    }
+}
+
+#[inline]
+fn decode_triple(data: &[u8], at: usize, local: u64) -> (NodeView, usize) {
+    let (ditem, n1) = varint::read_u64_unchecked(&data[at..]);
+    let (zz, n2) = varint::read_u64_unchecked(&data[at + n1..]);
+    let (count, n3) = varint::read_u64_unchecked(&data[at + n1 + n2..]);
+    (
+        NodeView {
+            local,
+            ditem: ditem as u32,
+            dpos: zigzag::decode(zz),
+            count,
+        },
+        at + n1 + n2 + n3,
+    )
+}
+
+/// Conversion frame: one open node on the DFS path.
+struct Frame {
+    item: i64,
+    local: u64,
+    ditem: u32,
+    /// Accumulates pcount + finished children counts.
+    acc: u64,
+    parent_item: i64,
+    parent_local: u64,
+}
+
+/// Converts a CFP-tree into a CFP-array (two DFS passes, §3.5).
+pub fn convert(tree: &CfpTree) -> CfpArray {
+    let n = tree.num_items();
+    // Pass 1: per-item sizes, node counts and supports.
+    let mut sizes = vec![0u64; n];
+    let mut supports = vec![0u64; n];
+    let mut num_nodes = 0u64;
+    walk(tree, |item, _local, ditem, dpos, count, size| {
+        sizes[item as usize] += size as u64;
+        supports[item as usize] += count;
+        num_nodes += 1;
+        let _ = (ditem, dpos);
+    });
+
+    let mut starts = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    for &s in &sizes {
+        starts.push(acc);
+        acc += s;
+    }
+    starts.push(acc);
+
+    // Pass 2: write each triple to its final position.
+    let mut data = vec![0u8; acc as usize];
+    walk(tree, |item, local, ditem, dpos, count, _size| {
+        let mut at = (starts[item as usize] + local) as usize;
+        at += varint::write_u64_into(&mut data[at..], ditem as u64);
+        at += varint::write_u64_into(&mut data[at..], zigzag::encode(dpos));
+        varint::write_u64_into(&mut data[at..], count);
+    });
+
+    CfpArray { data, starts, supports, num_nodes }
+}
+
+/// Drives one DFS pass, invoking `f(item, local, ditem, dpos, count, size)`
+/// for every logical node at its post-order position (when its count is
+/// known). Local positions are assigned pre-order and are identical across
+/// passes because the traversal is deterministic.
+fn walk(tree: &CfpTree, mut f: impl FnMut(u32, u64, u32, i64, u64, usize)) {
+    let n = tree.num_items();
+    let mut counters = vec![0u64; n];
+    let mut stack: Vec<Frame> = Vec::new();
+    for ev in DfsIter::new(tree) {
+        match ev {
+            DfsEvent::Enter { ditem, pcount } => {
+                let (parent_item, parent_local) = match stack.last() {
+                    Some(top) => (top.item, top.local),
+                    None => (-1, 0),
+                };
+                let item = parent_item + ditem as i64;
+                debug_assert!((0..n as i64).contains(&item), "item out of range");
+                stack.push(Frame {
+                    item,
+                    local: counters[item as usize],
+                    ditem,
+                    acc: pcount as u64,
+                    parent_item,
+                    parent_local,
+                });
+            }
+            DfsEvent::Leave => {
+                let fr = stack.pop().expect("balanced DFS events");
+                if let Some(top) = stack.last_mut() {
+                    top.acc += fr.acc;
+                }
+                let dpos = if fr.parent_item < 0 {
+                    0
+                } else {
+                    fr.local as i64 - fr.parent_local as i64
+                };
+                let size = varint::encoded_len(fr.ditem as u64)
+                    + varint::encoded_len(zigzag::encode(dpos))
+                    + varint::encoded_len(fr.acc);
+                f(fr.item as u32, fr.local, fr.ditem, dpos, fr.acc, size);
+                counters[fr.item as usize] += size as u64;
+            }
+        }
+    }
+    debug_assert!(stack.is_empty());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::{ItemRecoder, TransactionDb};
+    use cfp_fptree::FpTree;
+
+    fn array_from(rows: &[&[u32]]) -> (CfpArray, CfpTree) {
+        let max = rows.iter().flat_map(|r| r.iter()).max().copied().unwrap_or(0);
+        let mut t = CfpTree::new(max as usize + 1);
+        for r in rows {
+            t.insert(r, 1);
+        }
+        (convert(&t), t)
+    }
+
+    #[test]
+    fn empty_tree_converts_to_empty_array() {
+        let t = CfpTree::new(3);
+        let a = convert(&t);
+        assert!(a.is_empty());
+        assert_eq!(a.data_bytes(), 0);
+        assert_eq!(a.num_items(), 3);
+        assert_eq!(a.subarray_len(0), 0);
+    }
+
+    #[test]
+    fn paper_figure5_shape() {
+        // Figure 5's FP-tree (items renumbered 0,1,2): three subarrays,
+        // counts reconstructed from pcounts.
+        let mut t = CfpTree::new(3);
+        t.insert(&[0, 1, 2], 5);
+        t.insert(&[0, 1], 3);
+        t.insert(&[1, 2], 4);
+        t.insert(&[2], 2);
+        let a = convert(&t);
+        assert_eq!(a.num_nodes(), 6);
+        assert_eq!(a.subarray_len(0), 1);
+        assert_eq!(a.subarray_len(1), 2);
+        assert_eq!(a.subarray_len(2), 3);
+        // Item 0's single node holds count 8 (5 + 3).
+        let n0 = a.subarray(0).next().unwrap();
+        assert_eq!(n0.count, 8);
+        assert_eq!(a.parent_of(0, &n0), None);
+        // Supports: item 1 in both prefixes 0-1 (8) and 1-2 (4).
+        assert_eq!(a.item_support(0), 8);
+        assert_eq!(a.item_support(1), 12);
+        assert_eq!(a.item_support(2), 5 + 4 + 2);
+    }
+
+    #[test]
+    fn counts_match_reference_fptree() {
+        let rows: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3],
+            vec![0, 2, 3],
+            vec![2, 3],
+            vec![0],
+            vec![1, 2],
+        ];
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (a, tree) = array_from(&refs);
+        let mut fp = FpTree::new(4);
+        for r in &rows {
+            fp.insert(r, 1);
+        }
+        assert_eq!(a.num_nodes(), fp.num_nodes() as u64);
+        assert_eq!(a.num_nodes(), tree.num_nodes());
+        for item in 0..4u32 {
+            let mut ours: Vec<u64> = a.subarray(item).map(|n| n.count).collect();
+            let mut theirs: Vec<u64> =
+                fp.nodelinks(item).map(|i| fp.node(i).count as u64).collect();
+            ours.sort_unstable();
+            theirs.sort_unstable();
+            assert_eq!(ours, theirs, "item {item}");
+            assert_eq!(a.item_support(item), fp.item_support(item));
+        }
+    }
+
+    #[test]
+    fn prefix_paths_match_reference_fptree() {
+        let rows: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1, 3],
+            vec![0, 2, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![3],
+        ];
+        let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let (a, _) = array_from(&refs);
+        let mut fp = FpTree::new(4);
+        for r in &rows {
+            fp.insert(r, 1);
+        }
+        for item in 0..4u32 {
+            let mut ours: Vec<(Vec<u32>, u64)> = a
+                .subarray(item)
+                .map(|n| {
+                    let mut p = Vec::new();
+                    a.prefix_path(item, &n, &mut p);
+                    (p, n.count)
+                })
+                .collect();
+            let mut theirs: Vec<(Vec<u32>, u64)> = fp
+                .nodelinks(item)
+                .map(|i| {
+                    let mut p = Vec::new();
+                    fp.prefix_path(i, &mut p);
+                    (p, fp.node(i).count as u64)
+                })
+                .collect();
+            ours.sort();
+            theirs.sort();
+            assert_eq!(ours, theirs, "item {item}");
+        }
+    }
+
+    #[test]
+    fn node_at_round_trips_every_node() {
+        let (a, _) = array_from(&[&[0, 1, 2], &[0, 2], &[1, 2], &[2], &[0, 1]]);
+        for item in 0..3u32 {
+            for n in a.subarray(item) {
+                assert_eq!(a.node_at(item, n.local), n);
+            }
+        }
+    }
+
+    #[test]
+    fn root_children_are_recognized() {
+        let (a, _) = array_from(&[&[2], &[0, 2]]);
+        // Item 2 has two nodes: one root child, one under item 0.
+        let nodes: Vec<NodeView> = a.subarray(2).collect();
+        assert_eq!(nodes.len(), 2);
+        let roots = nodes.iter().filter(|n| a.parent_of(2, n).is_none()).count();
+        assert_eq!(roots, 1);
+        assert_eq!(a.subarray(0).filter(|n| n.ditem == 1).count(), 1);
+    }
+
+    #[test]
+    fn stress_counts_and_paths_against_fptree() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for trial in 0..30 {
+            let n_items = rng.gen_range(1..30usize);
+            let mut tree = CfpTree::new(n_items);
+            let mut fp = FpTree::new(n_items);
+            for _ in 0..rng.gen_range(1..100) {
+                let mut txn: Vec<u32> = (0..n_items as u32)
+                    .filter(|_| rng.gen_bool(0.35))
+                    .collect();
+                txn.dedup();
+                if txn.is_empty() {
+                    continue;
+                }
+                let w = rng.gen_range(1..3u32);
+                tree.insert(&txn, w);
+                fp.insert(&txn, w);
+            }
+            let a = convert(&tree);
+            assert_eq!(a.num_nodes(), fp.num_nodes() as u64, "trial {trial}");
+            for item in 0..n_items as u32 {
+                let mut ours: Vec<(Vec<u32>, u64)> = a
+                    .subarray(item)
+                    .map(|n| {
+                        let mut p = Vec::new();
+                        a.prefix_path(item, &n, &mut p);
+                        (p, n.count)
+                    })
+                    .collect();
+                let mut theirs: Vec<(Vec<u32>, u64)> = fp
+                    .nodelinks(item)
+                    .map(|i| {
+                        let mut p = Vec::new();
+                        fp.prefix_path(i, &mut p);
+                        (p, fp.node(i).count as u64)
+                    })
+                    .collect();
+                ours.sort();
+                theirs.sort();
+                assert_eq!(ours, theirs, "trial {trial} item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_is_invariant_under_physical_representation() {
+        // Chains and embedded leaves are physical artifacts; the logical
+        // tree — and therefore the converted array — must be identical
+        // whichever representation the tree used.
+        use cfp_tree::CfpTreeConfig;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        let configs = [
+            CfpTreeConfig::default(),
+            CfpTreeConfig { max_chain_len: 0, embed_leaves: true },
+            CfpTreeConfig { max_chain_len: 15, embed_leaves: false },
+            CfpTreeConfig { max_chain_len: 0, embed_leaves: false },
+            CfpTreeConfig { max_chain_len: 3, embed_leaves: true },
+        ];
+        for trial in 0..15 {
+            let n_items = rng.gen_range(1..25usize);
+            let mut txns: Vec<(Vec<u32>, u32)> = Vec::new();
+            for _ in 0..rng.gen_range(1..60) {
+                let txn: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(0.35)).collect();
+                if !txn.is_empty() {
+                    txns.push((txn, rng.gen_range(1..4)));
+                }
+            }
+            let arrays: Vec<CfpArray> = configs
+                .iter()
+                .map(|&cfg| {
+                    let mut t = CfpTree::with_config(n_items, cfg);
+                    for (txn, w) in &txns {
+                        t.insert(txn, *w);
+                    }
+                    convert(&t)
+                })
+                .collect();
+            let reference = &arrays[0];
+            for (a, cfg) in arrays.iter().zip(configs.iter()).skip(1) {
+                assert_eq!(a.num_nodes(), reference.num_nodes(), "trial {trial} {cfg:?}");
+                assert_eq!(a.data(), reference.data(), "trial {trial} {cfg:?}");
+                assert_eq!(a.starts(), reference.starts(), "trial {trial} {cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_db_pipeline() {
+        let db = TransactionDb::from_rows(&[
+            vec![5u32, 9, 11],
+            vec![5, 9],
+            vec![9, 11],
+            vec![5],
+        ]);
+        let recoder = ItemRecoder::scan(&db, 2);
+        let tree = CfpTree::from_db(&db, &recoder);
+        let a = convert(&tree);
+        // recoded: 5 -> ?, 9 -> ?; both support 3; 11 support 2.
+        assert_eq!(a.num_items(), 3);
+        assert_eq!(a.item_support(0), 3);
+        assert!(a.avg_node_bytes() >= 3.0);
+    }
+}

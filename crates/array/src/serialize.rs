@@ -1,0 +1,185 @@
+//! On-disk serialization of the CFP-array.
+//!
+//! The paper's out-of-core discussion (§1, §5 class 3) notes that when a
+//! structure must spill, the CFP-array's compactness and sequential
+//! subarray layout keep the spill cheap. This module gives the CFP-array
+//! a durable byte format so it can be written once and mined later (or by
+//! another process) without rebuilding the tree:
+//!
+//! ```text
+//! "CFPA" | version u8 | varint num_items | varint num_nodes
+//!       | varint subarray_size[i] for each item      (starts as deltas)
+//!       | varint support[i] for each item
+//!       | varint data_len | raw triple bytes
+//! ```
+//!
+//! Everything is varint-encoded with the same codec the array itself
+//! uses, so the header overhead is a few bytes per item.
+
+use crate::CfpArray;
+use cfp_encoding::varint;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"CFPA";
+const VERSION: u8 = 1;
+
+fn write_varint(w: &mut impl Write, v: u64) -> io::Result<()> {
+    let mut buf = [0u8; varint::MAX_LEN_U64];
+    let n = varint::write_u64_into(&mut buf, v);
+    w.write_all(&buf[..n])
+}
+
+fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 || (shift == 63 && byte[0] & 0x7F > 1) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        value |= ((byte[0] & 0x7F) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+impl CfpArray {
+    /// Writes the array in the durable `CFPA` format.
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        write_varint(&mut w, self.num_items() as u64)?;
+        write_varint(&mut w, self.num_nodes())?;
+        for i in 0..self.num_items() {
+            write_varint(&mut w, self.starts()[i + 1] - self.starts()[i])?;
+        }
+        for i in 0..self.num_items() as u32 {
+            write_varint(&mut w, self.item_support(i))?;
+        }
+        write_varint(&mut w, self.data_bytes())?;
+        w.write_all(self.data())?;
+        w.flush()
+    }
+
+    /// Reads an array written by [`write_to`](Self::write_to).
+    pub fn read_from(mut r: impl Read) -> io::Result<CfpArray> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CFPA file"));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported CFPA version {}", version[0]),
+            ));
+        }
+        let num_items = read_varint(&mut r)? as usize;
+        let num_nodes = read_varint(&mut r)?;
+        let mut starts = Vec::with_capacity(num_items + 1);
+        let mut acc = 0u64;
+        starts.push(0);
+        for _ in 0..num_items {
+            acc = acc
+                .checked_add(read_varint(&mut r)?)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "size overflow"))?;
+            starts.push(acc);
+        }
+        let mut supports = Vec::with_capacity(num_items);
+        for _ in 0..num_items {
+            supports.push(read_varint(&mut r)?);
+        }
+        let data_len = read_varint(&mut r)?;
+        if data_len != acc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "data length disagrees with subarray sizes",
+            ));
+        }
+        let mut data = vec![0u8; data_len as usize];
+        r.read_exact(&mut data)?;
+        Ok(CfpArray::from_parts(data, starts, supports, num_nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_tree::CfpTree;
+
+    fn sample_array() -> CfpArray {
+        let mut t = CfpTree::new(8);
+        t.insert(&[0, 1, 2, 3], 5);
+        t.insert(&[0, 1, 4], 2);
+        t.insert(&[2, 3], 7);
+        t.insert(&[7], 1);
+        crate::convert(&t)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let a = sample_array();
+        let mut bytes = Vec::new();
+        a.write_to(&mut bytes).unwrap();
+        let b = CfpArray::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(b.num_items(), a.num_items());
+        assert_eq!(b.num_nodes(), a.num_nodes());
+        assert_eq!(b.data_bytes(), a.data_bytes());
+        for item in 0..a.num_items() as u32 {
+            assert_eq!(b.item_support(item), a.item_support(item));
+            let av: Vec<_> = a.subarray(item).collect();
+            let bv: Vec<_> = b.subarray(item).collect();
+            assert_eq!(av, bv, "item {item}");
+        }
+    }
+
+    #[test]
+    fn empty_array_round_trips() {
+        let t = CfpTree::new(3);
+        let a = crate::convert(&t);
+        let mut bytes = Vec::new();
+        a.write_to(&mut bytes).unwrap();
+        let b = CfpArray::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(b.num_items(), 3);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = CfpArray::read_from(&b"NOPE\x01\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = Vec::new();
+        sample_array().write_to(&mut bytes).unwrap();
+        bytes[4] = 99;
+        assert!(CfpArray::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut bytes = Vec::new();
+        sample_array().write_to(&mut bytes).unwrap();
+        for cut in [5, 8, bytes.len() - 1] {
+            assert!(
+                CfpArray::read_from(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn header_overhead_is_small() {
+        let a = sample_array();
+        let mut bytes = Vec::new();
+        a.write_to(&mut bytes).unwrap();
+        assert!(bytes.len() as u64 <= a.data_bytes() + 4 + 1 + 2 + 3 * a.num_items() as u64 + 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Size statistics of the CFP-array (Figure 6(b)).
+//!
+//! The paper reports the average node size of the CFP-array per dataset
+//! and notes that the `Δpos` field dominates. This module recomputes the
+//! per-field byte breakdown by scanning the encoded triples.
+
+use crate::CfpArray;
+use cfp_encoding::varint;
+
+/// Byte totals of each field across all nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FieldBytes {
+    /// Bytes spent on `Δitem` varints.
+    pub ditem: u64,
+    /// Bytes spent on `Δpos` varints.
+    pub dpos: u64,
+    /// Bytes spent on `count` varints.
+    pub count: u64,
+}
+
+impl FieldBytes {
+    /// Sum over all fields.
+    pub fn total(&self) -> u64 {
+        self.ditem + self.dpos + self.count
+    }
+
+    /// Per-node averages `(Δitem, Δpos, count)`.
+    pub fn per_node(&self, nodes: u64) -> (f64, f64, f64) {
+        if nodes == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = nodes as f64;
+        (
+            self.ditem as f64 / n,
+            self.dpos as f64 / n,
+            self.count as f64 / n,
+        )
+    }
+}
+
+/// Measures the field byte breakdown of `array`.
+pub fn field_bytes(array: &CfpArray) -> FieldBytes {
+    let mut out = FieldBytes::default();
+    for item in 0..array.num_items() as u32 {
+        for node in array.subarray(item) {
+            out.ditem += varint::encoded_len(node.ditem as u64) as u64;
+            out.dpos += varint::encoded_len(cfp_encoding::zigzag::encode(node.dpos)) as u64;
+            out.count += varint::encoded_len(node.count) as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert;
+    use cfp_tree::CfpTree;
+
+    #[test]
+    fn breakdown_sums_to_data_bytes() {
+        let mut t = CfpTree::new(16);
+        t.insert(&[0, 1, 2, 3], 4);
+        t.insert(&[0, 5, 9], 1);
+        t.insert(&[2, 3], 9);
+        let a = convert(&t);
+        let fb = field_bytes(&a);
+        assert_eq!(fb.total(), a.data_bytes());
+    }
+
+    #[test]
+    fn per_node_averages_are_at_least_one_byte() {
+        let mut t = CfpTree::new(8);
+        t.insert(&[0, 1], 1);
+        t.insert(&[0, 2], 1);
+        let a = convert(&t);
+        let (d, p, c) = field_bytes(&a).per_node(a.num_nodes());
+        assert!(d >= 1.0 && p >= 1.0 && c >= 1.0);
+    }
+
+    #[test]
+    fn empty_array_breakdown_is_zero() {
+        let t = CfpTree::new(2);
+        let a = convert(&t);
+        assert_eq!(field_bytes(&a), FieldBytes::default());
+        assert_eq!(field_bytes(&a).per_node(0), (0.0, 0.0, 0.0));
+    }
+}

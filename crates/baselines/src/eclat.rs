@@ -1,0 +1,204 @@
+//! The Eclat algorithm (Zaki, 1997): vertical tid-list intersection.
+//!
+//! The database is turned on its side — one sorted transaction-id list per
+//! frequent item — and the search-space lattice is explored depth first:
+//! the tid list of `P ∪ {j}` is the intersection of the lists of `P` and
+//! `{j}`. Support is a list length; no candidate generation, no repeated
+//! database scans. Memory is dominated by the tid lists of the current
+//! search path, which — like LCM — scales with the number of transactions.
+
+use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_metrics::{MemGauge, Stopwatch};
+
+/// Depth-first Eclat over vertical tid lists.
+#[derive(Clone, Debug, Default)]
+pub struct EclatMiner;
+
+impl EclatMiner {
+    /// A new Eclat miner.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct Ctx<'a> {
+    sink: &'a mut dyn ItemsetSink,
+    gauge: MemGauge,
+    min_support: u64,
+    globals: Vec<Item>,
+    suffix: Vec<Item>,
+    emit_buf: Vec<Item>,
+    itemsets: u64,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, support: u64) {
+        self.emit_buf.clear();
+        self.emit_buf.extend_from_slice(&self.suffix);
+        self.emit_buf.sort_unstable();
+        self.sink.emit(&self.emit_buf, support);
+        self.itemsets += 1;
+    }
+}
+
+impl Miner for EclatMiner {
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        let mut stats = MineStats::default();
+        let gauge = MemGauge::new();
+        let mut sw = Stopwatch::start();
+
+        let recoder = ItemRecoder::scan(db, min_support);
+        let n = recoder.num_items();
+        stats.scan_time = sw.lap();
+
+        // Vertical transformation.
+        let mut tidlists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut buf = Vec::new();
+        for (tid, t) in db.iter().enumerate() {
+            recoder.recode_transaction(t, &mut buf);
+            for &i in &buf {
+                tidlists[i as usize].push(tid as u32);
+            }
+        }
+        let vertical_bytes: u64 = tidlists.iter().map(|l| 4 * l.len() as u64).sum();
+        gauge.alloc(vertical_bytes);
+        gauge.checkpoint();
+        stats.build_time = sw.lap();
+
+        let mut ctx = Ctx {
+            sink,
+            gauge: gauge.clone(),
+            min_support,
+            globals: (0..n as u32).map(|i| recoder.original(i)).collect(),
+            suffix: Vec::new(),
+            emit_buf: Vec::new(),
+            itemsets: 0,
+        };
+        let items: Vec<(u32, Vec<u32>)> = tidlists
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, l))
+            .collect();
+        eclat(&items, &mut ctx);
+        stats.mine_time = sw.lap();
+
+        gauge.free(vertical_bytes);
+        stats.itemsets = ctx.itemsets;
+        stats.peak_bytes = gauge.peak();
+        stats.avg_bytes = gauge.average();
+        stats
+    }
+}
+
+/// Recursively extends the current prefix with each item of `items`; each
+/// recursion level intersects the chosen item's list with all later ones.
+fn eclat(items: &[(u32, Vec<u32>)], ctx: &mut Ctx<'_>) {
+    for (pos, (item, tids)) in items.iter().enumerate() {
+        ctx.suffix.push(ctx.globals[*item as usize]);
+        ctx.emit(tids.len() as u64);
+
+        let mut extensions: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &items[pos + 1..] {
+            let joint = intersect(tids, other_tids);
+            if joint.len() as u64 >= ctx.min_support {
+                extensions.push((*other, joint));
+            }
+        }
+        if !extensions.is_empty() {
+            let bytes: u64 = extensions.iter().map(|(_, l)| 4 * l.len() as u64).sum();
+            ctx.gauge.alloc(bytes);
+            ctx.gauge.checkpoint();
+            eclat(&extensions, ctx);
+            ctx.gauge.free(bytes);
+        }
+        ctx.suffix.pop();
+    }
+}
+
+/// Intersects two sorted tid lists.
+fn intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use cfp_data::miner::CollectSink;
+
+    fn mine(db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let mut sink = CollectSink::new();
+        EclatMiner::new().mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect(&[4], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn textbook_example() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        assert_eq!(mine(&db, 2), oracle::frequent_itemsets(&db, 2));
+    }
+
+    #[test]
+    fn random_equivalence_with_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(808);
+        for trial in 0..25 {
+            let n_items = rng.gen_range(1..=10);
+            let mut db = TransactionDb::new();
+            for _ in 0..rng.gen_range(1..=60) {
+                let t: Vec<Item> = (0..n_items).filter(|_| rng.gen_bool(0.4)).collect();
+                db.push(&t);
+            }
+            let minsup = rng.gen_range(1..=4);
+            assert_eq!(
+                mine(&db, minsup),
+                oracle::frequent_itemsets(&db, minsup),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_within_transactions() {
+        let db = TransactionDb::from_rows(&[vec![5, 5, 6], vec![5, 6, 6], vec![5]]);
+        assert_eq!(
+            mine(&db, 2),
+            vec![(vec![5], 3), (vec![5, 6], 2), (vec![6], 2)]
+        );
+    }
+}

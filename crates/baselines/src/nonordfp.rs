@@ -1,0 +1,312 @@
+//! A nonordfp-style miner (Rácz, FIMI'04).
+//!
+//! nonordfp inspired the CFP-array (§5 of the paper): for the mine phase
+//! it stores the `count` and `parent` fields of all FP-tree nodes in two
+//! flat arrays, clustered by item so that nodelinks become unnecessary —
+//! but *uncompressed* (4-byte fields, global positions) and with no memory
+//! reduction in the build phase, which uses a regular FP-tree. The paper's
+//! §4.5 shows its memory forcing early out-of-core execution; here its
+//! footprint is the FP-tree plus ~8 bytes per node, against the
+//! CFP-array's ~4 total.
+//!
+//! The item of a node at position `p` is recovered from the item index:
+//! the item with the largest starting position ≤ `p`, exactly the remark
+//! in §3.4.
+
+use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_fptree::{FpTree, NIL};
+use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
+
+/// FP-growth over flat item-clustered count/parent arrays.
+#[derive(Clone, Debug, Default)]
+pub struct NonordFpMiner;
+
+impl NonordFpMiner {
+    /// A new nonordfp-style miner.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// The mine-phase representation: two flat arrays plus the item index.
+struct Arrays {
+    counts: Vec<u32>,
+    /// Global position of the parent; `u32::MAX` for children of the root.
+    parents: Vec<u32>,
+    /// `starts[i]..starts[i+1]` is item `i`'s range of positions.
+    starts: Vec<u32>,
+    /// Support per item.
+    supports: Vec<u64>,
+}
+
+impl Arrays {
+    fn from_tree(tree: &FpTree) -> Self {
+        let n = tree.num_items();
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut pos_of = vec![u32::MAX; tree.num_nodes() + 1];
+        let mut next = 0u32;
+        for item in 0..n as u32 {
+            starts.push(next);
+            for idx in tree.nodelinks(item) {
+                pos_of[idx as usize] = next;
+                next += 1;
+            }
+        }
+        starts.push(next);
+        let mut counts = vec![0u32; next as usize];
+        let mut parents = vec![u32::MAX; next as usize];
+        for item in 0..n as u32 {
+            for idx in tree.nodelinks(item) {
+                let pos = pos_of[idx as usize] as usize;
+                let node = tree.node(idx);
+                counts[pos] = node.count;
+                parents[pos] = if node.parent == 0 || node.parent == NIL {
+                    u32::MAX
+                } else {
+                    pos_of[node.parent as usize]
+                };
+            }
+        }
+        Arrays {
+            counts,
+            parents,
+            starts,
+            supports: (0..n as u32).map(|i| tree.item_support(i)).collect(),
+        }
+    }
+
+    fn num_items(&self) -> usize {
+        self.supports.len()
+    }
+
+    /// Item owning global position `pos` (largest start ≤ pos).
+    fn item_of(&self, pos: u32) -> u32 {
+        (self.starts.partition_point(|&s| s <= pos) - 1) as u32
+    }
+
+    /// Ancestor items of the node at `pos`, ascending.
+    fn prefix_path(&self, pos: u32, out: &mut Vec<u32>) {
+        out.clear();
+        let mut cur = self.parents[pos as usize];
+        while cur != u32::MAX {
+            out.push(self.item_of(cur));
+            cur = self.parents[cur as usize];
+        }
+        out.reverse();
+    }
+}
+
+impl HeapSize for Arrays {
+    fn heap_bytes(&self) -> u64 {
+        self.counts.heap_bytes()
+            + self.parents.heap_bytes()
+            + self.starts.heap_bytes()
+            + self.supports.heap_bytes()
+    }
+}
+
+struct Ctx<'a> {
+    sink: &'a mut dyn ItemsetSink,
+    gauge: MemGauge,
+    min_support: u64,
+    suffix: Vec<Item>,
+    emit_buf: Vec<Item>,
+    path_buf: Vec<u32>,
+    itemsets: u64,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, support: u64) {
+        self.emit_buf.clear();
+        self.emit_buf.extend_from_slice(&self.suffix);
+        self.emit_buf.sort_unstable();
+        self.sink.emit(&self.emit_buf, support);
+        self.itemsets += 1;
+    }
+}
+
+impl Miner for NonordFpMiner {
+    fn name(&self) -> &'static str {
+        "nonordfp-style"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        let mut stats = MineStats::default();
+        let gauge = MemGauge::new();
+        let mut sw = Stopwatch::start();
+
+        let recoder = ItemRecoder::scan(db, min_support);
+        stats.scan_time = sw.lap();
+
+        // Build phase: plain FP-tree, no memory reduction.
+        let tree = FpTree::from_db(db, &recoder);
+        gauge.alloc(tree.heap_bytes());
+        gauge.checkpoint();
+        stats.build_time = sw.lap();
+        stats.tree_nodes = tree.num_nodes() as u64;
+
+        let arrays = Arrays::from_tree(&tree);
+        gauge.alloc(arrays.heap_bytes());
+        gauge.checkpoint();
+        gauge.free(tree.heap_bytes());
+        drop(tree);
+        stats.convert_time = sw.lap();
+
+        let globals: Vec<Item> = (0..recoder.num_items() as u32)
+            .map(|i| recoder.original(i))
+            .collect();
+        let mut ctx = Ctx {
+            sink,
+            gauge: gauge.clone(),
+            min_support,
+            suffix: Vec::new(),
+            emit_buf: Vec::new(),
+            path_buf: Vec::new(),
+            itemsets: 0,
+        };
+        mine_arrays(&arrays, &globals, &mut ctx);
+        stats.mine_time = sw.lap();
+
+        gauge.free(arrays.heap_bytes());
+        stats.itemsets = ctx.itemsets;
+        stats.peak_bytes = gauge.peak();
+        stats.avg_bytes = gauge.average();
+        stats
+    }
+}
+
+fn mine_arrays(arrays: &Arrays, globals: &[Item], ctx: &mut Ctx<'_>) {
+    let n = arrays.num_items() as u32;
+    for item in (0..n).rev() {
+        let support = arrays.supports[item as usize];
+        if support < ctx.min_support {
+            continue;
+        }
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(support);
+        if item > 0 {
+            if let Some((cond, cond_globals)) = conditional(arrays, item, globals, ctx) {
+                ctx.gauge.alloc(cond.heap_bytes());
+                ctx.gauge.checkpoint();
+                mine_arrays(&cond, &cond_globals, ctx);
+                ctx.gauge.free(cond.heap_bytes());
+            }
+        }
+        ctx.suffix.pop();
+    }
+}
+
+/// Conditional step: prefix paths from the arrays feed a small FP-tree,
+/// which converts to the next level's arrays (nonordfp keeps the same
+/// representation through the recursion).
+fn conditional(
+    arrays: &Arrays,
+    item: u32,
+    globals: &[Item],
+    ctx: &mut Ctx<'_>,
+) -> Option<(Arrays, Vec<Item>)> {
+    let range = arrays.starts[item as usize]..arrays.starts[item as usize + 1];
+    let mut freq = vec![0u64; item as usize];
+    let mut path = std::mem::take(&mut ctx.path_buf);
+    for pos in range.clone() {
+        arrays.prefix_path(pos, &mut path);
+        for &it in &path {
+            freq[it as usize] += arrays.counts[pos as usize] as u64;
+        }
+    }
+    let mut remap = vec![u32::MAX; item as usize];
+    let mut cond_globals = Vec::new();
+    for (old, &f) in freq.iter().enumerate() {
+        if f >= ctx.min_support {
+            remap[old] = cond_globals.len() as u32;
+            cond_globals.push(globals[old]);
+        }
+    }
+    if cond_globals.is_empty() {
+        ctx.path_buf = path;
+        return None;
+    }
+    let mut cond_tree = FpTree::new(cond_globals.len());
+    let mut filtered: Vec<u32> = Vec::new();
+    for pos in range {
+        arrays.prefix_path(pos, &mut path);
+        filtered.clear();
+        filtered.extend(
+            path.iter()
+                .filter(|&&it| remap[it as usize] != u32::MAX)
+                .map(|&it| remap[it as usize]),
+        );
+        if !filtered.is_empty() {
+            cond_tree.insert(&filtered, arrays.counts[pos as usize]);
+        }
+    }
+    ctx.path_buf = path;
+    ctx.gauge.alloc(cond_tree.heap_bytes());
+    let cond = Arrays::from_tree(&cond_tree);
+    ctx.gauge.free(cond_tree.heap_bytes());
+    Some((cond, cond_globals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+    use cfp_data::miner::CollectSink;
+
+    fn mine(db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let mut sink = CollectSink::new();
+        NonordFpMiner::new().mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    #[test]
+    fn item_of_uses_item_index() {
+        let mut tree = FpTree::new(3);
+        tree.insert(&[0, 1, 2], 1);
+        tree.insert(&[0, 2], 1);
+        tree.insert(&[1, 2], 1);
+        let a = Arrays::from_tree(&tree);
+        for item in 0..3u32 {
+            for pos in a.starts[item as usize]..a.starts[item as usize + 1] {
+                assert_eq!(a.item_of(pos), item);
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_example() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        assert_eq!(mine(&db, 2), oracle::frequent_itemsets(&db, 2));
+    }
+
+    #[test]
+    fn random_equivalence_with_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31415);
+        for trial in 0..25 {
+            let n_items = rng.gen_range(1..=10);
+            let mut db = TransactionDb::new();
+            for _ in 0..rng.gen_range(1..=60) {
+                let t: Vec<Item> = (0..n_items).filter(|_| rng.gen_bool(0.4)).collect();
+                db.push(&t);
+            }
+            let minsup = rng.gen_range(1..=4);
+            assert_eq!(
+                mine(&db, minsup),
+                oracle::frequent_itemsets(&db, minsup),
+                "trial {trial}"
+            );
+        }
+    }
+}

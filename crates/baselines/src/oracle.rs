@@ -1,0 +1,55 @@
+//! Brute-force frequent-itemset enumeration, the correctness oracle.
+//!
+//! Enumerates every subset of the (small) item universe and counts its
+//! support by scanning the database — exponential, usable only in tests,
+//! and therefore trustworthy: there is nothing clever to get wrong.
+
+use cfp_data::{Item, TransactionDb};
+
+/// All frequent itemsets of `db` with their supports, sorted canonically.
+///
+/// # Panics
+///
+/// Panics if the item universe exceeds 20 items (2^20 subsets).
+pub fn frequent_itemsets(db: &TransactionDb, min_support: u64) -> Vec<(Vec<Item>, u64)> {
+    let max = db.max_item().map_or(0, |m| m as usize + 1);
+    assert!(max <= 20, "oracle is exponential; got {max} items");
+    let mut out = Vec::new();
+    // Precompute transaction bitmasks (duplicates within a row collapse).
+    let masks: Vec<u32> = db
+        .iter()
+        .map(|t| t.iter().fold(0u32, |m, &i| m | (1 << i)))
+        .collect();
+    for subset in 1u32..(1u32 << max) {
+        let support = masks.iter().filter(|&&m| m & subset == subset).count() as u64;
+        if support >= min_support {
+            let items: Vec<Item> = (0..max as u32).filter(|&i| subset & (1 << i) != 0).collect();
+            out.push((items, support));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_database() {
+        let db = TransactionDb::from_rows(&[vec![0, 1], vec![0, 1, 2], vec![0]]);
+        let got = frequent_itemsets(&db, 2);
+        assert_eq!(got, vec![(vec![0], 3), (vec![0, 1], 2), (vec![1], 2)]);
+    }
+
+    #[test]
+    fn duplicates_in_a_row_count_once() {
+        let db = TransactionDb::from_rows(&[vec![3, 3], vec![3]]);
+        assert_eq!(frequent_itemsets(&db, 2), vec![(vec![3], 2)]);
+    }
+
+    #[test]
+    fn empty_db_has_no_itemsets() {
+        assert!(frequent_itemsets(&TransactionDb::new(), 1).is_empty());
+    }
+}

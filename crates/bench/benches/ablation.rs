@@ -1,0 +1,41 @@
+//! Build-time cost of the CFP-tree's structural techniques: chains and
+//! embedded leaves save memory — do they also cost (or save) time? The
+//! paper argues the (de)compression overhead is largely offset by better
+//! memory-bandwidth usage; this bench measures the build side of that
+//! trade on one workload.
+
+use cfp_bench::bench_quest;
+use cfp_data::ItemRecoder;
+use cfp_tree::{CfpTree, CfpTreeConfig};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let db = bench_quest(10_000);
+    let recoder = ItemRecoder::scan(&db, 20);
+    let configs: [(&str, CfpTreeConfig); 4] = [
+        ("full", CfpTreeConfig::default()),
+        ("no-chains", CfpTreeConfig { max_chain_len: 0, embed_leaves: true }),
+        ("no-embed", CfpTreeConfig { max_chain_len: 15, embed_leaves: false }),
+        ("neither", CfpTreeConfig { max_chain_len: 0, embed_leaves: false }),
+    ];
+
+    let mut g = c.benchmark_group("ablation-build");
+    g.sample_size(20);
+    for (name, cfg) in configs {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                let mut tree = CfpTree::with_config(recoder.num_items(), cfg);
+                for t in db.iter() {
+                    recoder.recode_transaction(t, &mut buf);
+                    tree.insert(&buf, 1);
+                }
+                black_box(tree.arena_used())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

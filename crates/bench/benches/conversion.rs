@@ -1,0 +1,77 @@
+//! Microbenchmarks of the CFP-tree → CFP-array conversion (§3.5) and of
+//! the CFP-array access paths the mine phase lives on: sequential
+//! subarray scans (nodelink replacement) and parent-chain walks.
+
+use cfp_bench::bench_quest;
+use cfp_data::ItemRecoder;
+use cfp_tree::CfpTree;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_conversion(c: &mut Criterion) {
+    let db = bench_quest(20_000);
+    let recoder = ItemRecoder::scan(&db, 40);
+    let tree = CfpTree::from_db(&db, &recoder);
+    let nodes = tree.num_nodes();
+
+    let mut g = c.benchmark_group("conversion");
+    g.throughput(Throughput::Elements(nodes));
+    g.bench_function("tree-to-array", |b| {
+        b.iter(|| black_box(cfp_core::convert(&tree).num_nodes()));
+    });
+    g.finish();
+
+    let array = cfp_core::convert(&tree);
+    let mut g = c.benchmark_group("array-access");
+    g.throughput(Throughput::Elements(nodes));
+    g.bench_function("full-subarray-scan", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for item in 0..array.num_items() as u32 {
+                for node in array.subarray(item) {
+                    sum = sum.wrapping_add(node.count);
+                }
+            }
+            black_box(sum)
+        });
+    });
+    g.bench_function("parent-chain-walks", |b| {
+        let mut path = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for item in (0..array.num_items() as u32).rev().take(50) {
+                for node in array.subarray(item) {
+                    array.prefix_path(item, &node, &mut path);
+                    total += path.len();
+                }
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("serialization");
+    g.throughput(Throughput::Bytes(array.data_bytes()));
+    g.bench_function("write", |b| {
+        let mut buf = Vec::with_capacity(array.data_bytes() as usize + 1024);
+        b.iter(|| {
+            buf.clear();
+            array.write_to(&mut buf).expect("in-memory write");
+            black_box(buf.len())
+        });
+    });
+    let mut bytes = Vec::new();
+    array.write_to(&mut bytes).expect("in-memory write");
+    g.bench_function("read", |b| {
+        b.iter(|| {
+            black_box(
+                cfp_array::CfpArray::read_from(bytes.as_slice())
+                    .expect("valid image")
+                    .num_nodes(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

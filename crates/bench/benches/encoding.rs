@@ -1,0 +1,114 @@
+//! Microbenchmarks of the lightweight codecs (§2.3): the paper's choice
+//! of byte-level static encodings hinges on their per-value cost being a
+//! handful of nanoseconds.
+
+use cfp_encoding::{varint, zerosup, zigzag};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn values() -> Vec<u64> {
+    // Mix mimicking CFP fields: mostly tiny, occasionally large.
+    (0..4096u64)
+        .map(|i| match i % 8 {
+            0..=5 => i % 120,
+            6 => 300 + i,
+            _ => 1 << (i % 30),
+        })
+        .collect()
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let vals = values();
+    let mut g = c.benchmark_group("varint");
+    g.throughput(Throughput::Elements(vals.len() as u64));
+    g.bench_function("encode", |b| {
+        let mut out = Vec::with_capacity(vals.len() * 5);
+        b.iter(|| {
+            out.clear();
+            for &v in &vals {
+                varint::write_u64(&mut out, black_box(v));
+            }
+            black_box(out.len())
+        });
+    });
+    let mut encoded = Vec::new();
+    for &v in &vals {
+        varint::write_u64(&mut encoded, v);
+    }
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut at = 0;
+            let mut sum = 0u64;
+            while at < encoded.len() {
+                let (v, n) = varint::read_u64_unchecked(&encoded[at..]);
+                sum = sum.wrapping_add(v);
+                at += n;
+            }
+            black_box(sum)
+        });
+    });
+    g.bench_function("skip", |b| {
+        b.iter(|| {
+            let mut at = 0;
+            let mut n_vals = 0u32;
+            while at < encoded.len() {
+                at += varint::skip(&encoded[at..]);
+                n_vals += 1;
+            }
+            black_box(n_vals)
+        });
+    });
+    g.finish();
+}
+
+fn bench_zerosup(c: &mut Criterion) {
+    let vals: Vec<u32> = values().iter().map(|&v| v as u32).collect();
+    let mut g = c.benchmark_group("zero-suppression");
+    g.throughput(Throughput::Elements(vals.len() as u64));
+    g.bench_function("encode", |b| {
+        let mut buf = [0u8; 4];
+        b.iter(|| {
+            let mut total = 0usize;
+            for &v in &vals {
+                let n = zerosup::significant_bytes(v);
+                zerosup::write_bytes(&mut buf, black_box(v), n);
+                total += n;
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("decode", |b| {
+        let pairs: Vec<([u8; 4], usize)> = vals
+            .iter()
+            .map(|&v| {
+                let mut buf = [0u8; 4];
+                let n = zerosup::significant_bytes(v);
+                zerosup::write_bytes(&mut buf, v, n);
+                (buf, n)
+            })
+            .collect();
+        b.iter(|| {
+            let mut sum = 0u64;
+            for (buf, n) in &pairs {
+                sum = sum.wrapping_add(zerosup::read_bytes(buf, *n) as u64);
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+fn bench_zigzag(c: &mut Criterion) {
+    let vals: Vec<i64> = values().iter().map(|&v| v as i64 - 2048).collect();
+    c.bench_function("zigzag/round-trip", |b| {
+        b.iter(|| {
+            let mut sum = 0i64;
+            for &v in &vals {
+                sum = sum.wrapping_add(zigzag::decode(zigzag::encode(black_box(v))));
+            }
+            black_box(sum)
+        });
+    });
+}
+
+criterion_group!(benches, bench_varint, bench_zerosup, bench_zigzag);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 6 driver: builds the compressed structures on every dataset
+//! profile and reports bytes per node through Criterion's measurement of
+//! the build+convert pipeline (the node sizes themselves are printed by
+//! `cfp-repro fig6a fig6b`; this bench tracks the cost of producing them).
+
+use cfp_data::profiles;
+use cfp_data::ItemRecoder;
+use cfp_tree::CfpTree;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6-pipeline");
+    g.sample_size(10);
+    for p in profiles::all() {
+        // The two large quest profiles are covered by fig7/fig8 benches.
+        if p.name.starts_with("quest") {
+            continue;
+        }
+        let db = p.generate();
+        let minsup = p.absolute_support(&db, 1);
+        let recoder = ItemRecoder::scan(&db, minsup);
+        g.bench_with_input(BenchmarkId::new("build+convert", p.name), &db, |b, db| {
+            b.iter(|| {
+                let tree = CfpTree::from_db(db, &recoder);
+                let array = cfp_core::convert(&tree);
+                black_box((tree.avg_node_bytes(), array.avg_node_bytes()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

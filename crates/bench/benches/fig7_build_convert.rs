@@ -1,0 +1,31 @@
+//! Figure 7(a) driver: build and conversion time of CFP-growth vs. the
+//! FP-tree build, on a Quest workload at several supports.
+
+use cfp_bench::bench_quest;
+use cfp_data::ItemRecoder;
+use cfp_fptree::FpTree;
+use cfp_tree::CfpTree;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_build_convert(c: &mut Criterion) {
+    let db = bench_quest(20_000);
+    let mut g = c.benchmark_group("fig7-build-convert");
+    g.sample_size(10);
+    for minsup in [400u64, 100, 40] {
+        let recoder = ItemRecoder::scan(&db, minsup);
+        g.bench_with_input(BenchmarkId::new("fp-build", minsup), &minsup, |b, _| {
+            b.iter(|| black_box(FpTree::from_db(&db, &recoder).num_nodes()));
+        });
+        g.bench_with_input(BenchmarkId::new("cfp-build", minsup), &minsup, |b, _| {
+            b.iter(|| black_box(CfpTree::from_db(&db, &recoder).num_nodes()));
+        });
+        let tree = CfpTree::from_db(&db, &recoder);
+        g.bench_with_input(BenchmarkId::new("cfp-convert", minsup), &minsup, |b, _| {
+            b.iter(|| black_box(cfp_core::convert(&tree).num_nodes()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_convert);
+criterion_main!(benches);

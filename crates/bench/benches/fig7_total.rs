@@ -1,0 +1,27 @@
+//! Figure 7(c) driver: total execution time of FP-growth vs. CFP-growth
+//! across supports on a Quest workload.
+
+use cfp_bench::{bench_quest, run_miner};
+use cfp_core::CfpGrowthMiner;
+use cfp_fptree::FpGrowthMiner;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_total(c: &mut Criterion) {
+    let db = bench_quest(20_000);
+    let fp = FpGrowthMiner::new();
+    let cfp = CfpGrowthMiner::new();
+    let mut g = c.benchmark_group("fig7-total");
+    g.sample_size(10);
+    for minsup in [400u64, 100, 40] {
+        g.bench_with_input(BenchmarkId::new("fp-growth", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(run_miner(&fp, &db, m).itemsets));
+        });
+        g.bench_with_input(BenchmarkId::new("cfp-growth", minsup), &minsup, |b, &m| {
+            b.iter(|| black_box(run_miner(&cfp, &db, m).itemsets));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_total);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 8 driver: all algorithms on one Quest workload at a medium
+//! support (full sweeps with per-algorithm memory live in `cfp-repro
+//! fig8a fig8d`; Criterion tracks regressions of each algorithm's time).
+
+use cfp_baselines::all_miners;
+use cfp_bench::{bench_quest, run_miner};
+use cfp_core::CfpGrowthMiner;
+use cfp_data::Miner;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let db = bench_quest(10_000);
+    let minsup = 60u64;
+    let mut miners: Vec<Box<dyn Miner>> = vec![Box::new(CfpGrowthMiner::new())];
+    miners.extend(all_miners());
+
+    // Cross-check once before timing.
+    let expect = run_miner(miners[0].as_ref(), &db, minsup).itemsets;
+    for m in &miners {
+        assert_eq!(run_miner(m.as_ref(), &db, minsup).itemsets, expect, "{}", m.name());
+    }
+
+    let mut g = c.benchmark_group("fig8-algorithms");
+    g.sample_size(10);
+    for m in &miners {
+        g.bench_with_input(BenchmarkId::new(m.name(), minsup), &minsup, |b, &sup| {
+            b.iter(|| black_box(run_miner(m.as_ref(), &db, sup).itemsets));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

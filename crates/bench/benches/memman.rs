@@ -1,0 +1,52 @@
+//! Microbenchmarks of the memory manager (Appendix A): node allocation
+//! must stay far cheaper than `malloc` for CFP-tree construction to be
+//! competitive.
+
+use cfp_memman::Arena;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memman");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("alloc-10k-mixed", |b| {
+        b.iter(|| {
+            let mut a = Arena::with_capacity(256 * 1024);
+            for i in 0..10_000u64 {
+                black_box(a.alloc(7 + (i % 18) as usize));
+            }
+            black_box(a.footprint())
+        });
+    });
+    g.bench_function("alloc-free-cycle", |b| {
+        b.iter(|| {
+            let mut a = Arena::with_capacity(64 * 1024);
+            let mut offs = Vec::with_capacity(1000);
+            for round in 0..10 {
+                for i in 0..1000u64 {
+                    offs.push(a.alloc(7 + ((i + round) % 18) as usize));
+                }
+                for (i, off) in offs.drain(..).enumerate() {
+                    a.free(off, 7 + ((i as u64 + round) % 18) as usize);
+                }
+            }
+            black_box(a.footprint())
+        });
+    });
+    g.bench_function("realloc-grow", |b| {
+        b.iter(|| {
+            let mut a = Arena::with_capacity(64 * 1024);
+            let mut offs: Vec<u64> = (0..1000).map(|_| a.alloc(7)).collect();
+            for off in offs.iter_mut() {
+                *off = a.realloc(*off, 7, 12);
+            }
+            for off in offs.iter_mut() {
+                *off = a.realloc(*off, 12, 17);
+            }
+            black_box(a.used())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

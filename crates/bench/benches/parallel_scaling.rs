@@ -1,0 +1,29 @@
+//! Scaling of the parallel mine phase with worker count (the class-4
+//! extension of §5: the first-level items are independent units of work).
+
+use cfp_bench::{bench_quest, run_miner};
+use cfp_core::{CfpGrowthMiner, ParallelCfpGrowthMiner};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel(c: &mut Criterion) {
+    let db = bench_quest(20_000);
+    let minsup = 40u64;
+    let expect = run_miner(&CfpGrowthMiner::new(), &db, minsup).itemsets;
+
+    let mut g = c.benchmark_group("parallel-scaling");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| black_box(run_miner(&CfpGrowthMiner::new(), &db, minsup).itemsets));
+    });
+    for threads in [2usize, 4, 8] {
+        let miner = ParallelCfpGrowthMiner::new(threads);
+        assert_eq!(run_miner(&miner, &db, minsup).itemsets, expect);
+        g.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(run_miner(&miner, &db, minsup).itemsets));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

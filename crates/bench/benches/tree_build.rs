@@ -1,0 +1,28 @@
+//! Build-phase microbenchmark: inserting transactions into the compressed
+//! CFP-tree vs. the pointer-based FP-tree. The paper's claim is that
+//! compression does not deteriorate build time when data is small.
+
+use cfp_bench::bench_quest;
+use cfp_data::ItemRecoder;
+use cfp_fptree::FpTree;
+use cfp_tree::CfpTree;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_build(c: &mut Criterion) {
+    let db = bench_quest(5_000);
+    let mut g = c.benchmark_group("tree-build");
+    for minsup in [250u64, 50, 10] {
+        let recoder = ItemRecoder::scan(&db, minsup);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("fp-tree", minsup), &minsup, |b, _| {
+            b.iter(|| black_box(FpTree::from_db(&db, &recoder).num_nodes()));
+        });
+        g.bench_with_input(BenchmarkId::new("cfp-tree", minsup), &minsup, |b, _| {
+            b.iter(|| black_box(CfpTree::from_db(&db, &recoder).num_nodes()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

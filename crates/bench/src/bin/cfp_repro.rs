@@ -1,0 +1,115 @@
+//! `cfp-repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cfp-repro [--csv DIR] <experiment> [...]
+//!   table1 table2 table3      field statistics and dataset summary
+//!   fig6a fig6b               node-size measurements
+//!   fig7                      Quest1 sweep: 7(a)-7(d) from one run
+//!   fig8a                     Quest1, all algorithms (time + memory)
+//!   fig8d                     Quest2, all algorithms (time + memory)
+//!   summary                   headline compression ratios
+//!   ablation                  chain/embedding techniques toggled off
+//!   capacity                  in-core capacity at a 64 MiB budget (§4.4)
+//!   parallel                  mine-phase scaling with worker threads
+//!   all                       everything above
+//! ```
+//!
+//! With `--csv DIR`, every produced table is additionally written to
+//! `DIR/<table-id>.csv` for external plotting.
+//!
+//! Environment: `CFP_BUDGET_SECS` (default 20) bounds a single algorithm
+//! run in fig8 sweeps; slower algorithms are skipped at lower supports.
+
+use cfp_bench::experiments::{self, QuestSet};
+use cfp_bench::report::Table;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        if pos + 1 >= args.len() {
+            eprintln!("--csv requires a directory");
+            std::process::exit(2);
+        }
+        csv_dir = Some(PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    if args.is_empty() {
+        eprintln!(
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|all> ..."
+        );
+        std::process::exit(2);
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    for arg in &args {
+        run(arg, csv_dir.as_deref());
+    }
+}
+
+fn emit(id: &str, table: &Table, csv_dir: Option<&std::path::Path>) {
+    println!("{}", table.render());
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(name: &str, csv_dir: Option<&std::path::Path>) {
+    let start = Instant::now();
+    match name {
+        "table1" => emit("table1", &experiments::table1(), csv_dir),
+        "table2" => emit("table2", &experiments::table2(), csv_dir),
+        "table3" => emit("table3", &experiments::table3(), csv_dir),
+        "fig6a" => emit("fig6a", &experiments::fig6a(), csv_dir),
+        "fig6b" => emit("fig6b", &experiments::fig6b(), csv_dir),
+        "fig7" => {
+            let rows = experiments::fig7_sweep(None);
+            emit("fig7a", &experiments::fig7a(&rows), csv_dir);
+            emit("fig7b", &experiments::fig7b(&rows), csv_dir);
+            emit("fig7c", &experiments::fig7c(&rows), csv_dir);
+            emit("fig7d", &experiments::fig7d(&rows), csv_dir);
+        }
+        "fig8a" => {
+            let (t, m) = experiments::fig8(QuestSet::Quest1, None);
+            emit("fig8a_time", &t, csv_dir);
+            emit("fig8b_memory", &m, csv_dir);
+        }
+        "fig8d" => {
+            let (t, m) = experiments::fig8(QuestSet::Quest2, None);
+            emit("fig8d_time", &t, csv_dir);
+            emit("fig8d_memory", &m, csv_dir);
+        }
+        "summary" => emit("summary", &experiments::compression_summary(), csv_dir),
+        "ablation" => emit("ablation", &experiments::ablation(), csv_dir),
+        "capacity" => emit(
+            "capacity",
+            &experiments::capacity(64 * 1024 * 1024),
+            csv_dir,
+        ),
+        "parallel" => emit("parallel", &experiments::parallel_scaling(), csv_dir),
+        "all" => {
+            for e in [
+                "table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8a", "fig8d",
+                "summary", "ablation", "capacity", "parallel",
+            ] {
+                run(e, csv_dir);
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
+}

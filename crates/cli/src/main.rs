@@ -1,0 +1,287 @@
+//! `cfp-mine` — frequent-itemset mining from the command line.
+//!
+//! A FIMI-repository-style interface over the whole workspace: point it at
+//! a FIMI-format file, pick a support threshold (absolute count or
+//! percentage), and choose an algorithm, an output mode, and optional
+//! post-processing.
+//!
+//! ```text
+//! cfp-mine <input.dat> --support <N | P%> [options]
+//!
+//!   --algorithm NAME   cfp (default), fp, apriori, eclat, lcm,
+//!                      nonordfp, tiny, fparray
+//!   --threads N        parallel CFP-growth with N workers
+//!   --count            print only the number of frequent itemsets
+//!   --top K            print the K highest-support itemsets
+//!   --closed           print only closed itemsets
+//!   --maximal          print only maximal itemsets
+//!   --rules CONF       print association rules with confidence ≥ CONF
+//!   --image PATH       also save a reusable mining image (CFP only)
+//!   --stats            print phase times and peak memory to stderr
+//! ```
+//!
+//! Itemsets print in FIMI output format: space-separated items followed
+//! by the absolute support in parentheses, e.g. `3 17 29 (1250)`.
+
+use cfp_core::{
+    CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
+    ParallelCfpGrowthMiner, TopKSink, TransactionDb,
+};
+use cfp_rules::{closed_itemsets, maximal_itemsets, RuleMiner};
+use std::io::Write;
+use std::process::exit;
+
+struct Options {
+    input: String,
+    support: SupportSpec,
+    algorithm: String,
+    threads: usize,
+    count_only: bool,
+    top: Option<usize>,
+    closed: bool,
+    maximal: bool,
+    rules: Option<f64>,
+    image: Option<String>,
+    stats: bool,
+}
+
+enum SupportSpec {
+    Absolute(u64),
+    Relative(f64),
+}
+
+fn usage() -> ! {
+    eprintln!("usage: cfp-mine <input.dat> --support <N | P%> [options]");
+    eprintln!("  --algorithm cfp|fp|apriori|eclat|lcm|nonordfp|tiny|fparray");
+    eprintln!("  --threads N | --count | --top K | --closed | --maximal");
+    eprintln!("  --rules CONF | --image PATH | --stats");
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: String::new(),
+        support: SupportSpec::Absolute(0),
+        algorithm: "cfp".into(),
+        threads: 1,
+        count_only: false,
+        top: None,
+        closed: false,
+        maximal: false,
+        rules: None,
+        image: None,
+        stats: false,
+    };
+    let mut support_given = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--support" => {
+                let v = value(arg);
+                opts.support = if let Some(pct) = v.strip_suffix('%') {
+                    let p: f64 = pct.parse().unwrap_or_else(|_| {
+                        eprintln!("bad percentage {v:?}");
+                        usage()
+                    });
+                    SupportSpec::Relative(p / 100.0)
+                } else {
+                    SupportSpec::Absolute(v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad support {v:?}");
+                        usage()
+                    }))
+                };
+                support_given = true;
+            }
+            "--algorithm" => opts.algorithm = value(arg),
+            "--threads" => {
+                opts.threads = value(arg).parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    usage()
+                })
+            }
+            "--count" => opts.count_only = true,
+            "--top" => {
+                opts.top = Some(value(arg).parse().unwrap_or_else(|_| {
+                    eprintln!("bad top-k");
+                    usage()
+                }))
+            }
+            "--closed" => opts.closed = true,
+            "--maximal" => opts.maximal = true,
+            "--rules" => {
+                opts.rules = Some(value(arg).parse().unwrap_or_else(|_| {
+                    eprintln!("bad confidence");
+                    usage()
+                }))
+            }
+            "--image" => opts.image = Some(value(arg)),
+            "--stats" => opts.stats = true,
+            other if !other.starts_with('-') && opts.input.is_empty() => {
+                opts.input = other.to_string();
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if opts.input.is_empty() || !support_given {
+        usage();
+    }
+    opts
+}
+
+fn miner_by_name(name: &str, threads: usize) -> Box<dyn Miner> {
+    match name {
+        "cfp" if threads > 1 => Box::new(ParallelCfpGrowthMiner::new(threads)),
+        "cfp" => Box::new(CfpGrowthMiner::new()),
+        "fp" => Box::new(cfp_fptree::FpGrowthMiner::new()),
+        "apriori" => Box::new(cfp_baselines::AprioriMiner::new()),
+        "eclat" => Box::new(cfp_baselines::EclatMiner::new()),
+        "lcm" => Box::new(cfp_baselines::LcmStyleMiner::new()),
+        "nonordfp" => Box::new(cfp_baselines::NonordFpMiner::new()),
+        "tiny" => Box::new(cfp_baselines::TinyStyleMiner::new()),
+        "fparray" => Box::new(cfp_baselines::FpArrayStyleMiner::new()),
+        other => {
+            eprintln!("unknown algorithm {other:?}");
+            usage();
+        }
+    }
+}
+
+/// Streams itemsets straight to a writer in FIMI output format.
+struct PrintSink<W: Write> {
+    out: W,
+    count: u64,
+}
+
+impl<W: Write> ItemsetSink for PrintSink<W> {
+    fn emit(&mut self, itemset: &[u32], support: u64) {
+        self.count += 1;
+        let mut line = String::with_capacity(itemset.len() * 7 + 12);
+        for (i, item) in itemset.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&item.to_string());
+        }
+        line.push_str(&format!(" ({support})\n"));
+        self.out.write_all(line.as_bytes()).expect("stdout write");
+    }
+}
+
+fn print_itemsets(itemsets: &[(Vec<u32>, u64)]) {
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for (items, support) in itemsets {
+        let mut line = String::new();
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&item.to_string());
+        }
+        line.push_str(&format!(" ({support})\n"));
+        out.write_all(line.as_bytes()).expect("stdout write");
+    }
+    out.flush().expect("stdout flush");
+}
+
+fn report_stats(stats: &MineStats, n_itemsets: u64) {
+    eprintln!(
+        "itemsets {}  scan {:.3}s  build {:.3}s  convert {:.3}s  mine {:.3}s  peak {}",
+        n_itemsets,
+        stats.scan_time.as_secs_f64(),
+        stats.build_time.as_secs_f64(),
+        stats.convert_time.as_secs_f64(),
+        stats.mine_time.as_secs_f64(),
+        cfp_metrics::fmt_bytes(stats.peak_bytes),
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    let db: TransactionDb = match cfp_data::fimi::read_file(&opts.input) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.input);
+            exit(1);
+        }
+    };
+    let min_support = match opts.support {
+        SupportSpec::Absolute(n) => n.max(1),
+        SupportSpec::Relative(f) => ((db.len() as f64 * f).ceil() as u64).max(1),
+    };
+    eprintln!(
+        "{}: {} transactions, {} distinct items; minimum support {min_support}",
+        opts.input,
+        db.len(),
+        db.distinct_items()
+    );
+
+    let miner = miner_by_name(&opts.algorithm, opts.threads);
+    let needs_collection =
+        opts.top.is_some() || opts.closed || opts.maximal || opts.rules.is_some();
+
+    let stats = if opts.count_only {
+        let mut sink = CountingSink::new();
+        let stats = miner.mine(&db, min_support, &mut sink);
+        println!("{}", sink.count);
+        stats
+    } else if let Some(k) = opts.top {
+        let mut sink = TopKSink::new(k);
+        let stats = miner.mine(&db, min_support, &mut sink);
+        print_itemsets(&sink.into_sorted());
+        stats
+    } else if needs_collection {
+        let mut sink = CollectSink::new();
+        let stats = miner.mine(&db, min_support, &mut sink);
+        let all = sink.into_sorted();
+        if let Some(conf) = opts.rules {
+            let rules = RuleMiner::new(&all, db.len() as u64).rules_by_confidence(conf);
+            for r in &rules {
+                println!(
+                    "{:?} => {:?}  support {}  confidence {:.3}  lift {:.3}",
+                    r.antecedent, r.consequent, r.support, r.confidence, r.lift
+                );
+            }
+            eprintln!("{} rules", rules.len());
+        } else if opts.closed {
+            print_itemsets(&closed_itemsets(&all));
+        } else if opts.maximal {
+            print_itemsets(&maximal_itemsets(&all));
+        }
+        stats
+    } else {
+        let stdout = std::io::stdout();
+        let mut sink = PrintSink { out: std::io::BufWriter::new(stdout.lock()), count: 0 };
+        let stats = miner.mine(&db, min_support, &mut sink);
+        sink.out.flush().expect("stdout flush");
+        stats
+    };
+
+    if let Some(path) = &opts.image {
+        if opts.algorithm != "cfp" {
+            eprintln!("--image requires the cfp algorithm");
+            exit(2);
+        }
+        let image = MiningImage::build(&db, min_support);
+        if let Err(e) = image.save(path) {
+            eprintln!("cannot save image {path}: {e}");
+            exit(1);
+        }
+        eprintln!("image saved to {path}");
+    }
+    if opts.stats {
+        report_stats(&stats, stats.itemsets);
+    }
+}

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `cfp-mine` binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cfp-mine")
+}
+
+fn write_sample() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sample.dat");
+    std::fs::write(&path, "1 2 5\n2 4\n2 3\n1 2 4\n1 3\n2 3\n1 3\n1 2 3 5\n1 2 3\n").unwrap();
+    path
+}
+
+#[test]
+fn mines_and_prints_fimi_output() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2"])
+        .output()
+        .expect("run cfp-mine");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The textbook example has 19 frequent itemsets at support 2.
+    assert_eq!(stdout.lines().count(), 19, "{stdout}");
+    assert!(stdout.lines().any(|l| l == "2 (7)"), "{stdout}");
+    assert!(stdout.lines().any(|l| l == "1 2 5 (2)"), "{stdout}");
+}
+
+#[test]
+fn count_mode_and_percentage_support() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "25%", "--count"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    // 25% of 9 rounds up to support 3.
+    let count: u64 = String::from_utf8(out.stdout).unwrap().trim().parse().unwrap();
+    assert!(count > 0);
+}
+
+#[test]
+fn algorithms_agree() {
+    let path = write_sample();
+    let mut counts = Vec::new();
+    for alg in ["cfp", "fp", "apriori", "eclat", "lcm", "nonordfp", "tiny", "fparray"] {
+        let out = Command::new(bin())
+            .args([path.to_str().unwrap(), "--support", "2", "--algorithm", alg, "--count"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{alg}: {}", String::from_utf8_lossy(&out.stderr));
+        counts.push(String::from_utf8(out.stdout).unwrap().trim().to_string());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn top_k_orders_by_support() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let supports: Vec<u64> = stdout
+        .lines()
+        .map(|l| {
+            l.rsplit_once('(')
+                .and_then(|(_, s)| s.trim_end_matches(')').parse().ok())
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(supports.len(), 3);
+    assert!(supports.windows(2).all(|w| w[0] >= w[1]), "{supports:?}");
+}
+
+#[test]
+fn rules_and_condensed_modes_run() {
+    let path = write_sample();
+    for extra in [&["--rules", "0.6"][..], &["--closed"][..], &["--maximal"][..]] {
+        let mut args = vec![path.to_str().unwrap(), "--support", "2"];
+        args.extend_from_slice(extra);
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert!(out.status.success(), "{extra:?}");
+        assert!(!out.stdout.is_empty(), "{extra:?} produced no output");
+    }
+}
+
+#[test]
+fn image_round_trip_via_cli() {
+    let path = write_sample();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let image = dir.join("sample.cfpi");
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--count",
+            "--image",
+            image.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(image.exists());
+    std::fs::remove_file(&image).ok();
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = Command::new(bin())
+        .args(["/nonexistent.dat", "--support", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

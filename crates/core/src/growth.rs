@@ -1,0 +1,447 @@
+//! The CFP-growth mining algorithm.
+//!
+//! CFP-growth is FP-growth with both phases running on compressed
+//! structures. One invocation:
+//!
+//! 1. **Scan** — count item supports, recode frequent items densely in
+//!    descending support order ([`cfp_data::ItemRecoder`]).
+//! 2. **Build** — insert every recoded transaction into a
+//!    [`CfpTree`].
+//! 3. **Convert** — transform the CFP-tree into a [`CfpArray`]
+//!    (§3.5); tree and array coexist briefly, which is exactly the peak
+//!    the paper describes, then the tree is dropped and its memory
+//!    recycled.
+//! 4. **Mine** — for each item, least frequent first: emit the itemset,
+//!    gather the conditional pattern base by scanning the item's subarray
+//!    and walking parent chains, build a *conditional* CFP-tree from the
+//!    weighted filtered paths, convert it, recurse.
+//!
+//! Conditional trees keep the global support order of items (see the
+//! discussion in `cfp_fptree::growth`), and a conditional structure that
+//! degenerates into a single path short-circuits into direct subset
+//! enumeration.
+
+use cfp_array::{convert, CfpArray};
+use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
+use cfp_tree::CfpTree;
+
+/// The CFP-growth miner.
+#[derive(Clone, Debug)]
+pub struct CfpGrowthMiner {
+    /// Enumerate single-path structures directly instead of recursing.
+    pub single_path_opt: bool,
+}
+
+impl Default for CfpGrowthMiner {
+    fn default() -> Self {
+        CfpGrowthMiner { single_path_opt: true }
+    }
+}
+
+impl CfpGrowthMiner {
+    /// A miner with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs the scan and build phases: returns the recoder and the initial
+/// CFP-tree. Exposed separately so benchmarks can time phases.
+pub fn build_tree(db: &TransactionDb, min_support: u64) -> (ItemRecoder, CfpTree) {
+    let recoder = ItemRecoder::scan(db, min_support);
+    let tree = CfpTree::from_db(db, &recoder);
+    (recoder, tree)
+}
+
+struct Ctx<'a> {
+    sink: &'a mut dyn ItemsetSink,
+    gauge: MemGauge,
+    min_support: u64,
+    single_path_opt: bool,
+    suffix: Vec<Item>,
+    emit_buf: Vec<Item>,
+    path_buf: Vec<u32>,
+    itemsets: u64,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, support: u64) {
+        self.emit_buf.clear();
+        self.emit_buf.extend_from_slice(&self.suffix);
+        self.emit_buf.sort_unstable();
+        self.sink.emit(&self.emit_buf, support);
+        self.itemsets += 1;
+    }
+}
+
+impl Miner for CfpGrowthMiner {
+    fn name(&self) -> &'static str {
+        "cfp-growth"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        let mut stats = MineStats::default();
+        let gauge = MemGauge::new();
+        let mut sw = Stopwatch::start();
+
+        let recoder = ItemRecoder::scan(db, min_support);
+        stats.scan_time = sw.lap();
+
+        let tree = CfpTree::from_db(db, &recoder);
+        stats.build_time = sw.lap();
+
+        self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw)
+    }
+}
+
+impl CfpGrowthMiner {
+    /// The common back half of a run: conversion, recursive mining, and
+    /// bookkeeping. Shared by [`Miner::mine`] and the streaming
+    /// [`mine_file`](crate::io::mine_file) pipeline.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn convert_and_mine(
+        &self,
+        recoder: &ItemRecoder,
+        tree: CfpTree,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+        mut stats: MineStats,
+        gauge: MemGauge,
+        mut sw: Stopwatch,
+    ) -> MineStats {
+        gauge.alloc(tree.heap_bytes());
+        gauge.checkpoint();
+        stats.tree_nodes = tree.num_nodes();
+
+        // Tree and array coexist during conversion: that is the build-phase
+        // memory peak of CFP-growth (§3.5).
+        let array = convert(&tree);
+        gauge.alloc(array.heap_bytes());
+        gauge.checkpoint();
+        gauge.free(tree.heap_bytes());
+        drop(tree);
+        stats.convert_time = sw.lap();
+
+        let globals: Vec<Item> = (0..recoder.num_items() as u32)
+            .map(|i| recoder.original(i))
+            .collect();
+        let mut ctx = Ctx {
+            sink,
+            gauge: gauge.clone(),
+            min_support,
+            single_path_opt: self.single_path_opt,
+            suffix: Vec::new(),
+            emit_buf: Vec::new(),
+            path_buf: Vec::new(),
+            itemsets: 0,
+        };
+        mine_array(&array, &globals, &mut ctx);
+        stats.mine_time = sw.lap();
+
+        gauge.free(array.heap_bytes());
+        stats.itemsets = ctx.itemsets;
+        stats.peak_bytes = gauge.peak();
+        stats.avg_bytes = gauge.average();
+        stats
+    }
+}
+
+/// Mines the complete subtree of one first-level item: emits `{item}`
+/// and recurses through its conditional structures. Returns the number of
+/// itemsets emitted and the peak bytes of the conditional structures.
+/// This is the unit of work the parallel driver distributes (each
+/// first-level item is independent of the others).
+pub(crate) fn mine_one_item(
+    array: &CfpArray,
+    item: u32,
+    globals: &[Item],
+    min_support: u64,
+    single_path_opt: bool,
+    sink: &mut dyn ItemsetSink,
+) -> (u64, u64) {
+    let gauge = MemGauge::new();
+    let mut ctx = Ctx {
+        sink,
+        gauge: gauge.clone(),
+        min_support,
+        single_path_opt,
+        suffix: Vec::new(),
+        emit_buf: Vec::new(),
+        path_buf: Vec::new(),
+        itemsets: 0,
+    };
+    ctx.suffix.push(globals[item as usize]);
+    ctx.emit(array.item_support(item));
+    if item > 0 {
+        if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx) {
+            ctx.gauge.alloc(cond_array.heap_bytes());
+            mine_array(&cond_array, &cond_globals, &mut ctx);
+            ctx.gauge.free(cond_array.heap_bytes());
+        }
+    }
+    ctx.suffix.pop();
+    (ctx.itemsets, gauge.peak())
+}
+
+/// Mines every frequent itemset of `array` combined with the suffix in
+/// `ctx`; `globals` maps local ids to original items.
+fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) {
+    if ctx.single_path_opt {
+        if let Some(path) = single_path(array) {
+            enumerate_single_path(&path, globals, ctx);
+            return;
+        }
+    }
+    let n = array.num_items() as u32;
+    for item in (0..n).rev() {
+        let support = array.item_support(item);
+        if support < ctx.min_support {
+            continue;
+        }
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(support);
+        if item > 0 {
+            if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx) {
+                ctx.gauge.alloc(cond_array.heap_bytes());
+                ctx.gauge.checkpoint();
+                mine_array(&cond_array, &cond_globals, ctx);
+                ctx.gauge.free(cond_array.heap_bytes());
+            }
+        }
+        ctx.suffix.pop();
+    }
+}
+
+/// Builds the conditional CFP-array of `item`: conditional pattern base →
+/// conditional CFP-tree → conversion. Returns `None` when no conditional
+/// item stays frequent.
+fn conditional(
+    array: &CfpArray,
+    item: u32,
+    globals: &[Item],
+    ctx: &mut Ctx<'_>,
+) -> Option<(CfpArray, Vec<Item>)> {
+    // Pass A: conditional frequencies along all prefix paths.
+    let mut freq = vec![0u64; item as usize];
+    let mut path = std::mem::take(&mut ctx.path_buf);
+    for node in array.subarray(item) {
+        array.prefix_path(item, &node, &mut path);
+        for &it in &path {
+            freq[it as usize] += node.count;
+        }
+    }
+
+    let mut remap = vec![u32::MAX; item as usize];
+    let mut cond_globals = Vec::new();
+    for (old, &f) in freq.iter().enumerate() {
+        if f >= ctx.min_support {
+            remap[old] = cond_globals.len() as u32;
+            cond_globals.push(globals[old]);
+        }
+    }
+    if cond_globals.is_empty() {
+        ctx.path_buf = path;
+        return None;
+    }
+
+    // Pass B: insert the filtered weighted paths into a conditional tree.
+    let mut cond_tree = CfpTree::new(cond_globals.len());
+    let mut filtered: Vec<u32> = Vec::new();
+    for node in array.subarray(item) {
+        array.prefix_path(item, &node, &mut path);
+        filtered.clear();
+        filtered.extend(
+            path.iter()
+                .filter(|&&it| remap[it as usize] != u32::MAX)
+                .map(|&it| remap[it as usize]),
+        );
+        if !filtered.is_empty() {
+            let weight = u32::try_from(node.count).expect("count exceeds u32");
+            cond_tree.insert(&filtered, weight);
+        }
+    }
+    ctx.path_buf = path;
+
+    ctx.gauge.alloc(cond_tree.heap_bytes());
+    let cond_array = convert(&cond_tree);
+    ctx.gauge.free(cond_tree.heap_bytes());
+    Some((cond_array, cond_globals))
+}
+
+/// If the array represents a single downward path (every item has exactly
+/// one node, chained by parent links), returns its `(item, count)` pairs
+/// from the top.
+fn single_path(array: &CfpArray) -> Option<Vec<(u32, u64)>> {
+    let n = array.num_items() as u32;
+    let mut path = Vec::with_capacity(n as usize);
+    let mut expected_parent: Option<u32> = None;
+    for item in 0..n {
+        let mut it = array.subarray(item);
+        let node = it.next()?;
+        if it.next().is_some() {
+            return None;
+        }
+        let parent = array.parent_of(item, &node).map(|(p, _)| p);
+        if parent != expected_parent {
+            return None;
+        }
+        path.push((item, node.count));
+        expected_parent = Some(item);
+    }
+    Some(path)
+}
+
+/// Emits every non-empty subset of a single path combined with the current
+/// suffix; a subset's support is its deepest element's count.
+fn enumerate_single_path(path: &[(u32, u64)], globals: &[Item], ctx: &mut Ctx<'_>) {
+    fn rec_prefix(
+        path: &[(u32, u64)],
+        globals: &[Item],
+        deepest: usize,
+        i: usize,
+        support: u64,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if i == deepest {
+            return;
+        }
+        let (item, _) = path[i];
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(support);
+        rec_prefix(path, globals, deepest, i + 1, support, ctx);
+        ctx.suffix.pop();
+        rec_prefix(path, globals, deepest, i + 1, support, ctx);
+    }
+
+    for deepest in 0..path.len() {
+        let (item, count) = path[deepest];
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(count);
+        rec_prefix(path, globals, deepest, 0, count, ctx);
+        ctx.suffix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::miner::{CollectSink, CountingSink};
+    use cfp_fptree::FpGrowthMiner;
+
+    fn mine_collect(db: &TransactionDb, minsup: u64, opt: bool) -> Vec<(Vec<Item>, u64)> {
+        let miner = CfpGrowthMiner { single_path_opt: opt };
+        let mut sink = CollectSink::new();
+        miner.mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    fn fp_collect(db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let mut sink = CollectSink::new();
+        FpGrowthMiner::new().mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    #[test]
+    fn textbook_example_matches_fp_growth() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        let got = mine_collect(&db, 2, true);
+        assert_eq!(got, fp_collect(&db, 2));
+        assert!(got.contains(&(vec![1, 2, 5], 2)));
+    }
+
+    #[test]
+    fn single_path_opt_changes_nothing() {
+        let db = TransactionDb::from_rows(&[
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![7, 8],
+        ]);
+        assert_eq!(mine_collect(&db, 1, true), mine_collect(&db, 1, false));
+    }
+
+    #[test]
+    fn empty_database_and_high_minsup() {
+        assert!(mine_collect(&TransactionDb::new(), 1, true).is_empty());
+        let db = TransactionDb::from_rows(&[vec![1u32, 2]]);
+        assert!(mine_collect(&db, 2, true).is_empty());
+    }
+
+    #[test]
+    fn pure_single_path_database() {
+        let db = TransactionDb::from_rows(&vec![vec![3u32, 5, 9]; 4]);
+        let got = mine_collect(&db, 2, true);
+        assert_eq!(got.len(), 7);
+        assert!(got.iter().all(|(_, s)| *s == 4));
+    }
+
+    #[test]
+    fn randomized_equivalence_with_fp_growth() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31337);
+        for trial in 0..40 {
+            let n_items = rng.gen_range(1..=12);
+            let n_txn = rng.gen_range(1..=60);
+            let mut db = TransactionDb::new();
+            for _ in 0..n_txn {
+                let t: Vec<Item> = (0..n_items)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .map(|i| i as Item * 7 + 3) // non-dense original ids
+                    .collect();
+                db.push(&t);
+            }
+            let minsup = rng.gen_range(1..=5);
+            assert_eq!(
+                mine_collect(&db, minsup, true),
+                fp_collect(&db, minsup),
+                "trial {trial} minsup {minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_memory_and_phases() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 3, 4],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3, 4],
+        ]);
+        let mut sink = CountingSink::new();
+        let stats = CfpGrowthMiner::new().mine(&db, 1, &mut sink);
+        assert_eq!(stats.itemsets, sink.count);
+        assert!(stats.peak_bytes > 0);
+        assert!(stats.tree_nodes > 0);
+        assert!(stats.avg_bytes > 0);
+        assert!(stats.avg_bytes <= stats.peak_bytes);
+    }
+
+    #[test]
+    fn deep_recursion_on_dense_block() {
+        // A dense block: every transaction holds most of 14 items, so
+        // conditional trees nest deeply.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut db = TransactionDb::new();
+        for _ in 0..50 {
+            let t: Vec<Item> = (0..14).filter(|_| rng.gen_bool(0.8)).collect();
+            db.push(&t);
+        }
+        let got = mine_collect(&db, 10, true);
+        assert_eq!(got, fp_collect(&db, 10));
+        assert!(!got.is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Persistable mining images: a converted CFP-array plus the item mapping
+//! needed to mine it later (or elsewhere).
+//!
+//! A [`MiningImage`] captures everything the mine phase needs after the
+//! two database scans: the compressed array, the recoded-to-original item
+//! mapping, and the minimum support the image was built with. Because the
+//! CFP-array is 8–10× smaller than an FP-tree, shipping or caching images
+//! is correspondingly cheap — build once on the machine that can see the
+//! data, mine many times with different sinks or support levels (any
+//! support ≥ the build support is valid: items below it are simply absent).
+
+use crate::growth::{mine_one_item, CfpGrowthMiner};
+use cfp_array::{convert, CfpArray};
+use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, TransactionDb};
+use cfp_encoding::varint;
+use cfp_metrics::{HeapSize, Stopwatch};
+use cfp_tree::CfpTree;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CFPI";
+const VERSION: u8 = 1;
+
+/// A converted, ready-to-mine CFP-array with its item mapping.
+#[derive(Clone, Debug)]
+pub struct MiningImage {
+    array: CfpArray,
+    /// Recoded id -> original item id.
+    globals: Vec<Item>,
+    /// Minimum support the image was built with.
+    min_support: u64,
+}
+
+impl MiningImage {
+    /// Builds an image from a database (scan + build + convert).
+    pub fn build(db: &TransactionDb, min_support: u64) -> Self {
+        let recoder = ItemRecoder::scan(db, min_support);
+        let tree = CfpTree::from_db(db, &recoder);
+        let array = convert(&tree);
+        let globals = (0..recoder.num_items() as u32)
+            .map(|i| recoder.original(i))
+            .collect();
+        MiningImage { array, globals, min_support }
+    }
+
+    /// The compressed array.
+    pub fn array(&self) -> &CfpArray {
+        &self.array
+    }
+
+    /// The minimum support the image was built with.
+    pub fn min_support(&self) -> u64 {
+        self.min_support
+    }
+
+    /// Mines the image with `min_support >= self.min_support()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_support` is below the build support (itemsets
+    /// between the two thresholds were discarded at build time and cannot
+    /// be recovered from the image).
+    pub fn mine(&self, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        assert!(
+            min_support >= self.min_support,
+            "image was built at support {}, cannot mine at {min_support}",
+            self.min_support
+        );
+        let mut stats = MineStats::default();
+        let mut sw = Stopwatch::start();
+        let opt = CfpGrowthMiner::new().single_path_opt;
+        let mut peak = 0u64;
+        for item in (0..self.globals.len() as u32).rev() {
+            if self.array.item_support(item) < min_support {
+                continue;
+            }
+            let (n, p) = mine_one_item(&self.array, item, &self.globals, min_support, opt, sink);
+            stats.itemsets += n;
+            peak = peak.max(p);
+        }
+        stats.mine_time = sw.lap();
+        stats.peak_bytes = self.array.heap_bytes() + peak;
+        stats.tree_nodes = self.array.num_nodes();
+        stats
+    }
+
+    /// Serializes the image (`CFPI` header, then item mapping, then the
+    /// embedded `CFPA` array).
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        let mut buf = [0u8; varint::MAX_LEN_U64];
+        let n = varint::write_u64_into(&mut buf, self.min_support);
+        w.write_all(&buf[..n])?;
+        let n = varint::write_u64_into(&mut buf, self.globals.len() as u64);
+        w.write_all(&buf[..n])?;
+        for &g in &self.globals {
+            let n = varint::write_u64_into(&mut buf, g as u64);
+            w.write_all(&buf[..n])?;
+        }
+        self.array.write_to(w)
+    }
+
+    /// Deserializes an image written by [`write_to`](Self::write_to).
+    pub fn read_from(mut r: impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a CFPI file"));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported version"));
+        }
+        let min_support = read_varint(&mut r)?;
+        let n = read_varint(&mut r)? as usize;
+        let mut globals = Vec::with_capacity(n);
+        for _ in 0..n {
+            globals.push(u32::try_from(read_varint(&mut r)?).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "item id exceeds u32")
+            })?);
+        }
+        let array = CfpArray::read_from(r)?;
+        if array.num_items() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "item mapping disagrees with array",
+            ));
+        }
+        Ok(MiningImage { array, globals, min_support })
+    }
+
+    /// Convenience: save to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.write_to(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Convenience: load from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::read_from(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 || (shift == 63 && byte[0] & 0x7F > 1) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        value |= ((byte[0] & 0x7F) as u64) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::miner::{CollectSink, Miner};
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn image_mining_matches_direct_mining() {
+        let db = sample_db();
+        let image = MiningImage::build(&db, 2);
+        let mut a = CollectSink::new();
+        image.mine(2, &mut a);
+        let mut b = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, 2, &mut b);
+        assert_eq!(a.into_sorted(), b.into_sorted());
+    }
+
+    #[test]
+    fn image_supports_higher_thresholds() {
+        let db = sample_db();
+        let image = MiningImage::build(&db, 2);
+        let mut a = CollectSink::new();
+        image.mine(4, &mut a);
+        let mut b = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, 4, &mut b);
+        assert_eq!(a.into_sorted(), b.into_sorted());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mine")]
+    fn lower_threshold_is_rejected() {
+        let image = MiningImage::build(&sample_db(), 3);
+        let mut sink = CollectSink::new();
+        image.mine(1, &mut sink);
+    }
+
+    #[test]
+    fn serialization_round_trip_and_mine() {
+        let db = sample_db();
+        let image = MiningImage::build(&db, 2);
+        let mut bytes = Vec::new();
+        image.write_to(&mut bytes).unwrap();
+        let loaded = MiningImage::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(loaded.min_support(), 2);
+        let mut a = CollectSink::new();
+        loaded.mine(2, &mut a);
+        let mut b = CollectSink::new();
+        image.mine(2, &mut b);
+        assert_eq!(a.into_sorted(), b.into_sorted());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("cfp_image");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.cfpi");
+        let image = MiningImage::build(&sample_db(), 2);
+        image.save(&path).unwrap();
+        let loaded = MiningImage::load(&path).unwrap();
+        assert_eq!(loaded.array().num_nodes(), image.array().num_nodes());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        assert!(MiningImage::read_from(&b"XXXX"[..]).is_err());
+        assert!(MiningImage::read_from(&b"CFPI\x63"[..]).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Parallel CFP-growth.
+//!
+//! The mine phase of FP-growth decomposes naturally: the recursion rooted
+//! at each first-level item touches only that item's subarray and the
+//! subarrays of more frequent items — all reads. The paper's related-work
+//! section (§5, class 4) surveys parallel and distributed FP-growth built
+//! on exactly this independence; here we exploit it with scoped threads
+//! over one shared, immutable initial [`CfpArray`].
+//!
+//! The scan, build, and conversion phases stay sequential (they are a
+//! small fraction of the runtime at low support). First-level items are
+//! dealt round-robin to `threads` workers, interleaving cheap (frequent)
+//! and expensive (rare, deep-recursion) items. Workers stream result
+//! batches over a channel to the caller's sink, so itemsets are emitted
+//! in nondeterministic order but without buffering the whole result.
+//!
+//! `peak_bytes` is an upper-bound estimate: the shared structures plus
+//! the sum of the workers' conditional-structure peaks (as if all workers
+//! hit their individual peaks simultaneously).
+
+use crate::growth::{build_tree, mine_one_item, CfpGrowthMiner};
+use cfp_array::convert;
+use cfp_data::{Item, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_metrics::{HeapSize, Stopwatch};
+use std::sync::mpsc;
+
+/// Multi-threaded CFP-growth over a shared initial CFP-array.
+#[derive(Clone, Debug)]
+pub struct ParallelCfpGrowthMiner {
+    /// Number of worker threads (0 or 1 falls back to sequential).
+    pub threads: usize,
+    /// Enumerate single-path structures directly instead of recursing.
+    pub single_path_opt: bool,
+}
+
+impl ParallelCfpGrowthMiner {
+    /// A parallel miner with the given worker count.
+    pub fn new(threads: usize) -> Self {
+        ParallelCfpGrowthMiner { threads, single_path_opt: true }
+    }
+}
+
+/// Batches itemsets into a channel (per worker).
+struct BatchSink {
+    tx: mpsc::Sender<Vec<(Vec<Item>, u64)>>,
+    buf: Vec<(Vec<Item>, u64)>,
+}
+
+const BATCH: usize = 1024;
+
+impl BatchSink {
+    fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            // A disconnected receiver only happens when the caller
+            // panicked; dropping the batch is then fine.
+            let _ = self.tx.send(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl ItemsetSink for BatchSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.buf.push((itemset.to_vec(), support));
+        if self.buf.len() >= BATCH {
+            self.flush();
+        }
+    }
+}
+
+impl Miner for ParallelCfpGrowthMiner {
+    fn name(&self) -> &'static str {
+        "cfp-growth-parallel"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        if self.threads <= 1 {
+            return CfpGrowthMiner { single_path_opt: self.single_path_opt }
+                .mine(db, min_support, sink);
+        }
+        let mut stats = MineStats::default();
+        let mut sw = Stopwatch::start();
+
+        let (recoder, tree) = build_tree(db, min_support);
+        stats.scan_time = std::time::Duration::ZERO; // folded into build
+        stats.build_time = sw.lap();
+        stats.tree_nodes = tree.num_nodes();
+        let tree_bytes = tree.heap_bytes();
+
+        let array = convert(&tree);
+        drop(tree);
+        stats.convert_time = sw.lap();
+
+        let globals: Vec<Item> = (0..recoder.num_items() as u32)
+            .map(|i| recoder.original(i))
+            .collect();
+        let n = recoder.num_items() as u32;
+        let threads = self.threads.min(n.max(1) as usize);
+        let single_path_opt = self.single_path_opt;
+
+        let (tx, rx) = mpsc::channel::<Vec<(Vec<Item>, u64)>>();
+        let mut worker_peaks = vec![0u64; threads];
+        std::thread::scope(|scope| {
+            let array = &array;
+            let globals = &globals;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
+                        let mut peak = 0u64;
+                        let mut item = n as i64 - 1 - w as i64;
+                        // Round-robin from least to most frequent.
+                        while item >= 0 {
+                            let (_, p) = mine_one_item(
+                                array,
+                                item as u32,
+                                globals,
+                                min_support,
+                                single_path_opt,
+                                &mut sink,
+                            );
+                            peak = peak.max(p);
+                            item -= threads as i64;
+                        }
+                        sink.flush();
+                        peak
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Drain results on the caller's thread while workers run.
+            while let Ok(batch) = rx.recv() {
+                for (itemset, support) in batch {
+                    sink.emit(&itemset, support);
+                    stats.itemsets += 1;
+                }
+            }
+            for (w, h) in handles.into_iter().enumerate() {
+                worker_peaks[w] = h.join().expect("worker panicked");
+            }
+        });
+        stats.mine_time = sw.lap();
+
+        // Upper-bound estimate: shared structures plus all worker peaks.
+        stats.peak_bytes =
+            tree_bytes.max(array.heap_bytes()) + worker_peaks.iter().sum::<u64>();
+        stats.avg_bytes = stats.peak_bytes;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::miner::{CollectSink, CountingSink};
+    use cfp_data::profiles;
+
+    fn sorted(miner: &dyn Miner, db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let mut sink = CollectSink::new();
+        miner.mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_textbook_example() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        let seq = sorted(&CfpGrowthMiner::new(), &db, 2);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                sorted(&ParallelCfpGrowthMiner::new(threads), &db, 2),
+                seq,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_a_profile() {
+        let p = profiles::by_name("retail-like").unwrap();
+        let db = p.generate();
+        let minsup = p.absolute_support(&db, 1);
+        let mut seq = CountingSink::new();
+        CfpGrowthMiner::new().mine(&db, minsup, &mut seq);
+        let mut par = CountingSink::new();
+        let stats = ParallelCfpGrowthMiner::new(4).mine(&db, minsup, &mut par);
+        assert_eq!((seq.count, seq.support_sum, seq.item_sum), (par.count, par.support_sum, par.item_sum));
+        assert_eq!(stats.itemsets, par.count);
+        assert!(stats.peak_bytes > 0);
+    }
+
+    #[test]
+    fn one_thread_falls_back_to_sequential() {
+        let db = TransactionDb::from_rows(&[vec![1, 2], vec![1, 2], vec![2, 3]]);
+        let a = sorted(&ParallelCfpGrowthMiner::new(1), &db, 1);
+        let b = sorted(&CfpGrowthMiner::new(), &db, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let db = TransactionDb::from_rows(&[vec![1, 2], vec![1]]);
+        let got = sorted(&ParallelCfpGrowthMiner::new(64), &db, 1);
+        assert_eq!(got, sorted(&CfpGrowthMiner::new(), &db, 1));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDb::new();
+        let mut sink = CollectSink::new();
+        let stats = ParallelCfpGrowthMiner::new(4).mine(&db, 1, &mut sink);
+        assert_eq!(stats.itemsets, 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! `cfp-datagen` — writes the built-in dataset profiles (or a custom IBM
+//! Quest configuration) as FIMI files, so external tools and the file-based
+//! mining pipeline can consume them.
+//!
+//! ```text
+//! cfp-datagen list
+//! cfp-datagen <profile> <output.dat>
+//! cfp-datagen quest --transactions 50000 --avg-len 12 --items 1000 \
+//!                   --patterns 2000 --pattern-len 4 --seed 7 <output.dat>
+//! ```
+
+use cfp_data::quest::QuestConfig;
+use cfp_data::{fimi, profiles};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: cfp-datagen list");
+    eprintln!("       cfp-datagen <profile> <output.dat>");
+    eprintln!("       cfp-datagen quest [--transactions N] [--avg-len F] [--items N]");
+    eprintln!("                         [--patterns N] [--pattern-len F] [--seed N] <output.dat>");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for p in profiles::all() {
+                println!("{:<16} {}", p.name, p.description);
+            }
+        }
+        Some("quest") => {
+            let mut cfg = QuestConfig::default();
+            let mut output = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("missing value for {name}");
+                            usage()
+                        })
+                        .clone()
+                };
+                match arg.as_str() {
+                    "--transactions" => cfg.num_transactions = parse(&value(arg)),
+                    "--avg-len" => cfg.avg_transaction_len = parse(&value(arg)),
+                    "--items" => cfg.num_items = parse(&value(arg)),
+                    "--patterns" => cfg.num_patterns = parse(&value(arg)),
+                    "--pattern-len" => cfg.avg_pattern_len = parse(&value(arg)),
+                    "--seed" => cfg.seed = parse(&value(arg)),
+                    other if !other.starts_with('-') && output.is_none() => {
+                        output = Some(other.to_string());
+                    }
+                    other => {
+                        eprintln!("unknown flag {other:?}");
+                        usage();
+                    }
+                }
+            }
+            let Some(output) = output else { usage() };
+            let db = cfp_data::quest::generate(&cfg);
+            write(&db, &output);
+        }
+        Some(name) => {
+            let Some(profile) = profiles::by_name(name) else {
+                eprintln!("unknown profile {name:?} (try `cfp-datagen list`)");
+                exit(2);
+            };
+            let Some(output) = args.get(1) else { usage() };
+            let db = profile.generate();
+            write(&db, output);
+        }
+        None => usage(),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse {s:?}");
+        usage()
+    })
+}
+
+fn write(db: &cfp_data::TransactionDb, path: &str) {
+    if let Err(e) = fimi::write_file(db, path) {
+        eprintln!("failed to write {path}: {e}");
+        exit(1);
+    }
+    println!(
+        "wrote {path}: {} transactions, {} distinct items, avg length {:.1}",
+        db.len(),
+        db.distinct_items(),
+        db.avg_transaction_len()
+    );
+}

@@ -1,0 +1,217 @@
+//! Asynchronous double-buffered data input (§4.1).
+//!
+//! The paper: "We implemented asynchronous double buffering, i.e., we work
+//! with two input buffers: one that is being processed and one that is
+//! being loaded from disk." The build phase of the initial tree is I/O
+//! bound, so overlapping parsing with insertion hides most of the input
+//! latency.
+//!
+//! [`DoubleBufferedReader`] spawns one background thread that reads and
+//! parses chunks of transactions into a [`TransactionDb`] buffer while the
+//! consumer processes the previously filled buffer. Exactly two buffers
+//! circulate between the threads, so memory stays bounded no matter how
+//! large the input file is.
+
+use crate::fimi::parse_line;
+use crate::types::{Item, TransactionDb};
+use std::io::{self, BufRead, BufReader, Read};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Default number of transactions per buffer.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+enum Filled {
+    Chunk(TransactionDb),
+    Err(io::Error),
+}
+
+/// Streams transactions from a reader with one background parsing thread
+/// and two circulating buffers.
+pub struct DoubleBufferedReader {
+    filled_rx: Receiver<Filled>,
+    empty_tx: Option<SyncSender<TransactionDb>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DoubleBufferedReader {
+    /// Starts reading `input` with the default chunk size.
+    pub fn new(input: impl Read + Send + 'static) -> Self {
+        Self::with_chunk_size(input, DEFAULT_CHUNK)
+    }
+
+    /// Starts reading `input`, grouping `chunk` transactions per buffer.
+    pub fn with_chunk_size(input: impl Read + Send + 'static, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        let (filled_tx, filled_rx) = sync_channel::<Filled>(2);
+        let (empty_tx, empty_rx) = sync_channel::<TransactionDb>(2);
+        // Two buffers circulate: one being filled, one being drained.
+        empty_tx.send(TransactionDb::new()).expect("fresh channel");
+        empty_tx.send(TransactionDb::new()).expect("fresh channel");
+
+        let worker = std::thread::Builder::new()
+            .name("cfp-data-reader".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(input);
+                let mut line = String::new();
+                let mut items: Vec<Item> = Vec::new();
+                'outer: while let Ok(mut db) = empty_rx.recv() {
+                    db.clear(); // reuse the recycled buffer's allocation
+                    let mut n = 0;
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) => {
+                                if !db.is_empty() {
+                                    let _ = filled_tx.send(Filled::Chunk(db));
+                                }
+                                break 'outer;
+                            }
+                            Ok(_) => {
+                                items.clear();
+                                if let Err(e) = parse_line(&line, &mut items) {
+                                    let _ = filled_tx.send(Filled::Err(e));
+                                    break 'outer;
+                                }
+                                db.push(&items);
+                                n += 1;
+                                if n == chunk {
+                                    if filled_tx.send(Filled::Chunk(db)).is_err() {
+                                        break 'outer; // consumer dropped
+                                    }
+                                    continue 'outer;
+                                }
+                            }
+                            Err(e) => {
+                                let _ = filled_tx.send(Filled::Err(e));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn reader thread");
+
+        DoubleBufferedReader {
+            filled_rx,
+            empty_tx: Some(empty_tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Receives the next filled buffer, or `None` at end of input.
+    ///
+    /// The previous buffer should be handed back via
+    /// [`recycle`](Self::recycle) to keep both buffers circulating.
+    pub fn next_chunk(&mut self) -> io::Result<Option<TransactionDb>> {
+        match self.filled_rx.recv() {
+            Ok(Filled::Chunk(db)) => Ok(Some(db)),
+            Ok(Filled::Err(e)) => Err(e),
+            Err(_) => Ok(None), // worker finished and dropped its sender
+        }
+    }
+
+    /// Returns a drained buffer to the reading thread.
+    pub fn recycle(&mut self, buffer: TransactionDb) {
+        if let Some(tx) = &self.empty_tx {
+            let _ = tx.send(buffer);
+        }
+    }
+
+    /// Drives the whole stream through `f`, recycling buffers internally.
+    pub fn for_each_transaction(mut self, mut f: impl FnMut(&[Item])) -> io::Result<()> {
+        while let Some(chunk) = self.next_chunk()? {
+            for t in chunk.iter() {
+                f(t);
+            }
+            self.recycle(chunk);
+        }
+        Ok(())
+    }
+
+    /// Collects the entire stream into one database.
+    pub fn collect(mut self) -> io::Result<TransactionDb> {
+        let mut out = TransactionDb::new();
+        while let Some(chunk) = self.next_chunk()? {
+            for t in chunk.iter() {
+                out.push(t);
+            }
+            self.recycle(chunk);
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for DoubleBufferedReader {
+    fn drop(&mut self) {
+        // Closing the empty-buffer channel tells the worker to stop.
+        self.empty_tx.take();
+        // Drain anything in flight so the worker's send doesn't block.
+        while self.filled_rx.try_recv().is_ok() {}
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fimi;
+
+    fn sample_text(n: usize) -> String {
+        let mut s = String::new();
+        for i in 0..n {
+            s.push_str(&format!("{} {} {}\n", i % 10, i % 7 + 10, i % 3 + 20));
+        }
+        s
+    }
+
+    #[test]
+    fn collect_matches_plain_reader() {
+        let text = sample_text(1000);
+        let via_plain = fimi::read(text.as_bytes()).unwrap();
+        let via_db = DoubleBufferedReader::with_chunk_size(
+            std::io::Cursor::new(text.into_bytes()),
+            64,
+        )
+        .collect()
+        .unwrap();
+        assert_eq!(via_db, via_plain);
+    }
+
+    #[test]
+    fn for_each_visits_every_transaction_in_order() {
+        let text = sample_text(257); // not a multiple of the chunk size
+        let rdr =
+            DoubleBufferedReader::with_chunk_size(std::io::Cursor::new(text.into_bytes()), 100);
+        let mut seen = Vec::new();
+        rdr.for_each_transaction(|t| seen.push(t.to_vec())).unwrap();
+        assert_eq!(seen.len(), 257);
+        assert_eq!(seen[0], vec![0, 10, 20]);
+        assert_eq!(seen[256], vec![256 % 10, 256 % 7 + 10, 256 % 3 + 20]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let rdr = DoubleBufferedReader::new(std::io::Cursor::new(Vec::<u8>::new()));
+        let db = rdr.collect().unwrap();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let rdr = DoubleBufferedReader::new(std::io::Cursor::new(b"1 2\n3 oops\n".to_vec()));
+        assert!(rdr.collect().is_err());
+    }
+
+    #[test]
+    fn dropping_early_does_not_hang() {
+        let text = sample_text(100_000);
+        let mut rdr =
+            DoubleBufferedReader::with_chunk_size(std::io::Cursor::new(text.into_bytes()), 128);
+        let first = rdr.next_chunk().unwrap();
+        assert!(first.is_some());
+        drop(rdr); // must join cleanly even with data still in flight
+    }
+}

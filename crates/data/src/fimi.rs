@@ -1,0 +1,145 @@
+//! The FIMI text format: one transaction per line, items as ASCII decimal
+//! integers separated by spaces. All datasets of the FIMI repository use
+//! this format, and so do our generated datasets.
+
+use crate::types::{Item, TransactionDb};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parses one FIMI line into items, appending to `out`.
+///
+/// Returns an error on any token that is not a `u32`. Empty lines are valid
+/// empty transactions.
+pub fn parse_line(line: &str, out: &mut Vec<Item>) -> io::Result<()> {
+    for tok in line.split_ascii_whitespace() {
+        let item: Item = tok
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad item {tok:?}: {e}")))?;
+        out.push(item);
+    }
+    Ok(())
+}
+
+/// Reads a whole FIMI stream into a [`TransactionDb`].
+pub fn read(reader: impl Read) -> io::Result<TransactionDb> {
+    let mut db = TransactionDb::new();
+    let mut buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut items = Vec::new();
+    while buf.read_line(&mut line)? != 0 {
+        items.clear();
+        parse_line(&line, &mut items)?;
+        db.push(&items);
+        line.clear();
+    }
+    Ok(db)
+}
+
+/// Reads a FIMI file from disk.
+pub fn read_file(path: impl AsRef<Path>) -> io::Result<TransactionDb> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Writes a database in FIMI format.
+pub fn write(db: &TransactionDb, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut line = String::new();
+    for t in db.iter() {
+        line.clear();
+        for (i, item) in t.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&item.to_string());
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()
+}
+
+/// Writes a database to a FIMI file on disk.
+pub fn write_file(db: &TransactionDb, path: impl AsRef<Path>) -> io::Result<()> {
+    write(db, std::fs::File::create(path)?)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics: arbitrary bytes either parse or
+        /// produce an error.
+        #[test]
+        fn prop_reader_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = read(bytes.as_slice());
+        }
+
+        /// Any database round-trips exactly through the text format.
+        #[test]
+        fn prop_write_read_round_trip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u32..100_000, 0..12),
+                0..20
+            )
+        ) {
+            let db = TransactionDb::from_rows(&rows);
+            let mut buf = Vec::new();
+            write(&db, &mut buf).unwrap();
+            prop_assert_eq!(read(buf.as_slice()).unwrap(), db);
+        }
+    }
+
+    #[test]
+    fn parse_basic_line() {
+        let mut out = Vec::new();
+        parse_line("1 25 7\n", &mut out).unwrap();
+        assert_eq!(out, vec![1, 25, 7]);
+    }
+
+    #[test]
+    fn parse_tolerates_extra_whitespace() {
+        let mut out = Vec::new();
+        parse_line("  3\t 4   5 ", &mut out).unwrap();
+        assert_eq!(out, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let mut out = Vec::new();
+        assert!(parse_line("1 x 3", &mut out).is_err());
+        assert!(parse_line("-4", &mut out).is_err());
+    }
+
+    #[test]
+    fn read_handles_empty_lines_and_missing_trailing_newline() {
+        let text = "1 2 3\n\n4 5";
+        let db = read(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get(0), &[1, 2, 3]);
+        assert_eq!(db.get(1), &[] as &[Item]);
+        assert_eq!(db.get(2), &[4, 5]);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let db = TransactionDb::from_rows(&[vec![10, 20, 30], vec![7], vec![]]);
+        let mut buf = Vec::new();
+        write(&db, &mut buf).unwrap();
+        let back = read(buf.as_slice()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("cfp_fimi_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.dat");
+        let db = TransactionDb::from_rows(&[vec![1, 2], vec![3]]);
+        write_file(&db, &path).unwrap();
+        assert_eq!(read_file(&path).unwrap(), db);
+        std::fs::remove_file(&path).ok();
+    }
+}

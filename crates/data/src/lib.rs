@@ -1,0 +1,33 @@
+//! Transaction data handling for the CFP-growth workspace.
+//!
+//! This crate supplies everything the mining algorithms consume:
+//!
+//! - [`TransactionDb`]: a flattened in-memory transaction database.
+//! - [`fimi`]: reader/writer for the standard FIMI text format (one
+//!   whitespace-separated transaction per line), plus the asynchronous
+//!   double-buffered reader the paper uses for data input (§4.1).
+//! - [`count`]: the first database scan — per-item support counting and the
+//!   support-ordered recoding of items into dense identifiers (id 0 = most
+//!   frequent), which makes `Δitem ≥ 1` hold along every tree path.
+//! - [`quest`]: a from-scratch implementation of the IBM Quest synthetic
+//!   transaction generator used for the paper's Quest1/Quest2 datasets.
+//! - [`profiles`]: generator configurations mimicking the FIMI real-world
+//!   datasets (retail, connect, kosarak, accidents, webdocs) at laptop
+//!   scale, with fixed seeds for reproducibility.
+//! - [`miner`]: the [`miner::Miner`] trait all algorithms implement
+//!   and the [`miner::ItemsetSink`] output abstraction.
+
+#![warn(missing_docs)]
+
+pub mod count;
+pub mod double_buffer;
+pub mod fimi;
+pub mod miner;
+pub mod profiles;
+pub mod quest;
+pub mod types;
+pub mod zipf;
+
+pub use count::ItemRecoder;
+pub use miner::{ItemsetSink, MineStats, Miner};
+pub use types::{Item, TransactionDb};

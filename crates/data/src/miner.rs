@@ -1,0 +1,245 @@
+//! The common interface implemented by every mining algorithm in the
+//! workspace, and the output sinks results are streamed into.
+//!
+//! A frequent-itemset miner can emit millions of itemsets; materializing
+//! them all defeats the paper's memory story. Miners therefore push each
+//! frequent itemset into an [`ItemsetSink`], and callers choose a sink that
+//! matches their need: counting only, collecting, keeping the top-k, or a
+//! histogram by cardinality.
+//!
+//! Itemsets are always emitted with *original* item identifiers, sorted
+//! ascending, so results from different algorithms are directly comparable.
+
+use crate::types::{Item, TransactionDb};
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Receives frequent itemsets as they are discovered.
+pub trait ItemsetSink {
+    /// Called once per frequent itemset. `itemset` contains original item
+    /// ids sorted ascending; `support` is its exact support count.
+    fn emit(&mut self, itemset: &[Item], support: u64);
+}
+
+/// Counts itemsets without storing them.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Number of itemsets emitted.
+    pub count: u64,
+    /// Sum of supports, a cheap checksum for cross-algorithm comparisons.
+    pub support_sum: u64,
+    /// Sum of cardinalities.
+    pub item_sum: u64,
+}
+
+impl CountingSink {
+    /// A fresh counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ItemsetSink for CountingSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.count += 1;
+        self.support_sum += support;
+        self.item_sum += itemset.len() as u64;
+    }
+}
+
+/// Collects all itemsets into a vector.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// The collected `(itemset, support)` pairs, in emission order.
+    pub itemsets: Vec<(Vec<Item>, u64)>,
+}
+
+impl CollectSink {
+    /// A fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts results canonically (by itemset contents) for comparisons.
+    pub fn into_sorted(mut self) -> Vec<(Vec<Item>, u64)> {
+        self.itemsets.sort();
+        self.itemsets
+    }
+}
+
+impl ItemsetSink for CollectSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.itemsets.push((itemset.to_vec(), support));
+    }
+}
+
+/// Keeps the `k` itemsets with the highest support.
+#[derive(Debug)]
+pub struct TopKSink {
+    k: usize,
+    // Min-heap via Reverse ordering on (support, itemset).
+    heap: BinaryHeap<std::cmp::Reverse<(u64, Vec<Item>)>>,
+}
+
+impl TopKSink {
+    /// Keeps the top `k` itemsets by support.
+    pub fn new(k: usize) -> Self {
+        TopKSink { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The retained itemsets, highest support first.
+    pub fn into_sorted(self) -> Vec<(Vec<Item>, u64)> {
+        let mut v: Vec<(u64, Vec<Item>)> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v.into_iter().map(|(s, i)| (i, s)).collect()
+    }
+}
+
+impl ItemsetSink for TopKSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        if self.k == 0 {
+            return;
+        }
+        self.heap.push(std::cmp::Reverse((support, itemset.to_vec())));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+}
+
+/// Histogram of itemset cardinalities (index = cardinality).
+#[derive(Debug, Default)]
+pub struct LengthHistogramSink {
+    /// `buckets[k]` = number of frequent itemsets of cardinality `k`.
+    pub buckets: Vec<u64>,
+}
+
+impl LengthHistogramSink {
+    /// A fresh histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ItemsetSink for LengthHistogramSink {
+    fn emit(&mut self, itemset: &[Item], _support: u64) {
+        let k = itemset.len();
+        if self.buckets.len() <= k {
+            self.buckets.resize(k + 1, 0);
+        }
+        self.buckets[k] += 1;
+    }
+}
+
+/// Discards everything (pure throughput measurement).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl ItemsetSink for NullSink {
+    fn emit(&mut self, _itemset: &[Item], _support: u64) {}
+}
+
+/// Execution statistics returned by every miner.
+#[derive(Clone, Debug, Default)]
+pub struct MineStats {
+    /// Number of frequent itemsets emitted.
+    pub itemsets: u64,
+    /// Time of the counting scan (pass 1).
+    pub scan_time: Duration,
+    /// Time to build the algorithm's main structure (pass 2).
+    pub build_time: Duration,
+    /// Time to convert between build- and mine-phase structures
+    /// (zero for algorithms without a conversion step).
+    pub convert_time: Duration,
+    /// Time of the mine phase.
+    pub mine_time: Duration,
+    /// Peak bytes of the algorithm's data structures.
+    pub peak_bytes: u64,
+    /// Average bytes across phase checkpoints (0 if not tracked).
+    pub avg_bytes: u64,
+    /// Logical nodes of the initial prefix tree (0 for tree-less miners).
+    pub tree_nodes: u64,
+}
+
+impl MineStats {
+    /// Total wall time across all phases.
+    pub fn total_time(&self) -> Duration {
+        self.scan_time + self.build_time + self.convert_time + self.mine_time
+    }
+}
+
+/// A frequent-itemset mining algorithm.
+pub trait Miner {
+    /// Short identifier used in benchmark tables (e.g. `"cfp-growth"`).
+    fn name(&self) -> &'static str;
+
+    /// Mines all itemsets with support ≥ `min_support` from `db`,
+    /// emitting each into `sink`, and returns execution statistics.
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::new();
+        s.emit(&[1, 2], 10);
+        s.emit(&[3], 5);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.support_sum, 15);
+        assert_eq!(s.item_sum, 3);
+    }
+
+    #[test]
+    fn collect_sink_sorts_canonically() {
+        let mut s = CollectSink::new();
+        s.emit(&[2], 1);
+        s.emit(&[1, 3], 4);
+        s.emit(&[1], 9);
+        let v = s.into_sorted();
+        assert_eq!(v, vec![(vec![1], 9), (vec![1, 3], 4), (vec![2], 1)]);
+    }
+
+    #[test]
+    fn topk_keeps_highest_supports() {
+        let mut s = TopKSink::new(2);
+        s.emit(&[1], 5);
+        s.emit(&[2], 50);
+        s.emit(&[3], 20);
+        s.emit(&[4], 1);
+        let v = s.into_sorted();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], (vec![2], 50));
+        assert_eq!(v[1], (vec![3], 20));
+    }
+
+    #[test]
+    fn topk_zero_is_a_null_sink() {
+        let mut s = TopKSink::new(0);
+        s.emit(&[1], 5);
+        assert!(s.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn length_histogram_buckets_by_cardinality() {
+        let mut s = LengthHistogramSink::new();
+        s.emit(&[1], 1);
+        s.emit(&[1, 2], 1);
+        s.emit(&[3, 4], 1);
+        assert_eq!(s.buckets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mine_stats_total_time_sums_phases() {
+        let st = MineStats {
+            scan_time: Duration::from_millis(1),
+            build_time: Duration::from_millis(2),
+            convert_time: Duration::from_millis(3),
+            mine_time: Duration::from_millis(4),
+            ..Default::default()
+        };
+        assert_eq!(st.total_time(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,264 @@
+//! The IBM Quest synthetic transaction generator.
+//!
+//! The paper's performance experiments use two datasets "generated with the
+//! IBM Quest Dataset Generator" (§4.1, Table 3). The original generator is
+//! not redistributable, so this module re-implements the algorithm from the
+//! Apriori paper that introduced it (Agrawal & Srikant, VLDB'94):
+//!
+//! 1. A table of `npats` *maximal potentially large itemsets* is drawn.
+//!    Pattern sizes are Poisson-distributed around `avg_pattern_len`; each
+//!    pattern reuses a random prefix fraction of its predecessor's items
+//!    (exponentially distributed with mean `correlation`) and fills the
+//!    rest with uniform random items. Patterns carry exponentially
+//!    distributed weights (normalized to sum 1) and a per-pattern
+//!    *corruption level* drawn from a clamped normal (mean 0.5, sd 0.1).
+//! 2. Each transaction draws its size from a Poisson around
+//!    `avg_transaction_len`, then repeatedly picks a weighted random
+//!    pattern, drops items from it while a coin toss stays below the
+//!    corruption level, and inserts the remainder. A pattern that would
+//!    overflow the transaction is kept anyway in half the cases and
+//!    discarded otherwise, ending the transaction either way.
+//!
+//! The output distribution has the properties the paper's evaluation
+//! depends on: long shared prefixes (prefix-tree compressible), a skewed
+//! support distribution, and tunable density via the parameters.
+
+use crate::types::{Item, TransactionDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the Quest generator.
+#[derive(Clone, Debug)]
+pub struct QuestConfig {
+    /// Number of transactions (`|D|`).
+    pub num_transactions: usize,
+    /// Average transaction cardinality (`|T|`).
+    pub avg_transaction_len: f64,
+    /// Average cardinality of the potential itemsets (`|I|`).
+    pub avg_pattern_len: f64,
+    /// Number of potential itemsets (`|L|`).
+    pub num_patterns: usize,
+    /// Number of distinct items (`N`).
+    pub num_items: usize,
+    /// Mean of the exponentially distributed fraction of items a pattern
+    /// shares with its predecessor.
+    pub correlation: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for QuestConfig {
+    fn default() -> Self {
+        QuestConfig {
+            num_transactions: 10_000,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            num_patterns: 2_000,
+            num_items: 1_000,
+            correlation: 0.25,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+struct Pattern {
+    items: Vec<Item>,
+    corruption: f64,
+}
+
+/// Draws from Poisson(`mean`) via Knuth's method (fine for means ≤ ~60).
+fn poisson(rng: &mut impl Rng, mean: f64) -> usize {
+    debug_assert!(mean > 0.0 && mean < 100.0);
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut n = 0;
+    while product > limit {
+        product *= rng.gen::<f64>();
+        n += 1;
+    }
+    n
+}
+
+/// Draws from Exp(`mean`).
+fn exponential(rng: &mut impl Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -mean * (1.0 - u).ln()
+}
+
+/// Draws from Normal(`mean`, `sd`) via Box–Muller.
+fn normal(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates a database according to `config`.
+pub fn generate(config: &QuestConfig) -> TransactionDb {
+    assert!(config.num_items > 0, "need at least one item");
+    assert!(config.num_patterns > 0, "need at least one pattern");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Phase 1: the table of potential itemsets.
+    let mut patterns: Vec<Pattern> = Vec::with_capacity(config.num_patterns);
+    let mut weights: Vec<f64> = Vec::with_capacity(config.num_patterns);
+    for p in 0..config.num_patterns {
+        let len = poisson(&mut rng, (config.avg_pattern_len - 1.0).max(0.1)) + 1;
+        let len = len.min(config.num_items);
+        let mut items: Vec<Item> = Vec::with_capacity(len);
+        if p > 0 {
+            let frac = exponential(&mut rng, config.correlation).min(1.0);
+            let reuse = ((len as f64 * frac).round() as usize).min(len);
+            let prev = &patterns[p - 1].items;
+            for _ in 0..reuse.min(prev.len()) {
+                let pick = prev[rng.gen_range(0..prev.len())];
+                if !items.contains(&pick) {
+                    items.push(pick);
+                }
+            }
+        }
+        while items.len() < len {
+            let pick = rng.gen_range(0..config.num_items) as Item;
+            if !items.contains(&pick) {
+                items.push(pick);
+            }
+        }
+        let corruption = normal(&mut rng, 0.5, 0.1).clamp(0.0, 1.0);
+        patterns.push(Pattern { items, corruption });
+        weights.push(exponential(&mut rng, 1.0));
+    }
+    // Cumulative weights for O(log n) weighted pattern selection.
+    let mut cum = 0.0;
+    let cum_weights: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            cum += w;
+            cum
+        })
+        .collect();
+    let total_weight = cum;
+
+    // Phase 2: the transactions.
+    let mut db = TransactionDb::with_capacity(
+        config.num_transactions,
+        (config.num_transactions as f64 * config.avg_transaction_len) as usize,
+    );
+    let mut txn: Vec<Item> = Vec::new();
+    let mut corrupted: Vec<Item> = Vec::new();
+    for _ in 0..config.num_transactions {
+        let size = poisson(&mut rng, config.avg_transaction_len).max(1);
+        txn.clear();
+        while txn.len() < size {
+            let u: f64 = rng.gen::<f64>() * total_weight;
+            let idx = cum_weights.partition_point(|&c| c < u).min(patterns.len() - 1);
+            let pat = &patterns[idx];
+            corrupted.clear();
+            corrupted.extend_from_slice(&pat.items);
+            while !corrupted.is_empty() && rng.gen::<f64>() < pat.corruption {
+                let drop = rng.gen_range(0..corrupted.len());
+                corrupted.swap_remove(drop);
+            }
+            if corrupted.is_empty() {
+                continue;
+            }
+            let overflows = txn.len() + corrupted.len() > size;
+            if overflows && rng.gen::<bool>() {
+                break; // discard the pattern and end the transaction
+            }
+            txn.extend_from_slice(&corrupted);
+            if overflows {
+                break;
+            }
+        }
+        txn.sort_unstable();
+        txn.dedup();
+        db.push(&txn);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> QuestConfig {
+        QuestConfig {
+            num_transactions: 2_000,
+            avg_transaction_len: 8.0,
+            avg_pattern_len: 3.0,
+            num_patterns: 100,
+            num_items: 200,
+            correlation: 0.25,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = small_config();
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_config());
+        let b = generate(&QuestConfig { seed: 8, ..small_config() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_transaction_count_and_item_universe() {
+        let cfg = small_config();
+        let db = generate(&cfg);
+        assert_eq!(db.len(), cfg.num_transactions);
+        assert!(db.max_item().unwrap() < cfg.num_items as Item);
+    }
+
+    #[test]
+    fn average_length_lands_near_target() {
+        let db = generate(&small_config());
+        let avg = db.avg_transaction_len();
+        assert!(
+            (4.0..=12.0).contains(&avg),
+            "avg len {avg} far from target 8 (corruption/dedup shift it down)"
+        );
+    }
+
+    #[test]
+    fn transactions_are_sorted_and_deduped() {
+        let db = generate(&small_config());
+        for t in db.iter() {
+            assert!(t.windows(2).all(|w| w[0] < w[1]), "not strictly sorted: {t:?}");
+        }
+    }
+
+    #[test]
+    fn patterns_induce_skewed_supports() {
+        // The weighted pattern table must make some items far more
+        // frequent than the median item.
+        let db = generate(&small_config());
+        let counts = crate::count::count_supports(&db);
+        let mut sorted: Vec<u64> = counts.iter().copied().filter(|&c| c > 0).collect();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(max >= median * 4, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson(&mut rng, 12.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 12.0).abs() < 0.3, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn normal_clamps_into_unit_interval_when_used() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let c = normal(&mut rng, 0.5, 0.1).clamp(0.0, 1.0);
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

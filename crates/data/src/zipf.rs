@@ -1,0 +1,112 @@
+//! Zipf-distributed sampling over a finite item universe.
+//!
+//! The real-world FIMI datasets (retail, kosarak, webdocs) have heavily
+//! skewed item popularity; we model that with a Zipf distribution whose
+//! cumulative table is precomputed once, so each sample is one uniform
+//! draw plus a binary search.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty universe");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point: the last entry must be exactly 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the universe is empty (never true; `new` rejects n = 0).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        // Rank 0 should hold a large share under s = 1.2.
+        assert!(counts[0] as f64 / 20_000.0 > 0.1);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty universe")]
+    fn empty_universe_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

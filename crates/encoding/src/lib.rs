@@ -1,0 +1,34 @@
+//! Lightweight byte-level compression codecs (§2.3 of the paper).
+//!
+//! The CFP-tree and CFP-array deliberately avoid entropy coding and
+//! bit-level schemes: the prefix tree is traversed many times, so the
+//! paper restricts itself to *byte-level static encodings* whose
+//! (de)compression cost is a handful of instructions:
+//!
+//! - **Variable-byte encoding** ([`varint`]): 7 payload bits per byte plus a
+//!   continuation bit. Used for every field of the CFP-array.
+//! - **Zigzag mapping** ([`zigzag`]): maps signed deltas to unsigned values
+//!   so small-magnitude negatives stay short under varint. The paper leaves
+//!   the sign handling of the CFP-array's `Δpos` field unspecified; a DFS
+//!   layout cannot guarantee non-negative deltas, so we zigzag them.
+//! - **Leading-zero-byte suppression** ([`zerosup`]): drops the leading zero
+//!   bytes of a 32-bit value and records how many were dropped in a 2-bit or
+//!   3-bit compression mask. Used for `Δitem` and `pcount` in the ternary
+//!   CFP-tree.
+//! - **Null suppression via presence bits**: pointers in the ternary
+//!   CFP-tree are stored only when non-null; three presence bits in the
+//!   compression-mask byte say which of `left`, `right`, `suffix` follow.
+//!   The [`mask`] module packs and unpacks that byte.
+//! - **40-bit pointers** ([`ptr40`]): enough to address 1 TiB, cutting each
+//!   stored pointer from 8 to 5 bytes.
+
+#![warn(missing_docs)]
+
+pub mod mask;
+pub mod ptr40;
+pub mod varint;
+pub mod zerosup;
+pub mod zigzag;
+
+pub use mask::NodeMask;
+pub use ptr40::Ptr40;

@@ -1,0 +1,371 @@
+//! The FP-growth mining algorithm on the classic FP-tree (§2.1).
+//!
+//! FP-growth is a divide-and-conquer algorithm: for every item `a`, taken
+//! from least to most frequent, it (1) emits `{a} ∪ suffix` with `a`'s
+//! support, (2) gathers the *conditional pattern base* of `a` — the prefix
+//! paths of all of `a`'s nodes, reached through the nodelink chain and the
+//! parent pointers — (3) builds a smaller *conditional FP-tree* from those
+//! weighted paths, and (4) recurses on it with `a` appended to the suffix.
+//!
+//! When a (conditional) tree degenerates to a single downward path, all
+//! frequent itemsets it can produce are the subsets of that path, each
+//! supported by the count of its deepest chosen node; enumerating them
+//! directly skips the remaining recursion (the classic single-path
+//! shortcut, enabled by default).
+//!
+//! Conditional trees keep the *global* support order of items rather than
+//! re-sorting by conditional frequency. Both are correct; keeping the
+//! global order preserves the strictly-ascending-ids-along-paths invariant
+//! that the compressed structures rely on, making this implementation a
+//! like-for-like baseline for CFP-growth.
+
+use crate::tree::FpTree;
+use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
+
+/// Configurable FP-growth miner over the ternary FP-tree.
+#[derive(Clone, Debug)]
+pub struct FpGrowthMiner {
+    /// Enumerate single-path trees directly instead of recursing.
+    pub single_path_opt: bool,
+}
+
+impl Default for FpGrowthMiner {
+    fn default() -> Self {
+        FpGrowthMiner { single_path_opt: true }
+    }
+}
+
+impl FpGrowthMiner {
+    /// A miner with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Recursion state shared across conditional trees.
+struct Ctx<'a> {
+    sink: &'a mut dyn ItemsetSink,
+    gauge: MemGauge,
+    min_support: u64,
+    single_path_opt: bool,
+    /// Original ids of the itemset under construction (unsorted).
+    suffix: Vec<Item>,
+    /// Scratch buffer for emitting sorted itemsets.
+    emit_buf: Vec<Item>,
+    /// Scratch buffer for prefix paths.
+    path_buf: Vec<u32>,
+    itemsets: u64,
+}
+
+impl Ctx<'_> {
+    fn emit(&mut self, support: u64) {
+        self.emit_buf.clear();
+        self.emit_buf.extend_from_slice(&self.suffix);
+        self.emit_buf.sort_unstable();
+        self.sink.emit(&self.emit_buf, support);
+        self.itemsets += 1;
+    }
+}
+
+impl Miner for FpGrowthMiner {
+    fn name(&self) -> &'static str {
+        "fp-growth"
+    }
+
+    fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        let mut stats = MineStats::default();
+        let gauge = MemGauge::new();
+
+        let mut sw = Stopwatch::start();
+        let recoder = ItemRecoder::scan(db, min_support);
+        stats.scan_time = sw.lap();
+
+        let tree = FpTree::from_db(db, &recoder);
+        gauge.alloc(tree.heap_bytes());
+        gauge.checkpoint();
+        stats.build_time = sw.lap();
+        stats.tree_nodes = tree.num_nodes() as u64;
+
+        let globals: Vec<Item> = (0..recoder.num_items() as u32)
+            .map(|i| recoder.original(i))
+            .collect();
+        let mut ctx = Ctx {
+            sink,
+            gauge: gauge.clone(),
+            min_support,
+            single_path_opt: self.single_path_opt,
+            suffix: Vec::new(),
+            emit_buf: Vec::new(),
+            path_buf: Vec::new(),
+            itemsets: 0,
+        };
+        mine_tree(&tree, &globals, &mut ctx);
+        stats.mine_time = sw.lap();
+
+        gauge.free(tree.heap_bytes());
+        stats.itemsets = ctx.itemsets;
+        stats.peak_bytes = gauge.peak();
+        stats.avg_bytes = gauge.average();
+        stats
+    }
+}
+
+/// Mines all frequent itemsets of `tree`, each combined with the suffix
+/// accumulated in `ctx`. `globals` maps the tree's local ids to original
+/// item identifiers.
+fn mine_tree(tree: &FpTree, globals: &[Item], ctx: &mut Ctx<'_>) {
+    if ctx.single_path_opt {
+        if let Some(path) = tree.single_path() {
+            enumerate_single_path(&path, globals, ctx);
+            return;
+        }
+    }
+    for item in (0..tree.num_items() as u32).rev() {
+        let support = tree.item_support(item);
+        if support < ctx.min_support {
+            // Items of a conditional tree are pre-filtered, but the
+            // initial tree's recoder already filtered too; this only
+            // guards items that vanished from this subtree entirely.
+            continue;
+        }
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(support);
+
+        if let Some((cond, cond_globals)) = conditional_tree(tree, item, globals, ctx) {
+            ctx.gauge.alloc(cond.heap_bytes());
+            ctx.gauge.checkpoint();
+            mine_tree(&cond, &cond_globals, ctx);
+            ctx.gauge.free(cond.heap_bytes());
+        }
+        ctx.suffix.pop();
+    }
+}
+
+/// Builds the conditional FP-tree of `item`: the prefix paths of all its
+/// nodes, restricted to items that stay frequent, inserted with the node
+/// counts as weights. Returns `None` when no conditional item is frequent.
+fn conditional_tree(
+    tree: &FpTree,
+    item: u32,
+    globals: &[Item],
+    ctx: &mut Ctx<'_>,
+) -> Option<(FpTree, Vec<Item>)> {
+    // Pass 1: conditional support of every item above `item`.
+    let mut freq = vec![0u64; item as usize];
+    for idx in tree.nodelinks(item) {
+        let count = tree.node(idx).count as u64;
+        let mut cur = tree.node(idx).parent;
+        while cur != 0 && cur != crate::tree::NIL {
+            freq[tree.node(cur).item as usize] += count;
+            cur = tree.node(cur).parent;
+        }
+    }
+
+    // Dense remap of the surviving items, preserving the global order.
+    let mut remap = vec![u32::MAX; item as usize];
+    let mut cond_globals = Vec::new();
+    for (old, &f) in freq.iter().enumerate() {
+        if f >= ctx.min_support {
+            remap[old] = cond_globals.len() as u32;
+            cond_globals.push(globals[old]);
+        }
+    }
+    if cond_globals.is_empty() {
+        return None;
+    }
+
+    // Pass 2: insert the filtered prefix paths.
+    let mut cond = FpTree::new(cond_globals.len());
+    let mut path = std::mem::take(&mut ctx.path_buf);
+    let mut filtered: Vec<u32> = Vec::new();
+    for idx in tree.nodelinks(item) {
+        let count = tree.node(idx).count;
+        tree.prefix_path(idx, &mut path);
+        filtered.clear();
+        filtered.extend(
+            path.iter()
+                .filter(|&&it| remap[it as usize] != u32::MAX)
+                .map(|&it| remap[it as usize]),
+        );
+        if !filtered.is_empty() {
+            cond.insert(&filtered, count);
+        }
+    }
+    ctx.path_buf = path;
+    Some((cond, cond_globals))
+}
+
+/// Emits every non-empty subset of a single-path tree combined with the
+/// current suffix; the support of a subset is the count of its deepest
+/// chosen node (counts are non-increasing downward).
+fn enumerate_single_path(path: &[(u32, u32)], globals: &[Item], ctx: &mut Ctx<'_>) {
+    fn rec(path: &[(u32, u32)], globals: &[Item], depth: usize, ctx: &mut Ctx<'_>) {
+        if depth == path.len() {
+            return;
+        }
+        // Subsets whose deepest element is path[depth]: every subset of
+        // path[..depth] extended by path[depth], supported by its count.
+        let (item, count) = path[depth];
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(count as u64);
+        rec_prefix(path, globals, depth, 0, count, ctx);
+        ctx.suffix.pop();
+        rec(path, globals, depth + 1, ctx);
+    }
+
+    /// Enumerates subsets of path[..deepest] to prepend to the chosen
+    /// deepest element (support fixed by the deepest).
+    fn rec_prefix(
+        path: &[(u32, u32)],
+        globals: &[Item],
+        deepest: usize,
+        i: usize,
+        support: u32,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if i == deepest {
+            return;
+        }
+        let (item, _) = path[i];
+        ctx.suffix.push(globals[item as usize]);
+        ctx.emit(support as u64);
+        rec_prefix(path, globals, deepest, i + 1, support, ctx);
+        ctx.suffix.pop();
+        rec_prefix(path, globals, deepest, i + 1, support, ctx);
+    }
+
+    rec(path, globals, 0, ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::miner::{CollectSink, CountingSink};
+
+    fn mine_collect(db: &TransactionDb, minsup: u64, opt: bool) -> Vec<(Vec<Item>, u64)> {
+        let miner = FpGrowthMiner { single_path_opt: opt };
+        let mut sink = CollectSink::new();
+        miner.mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    /// Brute-force oracle over small item universes.
+    fn oracle(db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let max = db.max_item().map_or(0, |m| m as usize + 1);
+        assert!(max <= 16, "oracle only for tiny universes");
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << max) {
+            let items: Vec<Item> = (0..max as u32).filter(|&i| mask & (1 << i) != 0).collect();
+            let support = db
+                .iter()
+                .filter(|t| items.iter().all(|i| t.contains(i)))
+                .count() as u64;
+            if support >= minsup {
+                out.push((items, support));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn textbook_example_supports() {
+        // Classic example from the FP-growth paper.
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ]);
+        let got = mine_collect(&db, 2, true);
+        assert_eq!(got, oracle(&db, 2));
+        // Spot checks.
+        assert!(got.contains(&(vec![1, 2, 3], 2)));
+        assert!(got.contains(&(vec![2], 7)));
+        assert!(got.contains(&(vec![1, 2, 5], 2)));
+    }
+
+    #[test]
+    fn single_path_opt_changes_nothing() {
+        let db = TransactionDb::from_rows(&[
+            vec![0, 1, 2, 3],
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![0],
+            vec![4, 5],
+        ]);
+        assert_eq!(mine_collect(&db, 1, true), mine_collect(&db, 1, false));
+    }
+
+    #[test]
+    fn pure_single_path_database() {
+        let db = TransactionDb::from_rows(&[vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]]);
+        let got = mine_collect(&db, 2, true);
+        assert_eq!(got.len(), 7, "2^3 - 1 subsets");
+        assert!(got.iter().all(|(_, s)| *s == 3));
+    }
+
+    #[test]
+    fn minsup_above_everything_yields_nothing() {
+        let db = TransactionDb::from_rows(&[vec![1, 2], vec![2, 3]]);
+        assert!(mine_collect(&db, 3, true).is_empty());
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = TransactionDb::new();
+        assert!(mine_collect(&db, 1, true).is_empty());
+    }
+
+    #[test]
+    fn transactions_with_duplicates_count_once() {
+        let db = TransactionDb::from_rows(&[vec![7, 7, 8], vec![7, 8, 8]]);
+        let got = mine_collect(&db, 2, true);
+        assert_eq!(
+            got,
+            vec![(vec![7], 2), (vec![7, 8], 2), (vec![8], 2)]
+        );
+    }
+
+    #[test]
+    fn random_databases_match_oracle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..30 {
+            let n_items = rng.gen_range(1..=8);
+            let n_txn = rng.gen_range(1..=40);
+            let mut db = TransactionDb::new();
+            for _ in 0..n_txn {
+                let t: Vec<Item> = (0..n_items)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .map(|i| i as Item)
+                    .collect();
+                db.push(&t);
+            }
+            let minsup = rng.gen_range(1..=4);
+            assert_eq!(
+                mine_collect(&db, minsup, true),
+                oracle(&db, minsup),
+                "trial {trial} minsup {minsup}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let db = TransactionDb::from_rows(&[vec![1, 2, 3], vec![1, 2], vec![1]]);
+        let miner = FpGrowthMiner::new();
+        let mut sink = CountingSink::new();
+        let stats = miner.mine(&db, 1, &mut sink);
+        assert_eq!(stats.itemsets, sink.count);
+        assert!(stats.peak_bytes > 0);
+        assert_eq!(stats.tree_nodes, 3, "1-2-3 chain shares all nodes");
+    }
+}

@@ -1,0 +1,27 @@
+//! The classic FP-tree and FP-growth algorithm (§2.1–2.2 of the paper).
+//!
+//! This crate is the *baseline* the paper improves on: a ternary-tree
+//! physical representation of the FP-tree in which every node carries the
+//! seven fields `item`, `count`, `parent`, `nodelink`, `left`, `right`,
+//! and `suffix`. The `left`/`right` pointers arrange the direct suffixes
+//! (children) of each node in a binary search tree; `suffix` points to the
+//! root of that child BST; `nodelink` chains all nodes of one item for the
+//! sideways traversals of the mine phase.
+//!
+//! Nodes here are plain structs with 32-bit index "pointers" (28 bytes per
+//! node). State-of-the-art C implementations spend 40 bytes per node
+//! (§4.2); both figures are reported by the benchmark harness.
+//!
+//! [`growth::FpGrowthMiner`] implements the full FP-growth algorithm on
+//! this representation, including conditional trees and the single-path
+//! shortcut, and serves as the correctness oracle and performance baseline
+//! for CFP-growth.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod growth;
+pub mod tree;
+
+pub use growth::FpGrowthMiner;
+pub use tree::{FpNode, FpTree, NIL};

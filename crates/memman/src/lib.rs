@@ -1,0 +1,414 @@
+//! The CFP-growth memory manager (Appendix A of the paper).
+//!
+//! Compressed CFP-tree nodes are variable-sized (roughly 2–26 bytes) and
+//! *change size* as transactions are inserted: a pcount grows past a byte
+//! boundary, a pointer appears, a chain splits. A general-purpose allocator
+//! would pad, fragment, and burn a `malloc` call per node; the paper instead
+//! uses a purpose-built manager that
+//!
+//! 1. avoids expensive allocation calls when creating nodes,
+//! 2. enables small (40-bit) pointers, because every node lives in one
+//!    contiguous arena addressed by offset, and
+//! 3. provides unpadded chunks, so a 7-byte node costs exactly 7 bytes.
+//!
+//! The design follows Figure 9: the arena is split into *used* and *unused*
+//! memory by a bump pointer (`next-free`). Freed chunks of each size are
+//! threaded into per-size queues; the link to the next free chunk is stored
+//! in the first 5 bytes of the free chunk itself, so the free lists cost no
+//! extra memory. When a node grows or shrinks from `b1` to `b2` bytes, a
+//! chunk is dequeued from the `b2` queue (or carved at the bump pointer),
+//! the node is copied, and the old `b1` chunk is enqueued on the `b1` queue.
+//!
+//! Offsets returned by the arena are never 0 (reserved for the null
+//! pointer) and never have `0xFF` as the most significant of their five
+//! pointer bytes (reserved for the embedded-leaf marker, §3.3) — the arena
+//! would have to approach a terabyte before that mattered, and we assert it.
+
+//! ```
+//! use cfp_memman::Arena;
+//!
+//! let mut arena = Arena::new();
+//! let a = arena.alloc(7);
+//! arena.bytes_mut(a, 7).copy_from_slice(b"sevenby");
+//! let b = arena.realloc(a, 7, 12); // node grew past a byte boundary
+//! assert_eq!(&arena.bytes(b, 12)[..7], b"sevenby");
+//! arena.free(b, 12);
+//! assert_eq!(arena.alloc(12), b, "freed chunks are recycled");
+//! ```
+
+#![warn(missing_docs)]
+
+use cfp_encoding::ptr40::{read_raw40, write_raw40, MAX_OFFSET, PTR_BYTES};
+
+/// Smallest chunk the arena hands out. A free chunk must be able to hold a
+/// 5-byte next-free link, so requests below this are rounded up.
+pub const MIN_CHUNK: usize = PTR_BYTES;
+
+/// Largest chunk the arena manages through free queues. Standard nodes top
+/// out at 24 bytes and chain nodes at 27; 40 leaves headroom.
+pub const MAX_CHUNK: usize = 40;
+
+/// A bump-pointer arena with per-size free-chunk queues.
+#[derive(Debug)]
+pub struct Arena {
+    buf: Vec<u8>,
+    /// Head of the free-chunk queue for each chunk size (index = size).
+    free_heads: [u64; MAX_CHUNK + 1],
+    /// Bytes currently handed out (allocated minus freed), after rounding.
+    used: u64,
+    /// Number of live allocations, for leak checks in tests.
+    live: u64,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an arena with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buf = Vec::with_capacity(cap.max(1));
+        // Offset 0 is the null pointer; burn one byte so it is never used.
+        buf.push(0);
+        Arena {
+            buf,
+            free_heads: [0; MAX_CHUNK + 1],
+            used: 0,
+            live: 0,
+        }
+    }
+
+    /// Rounds a requested size to the chunk size actually used.
+    #[inline]
+    fn chunk_size(size: usize) -> usize {
+        assert!(
+            size <= MAX_CHUNK,
+            "allocation of {size} bytes exceeds MAX_CHUNK ({MAX_CHUNK})"
+        );
+        size.max(MIN_CHUNK)
+    }
+
+    /// Allocates a chunk of at least `size` bytes and returns its offset.
+    ///
+    /// The chunk contents are unspecified (possibly stale bytes from a
+    /// previous node); the caller is expected to overwrite them fully.
+    #[inline]
+    pub fn alloc(&mut self, size: usize) -> u64 {
+        let size = Self::chunk_size(size);
+        self.used += size as u64;
+        self.live += 1;
+        let head = self.free_heads[size];
+        if head != 0 {
+            let next = read_raw40(&self.buf[head as usize..head as usize + PTR_BYTES]);
+            self.free_heads[size] = next;
+            return head;
+        }
+        let off = self.buf.len() as u64;
+        assert!(
+            off + size as u64 <= MAX_OFFSET,
+            "arena exhausted the 40-bit address space"
+        );
+        self.buf.resize(self.buf.len() + size, 0);
+        off
+    }
+
+    /// Returns a chunk previously obtained from [`alloc`](Self::alloc) with
+    /// the same `size` to the free queue of that size.
+    #[inline]
+    pub fn free(&mut self, offset: u64, size: usize) {
+        let size = Self::chunk_size(size);
+        debug_assert!(offset as usize + size <= self.buf.len());
+        debug_assert_ne!(offset, 0, "freeing the null offset");
+        let head = self.free_heads[size];
+        write_raw40(
+            &mut self.buf[offset as usize..offset as usize + PTR_BYTES],
+            head,
+        );
+        self.free_heads[size] = offset;
+        self.used -= size as u64;
+        self.live -= 1;
+    }
+
+    /// Moves a chunk from `old_size` to `new_size` bytes, copying the first
+    /// `min(old_size, new_size)` bytes. Returns the new offset (which may
+    /// equal the old one when the rounded sizes match).
+    pub fn realloc(&mut self, offset: u64, old_size: usize, new_size: usize) -> u64 {
+        if Self::chunk_size(old_size) == Self::chunk_size(new_size) {
+            return offset;
+        }
+        let new_off = self.alloc(new_size);
+        let n = old_size.min(new_size);
+        self.buf
+            .copy_within(offset as usize..offset as usize + n, new_off as usize);
+        self.free(offset, old_size);
+        new_off
+    }
+
+    /// Immutable view of `len` bytes starting at `offset`.
+    #[inline]
+    pub fn bytes(&self, offset: u64, len: usize) -> &[u8] {
+        &self.buf[offset as usize..offset as usize + len]
+    }
+
+    /// Mutable view of `len` bytes starting at `offset`.
+    #[inline]
+    pub fn bytes_mut(&mut self, offset: u64, len: usize) -> &mut [u8] {
+        &mut self.buf[offset as usize..offset as usize + len]
+    }
+
+    /// View from `offset` to the end of the arena, for decoding nodes whose
+    /// length is only known after reading their first byte.
+    #[inline]
+    pub fn tail(&self, offset: u64) -> &[u8] {
+        &self.buf[offset as usize..]
+    }
+
+    /// One byte at `offset`.
+    #[inline]
+    pub fn byte(&self, offset: u64) -> u8 {
+        self.buf[offset as usize]
+    }
+
+    /// Total bytes the arena has carved out of its buffer (used + freed
+    /// chunks): the high-water mark of memory consumption.
+    pub fn footprint(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Bytes of capacity actually reserved from the OS.
+    pub fn reserved(&self) -> u64 {
+        self.buf.capacity() as u64
+    }
+
+    /// Bytes in live chunks (after rounding to chunk sizes).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocs(&self) -> u64 {
+        self.live
+    }
+
+    /// Number of free chunks currently queued for `size` (after rounding).
+    pub fn free_chunks(&self, size: usize) -> usize {
+        let size = Self::chunk_size(size);
+        let mut n = 0;
+        let mut cur = self.free_heads[size];
+        while cur != 0 {
+            n += 1;
+            cur = read_raw40(&self.buf[cur as usize..cur as usize + PTR_BYTES]);
+        }
+        n
+    }
+
+    /// Bytes sitting in free queues: carved memory not currently holding a
+    /// live chunk (the fragmentation the Appendix-A design bounds by
+    /// recycling same-size chunks).
+    pub fn free_bytes(&self) -> u64 {
+        self.footprint() - 1 - self.used
+    }
+
+    /// Fraction of carved memory that is free-queue fragmentation.
+    pub fn fragmentation(&self) -> f64 {
+        let carved = self.footprint().saturating_sub(1);
+        if carved == 0 {
+            0.0
+        } else {
+            self.free_bytes() as f64 / carved as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn offsets_are_nonzero_and_distinct() {
+        let mut a = Arena::new();
+        let x = a.alloc(7);
+        let y = a.alloc(7);
+        assert_ne!(x, 0);
+        assert_ne!(y, 0);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_chunk() {
+        let mut a = Arena::new();
+        let x = a.alloc(10);
+        let _y = a.alloc(10);
+        a.free(x, 10);
+        let z = a.alloc(10);
+        assert_eq!(z, x, "freed chunk should be recycled");
+    }
+
+    #[test]
+    fn free_queues_are_lifo_per_size() {
+        let mut a = Arena::new();
+        let x = a.alloc(8);
+        let y = a.alloc(8);
+        let z = a.alloc(12);
+        a.free(x, 8);
+        a.free(y, 8);
+        a.free(z, 12);
+        assert_eq!(a.alloc(8), y);
+        assert_eq!(a.alloc(8), x);
+        assert_eq!(a.alloc(12), z);
+    }
+
+    #[test]
+    fn small_requests_round_up_to_min_chunk() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let y = a.alloc(1);
+        assert!(
+            y - x >= MIN_CHUNK as u64,
+            "1-byte chunks must not overlap the free link"
+        );
+        a.free(x, 1);
+        assert_eq!(a.alloc(3), x, "sizes 1 and 3 share the rounded chunk class");
+    }
+
+    #[test]
+    fn realloc_copies_contents() {
+        let mut a = Arena::new();
+        let x = a.alloc(7);
+        a.bytes_mut(x, 7).copy_from_slice(&[1, 2, 3, 4, 5, 6, 7]);
+        let y = a.realloc(x, 7, 12);
+        assert_ne!(x, y);
+        assert_eq!(&a.bytes(y, 12)[..7], &[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn realloc_shrinking_keeps_prefix() {
+        let mut a = Arena::new();
+        let x = a.alloc(12);
+        a.bytes_mut(x, 12)
+            .copy_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12]);
+        let y = a.realloc(x, 12, 6);
+        assert_eq!(a.bytes(y, 6), &[9, 8, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn realloc_same_rounded_size_is_a_noop() {
+        let mut a = Arena::new();
+        let x = a.alloc(7);
+        assert_eq!(a.realloc(x, 7, 7), x);
+        let y = a.alloc(2);
+        assert_eq!(a.realloc(y, 2, 4), y, "2 and 4 both round to MIN_CHUNK");
+    }
+
+    #[test]
+    fn used_tracks_rounded_live_bytes() {
+        let mut a = Arena::new();
+        assert_eq!(a.used(), 0);
+        let x = a.alloc(7);
+        let y = a.alloc(3); // rounds to 5
+        assert_eq!(a.used(), 12);
+        a.free(x, 7);
+        assert_eq!(a.used(), 5);
+        a.free(y, 3);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.live_allocs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_CHUNK")]
+    fn oversized_requests_panic() {
+        let mut a = Arena::new();
+        let _ = a.alloc(MAX_CHUNK + 1);
+    }
+
+    #[test]
+    fn free_queue_accounting_is_consistent() {
+        let mut a = Arena::new();
+        let offs: Vec<u64> = (0..10).map(|_| a.alloc(8)).collect();
+        assert_eq!(a.free_chunks(8), 0);
+        assert_eq!(a.free_bytes(), 0);
+        for &o in &offs[..4] {
+            a.free(o, 8);
+        }
+        assert_eq!(a.free_chunks(8), 4);
+        assert_eq!(a.free_bytes(), 32);
+        assert!((a.fragmentation() - 32.0 / 80.0).abs() < 1e-12);
+        // Recycling drains the queue.
+        let _ = a.alloc(8);
+        assert_eq!(a.free_chunks(8), 3);
+    }
+
+    #[test]
+    fn footprint_grows_monotonically() {
+        let mut a = Arena::new();
+        let before = a.footprint();
+        let x = a.alloc(24);
+        assert_eq!(a.footprint(), before + 24);
+        a.free(x, 24);
+        assert_eq!(a.footprint(), before + 24, "free never shrinks the arena");
+    }
+
+    proptest! {
+        /// Random alloc/free/realloc sequences never hand out overlapping
+        /// live chunks and preserve chunk contents across reallocs.
+        #[test]
+        fn prop_no_overlap_and_contents_survive(
+            ops in proptest::collection::vec((0u8..3, 1usize..=MAX_CHUNK, any::<u8>()), 1..200)
+        ) {
+            let mut a = Arena::new();
+            // offset -> (size, fill byte)
+            let mut live: HashMap<u64, (usize, u8)> = HashMap::new();
+            let mut order: Vec<u64> = Vec::new();
+            for (op, size, fill) in ops {
+                match op {
+                    0 => {
+                        let off = a.alloc(size);
+                        for &o in order.iter() {
+                            let (s, _) = live[&o];
+                            let s = s.max(MIN_CHUNK) as u64;
+                            let sz = size.max(MIN_CHUNK) as u64;
+                            prop_assert!(off + sz <= o || o + s <= off,
+                                "chunk {} overlaps live chunk {}", off, o);
+                        }
+                        for b in a.bytes_mut(off, size) { *b = fill; }
+                        live.insert(off, (size, fill));
+                        order.push(off);
+                    }
+                    1 => {
+                        if let Some(off) = order.pop() {
+                            let (s, f) = live.remove(&off).unwrap();
+                            prop_assert!(a.bytes(off, s).iter().all(|&b| b == f),
+                                "contents changed before free");
+                            a.free(off, s);
+                        }
+                    }
+                    _ => {
+                        if let Some(off) = order.pop() {
+                            let (s, f) = live.remove(&off).unwrap();
+                            let new_off = a.realloc(off, s, size);
+                            let kept = s.min(size);
+                            prop_assert!(a.bytes(new_off, kept).iter().all(|&b| b == f),
+                                "contents lost in realloc");
+                            for b in a.bytes_mut(new_off, size) { *b = fill; }
+                            live.insert(new_off, (size, fill));
+                            order.push(new_off);
+                        }
+                    }
+                }
+            }
+            // All remaining live chunks still hold their fill bytes.
+            for (&off, &(s, f)) in &live {
+                prop_assert!(a.bytes(off, s).iter().all(|&b| b == f));
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Exact heap-footprint reporting.
+//!
+//! Rather than asking the OS for RSS (noisy, allocator-dependent), every
+//! data structure in this workspace can report the number of heap bytes it
+//! owns. Capacity, not length, is counted: a `Vec` that reserved 1 MiB holds
+//! 1 MiB of the machine's memory regardless of how much of it is filled,
+//! and the paper's memory figures are about exactly that kind of footprint.
+
+/// Types that know the exact number of heap bytes they own.
+///
+/// Implementations must count *capacity* (reserved memory), not just live
+/// elements, and must include indirectly owned allocations.
+pub trait HeapSize {
+    /// Number of heap bytes owned by `self`, excluding `size_of::<Self>()`.
+    fn heap_bytes(&self) -> u64;
+
+    /// Total footprint: inline size plus owned heap bytes.
+    fn total_bytes(&self) -> u64
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() as u64 + self.heap_bytes()
+    }
+}
+
+impl<T: Copy> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> u64 {
+        (self.capacity() * std::mem::size_of::<T>()) as u64
+    }
+}
+
+impl<T: Copy> HeapSize for Box<[T]> {
+    fn heap_bytes(&self) -> u64 {
+        std::mem::size_of_val::<[T]>(self) as u64
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> u64 {
+        self.capacity() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<u32> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 400);
+    }
+
+    #[test]
+    fn empty_vec_owns_nothing() {
+        let v: Vec<u64> = Vec::new();
+        assert_eq!(v.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u16]> = vec![0u16; 10].into_boxed_slice();
+        assert_eq!(b.heap_bytes(), 20);
+    }
+
+    #[test]
+    fn total_bytes_adds_inline_size() {
+        let v: Vec<u8> = Vec::with_capacity(8);
+        assert_eq!(v.total_bytes(), 8 + std::mem::size_of::<Vec<u8>>() as u64);
+    }
+}

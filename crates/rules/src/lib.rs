@@ -1,0 +1,31 @@
+//! Post-processing of frequent itemsets: association rules and the
+//! closed / maximal condensed representations.
+//!
+//! Frequent-itemset mining is rarely the end product. The paper's
+//! introduction motivates it through recommendation ("customers who
+//! bought this item also bought …"), which is association-rule mining:
+//! from every frequent itemset `X` and partition `X = A ∪ C`, the rule
+//! `A ⇒ C` holds with
+//!
+//! - **support** `sup(X)` — how often the whole itemset occurs,
+//! - **confidence** `sup(X) / sup(A)` — how often the consequent follows
+//!   the antecedent, and
+//! - **lift** `conf / (sup(C) / |D|)` — how much more often than chance.
+//!
+//! [`RuleMiner`] implements the classic Agrawal–Srikant rule generation:
+//! for each frequent itemset, consequents are grown level-wise, pruned by
+//! the anti-monotonicity of confidence (if `A ⇒ C` lacks confidence, so
+//! does every rule that moves more items from `A` into `C`).
+//!
+//! [`closed_itemsets`] and [`maximal_itemsets`] reduce a mining result to
+//! the standard condensed representations: an itemset is *closed* when no
+//! proper superset has the same support, *maximal* when no proper superset
+//! is frequent at all.
+
+#![warn(missing_docs)]
+
+pub mod condensed;
+pub mod rules;
+
+pub use condensed::{closed_itemsets, maximal_itemsets};
+pub use rules::{Rule, RuleMiner};

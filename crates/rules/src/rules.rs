@@ -1,0 +1,241 @@
+//! Association-rule generation from a frequent-itemset collection.
+
+use cfp_data::Item;
+use std::collections::HashMap;
+
+/// One association rule `antecedent ⇒ consequent`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Left-hand side, sorted ascending, non-empty.
+    pub antecedent: Vec<Item>,
+    /// Right-hand side, sorted ascending, non-empty, disjoint from the
+    /// antecedent.
+    pub consequent: Vec<Item>,
+    /// Support of `antecedent ∪ consequent` (absolute count).
+    pub support: u64,
+    /// `support / support(antecedent)`.
+    pub confidence: f64,
+    /// `confidence / (support(consequent) / num_transactions)`.
+    pub lift: f64,
+}
+
+/// Generates association rules from frequent itemsets.
+pub struct RuleMiner {
+    /// Support lookup for every frequent itemset.
+    supports: HashMap<Vec<Item>, u64>,
+    num_transactions: u64,
+}
+
+impl RuleMiner {
+    /// Builds the rule miner from a complete mining result (as returned by
+    /// `CollectSink::into_sorted`) and the database size.
+    ///
+    /// The collection must be *downward closed* (contain every subset of
+    /// every member), which any correct frequent-itemset result is.
+    pub fn new(itemsets: &[(Vec<Item>, u64)], num_transactions: u64) -> Self {
+        let supports = itemsets.iter().cloned().collect();
+        RuleMiner { supports, num_transactions }
+    }
+
+    /// Support of an itemset (must be sorted ascending), if frequent.
+    pub fn support(&self, itemset: &[Item]) -> Option<u64> {
+        self.supports.get(itemset).copied()
+    }
+
+    /// Generates all rules meeting `min_confidence` (0.0..=1.0), from
+    /// every itemset of cardinality ≥ 2.
+    ///
+    /// Consequents are grown level-wise per itemset; a consequent that
+    /// fails the confidence bound prunes all of its supersets, because
+    /// shrinking the antecedent can only shrink confidence.
+    pub fn rules(&self, min_confidence: f64) -> Vec<Rule> {
+        let mut out = Vec::new();
+        for (itemset, &support) in &self.supports {
+            if itemset.len() < 2 {
+                continue;
+            }
+            // Level 1 consequents: single items.
+            let mut consequents: Vec<Vec<Item>> =
+                itemset.iter().map(|&i| vec![i]).collect();
+            while !consequents.is_empty() {
+                let mut kept: Vec<Vec<Item>> = Vec::new();
+                for consequent in consequents {
+                    if consequent.len() == itemset.len() {
+                        continue; // antecedent would be empty
+                    }
+                    let antecedent: Vec<Item> = itemset
+                        .iter()
+                        .copied()
+                        .filter(|i| !consequent.contains(i))
+                        .collect();
+                    let ant_sup = self.supports[&antecedent];
+                    let confidence = support as f64 / ant_sup as f64;
+                    if confidence >= min_confidence {
+                        let cons_sup = self.supports[&consequent];
+                        let lift = if self.num_transactions == 0 {
+                            0.0
+                        } else {
+                            confidence / (cons_sup as f64 / self.num_transactions as f64)
+                        };
+                        out.push(Rule {
+                            antecedent,
+                            consequent: consequent.clone(),
+                            support,
+                            confidence,
+                            lift,
+                        });
+                        kept.push(consequent);
+                    }
+                }
+                consequents = grow_consequents(&kept, itemset);
+            }
+        }
+        // Deterministic order: by itemset, then by consequent.
+        out.sort_by(|a, b| {
+            (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent))
+        });
+        out
+    }
+
+    /// The rules sorted by descending confidence (ties by support).
+    pub fn rules_by_confidence(&self, min_confidence: f64) -> Vec<Rule> {
+        let mut rules = self.rules(min_confidence);
+        rules.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.support.cmp(&a.support))
+                .then(a.antecedent.cmp(&b.antecedent))
+                .then(a.consequent.cmp(&b.consequent))
+        });
+        rules
+    }
+}
+
+/// Joins confident consequents of size k sharing a (k-1)-prefix into
+/// size-(k+1) candidates, Apriori-style.
+fn grow_consequents(kept: &[Vec<Item>], itemset: &[Item]) -> Vec<Vec<Item>> {
+    let mut sorted: Vec<&Vec<Item>> = kept.iter().collect();
+    sorted.sort();
+    let mut next = Vec::new();
+    for (i, a) in sorted.iter().enumerate() {
+        for b in &sorted[i + 1..] {
+            if a[..a.len() - 1] == b[..b.len() - 1] {
+                let mut cand = (*a).clone();
+                cand.push(*b.last().expect("nonempty"));
+                if cand.len() < itemset.len() {
+                    next.push(cand);
+                }
+            }
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_core::{CfpGrowthMiner, CollectSink, Miner, TransactionDb};
+
+    fn mined() -> (Vec<(Vec<Item>, u64)>, u64) {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+        ]);
+        let mut sink = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, 1, &mut sink);
+        (sink.into_sorted(), db.len() as u64)
+    }
+
+    #[test]
+    fn confidence_and_lift_are_exact() {
+        let (itemsets, n) = mined();
+        let miner = RuleMiner::new(&itemsets, n);
+        let rules = miner.rules(0.0);
+        // 1 => 2: sup({1,2}) = 3, sup({1}) = 4 -> conf 0.75.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![2])
+            .expect("rule 1 => 2");
+        assert_eq!(r.support, 3);
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        // lift = 0.75 / (sup({2})/5 = 4/5) = 0.9375.
+        assert!((r.lift - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_confidence_prunes() {
+        let (itemsets, n) = mined();
+        let miner = RuleMiner::new(&itemsets, n);
+        let all = miner.rules(0.0);
+        let strict = miner.rules(0.75);
+        assert!(strict.len() < all.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.75));
+        // Every strict rule is present among the unpruned ones.
+        for r in &strict {
+            assert!(all
+                .iter()
+                .any(|x| x.antecedent == r.antecedent && x.consequent == r.consequent));
+        }
+    }
+
+    #[test]
+    fn rule_sides_are_disjoint_and_cover_the_itemset() {
+        let (itemsets, n) = mined();
+        let miner = RuleMiner::new(&itemsets, n);
+        for r in miner.rules(0.0) {
+            assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
+            let mut union: Vec<Item> =
+                r.antecedent.iter().chain(&r.consequent).copied().collect();
+            union.sort_unstable();
+            assert!(union.windows(2).all(|w| w[0] < w[1]), "overlap in {r:?}");
+            assert_eq!(Some(r.support), miner.support(&union));
+        }
+    }
+
+    #[test]
+    fn multi_item_consequents_are_generated() {
+        // {1,2,3} appears twice; {1} appears twice -> 1 => {2,3} has
+        // confidence 1.0 and must be found via consequent growth.
+        let db = TransactionDb::from_rows(&[vec![1, 2, 3], vec![1, 2, 3], vec![2, 3]]);
+        let mut sink = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, 1, &mut sink);
+        let miner = RuleMiner::new(&sink.into_sorted(), db.len() as u64);
+        let rules = miner.rules(0.95);
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![1] && r.consequent == vec![2, 3]));
+    }
+
+    #[test]
+    fn confidence_pruning_is_lossless() {
+        // Pruned generation at threshold t must equal brute filtering of
+        // the unpruned rule set at t.
+        let (itemsets, n) = mined();
+        let miner = RuleMiner::new(&itemsets, n);
+        for t in [0.3, 0.6, 0.8, 1.0] {
+            let pruned = miner.rules(t);
+            let filtered: Vec<Rule> = miner
+                .rules(0.0)
+                .into_iter()
+                .filter(|r| r.confidence >= t)
+                .collect();
+            assert_eq!(pruned.len(), filtered.len(), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn by_confidence_sorts_descending() {
+        let (itemsets, n) = mined();
+        let rules = RuleMiner::new(&itemsets, n).rules_by_confidence(0.0);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn empty_input_yields_no_rules() {
+        let miner = RuleMiner::new(&[], 0);
+        assert!(miner.rules(0.0).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Compressibility statistics of the CFP-tree (Table 2 and Figure 6(a)).
+
+use crate::dfs::{DfsEvent, DfsIter};
+use crate::node;
+use crate::tree::CfpTree;
+use cfp_encoding::mask::is_chain;
+use cfp_metrics::LeadingZeroHistogram;
+
+/// Leading-zero-byte histograms of the CFP-tree's data fields (Table 2).
+#[derive(Clone, Debug, Default)]
+pub struct CfpTreeFieldStats {
+    /// The Δitem field over all logical nodes.
+    pub ditem: LeadingZeroHistogram,
+    /// The pcount field over all logical nodes.
+    pub pcount: LeadingZeroHistogram,
+}
+
+/// Analyzes the logical nodes of `tree` (Table 2 rows).
+pub fn analyze(tree: &CfpTree) -> CfpTreeFieldStats {
+    let mut stats = CfpTreeFieldStats::default();
+    for ev in DfsIter::new(tree) {
+        if let DfsEvent::Enter { ditem, pcount } = ev {
+            stats.ditem.record(ditem);
+            stats.pcount.record(pcount);
+        }
+    }
+    stats
+}
+
+/// Breakdown of the physical node population (Figure 6(a) discussion).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeBreakdown {
+    /// Allocated standard nodes.
+    pub standard: u64,
+    /// Allocated chain nodes.
+    pub chain_nodes: u64,
+    /// Logical entries stored inside chain nodes.
+    pub chain_entries: u64,
+    /// Leaves embedded in their parents' pointer fields.
+    pub embedded: u64,
+}
+
+impl NodeBreakdown {
+    /// Total logical FP-tree nodes represented.
+    pub fn logical_nodes(&self) -> u64 {
+        self.standard + self.chain_entries + self.embedded
+    }
+}
+
+/// Counts the physical node kinds of `tree`.
+pub fn node_breakdown(tree: &CfpTree) -> NodeBreakdown {
+    let mut b = NodeBreakdown::default();
+    // Walk physical nodes: reuse the DFS by resolving slots ourselves.
+    let mut stack = vec![tree.root_value()];
+    while let Some(raw) = stack.pop() {
+        if raw == 0 {
+            continue;
+        }
+        if node::is_embedded(raw) {
+            b.embedded += 1;
+            continue;
+        }
+        let buf = tree.arena().tail(raw);
+        if is_chain(buf[0]) {
+            let (chain, _) = node::ChainNode::decode(buf);
+            b.chain_nodes += 1;
+            b.chain_entries += chain.len as u64;
+            stack.push(chain.suffix);
+        } else {
+            let (std, _) = node::StdNode::decode(buf);
+            b.standard += 1;
+            stack.push(std.left);
+            stack.push(std.right);
+            stack.push(std.suffix);
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcount_is_mostly_zero_on_shared_prefixes() {
+        let mut t = CfpTree::new(32);
+        let base: Vec<u32> = (0..20).collect();
+        for tail in 20..30u32 {
+            let mut txn = base.clone();
+            txn.push(tail);
+            t.insert(&txn, 1);
+        }
+        let s = analyze(&t);
+        // Only the 10 leaves end transactions; 20 shared-prefix nodes have
+        // pcount 0 (4 leading zero bytes).
+        assert_eq!(s.pcount.buckets()[4], 20);
+        assert_eq!(s.pcount.total(), t.num_nodes());
+    }
+
+    #[test]
+    fn ditem_is_never_zero() {
+        let mut t = CfpTree::new(16);
+        t.insert(&[0, 3, 9], 1);
+        t.insert(&[1, 3], 1);
+        let s = analyze(&t);
+        assert_eq!(s.ditem.buckets()[4], 0, "Δitem 0 must not occur");
+    }
+
+    #[test]
+    fn breakdown_accounts_for_every_logical_node() {
+        let mut t = CfpTree::new(64);
+        t.insert(&(0..10).collect::<Vec<_>>(), 1); // chain
+        t.insert(&[20], 1); // embedded leaf
+        t.insert(&[20, 40], 1); // unembeds, new embedded child
+        t.insert(&[0, 5], 1); // splits the chain
+        let b = node_breakdown(&t);
+        assert_eq!(b.logical_nodes(), t.num_nodes());
+        assert!(b.chain_nodes >= 1);
+        assert!(b.embedded >= 1);
+        assert!(b.standard >= 1);
+    }
+
+    #[test]
+    fn empty_tree_breakdown_is_zero() {
+        let t = CfpTree::new(4);
+        assert_eq!(node_breakdown(&t), NodeBreakdown::default());
+    }
+}

@@ -1,0 +1,196 @@
+//! Logical depth-first traversal of the CFP-tree.
+//!
+//! The traversal yields the *logical* FP-tree: chain entries and embedded
+//! leaves appear as ordinary nodes. Siblings are visited in ascending item
+//! order (in-order over the sibling BST), which makes the traversal — and
+//! everything derived from it, like the CFP-array layout — deterministic.
+//!
+//! Events come in balanced `Enter`/`Leave` pairs; consumers reconstruct
+//! absolute items by accumulating `Δitem` along the current path (the
+//! virtual root sits at item −1, so a root child with item `i` carries
+//! `Δitem = i + 1`).
+
+use crate::node::{self, ChainNode, StdNode};
+use crate::tree::CfpTree;
+use cfp_encoding::mask::is_chain;
+
+/// One traversal event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DfsEvent {
+    /// A node is entered (pre-order position).
+    Enter {
+        /// Delta to the parent's item (≥ 1; relative to −1 at the root).
+        ditem: u32,
+        /// The node's partial count.
+        pcount: u32,
+    },
+    /// The most recently entered unclosed node is left (post-order).
+    Leave,
+}
+
+enum Frame {
+    /// Resolve a raw slot value (BST in-order for allocated nodes).
+    Slot(u64),
+    /// Emit the body of a standard node, then its suffix subtree.
+    StdBody { ditem: u32, pcount: u32, suffix: u64 },
+    /// Emit chain entry `idx`, then deeper entries / the suffix.
+    ChainEntry { chain: ChainNode, idx: usize },
+    /// Emit a `Leave`.
+    Leave,
+}
+
+/// Iterator over the logical DFS events of a [`CfpTree`].
+pub struct DfsIter<'t> {
+    tree: &'t CfpTree,
+    stack: Vec<Frame>,
+}
+
+impl<'t> DfsIter<'t> {
+    /// Starts a traversal at the root.
+    pub fn new(tree: &'t CfpTree) -> Self {
+        DfsIter { tree, stack: vec![Frame::Slot(tree.root_value())] }
+    }
+}
+
+impl Iterator for DfsIter<'_> {
+    type Item = DfsEvent;
+
+    fn next(&mut self) -> Option<DfsEvent> {
+        while let Some(frame) = self.stack.pop() {
+            match frame {
+                Frame::Slot(raw) => {
+                    if raw == 0 {
+                        continue;
+                    }
+                    if node::is_embedded(raw) {
+                        let (ditem, pcount) = node::unembed(raw);
+                        self.stack.push(Frame::Leave);
+                        return Some(DfsEvent::Enter { ditem, pcount });
+                    }
+                    let buf = self.tree.arena().tail(raw);
+                    if is_chain(buf[0]) {
+                        let (chain, _) = ChainNode::decode(buf);
+                        self.stack.push(Frame::ChainEntry { chain, idx: 0 });
+                    } else {
+                        let (std, _) = StdNode::decode(buf);
+                        // In-order: left subtree, node body, right subtree.
+                        self.stack.push(Frame::Slot(std.right));
+                        self.stack.push(Frame::StdBody {
+                            ditem: std.ditem,
+                            pcount: std.pcount,
+                            suffix: std.suffix,
+                        });
+                        self.stack.push(Frame::Slot(std.left));
+                    }
+                }
+                Frame::StdBody { ditem, pcount, suffix } => {
+                    self.stack.push(Frame::Leave);
+                    self.stack.push(Frame::Slot(suffix));
+                    return Some(DfsEvent::Enter { ditem, pcount });
+                }
+                Frame::ChainEntry { chain, idx } => {
+                    let last = idx + 1 == chain.len;
+                    let ditem = chain.ditems[idx] as u32;
+                    let pcount = if last { chain.pcount } else { 0 };
+                    self.stack.push(Frame::Leave);
+                    if last {
+                        self.stack.push(Frame::Slot(chain.suffix));
+                    } else {
+                        self.stack.push(Frame::ChainEntry { chain, idx: idx + 1 });
+                    }
+                    return Some(DfsEvent::Enter { ditem, pcount });
+                }
+                Frame::Leave => return Some(DfsEvent::Leave),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(tree: &CfpTree) -> Vec<DfsEvent> {
+        DfsIter::new(tree).collect()
+    }
+
+    #[test]
+    fn empty_tree_yields_no_events() {
+        let t = CfpTree::new(3);
+        assert!(events(&t).is_empty());
+    }
+
+    #[test]
+    fn events_are_balanced() {
+        let mut t = CfpTree::new(16);
+        t.insert(&[0, 1, 2], 1);
+        t.insert(&[0, 3], 2);
+        t.insert(&[5], 1);
+        let evs = events(&t);
+        let mut depth = 0i64;
+        for e in &evs {
+            match e {
+                DfsEvent::Enter { .. } => depth += 1,
+                DfsEvent::Leave => {
+                    depth -= 1;
+                    assert!(depth >= 0);
+                }
+            }
+        }
+        assert_eq!(depth, 0);
+        let enters = evs.iter().filter(|e| matches!(e, DfsEvent::Enter { .. })).count();
+        assert_eq!(enters as u64, t.num_nodes());
+    }
+
+    #[test]
+    fn siblings_visited_in_ascending_item_order() {
+        let mut t = CfpTree::new(64);
+        for item in [31u32, 5, 47, 0, 63, 22] {
+            t.insert(&[item], 1);
+        }
+        let mut items = Vec::new();
+        // All nodes are root children (depth 1), so the parent item is the
+        // virtual root's −1 throughout.
+        for e in events(&t) {
+            if let DfsEvent::Enter { ditem, .. } = e {
+                items.push(ditem - 1);
+            }
+        }
+        assert_eq!(items, vec![0, 5, 22, 31, 47, 63]);
+    }
+
+    #[test]
+    fn nesting_reflects_paths() {
+        let mut t = CfpTree::new(8);
+        t.insert(&[1, 2, 4], 3);
+        let evs = events(&t);
+        assert_eq!(
+            evs,
+            vec![
+                DfsEvent::Enter { ditem: 2, pcount: 0 },
+                DfsEvent::Enter { ditem: 1, pcount: 0 },
+                DfsEvent::Enter { ditem: 2, pcount: 3 },
+                DfsEvent::Leave,
+                DfsEvent::Leave,
+                DfsEvent::Leave,
+            ]
+        );
+    }
+
+    #[test]
+    fn pcounts_sum_to_inserted_weight() {
+        let mut t = CfpTree::new(10);
+        t.insert(&[0, 1], 2);
+        t.insert(&[0, 1, 2], 1);
+        t.insert(&[4], 7);
+        let total: u64 = events(&t)
+            .iter()
+            .filter_map(|e| match e {
+                DfsEvent::Enter { pcount, .. } => Some(*pcount as u64),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, t.weight_total());
+    }
+}

@@ -1,0 +1,59 @@
+//! The CFP-tree: a compressed prefix tree for the build phase of
+//! CFP-growth (§3.2–§3.3 of the paper).
+//!
+//! Structurally the CFP-tree is identical to the FP-tree; the information
+//! per node differs so that every stored value is *small*:
+//!
+//! - `Δitem` replaces `item`: the difference to the parent's item
+//!   identifier. Items are recoded in descending support order, so ids
+//!   strictly increase along every path and `Δitem ≥ 1` — usually a single
+//!   byte.
+//! - `pcount` (*partial count*) replaces `count`: inserting a transaction
+//!   increments only the **final** node of its path, and the classic count
+//!   is recoverable as `pcount + Σ children counts`. Most nodes never end
+//!   a transaction, so `pcount` is usually 0 and vanishes entirely under
+//!   leading-zero suppression. The sum of all pcounts equals the number of
+//!   inserted transactions.
+//!
+//! The *ternary CFP-tree* is the physical representation: each node packs
+//! a compression-mask byte, the zero-suppressed `Δitem` and `pcount`, and
+//! only its non-null `left`/`right`/`suffix` pointers as 40-bit offsets
+//! into the [`cfp_memman::Arena`]. Two further layouts eliminate whole
+//! pointers:
+//!
+//! - **Embedded leaves**: a leaf with `Δitem < 256` and `pcount < 2^24` is
+//!   stored *inside* the 5-byte pointer field of its parent, behind a
+//!   `0xFF` marker byte the arena never produces as an address byte.
+//! - **Chain nodes**: runs of single-child nodes ("chains") collapse into
+//!   one node holding up to 15 single-byte `Δitem` entries, the trailing
+//!   node's pcount, and at most one suffix pointer. Chains are created
+//!   only when a new leaf is inserted and are split when later insertions
+//!   diverge inside them (§4.1).
+//!
+//! Parent pointers and nodelinks — used only by the mine phase — are not
+//! stored at all; the mine phase runs on the CFP-array instead.
+//!
+//! ```
+//! use cfp_tree::CfpTree;
+//!
+//! // Items must be recoded: dense ids, ascending within a transaction.
+//! let mut tree = CfpTree::new(4);
+//! tree.insert(&[0, 1, 2], 1);
+//! tree.insert(&[0, 1, 2], 1);
+//! tree.insert(&[0, 3], 1);
+//!
+//! assert_eq!(tree.num_nodes(), 4);          // 0,1,2 shared + 3
+//! assert_eq!(tree.weight_total(), 3);       // Σ pcount = transactions
+//! assert_eq!(tree.item_support(0), 3);
+//! assert!(tree.avg_node_bytes() < 8.0);     // far below 28–40 B/node
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dfs;
+pub mod node;
+pub mod tree;
+
+pub use dfs::{DfsEvent, DfsIter};
+pub use tree::{CfpTree, CfpTreeConfig};

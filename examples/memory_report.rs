@@ -1,0 +1,96 @@
+//! Memory anatomy of the compressed structures: builds the FP-tree, the
+//! CFP-tree, and the CFP-array side by side on one dataset and prints the
+//! full breakdown — bytes per node, node-kind population (standard /
+//! chain / embedded), and the Table 1/2 leading-zero histograms.
+//!
+//! ```text
+//! cargo run --release -p cfp-examples --bin memory_report [profile]
+//! ```
+
+use cfp_data::{profiles, ItemRecoder};
+use cfp_fptree::FpTree;
+use cfp_metrics::HeapSize;
+use cfp_tree::CfpTree;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "webdocs-like".into());
+    let Some(profile) = profiles::by_name(&name) else {
+        eprintln!("unknown profile {name:?}; available:");
+        for p in profiles::all() {
+            eprintln!("  {:<16} {}", p.name, p.description);
+        }
+        std::process::exit(2);
+    };
+    let db = profile.generate();
+    let min_support = profile.absolute_support(&db, 1);
+    println!("profile {name}, minimum support {min_support}");
+    println!(
+        "{} transactions, {} distinct items, avg length {:.1}\n",
+        db.len(),
+        db.distinct_items(),
+        db.avg_transaction_len()
+    );
+
+    let recoder = ItemRecoder::scan(&db, min_support);
+    println!("frequent items: {}", recoder.num_items());
+
+    let fp = FpTree::from_db(&db, &recoder);
+    let cfp = CfpTree::from_db(&db, &recoder);
+    let array = cfp_core::convert(&cfp);
+    let nodes = cfp.num_nodes();
+    assert_eq!(nodes, fp.num_nodes() as u64);
+
+    println!("prefix-tree nodes: {}\n", cfp_metrics::fmt_count(nodes));
+    println!("representation      total bytes     bytes/node   vs 40 B/node");
+    let rows = [
+        ("fp-tree (ours)", fp.heap_bytes(), FpTree::NODE_BYTES as f64),
+        ("fp-tree (paper)", nodes * 40, 40.0),
+        ("cfp-tree", cfp.arena_used(), cfp.avg_node_bytes()),
+        ("cfp-array", array.data_bytes(), array.avg_node_bytes()),
+    ];
+    for (label, total, per_node) in rows {
+        println!(
+            "{label:<18}  {:>12}  {per_node:>11.2}  {:>10.1}x",
+            cfp_metrics::fmt_bytes(total),
+            40.0 / per_node,
+        );
+    }
+
+    println!(
+        "\narena: {} carved, {} live, {} in free queues ({:.2}% fragmentation)",
+        cfp_metrics::fmt_bytes(cfp.arena_footprint()),
+        cfp_metrics::fmt_bytes(cfp.arena_used()),
+        cfp_metrics::fmt_bytes(cfp.arena().free_bytes()),
+        cfp.arena().fragmentation() * 100.0,
+    );
+
+    let breakdown = cfp_tree::analysis::node_breakdown(&cfp);
+    println!(
+        "\ncfp-tree node population: {} standard, {} chain nodes holding {} entries, {} embedded leaves",
+        cfp_metrics::fmt_count(breakdown.standard),
+        cfp_metrics::fmt_count(breakdown.chain_nodes),
+        cfp_metrics::fmt_count(breakdown.chain_entries),
+        cfp_metrics::fmt_count(breakdown.embedded),
+    );
+
+    let t1 = cfp_fptree::analysis::analyze(&fp);
+    println!(
+        "\nfp-tree leading-zero bytes (Table 1 layout; buckets 0..4):"
+    );
+    for (field, hist) in t1.rows() {
+        println!("  {field:<9} {}", hist.paper_row().replace('\t', "  "));
+    }
+    println!(
+        "  => {:.0}% of all fp-tree field bytes are leading zeros",
+        t1.zero_byte_fraction() * 100.0
+    );
+
+    let t2 = cfp_tree::analysis::analyze(&cfp);
+    println!("\ncfp-tree leading-zero bytes (Table 2 layout):");
+    println!("  {:<9} {}", "ditem", t2.ditem.paper_row().replace('\t', "  "));
+    println!("  {:<9} {}", "pcount", t2.pcount.paper_row().replace('\t', "  "));
+
+    let fields = cfp_array::stats::field_bytes(&array);
+    let (d, p, c) = fields.per_node(array.num_nodes());
+    println!("\ncfp-array bytes/node by field: ditem {d:.2}, dpos {p:.2}, count {c:.2}");
+}

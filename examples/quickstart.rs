@@ -1,0 +1,39 @@
+//! Quickstart: mine frequent itemsets from a handful of transactions.
+//!
+//! ```text
+//! cargo run --release -p cfp-examples --bin quickstart
+//! ```
+
+use cfp_core::{CfpGrowthMiner, CollectSink, Miner, TransactionDb};
+
+fn main() {
+    // A small market-basket database: item ids are arbitrary u32s.
+    let db = TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+
+    // Mine everything occurring in at least 2 transactions.
+    let min_support = 2;
+    let mut sink = CollectSink::new();
+    let stats = CfpGrowthMiner::new().mine(&db, min_support, &mut sink);
+
+    println!("database: {} transactions, {} distinct items", db.len(), db.distinct_items());
+    println!(
+        "mined {} frequent itemsets in {:.2?} (peak memory {})",
+        stats.itemsets,
+        stats.total_time(),
+        cfp_metrics::fmt_bytes(stats.peak_bytes),
+    );
+    println!();
+    for (itemset, support) in sink.into_sorted() {
+        println!("{itemset:?}  support {support}");
+    }
+}

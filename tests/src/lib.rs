@@ -1,0 +1,32 @@
+//! Integration-test crate: shared helpers for the cross-crate tests in
+//! `tests/`.
+
+use cfp_baselines::all_miners;
+use cfp_core::CfpGrowthMiner;
+use cfp_data::{Miner, TransactionDb};
+
+/// Every miner in the workspace, CFP-growth first.
+pub fn full_roster() -> Vec<Box<dyn Miner>> {
+    let mut miners: Vec<Box<dyn Miner>> = vec![Box::new(CfpGrowthMiner::new())];
+    miners.extend(all_miners());
+    miners
+}
+
+/// Mines with a collecting sink and returns canonically sorted results.
+pub fn mine_sorted(
+    miner: &dyn Miner,
+    db: &TransactionDb,
+    min_support: u64,
+) -> Vec<(Vec<u32>, u64)> {
+    let mut sink = cfp_core::CollectSink::new();
+    miner.mine(db, min_support, &mut sink);
+    sink.into_sorted()
+}
+
+/// Mines with a counting sink and returns `(count, support_sum, item_sum)`
+/// — a cheap fingerprint for comparing algorithms on large inputs.
+pub fn fingerprint(miner: &dyn Miner, db: &TransactionDb, min_support: u64) -> (u64, u64, u64) {
+    let mut sink = cfp_core::CountingSink::new();
+    miner.mine(db, min_support, &mut sink);
+    (sink.count, sink.support_sum, sink.item_sum)
+}

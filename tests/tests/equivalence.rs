@@ -1,0 +1,104 @@
+//! Cross-algorithm mining equivalence: every miner in the workspace must
+//! produce exactly the same frequent itemsets with the same supports.
+
+use cfp_baselines::oracle;
+use cfp_data::TransactionDb;
+use cfp_integration::{fingerprint, full_roster, mine_sorted};
+use proptest::prelude::*;
+
+#[test]
+fn all_miners_match_oracle_on_textbook_example() {
+    let db = TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+    for minsup in 1..=4 {
+        let expect = oracle::frequent_itemsets(&db, minsup);
+        for m in full_roster() {
+            assert_eq!(
+                mine_sorted(m.as_ref(), &db, minsup),
+                expect,
+                "{} at minsup {minsup}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_miners_handle_degenerate_inputs() {
+    let cases: Vec<TransactionDb> = vec![
+        TransactionDb::new(),
+        TransactionDb::from_rows(&[vec![0u32]]),
+        TransactionDb::from_rows(&[vec![], vec![], vec![]]),
+        TransactionDb::from_rows(&[vec![7u32, 7, 7]]),
+        TransactionDb::from_rows(&vec![vec![0u32, 1, 2]; 5]),
+        // Sparse ids far apart.
+        TransactionDb::from_rows(&[vec![5u32, 100_000], vec![100_000]]),
+    ];
+    for (i, db) in cases.iter().enumerate() {
+        for minsup in [1u64, 2, 10] {
+            let reference = mine_sorted(full_roster()[0].as_ref(), db, minsup);
+            for m in full_roster().iter().skip(1) {
+                assert_eq!(
+                    mine_sorted(m.as_ref(), db, minsup),
+                    reference,
+                    "case {i} minsup {minsup} miner {}",
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_miners_agree_on_profiles_at_high_support() {
+    for name in ["retail-like", "kosarak-like", "quest1"] {
+        let p = cfp_data::profiles::by_name(name).unwrap();
+        let db = p.generate();
+        let minsup = p.absolute_support(&db, 0);
+        let roster = full_roster();
+        let reference = fingerprint(roster[0].as_ref(), &db, minsup);
+        assert!(reference.0 > 0, "{name}: no itemsets at high support");
+        for m in roster.iter().skip(1) {
+            assert_eq!(
+                fingerprint(m.as_ref(), &db, minsup),
+                reference,
+                "{name} vs {}",
+                m.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small databases: every miner equals the brute-force oracle.
+    #[test]
+    fn prop_all_miners_match_oracle(
+        rows in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..9, 0..7),
+            1..40
+        ),
+        minsup in 1u64..5,
+    ) {
+        let rows: Vec<Vec<u32>> = rows.into_iter().map(|s| s.into_iter().collect()).collect();
+        let db = TransactionDb::from_rows(&rows);
+        let expect = oracle::frequent_itemsets(&db, minsup);
+        for m in full_roster() {
+            prop_assert_eq!(
+                mine_sorted(m.as_ref(), &db, minsup),
+                expect.clone(),
+                "miner {}", m.name()
+            );
+        }
+    }
+}
