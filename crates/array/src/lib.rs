@@ -223,15 +223,7 @@ fn decode_triple(data: &[u8], at: usize, local: u64) -> (NodeView, usize) {
     let (ditem, n1) = varint::read_u64_unchecked(&data[at..]);
     let (zz, n2) = varint::read_u64_unchecked(&data[at + n1..]);
     let (count, n3) = varint::read_u64_unchecked(&data[at + n1 + n2..]);
-    (
-        NodeView {
-            local,
-            ditem: ditem as u32,
-            dpos: zigzag::decode(zz),
-            count,
-        },
-        at + n1 + n2 + n3,
-    )
+    (NodeView { local, ditem: ditem as u32, dpos: zigzag::decode(zz), count }, at + n1 + n2 + n3)
 }
 
 /// Conversion frame: one open node on the DFS path.
@@ -247,6 +239,8 @@ struct Frame {
 
 /// Converts a CFP-tree into a CFP-array (two DFS passes, §3.5).
 pub fn convert(tree: &CfpTree) -> CfpArray {
+    let traced = cfp_trace::enabled();
+    let started = traced.then(std::time::Instant::now);
     let n = tree.num_items();
     // Pass 1: per-item sizes, node counts and supports.
     let mut sizes = vec![0u64; n];
@@ -276,6 +270,13 @@ pub fn convert(tree: &CfpTree) -> CfpArray {
         varint::write_u64_into(&mut data[at..], count);
     });
 
+    if let Some(started) = started {
+        use cfp_trace::counters as tc;
+        tc::ARRAY_CONVERSIONS.inc();
+        tc::ARRAY_NODES_CONVERTED.add(num_nodes);
+        tc::ARRAY_BYTES_WRITTEN.add(data.len() as u64);
+        tc::ARRAY_CONVERT_NANOS.add(started.elapsed().as_nanos() as u64);
+    }
     CfpArray { data, starts, supports, num_nodes }
 }
 
@@ -310,11 +311,8 @@ fn walk(tree: &CfpTree, mut f: impl FnMut(u32, u64, u32, i64, u64, usize)) {
                 if let Some(top) = stack.last_mut() {
                     top.acc += fr.acc;
                 }
-                let dpos = if fr.parent_item < 0 {
-                    0
-                } else {
-                    fr.local as i64 - fr.parent_local as i64
-                };
+                let dpos =
+                    if fr.parent_item < 0 { 0 } else { fr.local as i64 - fr.parent_local as i64 };
                 let size = varint::encoded_len(fr.ditem as u64)
                     + varint::encoded_len(zigzag::encode(dpos))
                     + varint::encoded_len(fr.acc);
@@ -377,14 +375,8 @@ mod tests {
 
     #[test]
     fn counts_match_reference_fptree() {
-        let rows: Vec<Vec<u32>> = vec![
-            vec![0, 1, 2, 3],
-            vec![0, 1, 3],
-            vec![0, 2, 3],
-            vec![2, 3],
-            vec![0],
-            vec![1, 2],
-        ];
+        let rows: Vec<Vec<u32>> =
+            vec![vec![0, 1, 2, 3], vec![0, 1, 3], vec![0, 2, 3], vec![2, 3], vec![0], vec![1, 2]];
         let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let (a, tree) = array_from(&refs);
         let mut fp = FpTree::new(4);
@@ -406,14 +398,8 @@ mod tests {
 
     #[test]
     fn prefix_paths_match_reference_fptree() {
-        let rows: Vec<Vec<u32>> = vec![
-            vec![0, 1, 2, 3],
-            vec![0, 1, 3],
-            vec![0, 2, 3],
-            vec![2, 3],
-            vec![1, 3],
-            vec![3],
-        ];
+        let rows: Vec<Vec<u32>> =
+            vec![vec![0, 1, 2, 3], vec![0, 1, 3], vec![0, 2, 3], vec![2, 3], vec![1, 3], vec![3]];
         let refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
         let (a, _) = array_from(&refs);
         let mut fp = FpTree::new(4);
@@ -466,17 +452,15 @@ mod tests {
 
     #[test]
     fn stress_counts_and_paths_against_fptree() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(0xA11CE);
         for trial in 0..30 {
             let n_items = rng.gen_range(1..30usize);
             let mut tree = CfpTree::new(n_items);
             let mut fp = FpTree::new(n_items);
             for _ in 0..rng.gen_range(1..100) {
-                let mut txn: Vec<u32> = (0..n_items as u32)
-                    .filter(|_| rng.gen_bool(0.35))
-                    .collect();
+                let mut txn: Vec<u32> =
+                    (0..n_items as u32).filter(|_| rng.gen_bool(0.35)).collect();
                 txn.dedup();
                 if txn.is_empty() {
                     continue;
@@ -516,9 +500,8 @@ mod tests {
         // Chains and embedded leaves are physical artifacts; the logical
         // tree — and therefore the converted array — must be identical
         // whichever representation the tree used.
+        use cfp_data::rng::{Rng, StdRng};
         use cfp_tree::CfpTreeConfig;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0xC0DE);
         let configs = [
             CfpTreeConfig::default(),
@@ -557,12 +540,7 @@ mod tests {
 
     #[test]
     fn from_db_pipeline() {
-        let db = TransactionDb::from_rows(&[
-            vec![5u32, 9, 11],
-            vec![5, 9],
-            vec![9, 11],
-            vec![5],
-        ]);
+        let db = TransactionDb::from_rows(&[vec![5u32, 9, 11], vec![5, 9], vec![9, 11], vec![5]]);
         let recoder = ItemRecoder::scan(&db, 2);
         let tree = CfpTree::from_db(&db, &recoder);
         let a = convert(&tree);

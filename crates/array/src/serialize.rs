@@ -168,10 +168,7 @@ mod tests {
         let mut bytes = Vec::new();
         sample_array().write_to(&mut bytes).unwrap();
         for cut in [5, 8, bytes.len() - 1] {
-            assert!(
-                CfpArray::read_from(&bytes[..cut]).is_err(),
-                "cut at {cut} must fail"
-            );
+            assert!(CfpArray::read_from(&bytes[..cut]).is_err(), "cut at {cut} must fail");
         }
     }
 

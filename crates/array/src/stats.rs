@@ -30,11 +30,7 @@ impl FieldBytes {
             return (0.0, 0.0, 0.0);
         }
         let n = nodes as f64;
-        (
-            self.ditem as f64 / n,
-            self.dpos as f64 / n,
-            self.count as f64 / n,
-        )
+        (self.ditem as f64 / n, self.dpos as f64 / n, self.count as f64 / n)
     }
 }
 

@@ -78,11 +78,8 @@ impl Miner for EclatMiner {
             emit_buf: Vec::new(),
             itemsets: 0,
         };
-        let items: Vec<(u32, Vec<u32>)> = tidlists
-            .into_iter()
-            .enumerate()
-            .map(|(i, l)| (i as u32, l))
-            .collect();
+        let items: Vec<(u32, Vec<u32>)> =
+            tidlists.into_iter().enumerate().map(|(i, l)| (i as u32, l)).collect();
         eclat(&items, &mut ctx);
         stats.mine_time = sw.lap();
 
@@ -174,8 +171,7 @@ mod tests {
 
     #[test]
     fn random_equivalence_with_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(808);
         for trial in 0..25 {
             let n_items = rng.gen_range(1..=10);
@@ -185,20 +181,13 @@ mod tests {
                 db.push(&t);
             }
             let minsup = rng.gen_range(1..=4);
-            assert_eq!(
-                mine(&db, minsup),
-                oracle::frequent_itemsets(&db, minsup),
-                "trial {trial}"
-            );
+            assert_eq!(mine(&db, minsup), oracle::frequent_itemsets(&db, minsup), "trial {trial}");
         }
     }
 
     #[test]
     fn duplicates_within_transactions() {
         let db = TransactionDb::from_rows(&[vec![5, 5, 6], vec![5, 6, 6], vec![5]]);
-        assert_eq!(
-            mine(&db, 2),
-            vec![(vec![5], 3), (vec![5, 6], 2), (vec![6], 2)]
-        );
+        assert_eq!(mine(&db, 2), vec![(vec![5], 3), (vec![5, 6], 2), (vec![6], 2)]);
     }
 }

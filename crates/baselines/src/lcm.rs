@@ -192,8 +192,7 @@ mod tests {
 
     #[test]
     fn random_equivalence_with_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(2024);
         for trial in 0..25 {
             let n_items = rng.gen_range(1..=10);
@@ -203,11 +202,7 @@ mod tests {
                 db.push(&t);
             }
             let minsup = rng.gen_range(1..=4);
-            assert_eq!(
-                mine(&db, minsup),
-                oracle::frequent_itemsets(&db, minsup),
-                "trial {trial}"
-            );
+            assert_eq!(mine(&db, minsup), oracle::frequent_itemsets(&db, minsup), "trial {trial}");
         }
     }
 

@@ -152,9 +152,8 @@ impl Miner for NonordFpMiner {
         drop(tree);
         stats.convert_time = sw.lap();
 
-        let globals: Vec<Item> = (0..recoder.num_items() as u32)
-            .map(|i| recoder.original(i))
-            .collect();
+        let globals: Vec<Item> =
+            (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
         let mut ctx = Ctx {
             sink,
             gauge: gauge.clone(),
@@ -232,9 +231,7 @@ fn conditional(
         arrays.prefix_path(pos, &mut path);
         filtered.clear();
         filtered.extend(
-            path.iter()
-                .filter(|&&it| remap[it as usize] != u32::MAX)
-                .map(|&it| remap[it as usize]),
+            path.iter().filter(|&&it| remap[it as usize] != u32::MAX).map(|&it| remap[it as usize]),
         );
         if !filtered.is_empty() {
             cond_tree.insert(&filtered, arrays.counts[pos as usize]);
@@ -291,8 +288,7 @@ mod tests {
 
     #[test]
     fn random_equivalence_with_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(31415);
         for trial in 0..25 {
             let n_items = rng.gen_range(1..=10);
@@ -302,11 +298,7 @@ mod tests {
                 db.push(&t);
             }
             let minsup = rng.gen_range(1..=4);
-            assert_eq!(
-                mine(&db, minsup),
-                oracle::frequent_itemsets(&db, minsup),
-                "trial {trial}"
-            );
+            assert_eq!(mine(&db, minsup), oracle::frequent_itemsets(&db, minsup), "trial {trial}");
         }
     }
 }

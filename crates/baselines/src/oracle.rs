@@ -16,10 +16,7 @@ pub fn frequent_itemsets(db: &TransactionDb, min_support: u64) -> Vec<(Vec<Item>
     assert!(max <= 20, "oracle is exponential; got {max} items");
     let mut out = Vec::new();
     // Precompute transaction bitmasks (duplicates within a row collapse).
-    let masks: Vec<u32> = db
-        .iter()
-        .map(|t| t.iter().fold(0u32, |m, &i| m | (1 << i)))
-        .collect();
+    let masks: Vec<u32> = db.iter().map(|t| t.iter().fold(0u32, |m, &i| m | (1 << i))).collect();
     for subset in 1u32..(1u32 << max) {
         let support = masks.iter().filter(|&&m| m & subset == subset).count() as u64;
         if support >= min_support {

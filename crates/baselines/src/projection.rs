@@ -59,8 +59,8 @@ impl ProjBase {
 impl HeapSize for ProjBase {
     /// Length-based (pool-allocator) accounting; see `FpTree::heap_bytes`.
     fn heap_bytes(&self) -> u64 {
-        ((self.items.len() + self.offsets.len() + self.weights.len())
-            * std::mem::size_of::<u32>()) as u64
+        ((self.items.len() + self.offsets.len() + self.weights.len()) * std::mem::size_of::<u32>())
+            as u64
     }
 }
 
@@ -379,19 +379,13 @@ mod tests {
     fn fparray_unrolls_exactly_the_transactions() {
         // The unrolled path database must reproduce the original weighted
         // transactions, so results match on repeated rows.
-        let db = TransactionDb::from_rows(&[
-            vec![0, 1, 2],
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![2],
-        ]);
+        let db = TransactionDb::from_rows(&[vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![2]]);
         assert_eq!(mine_fparray(&db, 2), oracle::frequent_itemsets(&db, 2));
     }
 
     #[test]
     fn random_equivalence_with_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(606);
         for trial in 0..20 {
             let n_items = rng.gen_range(1..=9);

@@ -64,9 +64,7 @@ fn bench_conversion(c: &mut Criterion) {
     g.bench_function("read", |b| {
         b.iter(|| {
             black_box(
-                cfp_array::CfpArray::read_from(bytes.as_slice())
-                    .expect("valid image")
-                    .num_nodes(),
+                cfp_array::CfpArray::read_from(bytes.as_slice()).expect("valid image").num_nodes(),
             )
         });
     });

@@ -11,6 +11,8 @@
 //!   ablation                  chain/embedding techniques toggled off
 //!   capacity                  in-core capacity at a 64 MiB budget (§4.4)
 //!   parallel                  mine-phase scaling with worker threads
+//!   profile                   traced CFP run on Quest1, written as a
+//!                             cfp-profile/1 JSON document
 //!   all                       everything above
 //! ```
 //!
@@ -38,7 +40,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|all> ..."
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|profile|all> ..."
         );
         std::process::exit(2);
     }
@@ -91,16 +93,31 @@ fn run(name: &str, csv_dir: Option<&std::path::Path>) {
         }
         "summary" => emit("summary", &experiments::compression_summary(), csv_dir),
         "ablation" => emit("ablation", &experiments::ablation(), csv_dir),
-        "capacity" => emit(
-            "capacity",
-            &experiments::capacity(64 * 1024 * 1024),
-            csv_dir,
-        ),
+        "capacity" => emit("capacity", &experiments::capacity(64 * 1024 * 1024), csv_dir),
         "parallel" => emit("parallel", &experiments::parallel_scaling(), csv_dir),
+        "profile" => {
+            let db = cfp_data::profiles::by_name("quest1").expect("profile exists").generate();
+            let minsup = ((db.len() as f64 * 0.02).ceil() as u64).max(1);
+            let miner = cfp_core::CfpGrowthMiner::new();
+            let report = cfp_bench::report::profile_run(&miner, &db, "quest1", minsup, 1);
+            let path = csv_dir
+                .map(|d| d.join("profile_quest1.json"))
+                .unwrap_or_else(|| PathBuf::from("profile_quest1.json"));
+            if let Err(e) = std::fs::write(&path, report.to_json().to_pretty()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!(
+                "profile: quest1 minsup {minsup}  itemsets {}  wall {:.3}s  -> {}",
+                report.itemsets,
+                report.wall_nanos as f64 / 1e9,
+                path.display()
+            );
+        }
         "all" => {
             for e in [
                 "table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8a", "fig8d",
-                "summary", "ablation", "capacity", "parallel",
+                "summary", "ablation", "capacity", "parallel", "profile",
             ] {
                 run(e, csv_dir);
             }

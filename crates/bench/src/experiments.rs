@@ -15,10 +15,8 @@ use std::time::Duration;
 /// skipped at lower supports (the paper likewise stopped algorithms that
 /// ran for hours). Override with `CFP_BUDGET_SECS`.
 fn budget() -> Duration {
-    let secs = std::env::var("CFP_BUDGET_SECS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(20);
+    let secs =
+        std::env::var("CFP_BUDGET_SECS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(20);
     Duration::from_secs(secs)
 }
 
@@ -186,10 +184,7 @@ pub fn fig7_sweep(fractions: Option<&[f64]>) -> Vec<Fig7Row> {
         let minsup = ((db.len() as f64 * f).ceil() as u64).max(1);
         let fp_stats = run_miner(&fp, &db, minsup);
         let cfp_stats = run_miner(&cfp, &db, minsup);
-        assert_eq!(
-            fp_stats.itemsets, cfp_stats.itemsets,
-            "miners disagree at minsup {minsup}"
-        );
+        assert_eq!(fp_stats.itemsets, cfp_stats.itemsets, "miners disagree at minsup {minsup}");
         // Build-phase memory measured directly on the structures.
         let recoder = ItemRecoder::scan(&db, minsup);
         let fp_tree = FpTree::from_db(&db, &recoder);
@@ -313,14 +308,9 @@ pub fn fig8(set: QuestSet, fractions: Option<&[f64]>) -> (Table, Table) {
 
     let mut headers = vec!["minsup", "itemsets"];
     headers.extend(names.iter().copied());
-    let mut time_t = Table::new(
-        format!("Figure 8 ({profile_name}): total execution time (seconds)"),
-        &headers,
-    );
-    let mut mem_t = Table::new(
-        format!("Figure 8 ({profile_name}): peak memory (MiB)"),
-        &headers,
-    );
+    let mut time_t =
+        Table::new(format!("Figure 8 ({profile_name}): total execution time (seconds)"), &headers);
+    let mut mem_t = Table::new(format!("Figure 8 ({profile_name}): peak memory (MiB)"), &headers);
 
     // An algorithm exceeding the budget is skipped at lower supports,
     // mirroring the paper's treatment of multi-hour runs.
@@ -409,7 +399,13 @@ pub fn capacity(budget_bytes: u64) -> Table {
             "In-core capacity at a {} budget (nodes before spilling; mine-phase structures)",
             cfp_metrics::fmt_bytes(budget_bytes)
         ),
-        &["dataset", "fp-growth (40 B)", "fp-growth (28 B)", "cfp-growth", "capacity ratio vs 40 B"],
+        &[
+            "dataset",
+            "fp-growth (40 B)",
+            "fp-growth (28 B)",
+            "cfp-growth",
+            "capacity ratio vs 40 B",
+        ],
     );
     for p in profiles::all() {
         let db = p.generate();
@@ -494,7 +490,16 @@ pub fn compression_summary() -> Table {
         let cfp_tree = CfpTree::from_db(&db, &recoder);
         let array = cfp_core::convert(&cfp_tree);
         if cfp_tree.num_nodes() == 0 {
-            t.push_row(vec![p.name.to_string(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.push_row(vec![
+                p.name.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let tree_avg = cfp_tree.avg_node_bytes();

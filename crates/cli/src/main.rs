@@ -18,6 +18,9 @@
 //!   --rules CONF       print association rules with confidence ≥ CONF
 //!   --image PATH       also save a reusable mining image (CFP only)
 //!   --stats            print phase times and peak memory to stderr
+//!   --profile PATH     enable tracing and write a cfp-profile/1 JSON
+//!                      run report (phase spans, counters, memory
+//!                      time series) to PATH
 //! ```
 //!
 //! Itemsets print in FIMI output format: space-separated items followed
@@ -43,6 +46,7 @@ struct Options {
     rules: Option<f64>,
     image: Option<String>,
     stats: bool,
+    profile: Option<String>,
 }
 
 enum SupportSpec {
@@ -54,7 +58,7 @@ fn usage() -> ! {
     eprintln!("usage: cfp-mine <input.dat> --support <N | P%> [options]");
     eprintln!("  --algorithm cfp|fp|apriori|eclat|lcm|nonordfp|tiny|fparray");
     eprintln!("  --threads N | --count | --top K | --closed | --maximal");
-    eprintln!("  --rules CONF | --image PATH | --stats");
+    eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
     exit(2);
 }
 
@@ -71,6 +75,7 @@ fn parse_args() -> Options {
         rules: None,
         image: None,
         stats: false,
+        profile: None,
     };
     let mut support_given = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -125,6 +130,7 @@ fn parse_args() -> Options {
             }
             "--image" => opts.image = Some(value(arg)),
             "--stats" => opts.stats = true,
+            "--profile" => opts.profile = Some(value(arg)),
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_string();
             }
@@ -206,15 +212,63 @@ fn report_stats(stats: &MineStats, n_itemsets: u64) {
         stats.mine_time.as_secs_f64(),
         cfp_metrics::fmt_bytes(stats.peak_bytes),
     );
+    if !stats.worker_peaks.is_empty() {
+        let peaks: Vec<String> =
+            stats.worker_peaks.iter().map(|&p| cfp_metrics::fmt_bytes(p)).collect();
+        eprintln!("worker peaks  {}", peaks.join("  "));
+    }
+}
+
+/// With tracing enabled (`--profile`), `--stats` additionally dumps the
+/// counter registry so the headline numbers are inspectable without
+/// opening the JSON report.
+fn report_trace_stats() {
+    use cfp_trace::counters as tc;
+    let allocs = tc::MEMMAN_ALLOCS.get();
+    let hits = tc::MEMMAN_QUEUE_HITS.get();
+    let hit_pct = if allocs > 0 { 100.0 * hits as f64 / allocs as f64 } else { 0.0 };
+    eprintln!(
+        "arena  allocs {allocs}  frees {}  queue-hit {hit_pct:.1}%  grow {}  shrink {}  peak footprint {}",
+        tc::MEMMAN_FREES.get(),
+        tc::MEMMAN_GROWS.get(),
+        tc::MEMMAN_SHRINKS.get(),
+        cfp_metrics::fmt_bytes(tc::MEMMAN_PEAK_FOOTPRINT.get()),
+    );
+    eprintln!(
+        "tree   standard {}  chain {}  embedded {}  splits {}  unembeds {}",
+        tc::TREE_STANDARD_NODES.get(),
+        tc::TREE_CHAIN_NODES.get(),
+        tc::TREE_EMBEDDED_LEAVES.get(),
+        tc::TREE_CHAIN_SPLITS.get(),
+        tc::TREE_UNEMBEDS.get(),
+    );
+    eprintln!(
+        "mine   conditional trees {}  single-path shortcuts {}  max depth {}  patterns {}",
+        tc::CORE_CONDITIONAL_TREES.get(),
+        tc::CORE_SINGLE_PATH_SHORTCUTS.get(),
+        tc::CORE_MAX_DEPTH.get(),
+        tc::CORE_PATTERNS.get(),
+    );
 }
 
 fn main() {
     let opts = parse_args();
-    let db: TransactionDb = match cfp_data::fimi::read_file(&opts.input) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", opts.input);
-            exit(1);
+    let profiling = opts.profile.is_some();
+    if profiling {
+        cfp_trace::set_enabled(true);
+    }
+    let run_started = std::time::Instant::now();
+    let sampler =
+        profiling.then(|| cfp_trace::MemSampler::start(std::time::Duration::from_millis(10)));
+
+    let db: TransactionDb = {
+        let _s = cfp_trace::span(cfp_trace::Phase::Read);
+        match cfp_data::fimi::read_file(&opts.input) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opts.input);
+                exit(1);
+            }
         }
     };
     let min_support = match opts.support {
@@ -268,6 +322,8 @@ fn main() {
         sink.out.flush().expect("stdout flush");
         stats
     };
+    let wall_nanos = run_started.elapsed().as_nanos() as u64;
+    let samples = sampler.map(cfp_trace::MemSampler::stop).unwrap_or_default();
 
     if let Some(path) = &opts.image {
         if opts.algorithm != "cfp" {
@@ -283,5 +339,25 @@ fn main() {
     }
     if opts.stats {
         report_stats(&stats, stats.itemsets);
+        if profiling {
+            report_trace_stats();
+        }
+    }
+    if let Some(path) = &opts.profile {
+        let report = cfp_trace::RunReport::capture(
+            opts.input.clone(),
+            db.len() as u64,
+            min_support,
+            opts.algorithm.clone(),
+            opts.threads.max(1) as u64,
+            stats.itemsets,
+            wall_nanos,
+            samples,
+        );
+        if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
+            eprintln!("cannot write profile {path}: {e}");
+            exit(1);
+        }
+        eprintln!("profile written to {path}");
     }
 }

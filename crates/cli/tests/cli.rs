@@ -23,8 +23,9 @@ fn mines_and_prints_fimi_output() {
         .expect("run cfp-mine");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
-    // The textbook example has 19 frequent itemsets at support 2.
-    assert_eq!(stdout.lines().count(), 19, "{stdout}");
+    // The textbook example has 13 frequent itemsets at support 2:
+    // 5 singletons, 6 pairs, and the triples {1,2,3} and {1,2,5}.
+    assert_eq!(stdout.lines().count(), 13, "{stdout}");
     assert!(stdout.lines().any(|l| l == "2 (7)"), "{stdout}");
     assert!(stdout.lines().any(|l| l == "1 2 5 (2)"), "{stdout}");
 }
@@ -69,9 +70,7 @@ fn top_k_orders_by_support() {
     let supports: Vec<u64> = stdout
         .lines()
         .map(|l| {
-            l.rsplit_once('(')
-                .and_then(|(_, s)| s.trim_end_matches(')').parse().ok())
-                .unwrap()
+            l.rsplit_once('(').and_then(|(_, s)| s.trim_end_matches(')').parse().ok()).unwrap()
         })
         .collect();
     assert_eq!(supports.len(), 3);
@@ -111,12 +110,95 @@ fn image_round_trip_via_cli() {
     std::fs::remove_file(&image).ok();
 }
 
+/// Golden test for the machine-readable run report: `--profile` must emit
+/// a valid `cfp-profile/1` document whose structure downstream tooling can
+/// rely on. Parsed with the same zero-dependency parser shipped in
+/// `cfp-trace`, so writer and reader are exercised together.
 #[test]
-fn missing_input_fails_cleanly() {
+fn profile_report_is_valid_and_complete() {
+    use cfp_trace::{json, Json};
+
+    let path = write_sample();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let report_path = dir.join("profile.json");
     let out = Command::new(bin())
-        .args(["/nonexistent.dat", "--support", "2"])
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--count",
+            "--profile",
+            report_path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let doc = json::parse(&text).expect("profile must be valid JSON");
+
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cfp-profile/1"));
+
+    let run = doc.get("run").expect("run object");
+    assert_eq!(run.get("transactions").and_then(Json::as_u64), Some(9));
+    assert_eq!(run.get("support").and_then(Json::as_u64), Some(2));
+    assert_eq!(run.get("algorithm").and_then(Json::as_str), Some("cfp"));
+    assert_eq!(run.get("itemsets").and_then(Json::as_u64), Some(13));
+    let wall = run.get("wall_nanos").and_then(Json::as_u64).unwrap();
+    assert!(wall > 0);
+
+    // All five pipeline phases present, in order, each entered exactly
+    // once; their summed wall time fits inside the end-to-end wall time.
+    let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
+    let names: Vec<&str> = phases.iter().filter_map(|p| p.get("name")?.as_str()).collect();
+    assert_eq!(names, ["read", "count", "build", "convert", "mine"]);
+    let mut phase_sum = 0;
+    for p in phases {
+        assert_eq!(p.get("count").and_then(Json::as_u64), Some(1), "{p:?}");
+        let nanos = p.get("nanos").and_then(Json::as_u64).unwrap();
+        assert!(nanos > 0, "{p:?}");
+        phase_sum += nanos;
+    }
+    assert!(phase_sum <= wall, "phases ({phase_sum}) exceed wall time ({wall})");
+
+    // The counters that must be non-zero for any CFP run on this dataset.
+    let counters = doc.get("counters").expect("counters object");
+    for name in [
+        "memman.allocs",
+        "memman.bump_allocs",
+        "tree.standard_nodes",
+        "array.conversions",
+        "core.conditional_trees",
+        "core.patterns_emitted",
+    ] {
+        let v = counters.get(name).and_then(Json::as_u64).unwrap_or_else(|| {
+            panic!("counter {name} missing");
+        });
+        assert!(v > 0, "counter {name} is zero");
+    }
+    assert_eq!(counters.get("core.patterns_emitted").and_then(Json::as_u64), Some(13));
+
+    // Memory section: peak dominates final, and the time series has the
+    // guaranteed start and stop samples.
+    let memory = doc.get("memory").expect("memory object");
+    let peak = memory.get("peak_bytes").and_then(Json::as_u64).unwrap();
+    let final_bytes = memory.get("final_bytes").and_then(Json::as_u64).unwrap();
+    assert!(peak >= final_bytes);
+    assert!(peak > 0, "MemGauge mirror never recorded");
+    let samples = memory.get("samples").and_then(Json::as_arr).unwrap();
+    assert!(samples.len() >= 2, "need at least start+stop samples");
+    for s in samples {
+        for field in ["at_ms", "mem_current", "mem_peak", "arena_used", "arena_footprint"] {
+            assert!(s.get(field).and_then(Json::as_u64).is_some(), "{field} missing");
+        }
+    }
+
+    std::fs::remove_file(&report_path).ok();
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = Command::new(bin()).args(["/nonexistent.dat", "--support", "2"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

@@ -24,6 +24,7 @@
 use cfp_array::{convert, CfpArray};
 use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
+use cfp_trace::{span, Phase};
 use cfp_tree::CfpTree;
 
 /// The CFP-growth miner.
@@ -72,6 +73,9 @@ impl Ctx<'_> {
         self.emit_buf.sort_unstable();
         self.sink.emit(&self.emit_buf, support);
         self.itemsets += 1;
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_PATTERNS.inc();
+        }
     }
 }
 
@@ -85,10 +89,16 @@ impl Miner for CfpGrowthMiner {
         let gauge = MemGauge::new();
         let mut sw = Stopwatch::start();
 
-        let recoder = ItemRecoder::scan(db, min_support);
+        let recoder = {
+            let _s = span(Phase::Count);
+            ItemRecoder::scan(db, min_support)
+        };
         stats.scan_time = sw.lap();
 
-        let tree = CfpTree::from_db(db, &recoder);
+        let tree = {
+            let _s = span(Phase::Build);
+            CfpTree::from_db(db, &recoder)
+        };
         stats.build_time = sw.lap();
 
         self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw)
@@ -116,16 +126,18 @@ impl CfpGrowthMiner {
 
         // Tree and array coexist during conversion: that is the build-phase
         // memory peak of CFP-growth (§3.5).
-        let array = convert(&tree);
+        let array = {
+            let _s = span(Phase::Convert);
+            convert(&tree)
+        };
         gauge.alloc(array.heap_bytes());
         gauge.checkpoint();
         gauge.free(tree.heap_bytes());
         drop(tree);
         stats.convert_time = sw.lap();
 
-        let globals: Vec<Item> = (0..recoder.num_items() as u32)
-            .map(|i| recoder.original(i))
-            .collect();
+        let globals: Vec<Item> =
+            (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
         let mut ctx = Ctx {
             sink,
             gauge: gauge.clone(),
@@ -136,7 +148,10 @@ impl CfpGrowthMiner {
             path_buf: Vec::new(),
             itemsets: 0,
         };
-        mine_array(&array, &globals, &mut ctx);
+        {
+            let _s = span(Phase::Mine);
+            mine_array(&array, &globals, &mut ctx);
+        }
         stats.mine_time = sw.lap();
 
         gauge.free(array.heap_bytes());
@@ -189,6 +204,9 @@ pub(crate) fn mine_one_item(
 fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) {
     if ctx.single_path_opt {
         if let Some(path) = single_path(array) {
+            if cfp_trace::enabled() {
+                cfp_trace::span::single_path();
+            }
             enumerate_single_path(&path, globals, ctx);
             return;
         }
@@ -225,11 +243,17 @@ fn conditional(
     // Pass A: conditional frequencies along all prefix paths.
     let mut freq = vec![0u64; item as usize];
     let mut path = std::mem::take(&mut ctx.path_buf);
+    let mut pattern_base = 0usize;
     for node in array.subarray(item) {
+        pattern_base += 1;
         array.prefix_path(item, &node, &mut path);
         for &it in &path {
             freq[it as usize] += node.count;
         }
+    }
+    if cfp_trace::enabled() {
+        // Depth = suffix length: how many conditional levels we are down.
+        cfp_trace::span::conditional_tree(ctx.suffix.len(), pattern_base);
     }
 
     let mut remap = vec![u32::MAX; item as usize];
@@ -252,9 +276,7 @@ fn conditional(
         array.prefix_path(item, &node, &mut path);
         filtered.clear();
         filtered.extend(
-            path.iter()
-                .filter(|&&it| remap[it as usize] != u32::MAX)
-                .map(|&it| remap[it as usize]),
+            path.iter().filter(|&&it| remap[it as usize] != u32::MAX).map(|&it| remap[it as usize]),
         );
         if !filtered.is_empty() {
             let weight = u32::try_from(node.count).expect("count exceeds u32");
@@ -362,12 +384,8 @@ mod tests {
 
     #[test]
     fn single_path_opt_changes_nothing() {
-        let db = TransactionDb::from_rows(&[
-            vec![0, 1, 2, 3],
-            vec![0, 1, 2],
-            vec![0, 1],
-            vec![7, 8],
-        ]);
+        let db =
+            TransactionDb::from_rows(&[vec![0, 1, 2, 3], vec![0, 1, 2], vec![0, 1], vec![7, 8]]);
         assert_eq!(mine_collect(&db, 1, true), mine_collect(&db, 1, false));
     }
 
@@ -388,8 +406,7 @@ mod tests {
 
     #[test]
     fn randomized_equivalence_with_fp_growth() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(31337);
         for trial in 0..40 {
             let n_items = rng.gen_range(1..=12);
@@ -413,12 +430,8 @@ mod tests {
 
     #[test]
     fn stats_track_memory_and_phases() {
-        let db = TransactionDb::from_rows(&[
-            vec![1, 2, 3, 4],
-            vec![1, 2, 3],
-            vec![1, 2],
-            vec![2, 3, 4],
-        ]);
+        let db =
+            TransactionDb::from_rows(&[vec![1, 2, 3, 4], vec![1, 2, 3], vec![1, 2], vec![2, 3, 4]]);
         let mut sink = CountingSink::new();
         let stats = CfpGrowthMiner::new().mine(&db, 1, &mut sink);
         assert_eq!(stats.itemsets, sink.count);
@@ -432,8 +445,7 @@ mod tests {
     fn deep_recursion_on_dense_block() {
         // A dense block: every transaction holds most of 14 items, so
         // conditional trees nest deeply.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(7);
         let mut db = TransactionDb::new();
         for _ in 0..50 {

@@ -37,9 +37,7 @@ impl MiningImage {
         let recoder = ItemRecoder::scan(db, min_support);
         let tree = CfpTree::from_db(db, &recoder);
         let array = convert(&tree);
-        let globals = (0..recoder.num_items() as u32)
-            .map(|i| recoder.original(i))
-            .collect();
+        let globals = (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
         MiningImage { array, globals, min_support }
     }
 
@@ -117,9 +115,11 @@ impl MiningImage {
         let n = read_varint(&mut r)? as usize;
         let mut globals = Vec::with_capacity(n);
         for _ in 0..n {
-            globals.push(u32::try_from(read_varint(&mut r)?).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "item id exceeds u32")
-            })?);
+            globals.push(
+                u32::try_from(read_varint(&mut r)?).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "item id exceeds u32")
+                })?,
+            );
         }
         let array = CfpArray::read_from(r)?;
         if array.num_items() != n {

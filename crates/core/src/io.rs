@@ -112,12 +112,7 @@ mod tests {
     #[test]
     fn missing_file_reports_io_error() {
         let mut sink = CollectSink::new();
-        let err = mine_file(
-            &CfpGrowthMiner::new(),
-            "/nonexistent/cfp/file.dat",
-            1,
-            &mut sink,
-        );
+        let err = mine_file(&CfpGrowthMiner::new(), "/nonexistent/cfp/file.dat", 1, &mut sink);
         assert!(err.is_err());
     }
 

@@ -43,9 +43,7 @@ pub mod io;
 pub mod parallel;
 
 pub use cfp_array::{convert, CfpArray};
-pub use cfp_data::miner::{
-    CollectSink, CountingSink, LengthHistogramSink, NullSink, TopKSink,
-};
+pub use cfp_data::miner::{CollectSink, CountingSink, LengthHistogramSink, NullSink, TopKSink};
 pub use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
 pub use cfp_tree::CfpTree;
 pub use growth::{build_tree, CfpGrowthMiner};

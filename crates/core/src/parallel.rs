@@ -22,6 +22,7 @@ use crate::growth::{build_tree, mine_one_item, CfpGrowthMiner};
 use cfp_array::convert;
 use cfp_data::{Item, ItemsetSink, MineStats, Miner, TransactionDb};
 use cfp_metrics::{HeapSize, Stopwatch};
+use cfp_trace::{span, Phase};
 use std::sync::mpsc;
 
 /// Multi-threaded CFP-growth over a shared initial CFP-array.
@@ -74,29 +75,40 @@ impl Miner for ParallelCfpGrowthMiner {
 
     fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
         if self.threads <= 1 {
-            return CfpGrowthMiner { single_path_opt: self.single_path_opt }
-                .mine(db, min_support, sink);
+            return CfpGrowthMiner { single_path_opt: self.single_path_opt }.mine(
+                db,
+                min_support,
+                sink,
+            );
         }
         let mut stats = MineStats::default();
         let mut sw = Stopwatch::start();
 
-        let (recoder, tree) = build_tree(db, min_support);
+        let (recoder, tree) = {
+            let _s = span(Phase::Build);
+            build_tree(db, min_support)
+        };
         stats.scan_time = std::time::Duration::ZERO; // folded into build
         stats.build_time = sw.lap();
         stats.tree_nodes = tree.num_nodes();
         let tree_bytes = tree.heap_bytes();
 
-        let array = convert(&tree);
+        let array = {
+            let _s = span(Phase::Convert);
+            convert(&tree)
+        };
         drop(tree);
         stats.convert_time = sw.lap();
 
-        let globals: Vec<Item> = (0..recoder.num_items() as u32)
-            .map(|i| recoder.original(i))
-            .collect();
+        let globals: Vec<Item> =
+            (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
         let n = recoder.num_items() as u32;
         let threads = self.threads.min(n.max(1) as usize);
         let single_path_opt = self.single_path_opt;
 
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_WORKERS.record(threads as u64);
+        }
         let (tx, rx) = mpsc::channel::<Vec<(Vec<Item>, u64)>>();
         let mut worker_peaks = vec![0u64; threads];
         std::thread::scope(|scope| {
@@ -106,6 +118,9 @@ impl Miner for ParallelCfpGrowthMiner {
                 .map(|w| {
                     let tx = tx.clone();
                     scope.spawn(move || {
+                        // Each worker's mining wall time accumulates into
+                        // the mine phase (span count = worker count).
+                        let _s = span(Phase::Mine);
                         let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
                         let mut peak = 0u64;
                         let mut item = n as i64 - 1 - w as i64;
@@ -142,9 +157,9 @@ impl Miner for ParallelCfpGrowthMiner {
         stats.mine_time = sw.lap();
 
         // Upper-bound estimate: shared structures plus all worker peaks.
-        stats.peak_bytes =
-            tree_bytes.max(array.heap_bytes()) + worker_peaks.iter().sum::<u64>();
+        stats.peak_bytes = tree_bytes.max(array.heap_bytes()) + worker_peaks.iter().sum::<u64>();
         stats.avg_bytes = stats.peak_bytes;
+        stats.worker_peaks = worker_peaks;
         stats
     }
 }
@@ -193,7 +208,10 @@ mod tests {
         CfpGrowthMiner::new().mine(&db, minsup, &mut seq);
         let mut par = CountingSink::new();
         let stats = ParallelCfpGrowthMiner::new(4).mine(&db, minsup, &mut par);
-        assert_eq!((seq.count, seq.support_sum, seq.item_sum), (par.count, par.support_sum, par.item_sum));
+        assert_eq!(
+            (seq.count, seq.support_sum, seq.item_sum),
+            (par.count, par.support_sum, par.item_sum)
+        );
         assert_eq!(stats.itemsets, par.count);
         assert!(stats.peak_bytes > 0);
     }

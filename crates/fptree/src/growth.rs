@@ -87,9 +87,8 @@ impl Miner for FpGrowthMiner {
         stats.build_time = sw.lap();
         stats.tree_nodes = tree.num_nodes() as u64;
 
-        let globals: Vec<Item> = (0..recoder.num_items() as u32)
-            .map(|i| recoder.original(i))
-            .collect();
+        let globals: Vec<Item> =
+            (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
         let mut ctx = Ctx {
             sink,
             gauge: gauge.clone(),
@@ -184,9 +183,7 @@ fn conditional_tree(
         tree.prefix_path(idx, &mut path);
         filtered.clear();
         filtered.extend(
-            path.iter()
-                .filter(|&&it| remap[it as usize] != u32::MAX)
-                .map(|&it| remap[it as usize]),
+            path.iter().filter(|&&it| remap[it as usize] != u32::MAX).map(|&it| remap[it as usize]),
         );
         if !filtered.is_empty() {
             cond.insert(&filtered, count);
@@ -257,10 +254,7 @@ mod tests {
         let mut out = Vec::new();
         for mask in 1u32..(1 << max) {
             let items: Vec<Item> = (0..max as u32).filter(|&i| mask & (1 << i) != 0).collect();
-            let support = db
-                .iter()
-                .filter(|t| items.iter().all(|i| t.contains(i)))
-                .count() as u64;
+            let support = db.iter().filter(|t| items.iter().all(|i| t.contains(i))).count() as u64;
             if support >= minsup {
                 out.push((items, support));
             }
@@ -327,26 +321,20 @@ mod tests {
     fn transactions_with_duplicates_count_once() {
         let db = TransactionDb::from_rows(&[vec![7, 7, 8], vec![7, 8, 8]]);
         let got = mine_collect(&db, 2, true);
-        assert_eq!(
-            got,
-            vec![(vec![7], 2), (vec![7, 8], 2), (vec![8], 2)]
-        );
+        assert_eq!(got, vec![(vec![7], 2), (vec![7, 8], 2), (vec![8], 2)]);
     }
 
     #[test]
     fn random_databases_match_oracle() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..30 {
             let n_items = rng.gen_range(1..=8);
             let n_txn = rng.gen_range(1..=40);
             let mut db = TransactionDb::new();
             for _ in 0..n_txn {
-                let t: Vec<Item> = (0..n_items)
-                    .filter(|_| rng.gen_bool(0.4))
-                    .map(|i| i as Item)
-                    .collect();
+                let t: Vec<Item> =
+                    (0..n_items).filter(|_| rng.gen_bool(0.4)).map(|i| i as Item).collect();
                 db.push(&t);
             }
             let minsup = rng.gen_range(1..=4);

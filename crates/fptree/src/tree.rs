@@ -59,10 +59,7 @@ impl FpTree {
             right: NIL,
             suffix: NIL,
         };
-        FpTree {
-            nodes: vec![root],
-            headers: vec![Header { link: NIL, support: 0 }; num_items],
-        }
+        FpTree { nodes: vec![root], headers: vec![Header { link: NIL, support: 0 }; num_items] }
     }
 
     /// Builds the initial FP-tree from a database: recodes every

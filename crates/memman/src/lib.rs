@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 use cfp_encoding::ptr40::{read_raw40, write_raw40, MAX_OFFSET, PTR_BYTES};
+use cfp_trace::counters as tc;
 
 /// Smallest chunk the arena hands out. A free chunk must be able to hold a
 /// 5-byte next-free link, so requests below this are rounded up.
@@ -47,6 +48,32 @@ pub const MIN_CHUNK: usize = PTR_BYTES;
 /// Largest chunk the arena manages through free queues. Standard nodes top
 /// out at 24 bytes and chain nodes at 27; 40 leaves headroom.
 pub const MAX_CHUNK: usize = 40;
+
+/// Per-arena event statistics.
+///
+/// Always maintained (plain integer adds, no atomics), so tests can make
+/// deterministic assertions per arena regardless of what other threads or
+/// arenas do. The global `cfp-trace` registry mirrors the same events,
+/// gated on `cfp_trace::enabled()`, for cross-arena run reports.
+///
+/// Invariants: `allocs - frees == live_allocs()`, and
+/// `queue_hits + bump_allocs == allocs`. A `realloc` that changes chunk
+/// class counts as one alloc, one free, and one grow *or* shrink.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total `alloc` calls (including those made inside `realloc`).
+    pub allocs: u64,
+    /// Total `free` calls (including those made inside `realloc`).
+    pub frees: u64,
+    /// Allocations served by recycling a free-queue chunk.
+    pub queue_hits: u64,
+    /// Allocations served by carving at the bump pointer.
+    pub bump_allocs: u64,
+    /// Reallocations that moved to a larger chunk class.
+    pub grows: u64,
+    /// Reallocations that moved to a smaller chunk class.
+    pub shrinks: u64,
+}
 
 /// A bump-pointer arena with per-size free-chunk queues.
 #[derive(Debug)]
@@ -58,6 +85,8 @@ pub struct Arena {
     used: u64,
     /// Number of live allocations, for leak checks in tests.
     live: u64,
+    /// Event counts for this arena.
+    stats: ArenaStats,
 }
 
 impl Default for Arena {
@@ -82,16 +111,14 @@ impl Arena {
             free_heads: [0; MAX_CHUNK + 1],
             used: 0,
             live: 0,
+            stats: ArenaStats::default(),
         }
     }
 
     /// Rounds a requested size to the chunk size actually used.
     #[inline]
     fn chunk_size(size: usize) -> usize {
-        assert!(
-            size <= MAX_CHUNK,
-            "allocation of {size} bytes exceeds MAX_CHUNK ({MAX_CHUNK})"
-        );
+        assert!(size <= MAX_CHUNK, "allocation of {size} bytes exceeds MAX_CHUNK ({MAX_CHUNK})");
         size.max(MIN_CHUNK)
     }
 
@@ -104,17 +131,30 @@ impl Arena {
         let size = Self::chunk_size(size);
         self.used += size as u64;
         self.live += 1;
+        self.stats.allocs += 1;
+        let traced = cfp_trace::enabled();
+        if traced {
+            tc::MEMMAN_ALLOCS.inc();
+            tc::MEMMAN_USED_BYTES.add(size as u64);
+        }
         let head = self.free_heads[size];
         if head != 0 {
+            self.stats.queue_hits += 1;
+            if traced {
+                tc::MEMMAN_QUEUE_HITS.inc();
+            }
             let next = read_raw40(&self.buf[head as usize..head as usize + PTR_BYTES]);
             self.free_heads[size] = next;
             return head;
         }
+        self.stats.bump_allocs += 1;
+        if traced {
+            tc::MEMMAN_BUMP_ALLOCS.inc();
+            tc::MEMMAN_FOOTPRINT_BYTES.add(size as u64);
+            tc::MEMMAN_PEAK_FOOTPRINT.record(tc::MEMMAN_FOOTPRINT_BYTES.get());
+        }
         let off = self.buf.len() as u64;
-        assert!(
-            off + size as u64 <= MAX_OFFSET,
-            "arena exhausted the 40-bit address space"
-        );
+        assert!(off + size as u64 <= MAX_OFFSET, "arena exhausted the 40-bit address space");
         self.buf.resize(self.buf.len() + size, 0);
         off
     }
@@ -126,11 +166,13 @@ impl Arena {
         let size = Self::chunk_size(size);
         debug_assert!(offset as usize + size <= self.buf.len());
         debug_assert_ne!(offset, 0, "freeing the null offset");
+        self.stats.frees += 1;
+        if cfp_trace::enabled() {
+            tc::MEMMAN_FREES.inc();
+            tc::MEMMAN_USED_BYTES.sub(size as u64);
+        }
         let head = self.free_heads[size];
-        write_raw40(
-            &mut self.buf[offset as usize..offset as usize + PTR_BYTES],
-            head,
-        );
+        write_raw40(&mut self.buf[offset as usize..offset as usize + PTR_BYTES], head);
         self.free_heads[size] = offset;
         self.used -= size as u64;
         self.live -= 1;
@@ -140,13 +182,24 @@ impl Arena {
     /// `min(old_size, new_size)` bytes. Returns the new offset (which may
     /// equal the old one when the rounded sizes match).
     pub fn realloc(&mut self, offset: u64, old_size: usize, new_size: usize) -> u64 {
-        if Self::chunk_size(old_size) == Self::chunk_size(new_size) {
+        let (old_chunk, new_chunk) = (Self::chunk_size(old_size), Self::chunk_size(new_size));
+        if old_chunk == new_chunk {
             return offset;
+        }
+        if new_chunk > old_chunk {
+            self.stats.grows += 1;
+            if cfp_trace::enabled() {
+                tc::MEMMAN_GROWS.inc();
+            }
+        } else {
+            self.stats.shrinks += 1;
+            if cfp_trace::enabled() {
+                tc::MEMMAN_SHRINKS.inc();
+            }
         }
         let new_off = self.alloc(new_size);
         let n = old_size.min(new_size);
-        self.buf
-            .copy_within(offset as usize..offset as usize + n, new_off as usize);
+        self.buf.copy_within(offset as usize..offset as usize + n, new_off as usize);
         self.free(offset, old_size);
         new_off
     }
@@ -225,13 +278,29 @@ impl Arena {
             self.free_bytes() as f64 / carved as f64
         }
     }
+
+    /// Event statistics for this arena since its creation.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        // Unwind this arena's contribution to the global memory gauges so
+        // a long-lived profile session is not inflated by dead arenas.
+        // The gauges saturate at zero, so an arena whose lifetime straddles
+        // a set_enabled flip cannot underflow them.
+        if cfp_trace::enabled() {
+            tc::MEMMAN_USED_BYTES.sub(self.used);
+            tc::MEMMAN_FOOTPRINT_BYTES.sub(self.footprint().saturating_sub(1));
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use std::collections::HashMap;
 
     #[test]
     fn offsets_are_nonzero_and_distinct() {
@@ -272,10 +341,7 @@ mod tests {
         let mut a = Arena::new();
         let x = a.alloc(1);
         let y = a.alloc(1);
-        assert!(
-            y - x >= MIN_CHUNK as u64,
-            "1-byte chunks must not overlap the free link"
-        );
+        assert!(y - x >= MIN_CHUNK as u64, "1-byte chunks must not overlap the free link");
         a.free(x, 1);
         assert_eq!(a.alloc(3), x, "sizes 1 and 3 share the rounded chunk class");
     }
@@ -294,8 +360,7 @@ mod tests {
     fn realloc_shrinking_keeps_prefix() {
         let mut a = Arena::new();
         let x = a.alloc(12);
-        a.bytes_mut(x, 12)
-            .copy_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12]);
+        a.bytes_mut(x, 12).copy_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 11, 12]);
         let y = a.realloc(x, 12, 6);
         assert_eq!(a.bytes(y, 6), &[9, 8, 7, 6, 5, 4]);
     }
@@ -348,6 +413,74 @@ mod tests {
     }
 
     #[test]
+    fn stats_split_queue_hits_from_bump_allocs() {
+        let mut a = Arena::new();
+        let x = a.alloc(10);
+        let _y = a.alloc(10);
+        a.free(x, 10);
+        let _z = a.alloc(10); // recycles x
+        let s = a.stats();
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.queue_hits, 1);
+        assert_eq!(s.bump_allocs, 2);
+        assert_eq!(s.queue_hits + s.bump_allocs, s.allocs);
+        assert_eq!(s.allocs - s.frees, a.live_allocs());
+    }
+
+    #[test]
+    fn stats_count_grows_and_shrinks() {
+        let mut a = Arena::new();
+        let x = a.alloc(7);
+        let y = a.realloc(x, 7, 20); // grow: alloc + free + grow
+        let z = a.realloc(y, 20, 6); // shrink
+        let _same = a.realloc(z, 6, 6); // same chunk class: no-op
+        let w = a.alloc(2);
+        let _same = a.realloc(w, 2, 4); // 2 and 4 both round to MIN_CHUNK: no-op
+        let s = a.stats();
+        assert_eq!(s.grows, 1);
+        assert_eq!(s.shrinks, 1);
+        assert_eq!(s.allocs, 4, "realloc's internal allocs are counted");
+        assert_eq!(s.frees, 2, "realloc's internal frees are counted");
+        assert_eq!(s.allocs - s.frees, a.live_allocs());
+    }
+
+    #[test]
+    fn stats_agree_with_live_and_free_byte_accounting() {
+        let mut a = Arena::new();
+        let offs: Vec<(u64, usize)> =
+            (0..20).map(|i| (a.alloc(5 + (i % 8)), 5 + (i % 8))).collect();
+        for &(o, sz) in offs.iter().take(8) {
+            a.free(o, sz);
+        }
+        let s = a.stats();
+        assert_eq!(s.allocs, 20);
+        assert_eq!(s.frees, 8);
+        assert_eq!(a.live_allocs(), 12);
+        assert_eq!(s.allocs - s.frees, a.live_allocs());
+        // free_bytes must equal the rounded sizes of the freed chunks.
+        let freed: u64 = offs.iter().take(8).map(|&(_, sz)| sz.max(MIN_CHUNK) as u64).sum();
+        assert_eq!(a.free_bytes(), freed);
+        assert_eq!(a.footprint() - 1, a.used() + a.free_bytes());
+    }
+
+    #[test]
+    fn offsets_respect_null_and_embed_marker_reservations() {
+        use cfp_encoding::ptr40::{EMBED_MARKER, MAX_OFFSET};
+        let mut a = Arena::new();
+        for i in 0..200 {
+            let off = a.alloc(5 + (i % 36));
+            assert_ne!(off, 0, "offset 0 is the null pointer");
+            assert!(off <= MAX_OFFSET);
+            assert_ne!(
+                (off >> 32) as u8,
+                EMBED_MARKER,
+                "top pointer byte 0xFF is reserved for embedded leaves"
+            );
+        }
+    }
+
+    #[test]
     fn footprint_grows_monotonically() {
         let mut a = Arena::new();
         let before = a.footprint();
@@ -357,57 +490,68 @@ mod tests {
         assert_eq!(a.footprint(), before + 24, "free never shrinks the arena");
     }
 
-    proptest! {
-        /// Random alloc/free/realloc sequences never hand out overlapping
-        /// live chunks and preserve chunk contents across reallocs.
-        #[test]
-        fn prop_no_overlap_and_contents_survive(
-            ops in proptest::collection::vec((0u8..3, 1usize..=MAX_CHUNK, any::<u8>()), 1..200)
-        ) {
-            let mut a = Arena::new();
-            // offset -> (size, fill byte)
-            let mut live: HashMap<u64, (usize, u8)> = HashMap::new();
-            let mut order: Vec<u64> = Vec::new();
-            for (op, size, fill) in ops {
-                match op {
-                    0 => {
-                        let off = a.alloc(size);
-                        for &o in order.iter() {
-                            let (s, _) = live[&o];
-                            let s = s.max(MIN_CHUNK) as u64;
-                            let sz = size.max(MIN_CHUNK) as u64;
-                            prop_assert!(off + sz <= o || o + s <= off,
-                                "chunk {} overlaps live chunk {}", off, o);
+    /// Property tests require the optional `proptest` dependency,
+    /// which offline builds cannot fetch. Enable with
+    /// `--features proptest` after restoring the dev-dependency
+    /// (see README § Offline builds).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        proptest! {
+            /// Random alloc/free/realloc sequences never hand out overlapping
+            /// live chunks and preserve chunk contents across reallocs.
+            #[test]
+            fn prop_no_overlap_and_contents_survive(
+                ops in proptest::collection::vec((0u8..3, 1usize..=MAX_CHUNK, any::<u8>()), 1..200)
+            ) {
+                let mut a = Arena::new();
+                // offset -> (size, fill byte)
+                let mut live: HashMap<u64, (usize, u8)> = HashMap::new();
+                let mut order: Vec<u64> = Vec::new();
+                for (op, size, fill) in ops {
+                    match op {
+                        0 => {
+                            let off = a.alloc(size);
+                            for &o in order.iter() {
+                                let (s, _) = live[&o];
+                                let s = s.max(MIN_CHUNK) as u64;
+                                let sz = size.max(MIN_CHUNK) as u64;
+                                prop_assert!(off + sz <= o || o + s <= off,
+                                    "chunk {} overlaps live chunk {}", off, o);
+                            }
+                            for b in a.bytes_mut(off, size) { *b = fill; }
+                            live.insert(off, (size, fill));
+                            order.push(off);
                         }
-                        for b in a.bytes_mut(off, size) { *b = fill; }
-                        live.insert(off, (size, fill));
-                        order.push(off);
-                    }
-                    1 => {
-                        if let Some(off) = order.pop() {
-                            let (s, f) = live.remove(&off).unwrap();
-                            prop_assert!(a.bytes(off, s).iter().all(|&b| b == f),
-                                "contents changed before free");
-                            a.free(off, s);
+                        1 => {
+                            if let Some(off) = order.pop() {
+                                let (s, f) = live.remove(&off).unwrap();
+                                prop_assert!(a.bytes(off, s).iter().all(|&b| b == f),
+                                    "contents changed before free");
+                                a.free(off, s);
+                            }
                         }
-                    }
-                    _ => {
-                        if let Some(off) = order.pop() {
-                            let (s, f) = live.remove(&off).unwrap();
-                            let new_off = a.realloc(off, s, size);
-                            let kept = s.min(size);
-                            prop_assert!(a.bytes(new_off, kept).iter().all(|&b| b == f),
-                                "contents lost in realloc");
-                            for b in a.bytes_mut(new_off, size) { *b = fill; }
-                            live.insert(new_off, (size, fill));
-                            order.push(new_off);
+                        _ => {
+                            if let Some(off) = order.pop() {
+                                let (s, f) = live.remove(&off).unwrap();
+                                let new_off = a.realloc(off, s, size);
+                                let kept = s.min(size);
+                                prop_assert!(a.bytes(new_off, kept).iter().all(|&b| b == f),
+                                    "contents lost in realloc");
+                                for b in a.bytes_mut(new_off, size) { *b = fill; }
+                                live.insert(new_off, (size, fill));
+                                order.push(new_off);
+                            }
                         }
                     }
                 }
-            }
-            // All remaining live chunks still hold their fill bytes.
-            for (&off, &(s, f)) in &live {
-                prop_assert!(a.bytes(off, s).iter().all(|&b| b == f));
+                // All remaining live chunks still hold their fill bytes.
+                for (&off, &(s, f)) in &live {
+                    prop_assert!(a.bytes(off, s).iter().all(|&b| b == f));
+                }
             }
         }
     }

@@ -8,7 +8,15 @@
 //! The gauge is a cheap `Rc<Cell>` pair so that deeply recursive code (the
 //! mine phase builds thousands of conditional trees) can clone a handle
 //! instead of threading `&mut` borrows through every call.
+//!
+//! When tracing is enabled (`cfp_trace::set_enabled(true)`), every gauge
+//! additionally mirrors its movements into the global
+//! `cfp_trace::counters::MEM_CURRENT_BYTES` / `MEM_PEAK_BYTES` atomics.
+//! `MemGauge` itself is `Rc`-based and not `Send`, so the mirror is what
+//! the background memory sampler reads: the sum of all live gauges across
+//! the process.
 
+use cfp_trace::counters::{MEM_CURRENT_BYTES, MEM_PEAK_BYTES};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -19,6 +27,18 @@ struct Inner {
     /// Sum of `current` observed at every `checkpoint` call, for averages.
     sample_sum: Cell<u64>,
     sample_count: Cell<u64>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // A gauge dropped with bytes still accounted (its owner structure
+        // is going away wholesale) must release them from the global
+        // mirror, or dead runs would inflate later samples.
+        let cur = self.current.get();
+        if cur > 0 && cfp_trace::enabled() {
+            MEM_CURRENT_BYTES.sub(cur);
+        }
+    }
 }
 
 /// Tracks current and peak logical memory usage in bytes.
@@ -42,6 +62,10 @@ impl MemGauge {
         if cur > self.inner.peak.get() {
             self.inner.peak.set(cur);
         }
+        if cfp_trace::enabled() {
+            MEM_CURRENT_BYTES.add(bytes);
+            MEM_PEAK_BYTES.record(MEM_CURRENT_BYTES.get());
+        }
     }
 
     /// Records that `bytes` bytes have been released.
@@ -52,11 +76,11 @@ impl MemGauge {
     /// release builds saturate at zero.
     pub fn free(&self, bytes: u64) {
         let cur = self.inner.current.get();
-        debug_assert!(
-            bytes <= cur,
-            "MemGauge::free({bytes}) exceeds current usage {cur}"
-        );
+        debug_assert!(bytes <= cur, "MemGauge::free({bytes}) exceeds current usage {cur}");
         self.inner.current.set(cur.saturating_sub(bytes));
+        if cfp_trace::enabled() {
+            MEM_CURRENT_BYTES.sub(bytes.min(cur));
+        }
     }
 
     /// Adjusts the gauge to reflect that a structure changed size.
@@ -81,23 +105,20 @@ impl MemGauge {
     /// Samples `current` for the running average (the paper reports average
     /// memory consumption of CFP-growth in Figure 7(d)).
     pub fn checkpoint(&self) {
-        self.inner
-            .sample_sum
-            .set(self.inner.sample_sum.get() + self.inner.current.get());
+        self.inner.sample_sum.set(self.inner.sample_sum.get() + self.inner.current.get());
         self.inner.sample_count.set(self.inner.sample_count.get() + 1);
     }
 
     /// Average of all checkpointed samples, or 0 with no samples.
     pub fn average(&self) -> u64 {
-        self.inner
-            .sample_sum
-            .get()
-            .checked_div(self.inner.sample_count.get())
-            .unwrap_or(0)
+        self.inner.sample_sum.get().checked_div(self.inner.sample_count.get()).unwrap_or(0)
     }
 
     /// Clears every counter.
     pub fn reset(&self) {
+        if cfp_trace::enabled() {
+            MEM_CURRENT_BYTES.sub(self.inner.current.get());
+        }
         self.inner.current.set(0);
         self.inner.peak.set(0);
         self.inner.sample_sum.set(0);

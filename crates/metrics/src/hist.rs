@@ -85,12 +85,7 @@ impl LeadingZeroHistogram {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 = self
-            .buckets
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| i as u64 * c)
-            .sum();
+        let weighted: u64 = self.buckets.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
         weighted as f64 / total as f64
     }
 

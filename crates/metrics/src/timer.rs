@@ -60,11 +60,7 @@ impl PhaseTimes {
 
     /// Accumulated time of `name`, or zero if never recorded.
     pub fn get(&self, name: &str) -> Duration {
-        self.phases
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, d)| *d)
-            .unwrap_or_default()
+        self.phases.iter().find(|(n, _)| *n == name).map(|(_, d)| *d).unwrap_or_default()
     }
 
     /// All phases in insertion order.

@@ -44,9 +44,7 @@ pub fn maximal_itemsets(itemsets: &[(Vec<Item>, u64)]) -> Vec<(Vec<Item>, u64)> 
     itemsets
         .iter()
         .filter(|(items, _)| {
-            !itemsets
-                .iter()
-                .any(|(other, _)| other.len() > items.len() && is_subset(items, other))
+            !itemsets.iter().any(|(other, _)| other.len() > items.len() && is_subset(items, other))
         })
         .cloned()
         .collect()
@@ -83,9 +81,7 @@ mod tests {
         // superset with equal support.
         for (items, support) in &all {
             assert!(
-                closed
-                    .iter()
-                    .any(|(c, s)| s == support && is_subset(items, c)),
+                closed.iter().any(|(c, s)| s == support && is_subset(items, c)),
                 "lost support of {items:?}"
             );
         }

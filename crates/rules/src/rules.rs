@@ -55,19 +55,15 @@ impl RuleMiner {
                 continue;
             }
             // Level 1 consequents: single items.
-            let mut consequents: Vec<Vec<Item>> =
-                itemset.iter().map(|&i| vec![i]).collect();
+            let mut consequents: Vec<Vec<Item>> = itemset.iter().map(|&i| vec![i]).collect();
             while !consequents.is_empty() {
                 let mut kept: Vec<Vec<Item>> = Vec::new();
                 for consequent in consequents {
                     if consequent.len() == itemset.len() {
                         continue; // antecedent would be empty
                     }
-                    let antecedent: Vec<Item> = itemset
-                        .iter()
-                        .copied()
-                        .filter(|i| !consequent.contains(i))
-                        .collect();
+                    let antecedent: Vec<Item> =
+                        itemset.iter().copied().filter(|i| !consequent.contains(i)).collect();
                     let ant_sup = self.supports[&antecedent];
                     let confidence = support as f64 / ant_sup as f64;
                     if confidence >= min_confidence {
@@ -91,9 +87,7 @@ impl RuleMiner {
             }
         }
         // Deterministic order: by itemset, then by consequent.
-        out.sort_by(|a, b| {
-            (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent))
-        });
+        out.sort_by(|a, b| (&a.antecedent, &a.consequent).cmp(&(&b.antecedent, &b.consequent)));
         out
     }
 
@@ -187,8 +181,7 @@ mod tests {
         let miner = RuleMiner::new(&itemsets, n);
         for r in miner.rules(0.0) {
             assert!(!r.antecedent.is_empty() && !r.consequent.is_empty());
-            let mut union: Vec<Item> =
-                r.antecedent.iter().chain(&r.consequent).copied().collect();
+            let mut union: Vec<Item> = r.antecedent.iter().chain(&r.consequent).copied().collect();
             union.sort_unstable();
             assert!(union.windows(2).all(|w| w[0] < w[1]), "overlap in {r:?}");
             assert_eq!(Some(r.support), miner.support(&union));
@@ -204,9 +197,7 @@ mod tests {
         CfpGrowthMiner::new().mine(&db, 1, &mut sink);
         let miner = RuleMiner::new(&sink.into_sorted(), db.len() as u64);
         let rules = miner.rules(0.95);
-        assert!(rules
-            .iter()
-            .any(|r| r.antecedent == vec![1] && r.consequent == vec![2, 3]));
+        assert!(rules.iter().any(|r| r.antecedent == vec![1] && r.consequent == vec![2, 3]));
     }
 
     #[test]
@@ -217,11 +208,8 @@ mod tests {
         let miner = RuleMiner::new(&itemsets, n);
         for t in [0.3, 0.6, 0.8, 1.0] {
             let pruned = miner.rules(t);
-            let filtered: Vec<Rule> = miner
-                .rules(0.0)
-                .into_iter()
-                .filter(|r| r.confidence >= t)
-                .collect();
+            let filtered: Vec<Rule> =
+                miner.rules(0.0).into_iter().filter(|r| r.confidence >= t).collect();
             assert_eq!(pruned.len(), filtered.len(), "threshold {t}");
         }
     }

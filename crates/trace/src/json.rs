@@ -1,0 +1,505 @@
+//! A minimal JSON value, writer, and parser.
+//!
+//! `serde_json` is unavailable offline, and the run report only needs a
+//! small, well-behaved subset of JSON: finite numbers, UTF-8 strings,
+//! arrays, and objects with *ordered* keys (reports should diff cleanly,
+//! so key order is insertion order, not hash order).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number. Integers up to 2^53 round-trip exactly, which
+    /// comfortably covers byte counts and nanosecond timings here.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for `u64` values (exact up to 2^53).
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// The value as `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64 => {
+                Some(n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (first match; reports never duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialises with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Serialises compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the least-wrong encoding.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document. Errors carry a byte offset and message.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// A parse failure: what went wrong and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { at: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.err(format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogate pairs: only the BMP subset appears in
+                            // our reports, but accept pairs for robustness.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xD800) << 10)
+                                    + low
+                                        .checked_sub(0xDC00)
+                                        .ok_or_else(|| self.err("invalid low surrogate"))?;
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            continue; // hex4 already advanced
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid; find the char boundary).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_report_shaped_document() {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("cfp-profile/1")),
+            ("wall_nanos".into(), Json::u64(123_456_789_012)),
+            ("ok".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            ("ratio".into(), Json::Num(0.25)),
+            (
+                "samples".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![("at_ms".into(), Json::u64(0))]),
+                    Json::Obj(vec![("at_ms".into(), Json::u64(10))]),
+                ]),
+            ),
+        ]);
+        for text in [doc.to_pretty(), doc.to_compact()] {
+            assert_eq!(parse(&text).unwrap(), doc, "failed on: {text}");
+        }
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::u64(42).to_compact(), "42");
+        assert_eq!(Json::u64(0).to_compact(), "0");
+        assert_eq!(Json::Num(2.5).to_compact(), "2.5");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}");
+        let text = s.to_compact();
+        assert_eq!(text, r#""a\"b\\c\nd\te\u0001""#);
+        assert_eq!(parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse(r#""é""#).unwrap(), Json::str("é"));
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::str("\u{1F600}"));
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let parsed = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        match parsed {
+            Json::Obj(members) => {
+                let keys: Vec<_> = members.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["z", "a", "m"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let doc = parse(r#"{"n": 7, "s": "x", "a": [1,2]}"#).unwrap();
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(2));
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"abc", "{\"a\" 1}", "nan"] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_runaway_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parses_whitespace_and_negative_numbers() {
+        let doc = parse(" {\n\t\"a\" : -12.5e1 , \"b\":[ ] }\r\n").unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_f64), Some(-125.0));
+        assert_eq!(doc.get("b"), Some(&Json::Arr(vec![])));
+    }
+}

@@ -1,0 +1,227 @@
+//! The versioned machine-readable run report.
+//!
+//! `cfp-mine --profile out.json` (and `cfp-bench`'s per-run profiles)
+//! serialise a [`RunReport`] — one JSON document per mining run capturing
+//! phase spans, the full counter registry, histogram sketches, and the
+//! memory time series. The document is self-describing via its `schema`
+//! field; consumers must check it before reading anything else.
+
+use crate::counters;
+use crate::json::Json;
+use crate::sampler::Sample;
+use crate::span::{self, PhaseSpan};
+
+/// Schema identifier of the current report layout. Bump the suffix when
+/// the shape changes incompatibly; additive changes keep the version.
+pub const SCHEMA: &str = "cfp-profile/1";
+
+/// Everything `--profile` writes about one mining run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Dataset path or profile name.
+    pub dataset: String,
+    /// Transactions mined.
+    pub transactions: u64,
+    /// Absolute minimum support used.
+    pub support: u64,
+    /// Algorithm name as selected on the command line.
+    pub algorithm: String,
+    /// Worker threads (1 = sequential).
+    pub threads: u64,
+    /// Frequent itemsets found.
+    pub itemsets: u64,
+    /// End-to-end wall time of the run in nanoseconds.
+    pub wall_nanos: u64,
+    /// Accumulated per-phase spans, in pipeline order.
+    pub phases: Vec<PhaseSpan>,
+    /// Counter/gauge registry snapshot, in registry order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram snapshots (dense bucket vectors).
+    pub histograms: Vec<(&'static str, Vec<u64>)>,
+    /// Peak tracked bytes over the run.
+    pub peak_bytes: u64,
+    /// Tracked bytes at the end of the run.
+    pub final_bytes: u64,
+    /// Memory time series (at least two samples: start and stop).
+    pub samples: Vec<Sample>,
+}
+
+impl RunReport {
+    /// Snapshots the global registry and phase spans into a report.
+    /// Run metadata (`dataset`, `support`, ...) comes from the caller;
+    /// everything else is read from the instrumentation state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn capture(
+        dataset: impl Into<String>,
+        transactions: u64,
+        support: u64,
+        algorithm: impl Into<String>,
+        threads: u64,
+        itemsets: u64,
+        wall_nanos: u64,
+        samples: Vec<Sample>,
+    ) -> Self {
+        RunReport {
+            dataset: dataset.into(),
+            transactions,
+            support,
+            algorithm: algorithm.into(),
+            threads,
+            itemsets,
+            wall_nanos,
+            phases: span::phase_snapshot(),
+            counters: counters::snapshot(),
+            histograms: counters::histogram_snapshot(),
+            peak_bytes: counters::MEM_PEAK_BYTES.get(),
+            final_bytes: counters::MEM_CURRENT_BYTES.get(),
+            samples,
+        }
+    }
+
+    /// Serialises to the `cfp-profile/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let run = Json::Obj(vec![
+            ("dataset".into(), Json::str(self.dataset.clone())),
+            ("transactions".into(), Json::u64(self.transactions)),
+            ("support".into(), Json::u64(self.support)),
+            ("algorithm".into(), Json::str(self.algorithm.clone())),
+            ("threads".into(), Json::u64(self.threads)),
+            ("itemsets".into(), Json::u64(self.itemsets)),
+            ("wall_nanos".into(), Json::u64(self.wall_nanos)),
+        ]);
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(p.name)),
+                        ("nanos".into(), Json::u64(p.nanos)),
+                        ("count".into(), Json::u64(p.count)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = Json::Obj(
+            self.counters.iter().map(|&(name, v)| (name.to_string(), Json::u64(v))).collect(),
+        );
+        // Histograms are sparse in practice (a handful of mask bytes, a
+        // dozen depths), so emit [bucket, count] pairs for non-zero
+        // buckets instead of dense vectors.
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(name, buckets)| {
+                    let pairs = buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &c)| c != 0)
+                        .map(|(i, &c)| Json::Arr(vec![Json::u64(i as u64), Json::u64(c)]))
+                        .collect();
+                    (name.to_string(), Json::Arr(pairs))
+                })
+                .collect(),
+        );
+        let samples = Json::Arr(
+            self.samples
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("at_ms".into(), Json::u64(s.at_ms)),
+                        ("mem_current".into(), Json::u64(s.mem_current)),
+                        ("mem_peak".into(), Json::u64(s.mem_peak)),
+                        ("arena_used".into(), Json::u64(s.arena_used)),
+                        ("arena_footprint".into(), Json::u64(s.arena_footprint)),
+                    ])
+                })
+                .collect(),
+        );
+        let memory = Json::Obj(vec![
+            ("peak_bytes".into(), Json::u64(self.peak_bytes)),
+            ("final_bytes".into(), Json::u64(self.final_bytes)),
+            ("samples".into(), samples),
+        ]);
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("run".into(), run),
+            ("phases".into(), phases),
+            ("counters".into(), counters),
+            ("histograms".into(), histograms),
+            ("memory".into(), memory),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample(at_ms: u64, current: u64) -> Sample {
+        Sample {
+            at_ms,
+            mem_current: current,
+            mem_peak: current,
+            arena_used: current / 2,
+            arena_footprint: current,
+        }
+    }
+
+    #[test]
+    fn report_serialises_and_parses_with_schema() {
+        let report = RunReport::capture(
+            "retail-like",
+            30_000,
+            240,
+            "cfp",
+            1,
+            9_000,
+            1_234_567,
+            vec![sample(0, 100), sample(10, 4096)],
+        );
+        let text = report.to_json().to_pretty();
+        let doc = json::parse(&text).expect("report must be valid JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        let run = doc.get("run").expect("run object");
+        assert_eq!(run.get("support").and_then(Json::as_u64), Some(240));
+        assert_eq!(run.get("algorithm").and_then(Json::as_str), Some("cfp"));
+        let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
+        assert_eq!(phases.len(), 5, "one entry per pipeline phase");
+        assert_eq!(
+            phases[0].get("name").and_then(Json::as_str),
+            Some("read"),
+            "phases stay in pipeline order"
+        );
+        let samples = doc
+            .get("memory")
+            .and_then(|m| m.get("samples"))
+            .and_then(Json::as_arr)
+            .expect("memory.samples");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].get("arena_footprint").and_then(Json::as_u64), Some(4096));
+    }
+
+    #[test]
+    fn histograms_are_sparse_pairs() {
+        crate::counters::TREE_MASK_BYTES.record(0x0F);
+        let report = RunReport::capture("d", 1, 1, "cfp", 1, 0, 1, vec![]);
+        let doc = json::parse(&report.to_json().to_compact()).unwrap();
+        let mask = doc
+            .get("histograms")
+            .and_then(|h| h.get("tree.mask_bytes"))
+            .and_then(Json::as_arr)
+            .expect("mask histogram");
+        assert!(mask
+            .iter()
+            .any(|pair| pair.as_arr().map(|p| p[0].as_u64() == Some(0x0F)) == Some(true)));
+        crate::counters::TREE_MASK_BYTES.reset();
+    }
+
+    #[test]
+    fn counters_appear_by_name() {
+        let report = RunReport::capture("d", 1, 1, "cfp", 1, 0, 1, vec![]);
+        let doc = json::parse(&report.to_json().to_compact()).unwrap();
+        let counters = doc.get("counters").expect("counters object");
+        assert!(counters.get("memman.allocs").is_some());
+        assert!(counters.get("core.conditional_trees").is_some());
+    }
+}

@@ -165,10 +165,7 @@ pub fn std_ptr_offset(buf: &[u8], field: PtrField) -> Option<usize> {
     let (present, before) = match field {
         PtrField::Left => (mask.has_left, 0),
         PtrField::Right => (mask.has_right, mask.has_left as usize),
-        PtrField::Suffix => (
-            mask.has_suffix,
-            mask.has_left as usize + mask.has_right as usize,
-        ),
+        PtrField::Suffix => (mask.has_suffix, mask.has_left as usize + mask.has_right as usize),
     };
     present.then(|| 1 + mask.ditem_len + mask.pcount_len + 5 * before)
 }
@@ -307,7 +304,6 @@ pub fn node_size(buf: &[u8]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn embedded_leaf_round_trip() {
@@ -432,42 +428,52 @@ mod tests {
         assert_eq!(node_size(&buf), chain.encoded_size());
     }
 
-    proptest! {
-        #[test]
-        fn prop_std_round_trip(
-            ditem in 1u32..,
-            pcount in any::<u32>(),
-            left in prop_oneof![Just(0u64), 1u64..(1<<39)],
-            right in prop_oneof![Just(0u64), 1u64..(1<<39)],
-            suffix in prop_oneof![Just(0u64), 1u64..(1<<39)],
-        ) {
-            let node = StdNode { ditem, pcount, left, right, suffix };
-            let mut buf = [0u8; 24];
-            let n = node.encode(&mut buf);
-            prop_assert_eq!(n, node.encoded_size());
-            prop_assert_eq!(StdNode::decode(&buf), (node, n));
-            prop_assert_eq!(node_size(&buf), n);
-        }
+    /// Property tests require the optional `proptest` dependency,
+    /// which offline builds cannot fetch. Enable with
+    /// `--features proptest` after restoring the dev-dependency
+    /// (see README § Offline builds).
+    #[cfg(feature = "proptest")]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn prop_chain_round_trip(
-            entries in proptest::collection::vec(1u32..=255, 2..=MAX_CHAIN_LEN),
-            pcount in any::<u32>(),
-            suffix in prop_oneof![Just(0u64), 1u64..(1<<39)],
-        ) {
-            let chain = ChainNode::from_entries(&entries, pcount, suffix);
-            let mut buf = [0u8; 32];
-            let n = chain.encode(&mut buf);
-            prop_assert_eq!(n, chain.encoded_size());
-            prop_assert_eq!(ChainNode::decode(&buf), (chain, n));
-            prop_assert_eq!(node_size(&buf), n);
-        }
+        proptest! {
+            #[test]
+            fn prop_std_round_trip(
+                ditem in 1u32..,
+                pcount in any::<u32>(),
+                left in prop_oneof![Just(0u64), 1u64..(1<<39)],
+                right in prop_oneof![Just(0u64), 1u64..(1<<39)],
+                suffix in prop_oneof![Just(0u64), 1u64..(1<<39)],
+            ) {
+                let node = StdNode { ditem, pcount, left, right, suffix };
+                let mut buf = [0u8; 24];
+                let n = node.encode(&mut buf);
+                prop_assert_eq!(n, node.encoded_size());
+                prop_assert_eq!(StdNode::decode(&buf), (node, n));
+                prop_assert_eq!(node_size(&buf), n);
+            }
 
-        #[test]
-        fn prop_embed_round_trip(ditem in 1u32..=255, pcount in 0u32..=EMBED_MAX_PCOUNT) {
-            let raw = embed(ditem, pcount).unwrap();
-            prop_assert!(is_embedded(raw));
-            prop_assert_eq!(unembed(raw), (ditem, pcount));
+            #[test]
+            fn prop_chain_round_trip(
+                entries in proptest::collection::vec(1u32..=255, 2..=MAX_CHAIN_LEN),
+                pcount in any::<u32>(),
+                suffix in prop_oneof![Just(0u64), 1u64..(1<<39)],
+            ) {
+                let chain = ChainNode::from_entries(&entries, pcount, suffix);
+                let mut buf = [0u8; 32];
+                let n = chain.encode(&mut buf);
+                prop_assert_eq!(n, chain.encoded_size());
+                prop_assert_eq!(ChainNode::decode(&buf), (chain, n));
+                prop_assert_eq!(node_size(&buf), n);
+            }
+
+            #[test]
+            fn prop_embed_round_trip(ditem in 1u32..=255, pcount in 0u32..=EMBED_MAX_PCOUNT) {
+                let raw = embed(ditem, pcount).unwrap();
+                prop_assert!(is_embedded(raw));
+                prop_assert_eq!(unembed(raw), (ditem, pcount));
+            }
         }
     }
 }

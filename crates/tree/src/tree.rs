@@ -28,6 +28,7 @@ use cfp_data::{ItemRecoder, TransactionDb};
 use cfp_encoding::mask::{is_chain, MAX_CHAIN_LEN};
 use cfp_memman::Arena;
 use cfp_metrics::HeapSize;
+use cfp_trace::counters as tc;
 
 /// Tuning knobs of the physical representation, mainly for ablation
 /// studies of the paper's design choices (leading-zero suppression and
@@ -239,10 +240,7 @@ impl CfpTree {
             }
         }
         if logical != self.num_nodes {
-            return Err(format!(
-                "walked {logical} logical nodes, counter says {}",
-                self.num_nodes
-            ));
+            return Err(format!("walked {logical} logical nodes, counter says {}", self.num_nodes));
         }
         Ok(())
     }
@@ -284,6 +282,10 @@ impl CfpTree {
                         match embed(ed, np) {
                             Some(v) => self.set_slot(slot, v),
                             None => {
+                                // pcount outgrew the 24-bit embed field.
+                                if cfp_trace::enabled() {
+                                    tc::TREE_UNEMBEDS.inc();
+                                }
                                 let off = self.alloc_std(StdNode {
                                     ditem: ed,
                                     pcount: np,
@@ -296,6 +298,9 @@ impl CfpTree {
                     }
                     // Descend below the leaf: unembed with the remainder
                     // attached as suffix.
+                    if cfp_trace::enabled() {
+                        tc::TREE_UNEMBEDS.inc();
+                    }
                     let child = self.make_branch(&items[pos + 1..], items[pos] as i64, weight);
                     let off = self.alloc_std(StdNode {
                         ditem: ed,
@@ -308,6 +313,9 @@ impl CfpTree {
                 }
                 // Sibling needed: unembed into a standard node and retry
                 // the slot, which now holds a pointer.
+                if cfp_trace::enabled() {
+                    tc::TREE_UNEMBEDS.inc();
+                }
                 let off = self.alloc_std(StdNode { ditem: ed, pcount: ep, ..Default::default() });
                 self.set_slot(slot, off);
                 continue;
@@ -394,7 +402,8 @@ impl CfpTree {
             let want = (items[*pos] as i64 - *prev) as u32;
             let dj = chain.ditems[j] as u32;
             if want != dj {
-                return self.split_chain_diverge(slot, off, size, &chain, j, items, *pos, *prev, weight);
+                return self
+                    .split_chain_diverge(slot, off, size, &chain, j, items, *pos, *prev, weight);
             }
             *prev = items[*pos] as i64;
             *pos += 1;
@@ -410,7 +419,14 @@ impl CfpTree {
                 } else {
                     // Split: entries[..=j] end the transaction; the rest
                     // keeps the old trailing pcount and suffix.
-                    let rem = self.part_value(&chain.ditems[j + 1..chain.len], chain.pcount, chain.suffix);
+                    if cfp_trace::enabled() {
+                        tc::TREE_CHAIN_SPLITS.inc();
+                    }
+                    let rem = self.part_value(
+                        &chain.ditems[j + 1..chain.len],
+                        chain.pcount,
+                        chain.suffix,
+                    );
                     let pre = self.part_value(&chain.ditems[..=j], weight, rem);
                     self.arena.free(off, size);
                     self.set_slot(slot, pre);
@@ -449,6 +465,9 @@ impl CfpTree {
         prev: i64,
         weight: u32,
     ) -> ChainStep {
+        if cfp_trace::enabled() {
+            tc::TREE_CHAIN_SPLITS.inc();
+        }
         let dj = chain.ditems[j] as u32;
         let want = (items[pos] as i64 - prev) as u32;
         let last = j + 1 == chain.len;
@@ -459,23 +478,16 @@ impl CfpTree {
             (0, rem)
         };
         let branch = self.make_branch(&items[pos..], prev, weight);
-        let mut pivot = StdNode {
-            ditem: dj,
-            pcount: pivot_pcount,
-            suffix: pivot_suffix,
-            ..Default::default()
-        };
+        let mut pivot =
+            StdNode { ditem: dj, pcount: pivot_pcount, suffix: pivot_suffix, ..Default::default() };
         if want < dj {
             pivot.left = branch;
         } else {
             pivot.right = branch;
         }
         let pivot_off = self.alloc_std(pivot);
-        let head = if j == 0 {
-            pivot_off
-        } else {
-            self.part_value_ptr(&chain.ditems[..j], 0, pivot_off)
-        };
+        let head =
+            if j == 0 { pivot_off } else { self.part_value_ptr(&chain.ditems[..j], 0, pivot_off) };
         self.arena.free(off, size);
         self.set_slot(slot, head);
         ChainStep::Done
@@ -490,6 +502,9 @@ impl CfpTree {
             let d = entries[0] as u32;
             if suffix == 0 && self.config.embed_leaves {
                 if let Some(e) = embed(d, pcount) {
+                    if cfp_trace::enabled() {
+                        tc::TREE_EMBEDDED_LEAVES.inc();
+                    }
                     return e;
                 }
             }
@@ -522,6 +537,9 @@ impl CfpTree {
             self.num_nodes += 1;
             if self.config.embed_leaves {
                 if let Some(e) = embed(d0, weight) {
+                    if cfp_trace::enabled() {
+                        tc::TREE_EMBEDDED_LEAVES.inc();
+                    }
                     return e;
                 }
             }
@@ -568,6 +586,11 @@ impl CfpTree {
         let size = std.encoded_size();
         let off = self.arena.alloc(size);
         std.encode(self.arena.bytes_mut(off, size));
+        if cfp_trace::enabled() {
+            tc::TREE_STANDARD_NODES.inc();
+            // First byte of a standard node is its compression mask.
+            tc::TREE_MASK_BYTES.record(self.arena.byte(off) as usize);
+        }
         off
     }
 
@@ -575,6 +598,9 @@ impl CfpTree {
         let size = chain.encoded_size();
         let off = self.arena.alloc(size);
         chain.encode(self.arena.bytes_mut(off, size));
+        if cfp_trace::enabled() {
+            tc::TREE_CHAIN_NODES.inc();
+        }
         off
     }
 
@@ -603,10 +629,8 @@ impl CfpTree {
     }
 
     fn bump_std_pcount(&mut self, slot: u64, off: u64, std: StdNode, size: usize, weight: u32) {
-        let updated = StdNode {
-            pcount: std.pcount.checked_add(weight).expect("pcount overflow"),
-            ..std
-        };
+        let updated =
+            StdNode { pcount: std.pcount.checked_add(weight).expect("pcount overflow"), ..std };
         self.rewrite_std(slot, off, size, updated);
     }
 }
@@ -696,10 +720,7 @@ mod tests {
         t.insert(&[0, 1, 2, 3, 4], 1);
         t.insert(&[0, 1], 1); // ends mid-chain
         assert_eq!(t.num_nodes(), 5);
-        assert_eq!(
-            reconstruct(&t),
-            BTreeMap::from([(vec![0, 1, 2, 3, 4], 1), (vec![0, 1], 1)])
-        );
+        assert_eq!(reconstruct(&t), BTreeMap::from([(vec![0, 1, 2, 3, 4], 1), (vec![0, 1], 1)]));
     }
 
     #[test]
@@ -710,11 +731,7 @@ mod tests {
         t.insert(&[0, 1, 7], 1); // diverges at depth 2
         assert_eq!(
             reconstruct(&t),
-            BTreeMap::from([
-                (vec![0, 1, 2], 1),
-                (vec![0, 5, 6], 1),
-                (vec![0, 1, 7], 1)
-            ])
+            BTreeMap::from([(vec![0, 1, 2], 1), (vec![0, 5, 6], 1), (vec![0, 1, 7], 1)])
         );
         assert_eq!(t.num_nodes(), 6, "nodes 0,1,2,7 plus 5,6 under shared prefix 0");
     }
@@ -772,10 +789,7 @@ mod tests {
         assert_eq!(t.weight_total(), 9);
         assert_eq!(t.item_support(0), 9);
         assert_eq!(t.item_support(2), 7);
-        assert_eq!(
-            reconstruct(&t),
-            BTreeMap::from([(vec![0, 2], 7), (vec![0], 2)])
-        );
+        assert_eq!(reconstruct(&t), BTreeMap::from([(vec![0, 2], 7), (vec![0], 2)]));
     }
 
     #[test]
@@ -785,20 +799,13 @@ mod tests {
         assert!(is_embedded(t.root_value()));
         t.insert(&[1], 1);
         assert!(!is_embedded(t.root_value()), "2^24 pcount must unembed");
-        assert_eq!(
-            reconstruct(&t),
-            BTreeMap::from([(vec![1], node::EMBED_MAX_PCOUNT as u64 + 1)])
-        );
+        assert_eq!(reconstruct(&t), BTreeMap::from([(vec![1], node::EMBED_MAX_PCOUNT as u64 + 1)]));
     }
 
     #[test]
     fn from_db_matches_manual_inserts() {
-        let db = TransactionDb::from_rows(&[
-            vec![10u32, 20, 30],
-            vec![10, 30],
-            vec![20, 30],
-            vec![30],
-        ]);
+        let db =
+            TransactionDb::from_rows(&[vec![10u32, 20, 30], vec![10, 30], vec![20, 30], vec![30]]);
         let recoder = ItemRecoder::scan(&db, 2);
         let t = CfpTree::from_db(&db, &recoder);
         // item 30 (support 4) -> 0, 10 -> 1, 20 -> 2.
@@ -811,8 +818,7 @@ mod tests {
 
     #[test]
     fn stress_against_reference_multiset() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(4242);
         for trial in 0..50 {
             let n_items = rng.gen_range(1..40);
@@ -820,9 +826,7 @@ mod tests {
             let mut expect: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
             let mut supports = vec![0u64; n_items];
             for _ in 0..rng.gen_range(1..80) {
-                let mut txn: Vec<u32> = (0..n_items as u32)
-                    .filter(|_| rng.gen_bool(0.3))
-                    .collect();
+                let mut txn: Vec<u32> = (0..n_items as u32).filter(|_| rng.gen_bool(0.3)).collect();
                 txn.sort_unstable();
                 txn.dedup();
                 if txn.is_empty() {
@@ -850,8 +854,7 @@ mod tests {
         // every chain case: full traversal, mid-chain transaction ends,
         // divergence at every entry position, suffix attachment, and
         // splits of splits.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(0xC4A1);
         for trial in 0..40 {
             let n_items = 60usize;
@@ -872,14 +875,20 @@ mod tests {
                             v.push(next);
                             next += rng.gen_range(1..6);
                         }
-                        if v.is_empty() { vec![0] } else { v }
+                        if v.is_empty() {
+                            vec![0]
+                        } else {
+                            v
+                        }
                     }
                     // Base + extension below the chain (suffix attach).
                     2 => {
                         let mut v = base.clone();
                         let mut next = 40u32;
                         for _ in 0..rng.gen_range(1..10) {
-                            if (next as usize) >= n_items { break; }
+                            if (next as usize) >= n_items {
+                                break;
+                            }
                             v.push(next);
                             next += rng.gen_range(1..3);
                         }
@@ -887,10 +896,11 @@ mod tests {
                     }
                     // Random sparse transaction.
                     _ => {
-                        let mut v: Vec<u32> = (0..n_items as u32)
-                            .filter(|_| rng.gen_bool(0.15))
-                            .collect();
-                        if v.is_empty() { v.push(rng.gen_range(0..n_items as u32)); }
+                        let mut v: Vec<u32> =
+                            (0..n_items as u32).filter(|_| rng.gen_bool(0.15)).collect();
+                        if v.is_empty() {
+                            v.push(rng.gen_range(0..n_items as u32));
+                        }
                         v
                     }
                 };
@@ -900,18 +910,13 @@ mod tests {
             }
             assert_eq!(reconstruct(&t), expect, "trial {trial}");
             t.validate().unwrap_or_else(|e| panic!("trial {trial}: {e}"));
-            assert_eq!(
-                t.weight_total(),
-                expect.values().sum::<u64>(),
-                "trial {trial}"
-            );
+            assert_eq!(t.weight_total(), expect.values().sum::<u64>(), "trial {trial}");
         }
     }
 
     #[test]
     fn ablation_configs_preserve_logical_structure() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cfp_data::rng::{Rng, StdRng};
         let mut rng = StdRng::seed_from_u64(77);
         let configs = [
             CfpTreeConfig::default(),

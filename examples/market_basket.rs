@@ -37,10 +37,7 @@ fn main() {
 
     // Condensed views of the result.
     let maximal = maximal_itemsets(&itemsets);
-    println!(
-        "condensed: {} maximal itemsets describe the frequent border\n",
-        maximal.len()
-    );
+    println!("condensed: {} maximal itemsets describe the frequent border\n", maximal.len());
 
     // Association rules ("customers who bought ... also bought ...").
     let rule_miner = RuleMiner::new(&itemsets, db.len() as u64);

@@ -74,9 +74,7 @@ fn main() {
     );
 
     let t1 = cfp_fptree::analysis::analyze(&fp);
-    println!(
-        "\nfp-tree leading-zero bytes (Table 1 layout; buckets 0..4):"
-    );
+    println!("\nfp-tree leading-zero bytes (Table 1 layout; buckets 0..4):");
     for (field, hist) in t1.rows() {
         println!("  {field:<9} {}", hist.paper_row().replace('\t', "  "));
     }

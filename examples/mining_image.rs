@@ -56,11 +56,7 @@ fn main() -> std::io::Result<()> {
         let support = min_support * factor;
         let mut sink = CountingSink::new();
         let stats = loaded.mine(support, &mut sink);
-        println!(
-            "  support {support:>6}: {:>7} itemsets in {:.2?}",
-            sink.count,
-            stats.mine_time
-        );
+        println!("  support {support:>6}: {:>7} itemsets in {:.2?}", sink.count, stats.mine_time);
     }
 
     std::fs::remove_file(&data_path).ok();

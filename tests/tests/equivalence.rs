@@ -4,7 +4,6 @@
 use cfp_baselines::oracle;
 use cfp_data::TransactionDb;
 use cfp_integration::{fingerprint, full_roster, mine_sorted};
-use proptest::prelude::*;
 
 #[test]
 fn all_miners_match_oracle_on_textbook_example() {
@@ -68,37 +67,42 @@ fn all_miners_agree_on_profiles_at_high_support() {
         let reference = fingerprint(roster[0].as_ref(), &db, minsup);
         assert!(reference.0 > 0, "{name}: no itemsets at high support");
         for m in roster.iter().skip(1) {
-            assert_eq!(
-                fingerprint(m.as_ref(), &db, minsup),
-                reference,
-                "{name} vs {}",
-                m.name()
-            );
+            assert_eq!(fingerprint(m.as_ref(), &db, minsup), reference, "{name} vs {}", m.name());
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Property tests require the optional `proptest` dependency,
+/// which offline builds cannot fetch. Enable with
+/// `--features proptest` after restoring the dev-dependency
+/// (see README § Offline builds).
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
 
-    /// Random small databases: every miner equals the brute-force oracle.
-    #[test]
-    fn prop_all_miners_match_oracle(
-        rows in proptest::collection::vec(
-            proptest::collection::btree_set(0u32..9, 0..7),
-            1..40
-        ),
-        minsup in 1u64..5,
-    ) {
-        let rows: Vec<Vec<u32>> = rows.into_iter().map(|s| s.into_iter().collect()).collect();
-        let db = TransactionDb::from_rows(&rows);
-        let expect = oracle::frequent_itemsets(&db, minsup);
-        for m in full_roster() {
-            prop_assert_eq!(
-                mine_sorted(m.as_ref(), &db, minsup),
-                expect.clone(),
-                "miner {}", m.name()
-            );
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random small databases: every miner equals the brute-force oracle.
+        #[test]
+        fn prop_all_miners_match_oracle(
+            rows in proptest::collection::vec(
+                proptest::collection::btree_set(0u32..9, 0..7),
+                1..40
+            ),
+            minsup in 1u64..5,
+        ) {
+            let rows: Vec<Vec<u32>> = rows.into_iter().map(|s| s.into_iter().collect()).collect();
+            let db = TransactionDb::from_rows(&rows);
+            let expect = oracle::frequent_itemsets(&db, minsup);
+            for m in full_roster() {
+                prop_assert_eq!(
+                    mine_sorted(m.as_ref(), &db, minsup),
+                    expect.clone(),
+                    "miner {}", m.name()
+                );
+            }
         }
     }
 }

@@ -38,10 +38,7 @@ fn image_round_trip_on_a_profile() {
     let mut from_image = CountingSink::new();
     loaded.mine(minsup, &mut from_image);
     let direct = fingerprint(&CfpGrowthMiner::new(), &db, minsup);
-    assert_eq!(
-        (from_image.count, from_image.support_sum, from_image.item_sum),
-        direct
-    );
+    assert_eq!((from_image.count, from_image.support_sum, from_image.item_sum), direct);
 
     // The serialized image is small: well under 8 bytes per node.
     assert!((bytes.len() as u64) < 8 * loaded.array().num_nodes());
@@ -61,10 +58,7 @@ fn file_mining_equals_in_memory_on_a_profile() {
     let mut from_file = CountingSink::new();
     let stats = mine_file(&CfpGrowthMiner::new(), &path, minsup, &mut from_file).unwrap();
     let direct = fingerprint(&CfpGrowthMiner::new(), &db, minsup);
-    assert_eq!(
-        (from_file.count, from_file.support_sum, from_file.item_sum),
-        direct
-    );
+    assert_eq!((from_file.count, from_file.support_sum, from_file.item_sum), direct);
     assert!(stats.tree_nodes > 0);
     std::fs::remove_file(&path).ok();
 }
@@ -83,10 +77,8 @@ fn rules_are_consistent_with_supports() {
     assert!(!rules.is_empty(), "expected confident rules on skewed data");
     for r in rules.iter().take(50) {
         // Verify confidence against raw scans.
-        let ant_sup = db
-            .iter()
-            .filter(|t| r.antecedent.iter().all(|i| t.contains(i)))
-            .count() as f64;
+        let ant_sup =
+            db.iter().filter(|t| r.antecedent.iter().all(|i| t.contains(i))).count() as f64;
         let both = db
             .iter()
             .filter(|t| {
@@ -112,8 +104,7 @@ fn condensed_representations_nest_on_a_profile() {
     assert!(closed.len() <= all.len());
     assert!(!maximal.is_empty());
     // Closed itemsets preserve the support of everything.
-    let closed_set: std::collections::HashSet<&Vec<u32>> =
-        closed.iter().map(|(i, _)| i).collect();
+    let closed_set: std::collections::HashSet<&Vec<u32>> = closed.iter().map(|(i, _)| i).collect();
     for m in &maximal {
         assert!(closed_set.contains(&m.0));
     }

@@ -25,16 +25,7 @@ fn fimi_file_to_itemsets() {
     let loaded = fimi::read_file(&path).unwrap();
     assert_eq!(loaded, db);
     let got = mine_sorted(&CfpGrowthMiner::new(), &loaded, 2);
-    assert_eq!(
-        got,
-        vec![
-            (vec![1], 3),
-            (vec![1, 4], 2),
-            (vec![3], 2),
-            (vec![4], 2),
-            (vec![5], 2)
-        ]
-    );
+    assert_eq!(got, vec![(vec![1], 3), (vec![1, 4], 2), (vec![3], 2), (vec![4], 2), (vec![5], 2)]);
     std::fs::remove_file(&path).ok();
 }
 
@@ -77,12 +68,7 @@ fn conversion_preserves_structure_on_every_profile() {
         assert_eq!(cfp.num_nodes(), fp.num_nodes() as u64, "{}", p.name);
         assert_eq!(array.num_nodes(), cfp.num_nodes(), "{}", p.name);
         for item in 0..recoder.num_items() as u32 {
-            assert_eq!(
-                array.item_support(item),
-                fp.item_support(item),
-                "{} item {item}",
-                p.name
-            );
+            assert_eq!(array.item_support(item), fp.item_support(item), "{} item {item}", p.name);
             assert_eq!(cfp.item_support(item), fp.item_support(item));
         }
     }
@@ -126,12 +112,7 @@ fn cfp_growth_peak_memory_beats_fp_growth_at_scale() {
     let cfp = CfpGrowthMiner::new().mine(&db, minsup, &mut sink);
     let mut sink = CountingSink::new();
     let fp = FpGrowthMiner::new().mine(&db, minsup, &mut sink);
-    assert!(
-        cfp.peak_bytes * 3 < fp.peak_bytes,
-        "cfp {} vs fp {}",
-        cfp.peak_bytes,
-        fp.peak_bytes
-    );
+    assert!(cfp.peak_bytes * 3 < fp.peak_bytes, "cfp {} vs fp {}", cfp.peak_bytes, fp.peak_bytes);
     // Conversion is a small fraction of the total runtime (§3.5).
     assert!(cfp.convert_time < cfp.total_time() / 3);
 }

@@ -74,10 +74,7 @@ fn support_counts_are_exact_at_every_level() {
     let got = mine_sorted(&m, &db, 600);
     assert!(!got.is_empty());
     for (itemset, support) in got.iter().step_by(17) {
-        let actual = db
-            .iter()
-            .filter(|t| itemset.iter().all(|i| t.contains(i)))
-            .count() as u64;
+        let actual = db.iter().filter(|t| itemset.iter().all(|i| t.contains(i))).count() as u64;
         assert_eq!(actual, *support, "itemset {itemset:?}");
     }
 }
