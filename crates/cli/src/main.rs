@@ -11,6 +11,9 @@
 //!   --algorithm NAME   cfp (default), fp, apriori, eclat, lcm,
 //!                      nonordfp, tiny, fparray
 //!   --threads N        parallel CFP-growth with N workers
+//!   --mem-budget B     cap the build-phase arena at B bytes (k/m/g
+//!                      suffixes allowed; cfp algorithms only)
+//!   --skip-bad-lines   drop malformed input lines instead of failing
 //!   --count            print only the number of frequent itemsets
 //!   --top K            print the K highest-support itemsets
 //!   --closed           print only closed itemsets
@@ -25,20 +28,32 @@
 //!
 //! Itemsets print in FIMI output format: space-separated items followed
 //! by the absolute support in parentheses, e.g. `3 17 29 (1250)`.
+//!
+//! # Exit codes
+//!
+//! The process maps every failure to a stable code (see
+//! `CfpError::exit_code`): 0 success (including a closed output pipe),
+//! 1 I/O error, 2 usage error, 3 malformed input, 4 memory budget
+//! exhausted, 5 worker panic.
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
     ParallelCfpGrowthMiner, TopKSink, TransactionDb,
 };
+use cfp_data::{CfpError, ParsePolicy};
+use cfp_fault::EXIT_USAGE;
 use cfp_rules::{closed_itemsets, maximal_itemsets, RuleMiner};
-use std::io::Write;
+use std::io::{self, Write};
 use std::process::exit;
 
+#[derive(Debug)]
 struct Options {
     input: String,
     support: SupportSpec,
     algorithm: String,
     threads: usize,
+    mem_budget: Option<u64>,
+    skip_bad_lines: bool,
     count_only: bool,
     top: Option<usize>,
     closed: bool,
@@ -49,25 +64,46 @@ struct Options {
     profile: Option<String>,
 }
 
+#[derive(Debug)]
 enum SupportSpec {
     Absolute(u64),
     Relative(f64),
 }
 
-fn usage() -> ! {
+fn print_usage() {
     eprintln!("usage: cfp-mine <input.dat> --support <N | P%> [options]");
     eprintln!("  --algorithm cfp|fp|apriori|eclat|lcm|nonordfp|tiny|fparray");
-    eprintln!("  --threads N | --count | --top K | --closed | --maximal");
+    eprintln!("  --threads N | --mem-budget BYTES[k|m|g] | --skip-bad-lines");
+    eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
-    exit(2);
 }
 
-fn parse_args() -> Options {
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive), e.g. `64m` = 67108864.
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let (digits, shift) = match s.to_ascii_lowercase().as_str() {
+        t if t.ends_with('k') => (&s[..s.len() - 1], 10),
+        t if t.ends_with('m') => (&s[..s.len() - 1], 20),
+        t if t.ends_with('g') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| format!("bad byte count {s:?}"))?;
+    n.checked_shl(shift)
+        .filter(|&v| v >> shift == n)
+        .ok_or_else(|| format!("byte count {s:?} overflows"))
+}
+
+/// Parses the argument list (without the program name). Returns a
+/// description of the first problem instead of exiting, so main owns the
+/// process exit and tests can exercise every path in-process.
+fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         input: String::new(),
         support: SupportSpec::Absolute(0),
         algorithm: "cfp".into(),
         threads: 1,
+        mem_budget: None,
+        skip_bad_lines: false,
         count_only: false,
         top: None,
         closed: false,
@@ -78,101 +114,131 @@ fn parse_args() -> Options {
         profile: None,
     };
     let mut support_given = false;
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| -> String {
-            it.next()
-                .unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    usage()
-                })
-                .clone()
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--support" => {
-                let v = value(arg);
+                let v = value(arg)?;
                 opts.support = if let Some(pct) = v.strip_suffix('%') {
-                    let p: f64 = pct.parse().unwrap_or_else(|_| {
-                        eprintln!("bad percentage {v:?}");
-                        usage()
-                    });
+                    let p: f64 = pct.parse().map_err(|_| format!("bad percentage {v:?}"))?;
                     SupportSpec::Relative(p / 100.0)
                 } else {
-                    SupportSpec::Absolute(v.parse().unwrap_or_else(|_| {
-                        eprintln!("bad support {v:?}");
-                        usage()
-                    }))
+                    SupportSpec::Absolute(v.parse().map_err(|_| format!("bad support {v:?}"))?)
                 };
                 support_given = true;
             }
-            "--algorithm" => opts.algorithm = value(arg),
+            "--algorithm" => opts.algorithm = value(arg)?,
             "--threads" => {
-                opts.threads = value(arg).parse().unwrap_or_else(|_| {
-                    eprintln!("bad thread count");
-                    usage()
-                })
+                opts.threads = value(arg)?.parse().map_err(|_| "bad thread count".to_string())?;
             }
+            "--mem-budget" => opts.mem_budget = Some(parse_bytes(&value(arg)?)?),
+            "--skip-bad-lines" => opts.skip_bad_lines = true,
             "--count" => opts.count_only = true,
             "--top" => {
-                opts.top = Some(value(arg).parse().unwrap_or_else(|_| {
-                    eprintln!("bad top-k");
-                    usage()
-                }))
+                opts.top = Some(value(arg)?.parse().map_err(|_| "bad top-k".to_string())?);
             }
             "--closed" => opts.closed = true,
             "--maximal" => opts.maximal = true,
             "--rules" => {
-                opts.rules = Some(value(arg).parse().unwrap_or_else(|_| {
-                    eprintln!("bad confidence");
-                    usage()
-                }))
+                opts.rules = Some(value(arg)?.parse().map_err(|_| "bad confidence".to_string())?);
             }
-            "--image" => opts.image = Some(value(arg)),
+            "--image" => opts.image = Some(value(arg)?),
             "--stats" => opts.stats = true,
-            "--profile" => opts.profile = Some(value(arg)),
+            "--profile" => opts.profile = Some(value(arg)?),
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_string();
             }
-            other => {
-                eprintln!("unknown argument {other:?}");
-                usage();
-            }
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    if opts.input.is_empty() || !support_given {
-        usage();
+    if opts.input.is_empty() {
+        return Err("no input file given".to_string());
     }
-    opts
+    if !support_given {
+        return Err("no --support given".to_string());
+    }
+    Ok(opts)
 }
 
-fn miner_by_name(name: &str, threads: usize) -> Box<dyn Miner> {
-    match name {
-        "cfp" if threads > 1 => Box::new(ParallelCfpGrowthMiner::new(threads)),
-        "cfp" => Box::new(CfpGrowthMiner::new()),
-        "fp" => Box::new(cfp_fptree::FpGrowthMiner::new()),
-        "apriori" => Box::new(cfp_baselines::AprioriMiner::new()),
-        "eclat" => Box::new(cfp_baselines::EclatMiner::new()),
-        "lcm" => Box::new(cfp_baselines::LcmStyleMiner::new()),
-        "nonordfp" => Box::new(cfp_baselines::NonordFpMiner::new()),
-        "tiny" => Box::new(cfp_baselines::TinyStyleMiner::new()),
-        "fparray" => Box::new(cfp_baselines::FpArrayStyleMiner::new()),
-        other => {
-            eprintln!("unknown algorithm {other:?}");
-            usage();
+fn miner_by_name(opts: &Options) -> Result<Box<dyn Miner>, String> {
+    let budget_ignored = |name: &str| {
+        if opts.mem_budget.is_some() {
+            eprintln!(
+                "warning: --mem-budget only applies to the cfp algorithms; ignored for {name}"
+            );
         }
+    };
+    Ok(match opts.algorithm.as_str() {
+        "cfp" if opts.threads > 1 => Box::new(ParallelCfpGrowthMiner {
+            threads: opts.threads,
+            single_path_opt: true,
+            mem_budget: opts.mem_budget,
+        }),
+        "cfp" => Box::new(CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget }),
+        "fp" => {
+            budget_ignored("fp");
+            Box::new(cfp_fptree::FpGrowthMiner::new())
+        }
+        "apriori" => {
+            budget_ignored("apriori");
+            Box::new(cfp_baselines::AprioriMiner::new())
+        }
+        "eclat" => {
+            budget_ignored("eclat");
+            Box::new(cfp_baselines::EclatMiner::new())
+        }
+        "lcm" => {
+            budget_ignored("lcm");
+            Box::new(cfp_baselines::LcmStyleMiner::new())
+        }
+        "nonordfp" => {
+            budget_ignored("nonordfp");
+            Box::new(cfp_baselines::NonordFpMiner::new())
+        }
+        "tiny" => {
+            budget_ignored("tiny");
+            Box::new(cfp_baselines::TinyStyleMiner::new())
+        }
+        "fparray" => {
+            budget_ignored("fparray");
+            Box::new(cfp_baselines::FpArrayStyleMiner::new())
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Exits with the documented code for a failed output write. A broken
+/// pipe is the downstream consumer (`head`, `grep -q`, a closed pager)
+/// losing interest — that is success, reported quietly, matching the
+/// behaviour of well-mannered Unix filters.
+fn exit_for_write_error(e: &io::Error) -> ! {
+    if e.kind() == io::ErrorKind::BrokenPipe {
+        exit(0);
     }
+    eprintln!("cfp-mine: cannot write output: {e}");
+    exit(1);
 }
 
 /// Streams itemsets straight to a writer in FIMI output format.
+///
+/// Write failures are recorded, not panicked on; after the first failure
+/// further output is discarded (mining continues so stats stay
+/// meaningful) and main exits through [`exit_for_write_error`].
 struct PrintSink<W: Write> {
     out: W,
     count: u64,
+    err: Option<io::Error>,
 }
 
 impl<W: Write> ItemsetSink for PrintSink<W> {
     fn emit(&mut self, itemset: &[u32], support: u64) {
         self.count += 1;
+        if self.err.is_some() {
+            return;
+        }
         let mut line = String::with_capacity(itemset.len() * 7 + 12);
         for (i, item) in itemset.iter().enumerate() {
             if i > 0 {
@@ -181,11 +247,13 @@ impl<W: Write> ItemsetSink for PrintSink<W> {
             line.push_str(&item.to_string());
         }
         line.push_str(&format!(" ({support})\n"));
-        self.out.write_all(line.as_bytes()).expect("stdout write");
+        if let Err(e) = self.out.write_all(line.as_bytes()) {
+            self.err = Some(e);
+        }
     }
 }
 
-fn print_itemsets(itemsets: &[(Vec<u32>, u64)]) {
+fn print_itemsets(itemsets: &[(Vec<u32>, u64)]) -> io::Result<()> {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     for (items, support) in itemsets {
@@ -197,9 +265,9 @@ fn print_itemsets(itemsets: &[(Vec<u32>, u64)]) {
             line.push_str(&item.to_string());
         }
         line.push_str(&format!(" ({support})\n"));
-        out.write_all(line.as_bytes()).expect("stdout write");
+        out.write_all(line.as_bytes())?;
     }
-    out.flush().expect("stdout flush");
+    out.flush()
 }
 
 fn report_stats(stats: &MineStats, n_itemsets: u64) {
@@ -251,8 +319,24 @@ fn report_trace_stats() {
     );
 }
 
+/// Reports a pipeline failure and exits with its documented code. The
+/// diagnostic names the failing phase (the `Display` of
+/// `CfpError::MemoryExhausted` includes it).
+fn exit_for_mine_error(e: CfpError) -> ! {
+    eprintln!("cfp-mine: {e}");
+    exit(e.exit_code());
+}
+
 fn main() {
-    let opts = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("cfp-mine: {msg}");
+            print_usage();
+            exit(EXIT_USAGE);
+        }
+    };
     let profiling = opts.profile.is_some();
     if profiling {
         cfp_trace::set_enabled(true);
@@ -261,13 +345,26 @@ fn main() {
     let sampler =
         profiling.then(|| cfp_trace::MemSampler::start(std::time::Duration::from_millis(10)));
 
+    let policy = if opts.skip_bad_lines { ParsePolicy::Skip } else { ParsePolicy::Strict };
     let db: TransactionDb = {
         let _s = cfp_trace::span(cfp_trace::Phase::Read);
-        match cfp_data::fimi::read_file(&opts.input) {
-            Ok(db) => db,
-            Err(e) => {
+        match cfp_data::fimi::read_file_with_policy(&opts.input, policy) {
+            Ok((db, stats)) => {
+                if stats.skipped_lines > 0 {
+                    eprintln!(
+                        "warning: skipped {} malformed line(s) ({} bad token(s)) in {}",
+                        stats.skipped_lines, stats.bad_tokens, opts.input
+                    );
+                }
+                db
+            }
+            Err(CfpError::Io(e)) => {
                 eprintln!("cannot read {}: {e}", opts.input);
                 exit(1);
+            }
+            Err(e) => {
+                eprintln!("cfp-mine: {}: {e}", opts.input);
+                exit(e.exit_code());
             }
         }
     };
@@ -282,44 +379,78 @@ fn main() {
         db.distinct_items()
     );
 
-    let miner = miner_by_name(&opts.algorithm, opts.threads);
+    let miner = match miner_by_name(&opts) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("cfp-mine: {msg}");
+            print_usage();
+            exit(EXIT_USAGE);
+        }
+    };
     let needs_collection =
         opts.top.is_some() || opts.closed || opts.maximal || opts.rules.is_some();
 
     let stats = if opts.count_only {
         let mut sink = CountingSink::new();
-        let stats = miner.mine(&db, min_support, &mut sink);
-        println!("{}", sink.count);
+        let stats =
+            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        if let Err(e) = writeln!(std::io::stdout(), "{}", sink.count) {
+            exit_for_write_error(&e);
+        }
         stats
     } else if let Some(k) = opts.top {
         let mut sink = TopKSink::new(k);
-        let stats = miner.mine(&db, min_support, &mut sink);
-        print_itemsets(&sink.into_sorted());
+        let stats =
+            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        if let Err(e) = print_itemsets(&sink.into_sorted()) {
+            exit_for_write_error(&e);
+        }
         stats
     } else if needs_collection {
         let mut sink = CollectSink::new();
-        let stats = miner.mine(&db, min_support, &mut sink);
+        let stats =
+            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
         let all = sink.into_sorted();
         if let Some(conf) = opts.rules {
             let rules = RuleMiner::new(&all, db.len() as u64).rules_by_confidence(conf);
+            let stdout = std::io::stdout();
+            let mut out = std::io::BufWriter::new(stdout.lock());
             for r in &rules {
-                println!(
+                if let Err(e) = writeln!(
+                    out,
                     "{:?} => {:?}  support {}  confidence {:.3}  lift {:.3}",
                     r.antecedent, r.consequent, r.support, r.confidence, r.lift
-                );
+                ) {
+                    exit_for_write_error(&e);
+                }
+            }
+            if let Err(e) = out.flush() {
+                exit_for_write_error(&e);
             }
             eprintln!("{} rules", rules.len());
         } else if opts.closed {
-            print_itemsets(&closed_itemsets(&all));
+            if let Err(e) = print_itemsets(&closed_itemsets(&all)) {
+                exit_for_write_error(&e);
+            }
         } else if opts.maximal {
-            print_itemsets(&maximal_itemsets(&all));
+            if let Err(e) = print_itemsets(&maximal_itemsets(&all)) {
+                exit_for_write_error(&e);
+            }
         }
         stats
     } else {
         let stdout = std::io::stdout();
-        let mut sink = PrintSink { out: std::io::BufWriter::new(stdout.lock()), count: 0 };
-        let stats = miner.mine(&db, min_support, &mut sink);
-        sink.out.flush().expect("stdout flush");
+        let mut sink =
+            PrintSink { out: std::io::BufWriter::new(stdout.lock()), count: 0, err: None };
+        let stats =
+            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        let flushed = sink.out.flush();
+        if let Some(e) = sink.err {
+            exit_for_write_error(&e);
+        }
+        if let Err(e) = flushed {
+            exit_for_write_error(&e);
+        }
         stats
     };
     let wall_nanos = run_started.elapsed().as_nanos() as u64;
@@ -328,7 +459,7 @@ fn main() {
     if let Some(path) = &opts.image {
         if opts.algorithm != "cfp" {
             eprintln!("--image requires the cfp algorithm");
-            exit(2);
+            exit(EXIT_USAGE);
         }
         let image = MiningImage::build(&db, min_support);
         if let Err(e) = image.save(path) {
@@ -359,5 +490,71 @@ fn main() {
             exit(1);
         }
         eprintln!("profile written to {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("4k"), Ok(4096));
+        assert_eq!(parse_bytes("64M"), Ok(64 << 20));
+        assert_eq!(parse_bytes("2g"), Ok(2 << 30));
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("x").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("99999999999999999999g").is_err());
+    }
+
+    #[test]
+    fn parse_args_happy_path() {
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--threads",
+            "4",
+            "--mem-budget",
+            "1m",
+            "--skip-bad-lines",
+        ]))
+        .unwrap();
+        assert_eq!(o.input, "in.dat");
+        assert!(matches!(o.support, SupportSpec::Absolute(2)));
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.mem_budget, Some(1 << 20));
+        assert!(o.skip_bad_lines);
+    }
+
+    #[test]
+    fn parse_args_reports_problems_instead_of_exiting() {
+        assert!(parse_args(&args(&[])).unwrap_err().contains("no input"));
+        assert!(parse_args(&args(&["in.dat"])).unwrap_err().contains("--support"));
+        assert!(parse_args(&args(&["in.dat", "--support"])).unwrap_err().contains("missing value"));
+        assert!(parse_args(&args(&["in.dat", "--support", "x"]))
+            .unwrap_err()
+            .contains("bad support"));
+        assert!(parse_args(&args(&["in.dat", "--support", "2", "--bogus"]))
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse_args(&args(&["in.dat", "--support", "2", "--mem-budget", "huge"]))
+            .unwrap_err()
+            .contains("bad byte count"));
+    }
+
+    #[test]
+    fn parse_args_relative_support() {
+        let o = parse_args(&args(&["x.dat", "--support", "2.5%"])).unwrap();
+        match o.support {
+            SupportSpec::Relative(f) => assert!((f - 0.025).abs() < 1e-12),
+            SupportSpec::Absolute(_) => panic!("expected relative"),
+        }
     }
 }

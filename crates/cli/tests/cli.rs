@@ -199,6 +199,133 @@ fn profile_report_is_valid_and_complete() {
 #[test]
 fn missing_input_fails_cleanly() {
     let out = Command::new(bin()).args(["/nonexistent.dat", "--support", "2"]).output().unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn bad_usage_exits_2_with_usage_text() {
+    for args in [
+        &[][..],
+        &["--support", "2"][..], // no input
+        &["sample.dat"][..],     // no support
+        &["sample.dat", "--support", "2", "--bogus"][..],
+        &["sample.dat", "--support", "2", "--mem-budget", "lots"][..],
+    ] {
+        let out = Command::new(bin()).args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+    }
+    // An unknown algorithm is only detected after the input is read.
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--algorithm", "quantum"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+/// A downstream consumer closing the pipe early (`cfp-mine ... | head`)
+/// is not an error: the process must exit 0 without a panic message.
+#[test]
+fn broken_pipe_exits_zero_and_quiet() {
+    use std::io::Read;
+    use std::process::Stdio;
+
+    // One 16-item transaction at support 1 yields 2^16 - 1 = 65535
+    // itemsets — several megabytes of output, far beyond the 64 KiB pipe
+    // buffer, so the miner is guaranteed to hit EPIPE after we hang up.
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wide.dat");
+    let row: Vec<String> = (1..=16).map(|i| i.to_string()).collect();
+    std::fs::write(&path, format!("{}\n", row.join(" "))).unwrap();
+
+    let mut child = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Read a token amount, then hang up while the miner is still writing.
+    let mut stdout = child.stdout.take().unwrap();
+    let mut first = [0u8; 64];
+    stdout.read_exact(&mut first).unwrap();
+    drop(stdout);
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stderr}");
+    assert!(!stderr.contains("panic"), "{stderr}");
+}
+
+#[test]
+fn tiny_mem_budget_exits_4_naming_the_build_phase() {
+    let path = write_sample();
+    for threads in ["1", "4"] {
+        let out = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "2",
+                "--mem-budget",
+                "16",
+                "--threads",
+                threads,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(4), "{threads} threads");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("memory exhausted"), "{stderr}");
+        assert!(stderr.contains("build"), "diagnostic must name the phase: {stderr}");
+    }
+}
+
+#[test]
+fn generous_mem_budget_mines_normally() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--mem-budget", "1g", "--count"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "13");
+}
+
+fn write_damaged_sample() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("damaged.dat");
+    std::fs::write(&path, "1 2\n1 4294967296 2\n1 2\n").unwrap();
+    path
+}
+
+#[test]
+fn malformed_input_exits_3_citing_the_line() {
+    let path = write_damaged_sample();
+    let out =
+        Command::new(bin()).args([path.to_str().unwrap(), "--support", "1"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("4294967296"), "{stderr}");
+}
+
+#[test]
+fn skip_bad_lines_mines_the_rest_and_warns() {
+    let path = write_damaged_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--skip-bad-lines", "--count"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipped 1 malformed line"), "{stderr}");
+    // The two surviving transactions are both {1, 2}: itemsets 1, 2, 1 2.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
 }

@@ -22,7 +22,8 @@
 //! enumeration.
 
 use cfp_array::{convert, CfpArray};
-use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_memman::MemoryBudget;
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
 use cfp_trace::{span, Phase};
 use cfp_tree::CfpTree;
@@ -32,11 +33,17 @@ use cfp_tree::CfpTree;
 pub struct CfpGrowthMiner {
     /// Enumerate single-path structures directly instead of recursing.
     pub single_path_opt: bool,
+    /// Byte cap on the initial tree's arena. When set, exceeding it
+    /// surfaces as [`CfpError::MemoryExhausted`] from
+    /// [`Miner::try_mine`] (or a panic from the infallible
+    /// [`Miner::mine`]). The build phase dominates the peak, so the cap
+    /// governs it only; conditional trees during mining stay uncapped.
+    pub mem_budget: Option<u64>,
 }
 
 impl Default for CfpGrowthMiner {
     fn default() -> Self {
-        CfpGrowthMiner { single_path_opt: true }
+        CfpGrowthMiner { single_path_opt: true, mem_budget: None }
     }
 }
 
@@ -50,9 +57,20 @@ impl CfpGrowthMiner {
 /// Runs the scan and build phases: returns the recoder and the initial
 /// CFP-tree. Exposed separately so benchmarks can time phases.
 pub fn build_tree(db: &TransactionDb, min_support: u64) -> (ItemRecoder, CfpTree) {
+    try_build_tree(db, min_support, None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`build_tree`]: the tree arena is capped at `budget` bytes
+/// when given, and exhaustion comes back as
+/// [`CfpError::MemoryExhausted`] with the phase set to `"build"`.
+pub fn try_build_tree(
+    db: &TransactionDb,
+    min_support: u64,
+    budget: Option<u64>,
+) -> Result<(ItemRecoder, CfpTree), CfpError> {
     let recoder = ItemRecoder::scan(db, min_support);
-    let tree = CfpTree::from_db(db, &recoder);
-    (recoder, tree)
+    let tree = CfpTree::try_from_db(db, &recoder, budget.map(MemoryBudget::new))?;
+    Ok((recoder, tree))
 }
 
 struct Ctx<'a> {
@@ -85,6 +103,15 @@ impl Miner for CfpGrowthMiner {
     }
 
     fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        self.try_mine(db, min_support, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_mine(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+    ) -> Result<MineStats, CfpError> {
         let mut stats = MineStats::default();
         let gauge = MemGauge::new();
         let mut sw = Stopwatch::start();
@@ -97,11 +124,11 @@ impl Miner for CfpGrowthMiner {
 
         let tree = {
             let _s = span(Phase::Build);
-            CfpTree::from_db(db, &recoder)
+            CfpTree::try_from_db(db, &recoder, self.mem_budget.map(MemoryBudget::new))?
         };
         stats.build_time = sw.lap();
 
-        self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw)
+        Ok(self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw))
     }
 }
 
@@ -352,7 +379,7 @@ mod tests {
     use cfp_fptree::FpGrowthMiner;
 
     fn mine_collect(db: &TransactionDb, minsup: u64, opt: bool) -> Vec<(Vec<Item>, u64)> {
-        let miner = CfpGrowthMiner { single_path_opt: opt };
+        let miner = CfpGrowthMiner { single_path_opt: opt, ..Default::default() };
         let mut sink = CollectSink::new();
         miner.mine(db, minsup, &mut sink);
         sink.into_sorted()
@@ -439,6 +466,32 @@ mod tests {
         assert!(stats.tree_nodes > 0);
         assert!(stats.avg_bytes > 0);
         assert!(stats.avg_bytes <= stats.peak_bytes);
+    }
+
+    #[test]
+    fn tiny_budget_fails_structured_and_uncapped_retry_succeeds() {
+        let db =
+            TransactionDb::from_rows(&[vec![1, 2, 3, 4], vec![1, 2, 3], vec![1, 2], vec![2, 3, 4]]);
+        let capped = CfpGrowthMiner { mem_budget: Some(8), ..Default::default() };
+        let mut sink = CountingSink::new();
+        let err = capped.try_mine(&db, 1, &mut sink).expect_err("8 bytes cannot hold the tree");
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("build"), "{err}");
+        // The failure is recoverable in-process: retry without the cap.
+        let mut sink = CountingSink::new();
+        let stats = CfpGrowthMiner::new().try_mine(&db, 1, &mut sink).expect("uncapped mine");
+        assert_eq!(stats.itemsets, sink.count);
+        assert!(sink.count > 0);
+    }
+
+    #[test]
+    fn generous_budget_mines_identically() {
+        let db =
+            TransactionDb::from_rows(&[vec![1, 2, 3, 4], vec![1, 2, 3], vec![1, 2], vec![2, 3, 4]]);
+        let capped = CfpGrowthMiner { mem_budget: Some(1 << 20), ..Default::default() };
+        let mut sink = CollectSink::new();
+        capped.try_mine(&db, 1, &mut sink).expect("1 MiB is plenty");
+        assert_eq!(sink.into_sorted(), mine_collect(&db, 1, true));
     }
 
     #[test]

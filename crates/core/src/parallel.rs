@@ -18,11 +18,13 @@
 //! the sum of the workers' conditional-structure peaks (as if all workers
 //! hit their individual peaks simultaneously).
 
-use crate::growth::{build_tree, mine_one_item, CfpGrowthMiner};
+use crate::growth::{mine_one_item, try_build_tree, CfpGrowthMiner};
 use cfp_array::convert;
-use cfp_data::{Item, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, TransactionDb};
 use cfp_metrics::{HeapSize, Stopwatch};
 use cfp_trace::{span, Phase};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 
 /// Multi-threaded CFP-growth over a shared initial CFP-array.
@@ -32,12 +34,15 @@ pub struct ParallelCfpGrowthMiner {
     pub threads: usize,
     /// Enumerate single-path structures directly instead of recursing.
     pub single_path_opt: bool,
+    /// Byte cap on the initial tree's arena (see
+    /// [`CfpGrowthMiner::mem_budget`]).
+    pub mem_budget: Option<u64>,
 }
 
 impl ParallelCfpGrowthMiner {
     /// A parallel miner with the given worker count.
     pub fn new(threads: usize) -> Self {
-        ParallelCfpGrowthMiner { threads, single_path_opt: true }
+        ParallelCfpGrowthMiner { threads, single_path_opt: true, mem_budget: None }
     }
 }
 
@@ -50,12 +55,13 @@ struct BatchSink {
 const BATCH: usize = 1024;
 
 impl BatchSink {
-    fn flush(&mut self) {
-        if !self.buf.is_empty() {
-            // A disconnected receiver only happens when the caller
-            // panicked; dropping the batch is then fine.
-            let _ = self.tx.send(std::mem::take(&mut self.buf));
+    /// Sends the buffered batch; `false` means the receiver is gone (the
+    /// caller panicked or bailed) and the batch was dropped.
+    fn flush(&mut self) -> bool {
+        if self.buf.is_empty() {
+            return true;
         }
+        self.tx.send(std::mem::take(&mut self.buf)).is_ok()
     }
 }
 
@@ -74,19 +80,34 @@ impl Miner for ParallelCfpGrowthMiner {
     }
 
     fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats {
+        self.try_mine(db, min_support, sink).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible mine with worker containment: a panic inside any worker
+    /// is caught at the thread boundary ([`catch_unwind`]), a shared
+    /// poison flag cancels the remaining workers at their next work item,
+    /// and the first failure comes back as
+    /// [`CfpError::WorkerPanic`] — the process and the caller's sink
+    /// survive (the sink may have received a partial result stream).
+    fn try_mine(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+    ) -> Result<MineStats, CfpError> {
         if self.threads <= 1 {
-            return CfpGrowthMiner { single_path_opt: self.single_path_opt }.mine(
-                db,
-                min_support,
-                sink,
-            );
+            return CfpGrowthMiner {
+                single_path_opt: self.single_path_opt,
+                mem_budget: self.mem_budget,
+            }
+            .try_mine(db, min_support, sink);
         }
         let mut stats = MineStats::default();
         let mut sw = Stopwatch::start();
 
         let (recoder, tree) = {
             let _s = span(Phase::Build);
-            build_tree(db, min_support)
+            try_build_tree(db, min_support, self.mem_budget)?
         };
         stats.scan_time = std::time::Duration::ZERO; // folded into build
         stats.build_time = sw.lap();
@@ -111,13 +132,16 @@ impl Miner for ParallelCfpGrowthMiner {
         }
         let (tx, rx) = mpsc::channel::<Vec<(Vec<Item>, u64)>>();
         let mut worker_peaks = vec![0u64; threads];
+        let poison = AtomicBool::new(false);
+        let mut first_error: Option<CfpError> = None;
         std::thread::scope(|scope| {
             let array = &array;
             let globals = &globals;
+            let poison = &poison;
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let tx = tx.clone();
-                    scope.spawn(move || {
+                    scope.spawn(move || -> Result<u64, CfpError> {
                         // Each worker's mining wall time accumulates into
                         // the mine phase (span count = worker count).
                         let _s = span(Phase::Mine);
@@ -126,19 +150,46 @@ impl Miner for ParallelCfpGrowthMiner {
                         let mut item = n as i64 - 1 - w as i64;
                         // Round-robin from least to most frequent.
                         while item >= 0 {
-                            let (_, p) = mine_one_item(
-                                array,
-                                item as u32,
-                                globals,
-                                min_support,
-                                single_path_opt,
-                                &mut sink,
-                            );
-                            peak = peak.max(p);
+                            // A failed sibling poisons the run; stop at the
+                            // next work item instead of mining into the void.
+                            if poison.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                if cfp_fault::should_fail("core.worker") {
+                                    panic!("injected worker fault (failpoint core.worker)");
+                                }
+                                mine_one_item(
+                                    array,
+                                    item as u32,
+                                    globals,
+                                    min_support,
+                                    single_path_opt,
+                                    &mut sink,
+                                )
+                            }));
+                            match result {
+                                Ok((_, p)) => peak = peak.max(p),
+                                Err(payload) => {
+                                    poison.store(true, Ordering::Relaxed);
+                                    if cfp_trace::enabled() {
+                                        cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                                    }
+                                    return Err(CfpError::WorkerPanic {
+                                        worker: w,
+                                        message: panic_message(&*payload),
+                                    });
+                                }
+                            }
                             item -= threads as i64;
                         }
-                        sink.flush();
-                        peak
+                        if !sink.flush() && !poison.load(Ordering::Relaxed) {
+                            return Err(CfpError::WorkerPanic {
+                                worker: w,
+                                message: "result channel disconnected".to_string(),
+                            });
+                        }
+                        Ok(peak)
                     })
                 })
                 .collect();
@@ -151,16 +202,44 @@ impl Miner for ParallelCfpGrowthMiner {
                 }
             }
             for (w, h) in handles.into_iter().enumerate() {
-                worker_peaks[w] = h.join().expect("worker panicked");
+                // join() only errors on a panic that escaped catch_unwind
+                // (e.g. inside BatchSink::flush); fold it into the same
+                // structured error instead of re-panicking.
+                let joined = h.join().unwrap_or_else(|payload| {
+                    poison.store(true, Ordering::Relaxed);
+                    Err(CfpError::WorkerPanic { worker: w, message: panic_message(&*payload) })
+                });
+                match joined {
+                    Ok(peak) => worker_peaks[w] = peak,
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
             }
         });
+        if let Some(e) = first_error {
+            return Err(e);
+        }
         stats.mine_time = sw.lap();
 
         // Upper-bound estimate: shared structures plus all worker peaks.
         stats.peak_bytes = tree_bytes.max(array.heap_bytes()) + worker_peaks.iter().sum::<u64>();
         stats.avg_bytes = stats.peak_bytes;
         stats.worker_peaks = worker_peaks;
-        stats
+        Ok(stats)
+    }
+}
+
+/// Renders a caught panic payload as a diagnostic string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }
 

@@ -11,11 +11,21 @@
 //! consumer processes the previously filled buffer. Exactly two buffers
 //! circulate between the threads, so memory stays bounded no matter how
 //! large the input file is.
+//!
+//! # Failure model
+//!
+//! Failures on the reading thread never panic the consumer. An I/O error
+//! (or a strict-policy parse error) is forwarded through the buffer
+//! channel and surfaces as the `Err` of the next
+//! [`next_chunk`](DoubleBufferedReader::next_chunk) call — chunks read
+//! before the failure are still delivered in order first. Even a failed
+//! thread spawn is reported this way instead of panicking.
 
-use crate::fimi::parse_line;
+use crate::fimi::{parse_line_with_policy, ParsePolicy, ParseStats};
 use crate::types::{Item, TransactionDb};
 use std::io::{self, BufRead, BufReader, Read};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Default number of transactions per buffer.
@@ -32,6 +42,7 @@ pub struct DoubleBufferedReader {
     filled_rx: Receiver<Filled>,
     empty_tx: Option<SyncSender<TransactionDb>>,
     worker: Option<JoinHandle<()>>,
+    stats: Arc<Mutex<ParseStats>>,
 }
 
 impl DoubleBufferedReader {
@@ -42,6 +53,16 @@ impl DoubleBufferedReader {
 
     /// Starts reading `input`, grouping `chunk` transactions per buffer.
     pub fn with_chunk_size(input: impl Read + Send + 'static, chunk: usize) -> Self {
+        Self::with_policy(input, chunk, ParsePolicy::Strict)
+    }
+
+    /// Starts reading `input` under an explicit [`ParsePolicy`], grouping
+    /// `chunk` transactions per buffer.
+    pub fn with_policy(
+        input: impl Read + Send + 'static,
+        chunk: usize,
+        policy: ParsePolicy,
+    ) -> Self {
         assert!(chunk > 0, "chunk size must be positive");
         let (filled_tx, filled_rx) = sync_channel::<Filled>(2);
         let (empty_tx, empty_rx) = sync_channel::<TransactionDb>(2);
@@ -49,50 +70,86 @@ impl DoubleBufferedReader {
         empty_tx.send(TransactionDb::new()).expect("fresh channel");
         empty_tx.send(TransactionDb::new()).expect("fresh channel");
 
-        let worker = std::thread::Builder::new()
-            .name("cfp-data-reader".into())
-            .spawn(move || {
-                let mut reader = BufReader::new(input);
-                let mut line = String::new();
-                let mut items: Vec<Item> = Vec::new();
-                'outer: while let Ok(mut db) = empty_rx.recv() {
-                    db.clear(); // reuse the recycled buffer's allocation
-                    let mut n = 0;
-                    loop {
-                        line.clear();
-                        match reader.read_line(&mut line) {
-                            Ok(0) => {
-                                if !db.is_empty() {
-                                    let _ = filled_tx.send(Filled::Chunk(db));
-                                }
-                                break 'outer;
+        let stats = Arc::new(Mutex::new(ParseStats::default()));
+        let worker_stats = Arc::clone(&stats);
+        let spawn_tx = filled_tx.clone();
+        let worker = std::thread::Builder::new().name("cfp-data-reader".into()).spawn(move || {
+            let mut reader = BufReader::new(input);
+            let mut line = String::new();
+            let mut items: Vec<Item> = Vec::new();
+            let mut local = ParseStats::default();
+            let flush = |local: &ParseStats| {
+                *worker_stats.lock().unwrap_or_else(|e| e.into_inner()) = *local;
+            };
+            'outer: while let Ok(mut db) = empty_rx.recv() {
+                db.clear(); // reuse the recycled buffer's allocation
+                let mut n = 0;
+                loop {
+                    line.clear();
+                    if cfp_fault::should_fail("data.read") {
+                        flush(&local);
+                        let _ = filled_tx.send(Filled::Err(io::Error::other(
+                            "injected I/O failure (failpoint data.read)",
+                        )));
+                        break 'outer;
+                    }
+                    match reader.read_line(&mut line) {
+                        Ok(0) => {
+                            flush(&local);
+                            if !db.is_empty() {
+                                let _ = filled_tx.send(Filled::Chunk(db));
                             }
-                            Ok(_) => {
-                                items.clear();
-                                if let Err(e) = parse_line(&line, &mut items) {
-                                    let _ = filled_tx.send(Filled::Err(e));
+                            break 'outer;
+                        }
+                        Ok(_) => {
+                            local.lines += 1;
+                            items.clear();
+                            match parse_line_with_policy(
+                                &line,
+                                local.lines,
+                                policy,
+                                &mut items,
+                                &mut local,
+                            ) {
+                                Ok(true) => {
+                                    db.push(&items);
+                                    n += 1;
+                                    if n == chunk {
+                                        flush(&local);
+                                        if filled_tx.send(Filled::Chunk(db)).is_err() {
+                                            break 'outer; // consumer dropped
+                                        }
+                                        continue 'outer;
+                                    }
+                                }
+                                Ok(false) => {} // line skipped under ParsePolicy::Skip
+                                Err(e) => {
+                                    flush(&local);
+                                    let _ = filled_tx.send(Filled::Err(e.into()));
                                     break 'outer;
                                 }
-                                db.push(&items);
-                                n += 1;
-                                if n == chunk {
-                                    if filled_tx.send(Filled::Chunk(db)).is_err() {
-                                        break 'outer; // consumer dropped
-                                    }
-                                    continue 'outer;
-                                }
                             }
-                            Err(e) => {
-                                let _ = filled_tx.send(Filled::Err(e));
-                                break 'outer;
-                            }
+                        }
+                        Err(e) => {
+                            flush(&local);
+                            let _ = filled_tx.send(Filled::Err(e));
+                            break 'outer;
                         }
                     }
                 }
-            })
-            .expect("spawn reader thread");
+            }
+        });
+        let worker = match worker {
+            Ok(h) => Some(h),
+            Err(e) => {
+                // Report the failed spawn through the normal error path
+                // instead of panicking the consumer.
+                let _ = spawn_tx.send(Filled::Err(e));
+                None
+            }
+        };
 
-        DoubleBufferedReader { filled_rx, empty_tx: Some(empty_tx), worker: Some(worker) }
+        DoubleBufferedReader { filled_rx, empty_tx: Some(empty_tx), worker, stats }
     }
 
     /// Receives the next filled buffer, or `None` at end of input.
@@ -112,6 +169,13 @@ impl DoubleBufferedReader {
         if let Some(tx) = &self.empty_tx {
             let _ = tx.send(buffer);
         }
+    }
+
+    /// Parse statistics observed so far. Updated at chunk boundaries and
+    /// on stream end, so the value is only final once
+    /// [`next_chunk`](Self::next_chunk) has returned `Ok(None)` or `Err`.
+    pub fn parse_stats(&self) -> ParseStats {
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Drives the whole stream through `f`, recycling buffers internally.
@@ -197,6 +261,37 @@ mod tests {
     fn parse_errors_propagate() {
         let rdr = DoubleBufferedReader::new(std::io::Cursor::new(b"1 2\n3 oops\n".to_vec()));
         assert!(rdr.collect().is_err());
+    }
+
+    #[test]
+    fn strict_error_cites_the_line_number() {
+        let mut rdr =
+            DoubleBufferedReader::new(std::io::Cursor::new(b"1 2\n2 3\nbad x\n".to_vec()));
+        let first = rdr.next_chunk();
+        // The single chunk errors out because the bad line arrives before
+        // the chunk boundary; the message names line 3.
+        let err = first.expect_err("strict parse must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn skip_policy_drops_bad_lines_and_counts_them() {
+        let text = b"1 2\nbad x\n3 4\n".to_vec();
+        let mut rdr =
+            DoubleBufferedReader::with_policy(std::io::Cursor::new(text), 64, ParsePolicy::Skip);
+        let mut rows = Vec::new();
+        while let Some(chunk) = rdr.next_chunk().unwrap() {
+            for t in chunk.iter() {
+                rows.push(t.to_vec());
+            }
+            rdr.recycle(chunk);
+        }
+        assert_eq!(rows, vec![vec![1, 2], vec![3, 4]]);
+        let stats = rdr.parse_stats();
+        assert_eq!(stats.lines, 3);
+        assert_eq!(stats.skipped_lines, 1);
+        assert_eq!(stats.bad_tokens, 2);
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod rng;
 pub mod types;
 pub mod zipf;
 
+pub use cfp_fault::CfpError;
 pub use count::ItemRecoder;
+pub use fimi::{ParsePolicy, ParseStats};
 pub use miner::{ItemsetSink, MineStats, Miner};
 pub use types::{Item, TransactionDb};

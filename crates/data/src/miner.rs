@@ -11,6 +11,7 @@
 //! ascending, so results from different algorithms are directly comparable.
 
 use crate::types::{Item, TransactionDb};
+use cfp_fault::CfpError;
 use std::collections::BinaryHeap;
 use std::time::Duration;
 
@@ -179,6 +180,20 @@ pub trait Miner {
     /// Mines all itemsets with support ≥ `min_support` from `db`,
     /// emitting each into `sink`, and returns execution statistics.
     fn mine(&self, db: &TransactionDb, min_support: u64, sink: &mut dyn ItemsetSink) -> MineStats;
+
+    /// Fallible [`mine`](Self::mine): miners with recoverable failure
+    /// modes (memory budgets, contained worker panics) override this to
+    /// report a structured [`CfpError`] instead of panicking. The default
+    /// simply delegates to `mine`, so the eight baseline miners keep
+    /// their infallible behaviour unchanged.
+    fn try_mine(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+    ) -> Result<MineStats, CfpError> {
+        Ok(self.mine(db, min_support, sink))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,198 @@
+//! The unified error type of the mining pipeline.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong between reading a dataset and emitting
+/// the last itemset.
+///
+/// Every phase of the pipeline reports through this one enum so callers
+/// (the CLI above all) can map failures to stable exit codes and
+/// diagnostics. Variants deliberately carry enough context to name the
+/// failing phase and quantify the resource that ran out.
+#[derive(Debug)]
+pub enum CfpError {
+    /// An operating-system I/O failure (open, read, write).
+    Io(io::Error),
+    /// A malformed input line rejected under
+    /// `ParsePolicy::Strict`; `line` is 1-based.
+    Parse {
+        /// 1-based input line the bad token was found on.
+        line: u64,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An arena allocation could not be satisfied: the configured
+    /// `MemoryBudget` would be exceeded, the 40-bit address space is
+    /// exhausted, or a failpoint injected the condition.
+    MemoryExhausted {
+        /// Pipeline phase that hit the wall (`"build"`, `"mine"`, …;
+        /// empty until a phase attaches itself via
+        /// [`with_phase`](CfpError::with_phase)).
+        phase: &'static str,
+        /// Bytes the failing allocation asked for.
+        requested: u64,
+        /// Arena bytes already carved when the allocation failed.
+        footprint: u64,
+        /// The configured budget in bytes (0 = no budget; the 40-bit
+        /// address space ran out instead).
+        limit: u64,
+    },
+    /// A worker thread of the parallel miner panicked or lost its
+    /// result channel; the remaining workers were cancelled and the
+    /// process kept running.
+    WorkerPanic {
+        /// Index of the failing worker.
+        worker: usize,
+        /// The panic payload (or channel diagnostic), stringified.
+        message: String,
+    },
+}
+
+/// Exit code for command-line usage errors (bad flags, missing
+/// arguments). Kept here so the code space is defined in one place.
+pub const EXIT_USAGE: i32 = 2;
+
+impl CfpError {
+    /// The process exit code the CLI maps this error to.
+    ///
+    /// The space is documented in the README: 0 success, 1 I/O error,
+    /// 2 usage error ([`EXIT_USAGE`]), 3 malformed input, 4 memory
+    /// exhausted, 5 worker panic.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CfpError::Io(_) => 1,
+            CfpError::Parse { .. } => 3,
+            CfpError::MemoryExhausted { .. } => 4,
+            CfpError::WorkerPanic { .. } => 5,
+        }
+    }
+
+    /// Names the pipeline phase on a [`MemoryExhausted`]
+    /// (CfpError::MemoryExhausted) error; other variants pass through
+    /// unchanged. An already-named phase is kept (the innermost frame
+    /// knows best).
+    pub fn with_phase(self, phase: &'static str) -> CfpError {
+        match self {
+            CfpError::MemoryExhausted { phase: "", requested, footprint, limit } => {
+                CfpError::MemoryExhausted { phase, requested, footprint, limit }
+            }
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CfpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfpError::Io(e) => write!(f, "I/O error: {e}"),
+            CfpError::Parse { line, message } => {
+                write!(f, "malformed input at line {line}: {message}")
+            }
+            CfpError::MemoryExhausted { phase, requested, footprint, limit } => {
+                let phase = if phase.is_empty() { "alloc" } else { phase };
+                write!(
+                    f,
+                    "memory exhausted in {phase} phase: {requested} bytes requested, \
+                     {footprint} bytes carved"
+                )?;
+                if *limit > 0 {
+                    write!(f, ", budget {limit} bytes")?;
+                }
+                Ok(())
+            }
+            CfpError::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CfpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CfpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CfpError {
+    fn from(e: io::Error) -> Self {
+        CfpError::Io(e)
+    }
+}
+
+/// Lossy back-conversion for APIs whose signature predates [`CfpError`]
+/// (`fimi::read` and friends return `io::Result`).
+impl From<CfpError> for io::Error {
+    fn from(e: CfpError) -> Self {
+        match e {
+            CfpError::Io(e) => e,
+            CfpError::Parse { .. } => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+            CfpError::MemoryExhausted { .. } => {
+                io::Error::new(io::ErrorKind::OutOfMemory, e.to_string())
+            }
+            CfpError::WorkerPanic { .. } => io::Error::other(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let errs = [
+            CfpError::Io(io::Error::other("x")),
+            CfpError::Parse { line: 1, message: "x".into() },
+            CfpError::MemoryExhausted { phase: "build", requested: 1, footprint: 2, limit: 3 },
+            CfpError::WorkerPanic { worker: 0, message: "x".into() },
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(CfpError::exit_code).collect();
+        codes.push(EXIT_USAGE);
+        codes.push(0); // success
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len(), "exit codes must not collide: {codes:?}");
+        assert_eq!(codes, vec![1, 3, 4, 5, 2, 0]);
+    }
+
+    #[test]
+    fn with_phase_fills_only_empty_phase() {
+        let e = CfpError::MemoryExhausted { phase: "", requested: 8, footprint: 64, limit: 0 };
+        match e.with_phase("build") {
+            CfpError::MemoryExhausted { phase, .. } => assert_eq!(phase, "build"),
+            other => panic!("{other:?}"),
+        }
+        let e = CfpError::MemoryExhausted { phase: "mine", requested: 8, footprint: 64, limit: 0 };
+        match e.with_phase("build") {
+            CfpError::MemoryExhausted { phase, .. } => assert_eq!(phase, "mine"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_names_the_phase_and_budget() {
+        let e = CfpError::MemoryExhausted {
+            phase: "build",
+            requested: 24,
+            footprint: 960,
+            limit: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("build"), "{s}");
+        assert!(s.contains("1024"), "{s}");
+        let e = CfpError::Parse { line: 17, message: "bad item \"x\"".into() };
+        assert!(e.to_string().contains("line 17"));
+    }
+
+    #[test]
+    fn io_round_trip_preserves_kind() {
+        let e = CfpError::from(io::Error::new(io::ErrorKind::BrokenPipe, "pipe"));
+        let back: io::Error = e.into();
+        assert_eq!(back.kind(), io::ErrorKind::BrokenPipe);
+    }
+}

@@ -1,0 +1,288 @@
+//! Failure injection and the unified error type for the CFP-growth
+//! pipeline.
+//!
+//! The paper's whole point is surviving on little memory, so running out
+//! of a resource is a *first-class runtime condition*, not a programming
+//! error. This crate supplies the two halves of that failure model:
+//!
+//! - [`CfpError`]: the single error enum every phase of the
+//!   read → count → build → convert → mine pipeline reports through,
+//!   with a stable [exit-code mapping](CfpError::exit_code) for the CLI.
+//! - **Failpoints**: named injection sites ([`should_fail`]) that tests
+//!   arm with deterministic triggers ([`FaultMode`]) to prove each
+//!   recovery path actually fires.
+//!
+//! # Cost when disabled
+//!
+//! Failpoints are double-gated, mirroring `cfp-trace`. The cargo feature
+//! `fault` (default **off**) compiles the sites in or out; without it,
+//! [`should_fail`] is a constant `false` and dead-code elimination
+//! removes every site, so release builds carry zero overhead. With the
+//! feature on, an unarmed site costs one relaxed atomic load.
+//!
+//! # Determinism
+//!
+//! Every trigger is deterministic: fail-the-Nth-call and
+//! fail-after-N-calls count per-site invocations, and the probabilistic
+//! mode drives a seeded splitmix64 stream, so a failing run replays
+//! exactly.
+//!
+//! ```
+//! use cfp_fault::{configure, clear_all, should_fail, FaultMode};
+//!
+//! configure("demo.site", FaultMode::Nth(2));
+//! assert!(!should_fail("demo.site") || cfg!(not(feature = "fault")));
+//! // Second call fires (when the `fault` feature is compiled in).
+//! assert_eq!(should_fail("demo.site"), cfg!(feature = "fault"));
+//! clear_all();
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+
+pub use error::{CfpError, EXIT_USAGE};
+
+/// When a configured failpoint fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultMode {
+    /// Fire on every call.
+    Always,
+    /// Fire on exactly the `n`-th call (1-based), never again.
+    Nth(u64),
+    /// Fire on every call after the first `n` calls succeed.
+    AfterN(u64),
+    /// Fire independently with probability `p`, driven by a splitmix64
+    /// stream seeded with `seed` (deterministic per site).
+    Probability {
+        /// Probability in `[0, 1]` that a call fires.
+        p: f64,
+        /// PRNG seed; the same seed replays the same fire pattern.
+        seed: u64,
+    },
+}
+
+#[cfg(feature = "fault")]
+mod registry {
+    use super::FaultMode;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    pub struct Site {
+        pub mode: FaultMode,
+        pub calls: u64,
+        pub fired: u64,
+        pub rng: u64,
+    }
+
+    /// Number of armed sites; the fast path of `should_fail` is one
+    /// relaxed load of this.
+    pub static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    static SITES: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+
+    pub fn sites() -> MutexGuard<'static, HashMap<String, Site>> {
+        SITES.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn set_armed(n: usize) {
+        ARMED.store(n, Ordering::Relaxed);
+    }
+
+    /// splitmix64: tiny, seedable, and good enough for fault dice.
+    pub fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Arms the failpoint `site` with `mode`, resetting its call count.
+/// No-op without the `fault` feature.
+pub fn configure(site: &str, mode: FaultMode) {
+    #[cfg(feature = "fault")]
+    {
+        let mut sites = registry::sites();
+        let seed = match mode {
+            FaultMode::Probability { seed, .. } => seed,
+            _ => 0,
+        };
+        sites.insert(site.to_string(), registry::Site { mode, calls: 0, fired: 0, rng: seed });
+        registry::set_armed(sites.len());
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        let _ = (site, mode);
+    }
+}
+
+/// Disarms the failpoint `site`. No-op without the `fault` feature.
+pub fn clear(site: &str) {
+    #[cfg(feature = "fault")]
+    {
+        let mut sites = registry::sites();
+        sites.remove(site);
+        registry::set_armed(sites.len());
+    }
+    #[cfg(not(feature = "fault"))]
+    let _ = site;
+}
+
+/// Disarms every failpoint. No-op without the `fault` feature.
+pub fn clear_all() {
+    #[cfg(feature = "fault")]
+    {
+        let mut sites = registry::sites();
+        sites.clear();
+        registry::set_armed(0);
+    }
+}
+
+/// Number of times `site` has been evaluated since it was configured.
+/// Always 0 without the `fault` feature.
+pub fn calls(site: &str) -> u64 {
+    #[cfg(feature = "fault")]
+    {
+        return registry::sites().get(site).map_or(0, |s| s.calls);
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+/// Number of times `site` has fired since it was configured.
+/// Always 0 without the `fault` feature.
+pub fn fired(site: &str) -> u64 {
+    #[cfg(feature = "fault")]
+    {
+        return registry::sites().get(site).map_or(0, |s| s.fired);
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+/// Evaluates the failpoint `site`: `true` means the caller must take its
+/// failure path now.
+///
+/// Without the `fault` feature this is a constant `false` that the
+/// optimiser removes along with the failure branch. With the feature on,
+/// an unarmed registry costs one relaxed atomic load.
+#[inline(always)]
+pub fn should_fail(site: &str) -> bool {
+    #[cfg(feature = "fault")]
+    {
+        if registry::ARMED.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            return false;
+        }
+        should_fail_slow(site)
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+#[cfg(feature = "fault")]
+#[cold]
+fn should_fail_slow(site: &str) -> bool {
+    let mut sites = registry::sites();
+    let Some(s) = sites.get_mut(site) else {
+        return false;
+    };
+    s.calls += 1;
+    let fire = match s.mode {
+        FaultMode::Always => true,
+        FaultMode::Nth(n) => s.calls == n,
+        FaultMode::AfterN(n) => s.calls > n,
+        FaultMode::Probability { p, .. } => {
+            let dice = registry::next_u64(&mut s.rng) as f64 / (u64::MAX as f64);
+            dice < p
+        }
+    };
+    if fire {
+        s.fired += 1;
+    }
+    fire
+}
+
+#[cfg(all(test, feature = "fault"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global; tests serialise through this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _g = lock();
+        clear_all();
+        assert!(!should_fail("nope"));
+        assert_eq!(calls("nope"), 0);
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let _g = lock();
+        clear_all();
+        configure("t.nth", FaultMode::Nth(3));
+        let fires: Vec<bool> = (0..6).map(|_| should_fail("t.nth")).collect();
+        assert_eq!(fires, [false, false, true, false, false, false]);
+        assert_eq!(calls("t.nth"), 6);
+        assert_eq!(fired("t.nth"), 1);
+        clear_all();
+    }
+
+    #[test]
+    fn after_n_fires_from_then_on() {
+        let _g = lock();
+        clear_all();
+        configure("t.after", FaultMode::AfterN(2));
+        let fires: Vec<bool> = (0..5).map(|_| should_fail("t.after")).collect();
+        assert_eq!(fires, [false, false, true, true, true]);
+        clear_all();
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let _g = lock();
+        clear_all();
+        let run = |seed| {
+            configure("t.prob", FaultMode::Probability { p: 0.5, seed });
+            let v: Vec<bool> = (0..64).map(|_| should_fail("t.prob")).collect();
+            clear("t.prob");
+            v
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same pattern");
+        assert_ne!(a, c, "different seeds must diverge");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "p=0.5 mixes outcomes");
+        clear_all();
+    }
+
+    #[test]
+    fn clear_disarms() {
+        let _g = lock();
+        clear_all();
+        configure("t.clear", FaultMode::Always);
+        assert!(should_fail("t.clear"));
+        clear("t.clear");
+        assert!(!should_fail("t.clear"));
+        clear_all();
+    }
+}

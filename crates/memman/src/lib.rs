@@ -22,7 +22,24 @@
 //! Offsets returned by the arena are never 0 (reserved for the null
 //! pointer) and never have `0xFF` as the most significant of their five
 //! pointer bytes (reserved for the embedded-leaf marker, §3.3) — the arena
-//! would have to approach a terabyte before that mattered, and we assert it.
+//! would have to approach a terabyte before that mattered.
+//!
+//! # Failure model
+//!
+//! Running out of memory is a runtime condition, not a bug, so the arena
+//! exposes fallible entry points: [`Arena::try_alloc`] and
+//! [`Arena::try_realloc`] return an [`AllocError`] when the 40-bit
+//! address space runs out, when a configured [`MemoryBudget`] would be
+//! exceeded, or when a `cfp-fault` failpoint (`"memman.alloc"`) injects
+//! the condition. A failed call leaves the arena fully usable: no
+//! accounting is touched before all checks pass. The panicking
+//! [`alloc`](Arena::alloc)/[`realloc`](Arena::realloc) wrappers remain
+//! for contexts that treat exhaustion as fatal (tests, ad-hoc tools).
+//!
+//! Misuse, by contrast, stays a programming error: freeing the same
+//! chunk twice corrupts the free queue into a cycle, so debug builds
+//! `debug_assert!` against it by scanning the size's free queue on every
+//! [`free`](Arena::free) (release builds skip the scan).
 
 //! ```
 //! use cfp_memman::Arena;
@@ -48,6 +65,90 @@ pub const MIN_CHUNK: usize = PTR_BYTES;
 /// Largest chunk the arena manages through free queues. Standard nodes top
 /// out at 24 bytes and chain nodes at 27; 40 leaves headroom.
 pub const MAX_CHUNK: usize = 40;
+
+/// A byte cap on how much memory an [`Arena`] may carve from the OS.
+///
+/// The budget bounds the arena's *footprint* (total carved chunk bytes,
+/// the bump high-water mark) — not the live bytes — because carved
+/// memory is what the process actually pays for. Recycling free-queue
+/// chunks never consumes budget; only bump allocations do, checked
+/// before any state changes so a refused allocation leaves the arena
+/// usable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Maximum carved bytes the arena may reach.
+    pub bytes: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of `bytes` carved bytes.
+    pub fn new(bytes: u64) -> Self {
+        MemoryBudget { bytes }
+    }
+}
+
+/// Why an allocation could not be satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocErrorKind {
+    /// The bump pointer reached the end of the 40-bit address space.
+    AddressSpaceExhausted,
+    /// Carving the chunk would exceed the configured [`MemoryBudget`].
+    BudgetExceeded,
+    /// A `cfp-fault` failpoint injected the failure (tests only).
+    Injected,
+}
+
+/// A failed [`Arena::try_alloc`]/[`Arena::try_realloc`].
+///
+/// Small and `Copy` so the `Result` stays cheap on the allocation hot
+/// path; convert into the pipeline-wide `CfpError` (via `From`) at the
+/// phase boundary where the failing phase name is known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// What ran out.
+    pub kind: AllocErrorKind,
+    /// Rounded chunk bytes the caller asked for.
+    pub requested: u64,
+    /// Carved bytes at the moment of failure.
+    pub footprint: u64,
+    /// The budget in force (0 when no budget was set).
+    pub limit: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            AllocErrorKind::AddressSpaceExhausted => write!(
+                f,
+                "arena exhausted the 40-bit address space ({} bytes carved, {} requested)",
+                self.footprint, self.requested
+            ),
+            AllocErrorKind::BudgetExceeded => write!(
+                f,
+                "memory budget of {} bytes exceeded ({} carved, {} requested)",
+                self.limit, self.footprint, self.requested
+            ),
+            AllocErrorKind::Injected => write!(
+                f,
+                "injected allocation failure ({} bytes carved, {} requested)",
+                self.footprint, self.requested
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl From<AllocError> for cfp_fault::CfpError {
+    fn from(e: AllocError) -> Self {
+        cfp_fault::CfpError::MemoryExhausted {
+            phase: "",
+            requested: e.requested,
+            footprint: e.footprint,
+            limit: e.limit,
+        }
+    }
+}
 
 /// Per-arena event statistics.
 ///
@@ -87,6 +188,8 @@ pub struct Arena {
     live: u64,
     /// Event counts for this arena.
     stats: ArenaStats,
+    /// Optional cap on carved bytes, checked on every bump allocation.
+    budget: Option<MemoryBudget>,
 }
 
 impl Default for Arena {
@@ -112,7 +215,27 @@ impl Arena {
             used: 0,
             live: 0,
             stats: ArenaStats::default(),
+            budget: None,
         }
+    }
+
+    /// Creates an empty arena capped at `budget` carved bytes.
+    pub fn with_budget(budget: MemoryBudget) -> Self {
+        let mut a = Self::new();
+        a.budget = Some(budget);
+        a
+    }
+
+    /// Sets or clears the carved-byte cap. Lowering the budget below the
+    /// current footprint does not free anything; it only refuses further
+    /// bump allocations.
+    pub fn set_budget(&mut self, budget: Option<MemoryBudget>) {
+        self.budget = budget;
+    }
+
+    /// The carved-byte cap currently in force, if any.
+    pub fn budget(&self) -> Option<MemoryBudget> {
+        self.budget
     }
 
     /// Rounds a requested size to the chunk size actually used.
@@ -122,50 +245,106 @@ impl Arena {
         size.max(MIN_CHUNK)
     }
 
-    /// Allocates a chunk of at least `size` bytes and returns its offset.
+    /// Allocates a chunk of at least `size` bytes and returns its offset,
+    /// panicking on exhaustion. See [`try_alloc`](Self::try_alloc) for the
+    /// fallible variant the pipeline uses.
     ///
     /// The chunk contents are unspecified (possibly stale bytes from a
     /// previous node); the caller is expected to overwrite them fully.
     #[inline]
     pub fn alloc(&mut self, size: usize) -> u64 {
+        match self.try_alloc(size) {
+            Ok(off) => off,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Allocates a chunk of at least `size` bytes and returns its offset,
+    /// or an [`AllocError`] when the 40-bit address space or the
+    /// configured [`MemoryBudget`] runs out.
+    ///
+    /// A failed call changes nothing: no accounting, no buffer growth —
+    /// the arena remains fully usable, so callers can degrade (flush,
+    /// shrink, report) instead of aborting.
+    #[inline]
+    pub fn try_alloc(&mut self, size: usize) -> Result<u64, AllocError> {
         let size = Self::chunk_size(size);
-        self.used += size as u64;
-        self.live += 1;
-        self.stats.allocs += 1;
-        let traced = cfp_trace::enabled();
-        if traced {
-            tc::MEMMAN_ALLOCS.inc();
-            tc::MEMMAN_USED_BYTES.add(size as u64);
+        if cfp_fault::should_fail("memman.alloc") {
+            return Err(self.alloc_error(AllocErrorKind::Injected, size));
         }
         let head = self.free_heads[size];
         if head != 0 {
+            self.used += size as u64;
+            self.live += 1;
+            self.stats.allocs += 1;
             self.stats.queue_hits += 1;
-            if traced {
+            if cfp_trace::enabled() {
+                tc::MEMMAN_ALLOCS.inc();
+                tc::MEMMAN_USED_BYTES.add(size as u64);
                 tc::MEMMAN_QUEUE_HITS.inc();
             }
             let next = read_raw40(&self.buf[head as usize..head as usize + PTR_BYTES]);
             self.free_heads[size] = next;
-            return head;
+            return Ok(head);
         }
+        // Bump path: validate before touching any state.
+        let off = self.buf.len() as u64;
+        if off + size as u64 > MAX_OFFSET {
+            return Err(self.alloc_error(AllocErrorKind::AddressSpaceExhausted, size));
+        }
+        if let Some(b) = self.budget {
+            if self.footprint() - 1 + size as u64 > b.bytes {
+                return Err(self.alloc_error(AllocErrorKind::BudgetExceeded, size));
+            }
+        }
+        self.used += size as u64;
+        self.live += 1;
+        self.stats.allocs += 1;
         self.stats.bump_allocs += 1;
-        if traced {
+        if cfp_trace::enabled() {
+            tc::MEMMAN_ALLOCS.inc();
+            tc::MEMMAN_USED_BYTES.add(size as u64);
             tc::MEMMAN_BUMP_ALLOCS.inc();
             tc::MEMMAN_FOOTPRINT_BYTES.add(size as u64);
             tc::MEMMAN_PEAK_FOOTPRINT.record(tc::MEMMAN_FOOTPRINT_BYTES.get());
         }
-        let off = self.buf.len() as u64;
-        assert!(off + size as u64 <= MAX_OFFSET, "arena exhausted the 40-bit address space");
         self.buf.resize(self.buf.len() + size, 0);
-        off
+        Ok(off)
+    }
+
+    #[cold]
+    fn alloc_error(&self, kind: AllocErrorKind, size: usize) -> AllocError {
+        AllocError {
+            kind,
+            requested: size as u64,
+            footprint: self.footprint().saturating_sub(1),
+            limit: self.budget.map_or(0, |b| b.bytes),
+        }
     }
 
     /// Returns a chunk previously obtained from [`alloc`](Self::alloc) with
     /// the same `size` to the free queue of that size.
+    ///
+    /// Freeing the same chunk twice would thread the free queue into a
+    /// cycle and later hand the chunk out twice; debug builds scan the
+    /// size's queue and `debug_assert!` against it (release builds trust
+    /// the caller and skip the scan).
     #[inline]
     pub fn free(&mut self, offset: u64, size: usize) {
         let size = Self::chunk_size(size);
         debug_assert!(offset as usize + size <= self.buf.len());
         debug_assert_ne!(offset, 0, "freeing the null offset");
+        #[cfg(debug_assertions)]
+        {
+            let mut cur = self.free_heads[size];
+            while cur != 0 {
+                debug_assert_ne!(
+                    cur, offset,
+                    "double free of chunk at offset {offset} (size {size})"
+                );
+                cur = read_raw40(&self.buf[cur as usize..cur as usize + PTR_BYTES]);
+            }
+        }
         self.stats.frees += 1;
         if cfp_trace::enabled() {
             tc::MEMMAN_FREES.inc();
@@ -180,12 +359,29 @@ impl Arena {
 
     /// Moves a chunk from `old_size` to `new_size` bytes, copying the first
     /// `min(old_size, new_size)` bytes. Returns the new offset (which may
-    /// equal the old one when the rounded sizes match).
+    /// equal the old one when the rounded sizes match). Panics on
+    /// exhaustion; see [`try_realloc`](Self::try_realloc).
     pub fn realloc(&mut self, offset: u64, old_size: usize, new_size: usize) -> u64 {
+        match self.try_realloc(offset, old_size, new_size) {
+            Ok(off) => off,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`realloc`](Self::realloc): on error the original chunk at
+    /// `offset` is untouched and still owned by the caller, so a grow that
+    /// hits the budget can be handled without losing the node.
+    pub fn try_realloc(
+        &mut self,
+        offset: u64,
+        old_size: usize,
+        new_size: usize,
+    ) -> Result<u64, AllocError> {
         let (old_chunk, new_chunk) = (Self::chunk_size(old_size), Self::chunk_size(new_size));
         if old_chunk == new_chunk {
-            return offset;
+            return Ok(offset);
         }
+        let new_off = self.try_alloc(new_size)?;
         if new_chunk > old_chunk {
             self.stats.grows += 1;
             if cfp_trace::enabled() {
@@ -197,11 +393,10 @@ impl Arena {
                 tc::MEMMAN_SHRINKS.inc();
             }
         }
-        let new_off = self.alloc(new_size);
         let n = old_size.min(new_size);
         self.buf.copy_within(offset as usize..offset as usize + n, new_off as usize);
         self.free(offset, old_size);
-        new_off
+        Ok(new_off)
     }
 
     /// Immutable view of `len` bytes starting at `offset`.
@@ -393,6 +588,99 @@ mod tests {
     fn oversized_requests_panic() {
         let mut a = Arena::new();
         let _ = a.alloc(MAX_CHUNK + 1);
+    }
+
+    #[test]
+    fn budget_refuses_excess_but_leaves_arena_usable() {
+        let mut a = Arena::with_budget(MemoryBudget::new(64));
+        let x = a.alloc(40);
+        let y = a.alloc(24); // exactly at the 64-byte cap
+        let before = (a.used(), a.live_allocs(), a.footprint(), a.stats());
+        let err = a.try_alloc(8).unwrap_err();
+        assert_eq!(err.kind, AllocErrorKind::BudgetExceeded);
+        assert_eq!(err.limit, 64);
+        assert_eq!(err.requested, 8);
+        assert_eq!(err.footprint, 64);
+        // Nothing changed: same accounting, and the arena still works.
+        assert_eq!((a.used(), a.live_allocs(), a.footprint(), a.stats()), before);
+        a.free(x, 40);
+        assert_eq!(a.alloc(40), x, "recycling costs no budget and must succeed");
+        a.free(y, 24);
+        assert_eq!(a.live_allocs(), 1);
+    }
+
+    #[test]
+    fn budget_counts_carved_not_live_bytes() {
+        let mut a = Arena::with_budget(MemoryBudget::new(20));
+        let x = a.alloc(10);
+        a.free(x, 10);
+        // 10 bytes carved (now in the free queue) + a fresh 12 would top 20,
+        // and freed chunks of another class don't give the budget back.
+        assert_eq!(a.try_alloc(12).unwrap_err().kind, AllocErrorKind::BudgetExceeded);
+        // Same class recycles within the cap.
+        assert_eq!(a.try_alloc(10).unwrap(), x);
+    }
+
+    #[test]
+    fn set_budget_can_arm_and_disarm() {
+        let mut a = Arena::new();
+        let _ = a.alloc(24);
+        a.set_budget(Some(MemoryBudget::new(24)));
+        assert!(a.try_alloc(8).is_err());
+        a.set_budget(None);
+        assert!(a.try_alloc(8).is_ok());
+    }
+
+    #[test]
+    fn failed_realloc_keeps_the_old_chunk() {
+        let mut a = Arena::with_budget(MemoryBudget::new(8));
+        let x = a.alloc(8);
+        a.bytes_mut(x, 8).copy_from_slice(b"eightbyt");
+        let err = a.try_realloc(x, 8, 16).unwrap_err();
+        assert_eq!(err.kind, AllocErrorKind::BudgetExceeded);
+        assert_eq!(a.bytes(x, 8), b"eightbyt", "old chunk must survive a failed grow");
+        assert_eq!(a.live_allocs(), 1);
+        assert_eq!(a.stats().grows, 0, "a failed grow is not a grow");
+    }
+
+    #[test]
+    fn alloc_error_converts_to_cfp_error_with_phase() {
+        let mut a = Arena::with_budget(MemoryBudget::new(4));
+        let e: cfp_fault::CfpError =
+            cfp_fault::CfpError::from(a.try_alloc(40).unwrap_err()).with_phase("build");
+        assert_eq!(e.exit_code(), 4);
+        match e {
+            cfp_fault::CfpError::MemoryExhausted { phase, requested, limit, .. } => {
+                assert_eq!(phase, "build");
+                assert_eq!(requested, 40);
+                assert_eq!(limit, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_is_caught_in_debug_builds() {
+        let mut a = Arena::new();
+        let x = a.alloc(8);
+        let _keep_queue_nonempty = a.alloc(8);
+        a.free(x, 8);
+        a.free(x, 8);
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn injected_alloc_failure_is_deterministic() {
+        let mut a = Arena::new();
+        cfp_fault::configure("memman.alloc", cfp_fault::FaultMode::Nth(3));
+        assert!(a.try_alloc(8).is_ok());
+        assert!(a.try_alloc(8).is_ok());
+        let err = a.try_alloc(8).unwrap_err();
+        assert_eq!(err.kind, AllocErrorKind::Injected);
+        assert!(a.try_alloc(8).is_ok(), "only the third call fails");
+        cfp_fault::clear("memman.alloc");
     }
 
     #[test]

@@ -257,6 +257,13 @@ pub static CORE_MAX_DEPTH: MaxGauge = MaxGauge::new("core.max_depth");
 pub static CORE_DEPTH: Histogram<64> = Histogram::new("core.recursion_depth");
 /// `cfp-core`: log2 histogram of conditional pattern-base sizes.
 pub static CORE_PATTERN_BASE_LOG2: Histogram<33> = Histogram::new("core.pattern_base_log2");
+/// `cfp-core`: worker panics contained by the parallel miner.
+pub static CORE_WORKER_PANICS: Counter = Counter::new("core.worker_panics");
+
+/// `cfp-data`: malformed lines discarded under `ParsePolicy::Skip`.
+pub static DATA_SKIPPED_LINES: Counter = Counter::new("data.skipped_lines");
+/// `cfp-data`: malformed tokens across all skipped lines.
+pub static DATA_BAD_TOKENS: Counter = Counter::new("data.bad_tokens");
 
 /// All plain counters, for snapshots.
 static COUNTERS: &[&Counter] = &[
@@ -278,6 +285,9 @@ static COUNTERS: &[&Counter] = &[
     &CORE_CONDITIONAL_TREES,
     &CORE_SINGLE_PATH_SHORTCUTS,
     &CORE_PATTERNS,
+    &CORE_WORKER_PANICS,
+    &DATA_SKIPPED_LINES,
+    &DATA_BAD_TOKENS,
 ];
 
 /// All gauges, for snapshots.

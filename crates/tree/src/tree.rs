@@ -26,7 +26,8 @@ use crate::node::{
 };
 use cfp_data::{ItemRecoder, TransactionDb};
 use cfp_encoding::mask::{is_chain, MAX_CHAIN_LEN};
-use cfp_memman::Arena;
+use cfp_fault::CfpError;
+use cfp_memman::{AllocError, Arena, MemoryBudget};
 use cfp_metrics::HeapSize;
 use cfp_trace::counters as tc;
 
@@ -82,15 +83,27 @@ impl CfpTree {
 
     /// Creates an empty tree with explicit representation knobs.
     pub fn with_config(num_items: usize, config: CfpTreeConfig) -> Self {
+        Self::try_with_budget(num_items, config, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an empty tree whose arena is capped at `budget` carved
+    /// bytes. Once the budget is hit, [`try_insert`](Self::try_insert)
+    /// reports [`CfpError::MemoryExhausted`] instead of panicking.
+    pub fn try_with_budget(
+        num_items: usize,
+        config: CfpTreeConfig,
+        budget: Option<MemoryBudget>,
+    ) -> Result<Self, CfpError> {
         assert!(
             config.max_chain_len <= MAX_CHAIN_LEN,
             "chain length {} exceeds the 4-bit header limit {MAX_CHAIN_LEN}",
             config.max_chain_len
         );
         let mut arena = Arena::new();
-        let root_slot = arena.alloc(5);
+        arena.set_budget(budget);
+        let root_slot = arena.try_alloc(5).map_err(|e| CfpError::from(e).with_phase("build"))?;
         arena.bytes_mut(root_slot, 5).fill(0);
-        CfpTree {
+        Ok(CfpTree {
             arena,
             root_slot,
             config,
@@ -98,7 +111,7 @@ impl CfpTree {
             num_nodes: 0,
             weight_total: 0,
             item_supports: vec![0; num_items],
-        }
+        })
     }
 
     /// The representation configuration of this tree.
@@ -109,13 +122,26 @@ impl CfpTree {
     /// Builds the initial CFP-tree from a database (second scan of
     /// CFP-growth): recodes each transaction and inserts it with weight 1.
     pub fn from_db(db: &TransactionDb, recoder: &ItemRecoder) -> Self {
-        let mut tree = CfpTree::new(recoder.num_items());
+        Self::try_from_db(db, recoder, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_db`](Self::from_db): the build phase respects an
+    /// optional [`MemoryBudget`] and reports exhaustion as
+    /// [`CfpError::MemoryExhausted`] with the phase set to `"build"`,
+    /// leaving the process (though not the partial tree) fully usable.
+    pub fn try_from_db(
+        db: &TransactionDb,
+        recoder: &ItemRecoder,
+        budget: Option<MemoryBudget>,
+    ) -> Result<Self, CfpError> {
+        let mut tree =
+            CfpTree::try_with_budget(recoder.num_items(), CfpTreeConfig::default(), budget)?;
         let mut buf = Vec::new();
         for t in db.iter() {
             recoder.recode_transaction(t, &mut buf);
-            tree.insert(&buf, 1);
+            tree.try_insert(&buf, 1).map_err(|e| CfpError::from(e).with_phase("build"))?;
         }
-        tree
+        Ok(tree)
     }
 
     /// Number of items this tree was created for.
@@ -251,11 +277,28 @@ impl CfpTree {
 
     /// Inserts a transaction of strictly ascending recoded items with the
     /// given weight (weights > 1 arise when conditional trees are built
-    /// from counted prefix paths).
+    /// from counted prefix paths). Panics on arena exhaustion; see
+    /// [`try_insert`](Self::try_insert) for the fallible variant.
     pub fn insert(&mut self, items: &[u32], weight: u32) {
+        if let Err(e) = self.try_insert(items, weight) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`insert`](Self::insert): returns an [`AllocError`] when
+    /// the arena's 40-bit address space or its [`MemoryBudget`] runs out
+    /// mid-insertion.
+    ///
+    /// **A tree that returned `Err` is poisoned**: the interrupted
+    /// insertion may have updated supports and weights without attaching
+    /// the branch, so the only safe operation afterwards is dropping the
+    /// tree. The arena itself stays consistent — failure never corrupts
+    /// previously inserted nodes, so read-only inspection (stats,
+    /// `validate` of counters aside) remains possible for diagnostics.
+    pub fn try_insert(&mut self, items: &[u32], weight: u32) -> Result<(), AllocError> {
         debug_assert!(items.windows(2).all(|w| w[0] < w[1]), "items must ascend");
         if items.is_empty() || weight == 0 {
-            return;
+            return Ok(());
         }
         for &it in items {
             self.item_supports[it as usize] += weight as u64;
@@ -269,9 +312,9 @@ impl CfpTree {
             let want = (items[pos] as i64 - prev) as u32;
             let raw = node::read_slot(self.arena.bytes(slot, 5));
             if raw == 0 {
-                let value = self.make_branch(&items[pos..], prev, weight);
+                let value = self.make_branch(&items[pos..], prev, weight)?;
                 self.set_slot(slot, value);
-                return;
+                return Ok(());
             }
             if is_embedded(raw) {
                 let (ed, ep) = unembed(raw);
@@ -290,33 +333,34 @@ impl CfpTree {
                                     ditem: ed,
                                     pcount: np,
                                     ..Default::default()
-                                });
+                                })?;
                                 self.set_slot(slot, off);
                             }
                         }
-                        return;
+                        return Ok(());
                     }
                     // Descend below the leaf: unembed with the remainder
                     // attached as suffix.
                     if cfp_trace::enabled() {
                         tc::TREE_UNEMBEDS.inc();
                     }
-                    let child = self.make_branch(&items[pos + 1..], items[pos] as i64, weight);
+                    let child = self.make_branch(&items[pos + 1..], items[pos] as i64, weight)?;
                     let off = self.alloc_std(StdNode {
                         ditem: ed,
                         pcount: ep,
                         suffix: child,
                         ..Default::default()
-                    });
+                    })?;
                     self.set_slot(slot, off);
-                    return;
+                    return Ok(());
                 }
                 // Sibling needed: unembed into a standard node and retry
                 // the slot, which now holds a pointer.
                 if cfp_trace::enabled() {
                     tc::TREE_UNEMBEDS.inc();
                 }
-                let off = self.alloc_std(StdNode { ditem: ed, pcount: ep, ..Default::default() });
+                let off =
+                    self.alloc_std(StdNode { ditem: ed, pcount: ep, ..Default::default() })?;
                 self.set_slot(slot, off);
                 continue;
             }
@@ -324,8 +368,8 @@ impl CfpTree {
             // `raw` is an arena offset.
             let off = raw;
             if is_chain(self.arena.byte(off)) {
-                match self.step_chain(slot, off, items, &mut pos, &mut prev, weight) {
-                    ChainStep::Done => return,
+                match self.step_chain(slot, off, items, &mut pos, &mut prev, weight)? {
+                    ChainStep::Done => return Ok(()),
                     ChainStep::Descend(next_slot) => {
                         slot = next_slot;
                         continue;
@@ -339,8 +383,8 @@ impl CfpTree {
                     prev = items[pos] as i64;
                     pos += 1;
                     if pos == items.len() {
-                        self.bump_std_pcount(slot, off, std, size, weight);
-                        return;
+                        self.bump_std_pcount(slot, off, std, size, weight)?;
+                        return Ok(());
                     }
                     if std.suffix != 0 {
                         let field =
@@ -349,10 +393,10 @@ impl CfpTree {
                         slot = off + field as u64;
                         continue;
                     }
-                    let child = self.make_branch(&items[pos..], prev, weight);
+                    let child = self.make_branch(&items[pos..], prev, weight)?;
                     let updated = StdNode { suffix: child, ..std };
-                    self.rewrite_std(slot, off, size, updated);
-                    return;
+                    self.rewrite_std(slot, off, size, updated)?;
+                    return Ok(());
                 }
                 std::cmp::Ordering::Less => {
                     if std.left != 0 {
@@ -362,10 +406,10 @@ impl CfpTree {
                         slot = off + field as u64;
                         continue;
                     }
-                    let child = self.make_branch(&items[pos..], prev, weight);
+                    let child = self.make_branch(&items[pos..], prev, weight)?;
                     let updated = StdNode { left: child, ..std };
-                    self.rewrite_std(slot, off, size, updated);
-                    return;
+                    self.rewrite_std(slot, off, size, updated)?;
+                    return Ok(());
                 }
                 std::cmp::Ordering::Greater => {
                     if std.right != 0 {
@@ -375,10 +419,10 @@ impl CfpTree {
                         slot = off + field as u64;
                         continue;
                     }
-                    let child = self.make_branch(&items[pos..], prev, weight);
+                    let child = self.make_branch(&items[pos..], prev, weight)?;
                     let updated = StdNode { right: child, ..std };
-                    self.rewrite_std(slot, off, size, updated);
-                    return;
+                    self.rewrite_std(slot, off, size, updated)?;
+                    return Ok(());
                 }
             }
         }
@@ -395,7 +439,7 @@ impl CfpTree {
         pos: &mut usize,
         prev: &mut i64,
         weight: u32,
-    ) -> ChainStep {
+    ) -> Result<ChainStep, AllocError> {
         let (chain, size) = ChainNode::decode(self.arena.tail(off));
         let mut j = 0usize;
         loop {
@@ -415,7 +459,7 @@ impl CfpTree {
                         pcount: chain.pcount.checked_add(weight).expect("pcount overflow"),
                         ..chain
                     };
-                    self.rewrite_chain(slot, off, size, updated);
+                    self.rewrite_chain(slot, off, size, updated)?;
                 } else {
                     // Split: entries[..=j] end the transaction; the rest
                     // keeps the old trailing pcount and suffix.
@@ -426,24 +470,24 @@ impl CfpTree {
                         &chain.ditems[j + 1..chain.len],
                         chain.pcount,
                         chain.suffix,
-                    );
-                    let pre = self.part_value(&chain.ditems[..=j], weight, rem);
+                    )?;
+                    let pre = self.part_value(&chain.ditems[..=j], weight, rem)?;
                     self.arena.free(off, size);
                     self.set_slot(slot, pre);
                 }
-                return ChainStep::Done;
+                return Ok(ChainStep::Done);
             }
             if last {
                 if chain.suffix != 0 {
                     let field = ChainNode::suffix_offset(self.arena.bytes(off, size))
                         .expect("suffix present");
-                    return ChainStep::Descend(off + field as u64);
+                    return Ok(ChainStep::Descend(off + field as u64));
                 }
                 // Attach the remainder below the chain.
-                let child = self.make_branch(&items[*pos..], *prev, weight);
+                let child = self.make_branch(&items[*pos..], *prev, weight)?;
                 let updated = ChainNode { suffix: child, ..chain };
-                self.rewrite_chain(slot, off, size, updated);
-                return ChainStep::Done;
+                self.rewrite_chain(slot, off, size, updated)?;
+                return Ok(ChainStep::Done);
             }
             j += 1;
         }
@@ -464,7 +508,7 @@ impl CfpTree {
         pos: usize,
         prev: i64,
         weight: u32,
-    ) -> ChainStep {
+    ) -> Result<ChainStep, AllocError> {
         if cfp_trace::enabled() {
             tc::TREE_CHAIN_SPLITS.inc();
         }
@@ -474,10 +518,11 @@ impl CfpTree {
         let (pivot_pcount, pivot_suffix) = if last {
             (chain.pcount, chain.suffix)
         } else {
-            let rem = self.part_value(&chain.ditems[j + 1..chain.len], chain.pcount, chain.suffix);
+            let rem =
+                self.part_value(&chain.ditems[j + 1..chain.len], chain.pcount, chain.suffix)?;
             (0, rem)
         };
-        let branch = self.make_branch(&items[pos..], prev, weight);
+        let branch = self.make_branch(&items[pos..], prev, weight)?;
         let mut pivot =
             StdNode { ditem: dj, pcount: pivot_pcount, suffix: pivot_suffix, ..Default::default() };
         if want < dj {
@@ -485,18 +530,18 @@ impl CfpTree {
         } else {
             pivot.right = branch;
         }
-        let pivot_off = self.alloc_std(pivot);
+        let pivot_off = self.alloc_std(pivot)?;
         let head =
-            if j == 0 { pivot_off } else { self.part_value_ptr(&chain.ditems[..j], 0, pivot_off) };
+            if j == 0 { pivot_off } else { self.part_value_ptr(&chain.ditems[..j], 0, pivot_off)? };
         self.arena.free(off, size);
         self.set_slot(slot, head);
-        ChainStep::Done
+        Ok(ChainStep::Done)
     }
 
     /// Builds the slot value for a run of chain entries (1..=14 of them)
     /// carrying a trailing `pcount` and `suffix`. Single entries embed
     /// when possible; longer runs become chain nodes.
-    fn part_value(&mut self, entries: &[u8], pcount: u32, suffix: u64) -> u64 {
+    fn part_value(&mut self, entries: &[u8], pcount: u32, suffix: u64) -> Result<u64, AllocError> {
         debug_assert!(!entries.is_empty());
         if entries.len() == 1 {
             let d = entries[0] as u32;
@@ -505,7 +550,7 @@ impl CfpTree {
                     if cfp_trace::enabled() {
                         tc::TREE_EMBEDDED_LEAVES.inc();
                     }
-                    return e;
+                    return Ok(e);
                 }
             }
             return self.alloc_std(StdNode { ditem: d, pcount, suffix, ..Default::default() });
@@ -517,7 +562,12 @@ impl CfpTree {
 
     /// Like [`part_value`](Self::part_value) but never embeds (the part
     /// must stay addressable as a prefix wrapping a pivot pointer).
-    fn part_value_ptr(&mut self, entries: &[u8], pcount: u32, suffix: u64) -> u64 {
+    fn part_value_ptr(
+        &mut self,
+        entries: &[u8],
+        pcount: u32,
+        suffix: u64,
+    ) -> Result<u64, AllocError> {
         debug_assert!(!entries.is_empty());
         if entries.len() == 1 {
             let d = entries[0] as u32;
@@ -530,7 +580,7 @@ impl CfpTree {
     /// Builds a fresh branch for `items` (relative to the item `prev`)
     /// ending with `pcount = weight`, and returns its slot value. Runs of
     /// small deltas become chains; a single final small node embeds.
-    fn make_branch(&mut self, items: &[u32], prev: i64, weight: u32) -> u64 {
+    fn make_branch(&mut self, items: &[u32], prev: i64, weight: u32) -> Result<u64, AllocError> {
         debug_assert!(!items.is_empty());
         let d0 = (items[0] as i64 - prev) as u32;
         if items.len() == 1 {
@@ -540,7 +590,7 @@ impl CfpTree {
                     if cfp_trace::enabled() {
                         tc::TREE_EMBEDDED_LEAVES.inc();
                     }
-                    return e;
+                    return Ok(e);
                 }
             }
             return self.alloc_std(StdNode { ditem: d0, pcount: weight, ..Default::default() });
@@ -565,11 +615,11 @@ impl CfpTree {
                 if run == items.len() {
                     return self.alloc_chain(ChainNode::from_entries(&deltas[..run], weight, 0));
                 }
-                let child = self.make_branch(&items[run..], items[run - 1] as i64, weight);
+                let child = self.make_branch(&items[run..], items[run - 1] as i64, weight)?;
                 return self.alloc_chain(ChainNode::from_entries(&deltas[..run], 0, child));
             }
         }
-        let child = self.make_branch(&items[1..], items[0] as i64, weight);
+        let child = self.make_branch(&items[1..], items[0] as i64, weight)?;
         self.num_nodes += 1;
         self.alloc_std(StdNode { ditem: d0, pcount: 0, suffix: child, ..Default::default() })
     }
@@ -582,56 +632,77 @@ impl CfpTree {
         node::write_slot(self.arena.bytes_mut(slot, 5), raw);
     }
 
-    fn alloc_std(&mut self, std: StdNode) -> u64 {
+    fn alloc_std(&mut self, std: StdNode) -> Result<u64, AllocError> {
         let size = std.encoded_size();
-        let off = self.arena.alloc(size);
+        let off = self.arena.try_alloc(size)?;
         std.encode(self.arena.bytes_mut(off, size));
         if cfp_trace::enabled() {
             tc::TREE_STANDARD_NODES.inc();
             // First byte of a standard node is its compression mask.
             tc::TREE_MASK_BYTES.record(self.arena.byte(off) as usize);
         }
-        off
+        Ok(off)
     }
 
-    fn alloc_chain(&mut self, chain: ChainNode) -> u64 {
+    fn alloc_chain(&mut self, chain: ChainNode) -> Result<u64, AllocError> {
         let size = chain.encoded_size();
-        let off = self.arena.alloc(size);
+        let off = self.arena.try_alloc(size)?;
         chain.encode(self.arena.bytes_mut(off, size));
         if cfp_trace::enabled() {
             tc::TREE_CHAIN_NODES.inc();
         }
-        off
+        Ok(off)
     }
 
-    fn rewrite_std(&mut self, slot: u64, off: u64, old_size: usize, updated: StdNode) {
+    fn rewrite_std(
+        &mut self,
+        slot: u64,
+        off: u64,
+        old_size: usize,
+        updated: StdNode,
+    ) -> Result<(), AllocError> {
         let new_size = updated.encoded_size();
         if new_size == old_size {
             updated.encode(self.arena.bytes_mut(off, old_size));
-            return;
+            return Ok(());
         }
-        let new_off = self.arena.alloc(new_size);
+        let new_off = self.arena.try_alloc(new_size)?;
         updated.encode(self.arena.bytes_mut(new_off, new_size));
         self.arena.free(off, old_size);
         self.set_slot(slot, new_off);
+        Ok(())
     }
 
-    fn rewrite_chain(&mut self, slot: u64, off: u64, old_size: usize, updated: ChainNode) {
+    fn rewrite_chain(
+        &mut self,
+        slot: u64,
+        off: u64,
+        old_size: usize,
+        updated: ChainNode,
+    ) -> Result<(), AllocError> {
         let new_size = updated.encoded_size();
         if new_size == old_size {
             updated.encode(self.arena.bytes_mut(off, old_size));
-            return;
+            return Ok(());
         }
-        let new_off = self.arena.alloc(new_size);
+        let new_off = self.arena.try_alloc(new_size)?;
         updated.encode(self.arena.bytes_mut(new_off, new_size));
         self.arena.free(off, old_size);
         self.set_slot(slot, new_off);
+        Ok(())
     }
 
-    fn bump_std_pcount(&mut self, slot: u64, off: u64, std: StdNode, size: usize, weight: u32) {
+    fn bump_std_pcount(
+        &mut self,
+        slot: u64,
+        off: u64,
+        std: StdNode,
+        size: usize,
+        weight: u32,
+    ) -> Result<(), AllocError> {
         let updated =
             StdNode { pcount: std.pcount.checked_add(weight).expect("pcount overflow"), ..std };
-        self.rewrite_std(slot, off, size, updated);
+        self.rewrite_std(slot, off, size, updated)
     }
 }
 
@@ -966,6 +1037,41 @@ mod tests {
         let no_embed = build(CfpTreeConfig { max_chain_len: 15, embed_leaves: false });
         assert!(no_chains > full, "chains must save memory on long runs");
         assert!(no_embed >= full, "embedding never costs memory");
+    }
+
+    #[test]
+    fn budgeted_build_fails_structured_and_unbudgeted_retry_succeeds() {
+        let db = TransactionDb::from_rows(&[
+            vec![1u32, 2, 3, 4, 5],
+            vec![1, 2, 3, 6, 7],
+            vec![2, 3, 8, 9, 10],
+            vec![1, 4, 6, 8, 10],
+        ]);
+        let recoder = ItemRecoder::scan(&db, 1);
+        let err = CfpTree::try_from_db(&db, &recoder, Some(MemoryBudget::new(16)))
+            .expect_err("16 bytes cannot hold this tree");
+        match err {
+            CfpError::MemoryExhausted { phase, limit, .. } => {
+                assert_eq!(phase, "build");
+                assert_eq!(limit, 16);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failure is recoverable: a budget-free retry works.
+        let t = CfpTree::try_from_db(&db, &recoder, None).expect("unbudgeted build");
+        assert_eq!(t.weight_total(), 4);
+        t.validate().expect("valid tree after retry");
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let db = TransactionDb::from_rows(&[vec![1u32, 2, 3], vec![1, 2], vec![3]]);
+        let recoder = ItemRecoder::scan(&db, 1);
+        let capped = CfpTree::try_from_db(&db, &recoder, Some(MemoryBudget::new(1 << 20)))
+            .expect("1 MiB is plenty");
+        let free = CfpTree::from_db(&db, &recoder);
+        assert_eq!(capped.arena_used(), free.arena_used());
+        assert_eq!(reconstruct(&capped), reconstruct(&free));
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! The fault matrix: every injected failure class in the
+//! read → count → build → convert → mine pipeline must surface as a
+//! structured [`CfpError`] with its documented exit code — never as a
+//! process-killing panic (`should_panic` is deliberately absent here).
+//!
+//! Compiled only with the `fault` feature, which arms the cfp-fault
+//! failpoints in every layer:
+//! `cargo test -p cfp-integration --features fault`.
+
+#![cfg(feature = "fault")]
+
+use cfp_core::growth::try_build_tree;
+use cfp_core::{CfpGrowthMiner, CountingSink, ParallelCfpGrowthMiner};
+use cfp_data::double_buffer::DoubleBufferedReader;
+use cfp_data::{fimi, CfpError, ItemRecoder, Miner, ParsePolicy, TransactionDb};
+use cfp_fault::{clear_all, configure, fired, FaultMode};
+use cfp_tree::CfpTree;
+use std::sync::{Mutex, MutexGuard};
+
+/// The failpoint registry is process-global, so every test in this binary
+/// serialises through one lock and disarms on entry and exit.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn armed() -> MutexGuard<'static, ()> {
+    let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    clear_all();
+    guard
+}
+
+fn textbook_db() -> TransactionDb {
+    TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ])
+}
+
+/// Class 1 — allocation failure inside the arena ("memman.alloc"):
+/// the tree builder reports structured memory exhaustion naming the
+/// build phase; with the site disarmed the same build succeeds.
+#[test]
+fn injected_alloc_failure_fails_the_build_structurally() {
+    let _g = armed();
+    let db = textbook_db();
+    let recoder = ItemRecoder::scan(&db, 2);
+
+    configure("memman.alloc", FaultMode::Nth(1));
+    let err = CfpTree::try_from_db(&db, &recoder, None).expect_err("armed build must fail");
+    assert_eq!(fired("memman.alloc"), 1);
+    match &err {
+        CfpError::MemoryExhausted { phase, .. } => assert_eq!(*phase, "build"),
+        other => panic!("expected MemoryExhausted, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 4);
+
+    clear_all();
+    let tree = CfpTree::try_from_db(&db, &recoder, None).expect("disarmed build succeeds");
+    assert!(tree.num_nodes() > 0);
+}
+
+/// Class 1, later in the build — the failure can strike mid-insert, not
+/// just on the first allocation, and is still contained.
+#[test]
+fn injected_alloc_failure_mid_build_is_still_structured() {
+    let _g = armed();
+    let db = textbook_db();
+    let recoder = ItemRecoder::scan(&db, 2);
+
+    configure("memman.alloc", FaultMode::AfterN(4));
+    let err = CfpTree::try_from_db(&db, &recoder, None).expect_err("armed build must fail");
+    assert!(matches!(err, CfpError::MemoryExhausted { phase: "build", .. }), "{err:?}");
+    clear_all();
+}
+
+/// Class 2 — a real budget overrun (no failpoint): `try_mine` under a
+/// 16-byte cap reports exhaustion citing the phase and the limit, and
+/// the identical uncapped retry mines normally.
+#[test]
+fn budget_overrun_reports_limit_and_uncapped_retry_succeeds() {
+    let _g = armed();
+    let db = textbook_db();
+
+    let capped = CfpGrowthMiner { single_path_opt: true, mem_budget: Some(16) };
+    let mut sink = CountingSink::new();
+    let err = capped.try_mine(&db, 2, &mut sink).expect_err("16 bytes cannot hold the tree");
+    match &err {
+        CfpError::MemoryExhausted { phase, limit, .. } => {
+            assert_eq!(*phase, "build");
+            assert_eq!(*limit, 16);
+        }
+        other => panic!("expected MemoryExhausted, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 4);
+
+    let uncapped = CfpGrowthMiner { single_path_opt: true, mem_budget: None };
+    let mut sink = CountingSink::new();
+    let stats = uncapped.try_mine(&db, 2, &mut sink).expect("uncapped retry");
+    assert_eq!(sink.count, 13);
+    assert_eq!(stats.itemsets, 13);
+}
+
+/// Class 3 — a worker panic inside parallel mining ("core.worker"):
+/// contained at the thread boundary, reported as `WorkerPanic`, and the
+/// process stays healthy enough to rerun the same mine successfully.
+#[test]
+fn injected_worker_panic_is_contained_and_structured() {
+    let _g = armed();
+    let db = textbook_db();
+    let miner = ParallelCfpGrowthMiner { threads: 4, single_path_opt: true, mem_budget: None };
+
+    configure("core.worker", FaultMode::Nth(1));
+    let mut sink = CountingSink::new();
+    let err = miner.try_mine(&db, 2, &mut sink).expect_err("armed worker must fail");
+    assert_eq!(fired("core.worker"), 1);
+    match &err {
+        CfpError::WorkerPanic { worker, message } => {
+            assert!(*worker < 4, "worker index {worker} out of range");
+            assert!(message.contains("injected worker fault"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 5);
+
+    clear_all();
+    let mut sink = CountingSink::new();
+    miner.try_mine(&db, 2, &mut sink).expect("disarmed retry");
+    assert_eq!(sink.count, 13);
+}
+
+/// Class 3, every worker poisoned: even when the failpoint keeps firing
+/// in all workers, exactly one structured error comes back (the poison
+/// flag cancels the rest) and nothing escapes as a panic.
+#[test]
+fn all_workers_failing_still_yields_one_structured_error() {
+    let _g = armed();
+    let db = textbook_db();
+    let miner = ParallelCfpGrowthMiner { threads: 4, single_path_opt: true, mem_budget: None };
+
+    configure("core.worker", FaultMode::Always);
+    let mut sink = CountingSink::new();
+    let err = miner.try_mine(&db, 2, &mut sink).expect_err("all workers fail");
+    assert!(matches!(err, CfpError::WorkerPanic { .. }), "{err:?}");
+    clear_all();
+}
+
+/// Class 4 — an I/O failure mid-stream ("data.read"): the double-buffered
+/// reader delivers every chunk parsed before the fault, then surfaces the
+/// error through `next_chunk` instead of panicking the reader thread.
+#[test]
+fn injected_read_failure_delivers_earlier_chunks_then_errors() {
+    let _g = armed();
+    let mut text = String::new();
+    for i in 0..10 {
+        text.push_str(&format!("{} {}\n", i, i + 100));
+    }
+
+    // Fire on the 5th line read: chunks of 2 mean two full chunks
+    // (transactions 0..4) are already in flight when the fault strikes.
+    configure("data.read", FaultMode::Nth(5));
+    let mut rdr = DoubleBufferedReader::with_policy(
+        std::io::Cursor::new(text.into_bytes()),
+        2,
+        ParsePolicy::Strict,
+    );
+    let mut delivered = 0;
+    let err = loop {
+        match rdr.next_chunk() {
+            Ok(Some(chunk)) => {
+                delivered += chunk.len();
+                rdr.recycle(chunk);
+            }
+            Ok(None) => panic!("stream must end in the injected error"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(delivered, 4, "chunks before the fault are still delivered");
+    assert!(err.to_string().contains("injected I/O failure"), "{err}");
+    assert_eq!(fired("data.read"), 1);
+    clear_all();
+}
+
+/// Class 5 — malformed input (no failpoint needed): strict parsing cites
+/// the offending line with exit code 3; skip parsing mines the remainder
+/// and accounts for the damage.
+#[test]
+fn malformed_input_is_structured_in_both_policies() {
+    let _g = armed();
+    let text = "1 2\n1 notanitem 2\n1 2\n";
+
+    let err = fimi::read_with_policy(text.as_bytes(), ParsePolicy::Strict)
+        .expect_err("strict must reject");
+    match &err {
+        CfpError::Parse { line, message } => {
+            assert_eq!(*line, 2);
+            assert!(message.contains("notanitem"), "{message}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 3);
+
+    let (db, stats) = fimi::read_with_policy(text.as_bytes(), ParsePolicy::Skip).expect("skip");
+    assert_eq!(db.len(), 2);
+    assert_eq!(stats.skipped_lines, 1);
+    assert_eq!(stats.bad_tokens, 1);
+
+    // The surviving transactions still mine end to end.
+    let mut sink = CountingSink::new();
+    let (recoder, tree) = try_build_tree(&db, 2, None).expect("build");
+    assert!(tree.num_nodes() > 0);
+    CfpGrowthMiner::new().try_mine(&db, 2, &mut sink).expect("mine");
+    assert_eq!(sink.count, 3); // {1}, {2}, {1 2}
+    assert_eq!(recoder.num_items(), 2);
+}
+
+/// Cross-class: an armed-but-never-fired probabilistic site (p = 0) must
+/// not perturb mining at all — the fault harness itself is inert until a
+/// trigger actually fires.
+#[test]
+fn armed_but_silent_sites_do_not_change_results() {
+    let _g = armed();
+    let db = textbook_db();
+
+    let mut baseline = CountingSink::new();
+    CfpGrowthMiner::new().try_mine(&db, 2, &mut baseline).expect("baseline");
+
+    for site in ["memman.alloc", "core.worker", "data.read"] {
+        configure(site, FaultMode::Probability { p: 0.0, seed: 7 });
+    }
+    let mut armed_run = CountingSink::new();
+    ParallelCfpGrowthMiner { threads: 3, single_path_opt: true, mem_budget: None }
+        .try_mine(&db, 2, &mut armed_run)
+        .expect("silent sites must not fail the run");
+    assert_eq!(armed_run.count, baseline.count);
+    clear_all();
+}

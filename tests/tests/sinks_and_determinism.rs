@@ -83,7 +83,9 @@ fn support_counts_are_exact_at_every_level() {
 fn single_path_option_is_behaviour_preserving_at_scale() {
     let db = profiles::by_name("quest1").unwrap().generate();
     let minsup = 1_000;
-    let with = fingerprint(&CfpGrowthMiner { single_path_opt: true }, &db, minsup);
-    let without = fingerprint(&CfpGrowthMiner { single_path_opt: false }, &db, minsup);
+    let with =
+        fingerprint(&CfpGrowthMiner { single_path_opt: true, ..Default::default() }, &db, minsup);
+    let without =
+        fingerprint(&CfpGrowthMiner { single_path_opt: false, ..Default::default() }, &db, minsup);
     assert_eq!(with, without);
 }
