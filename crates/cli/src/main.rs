@@ -24,27 +24,37 @@
 //!   --profile PATH     enable tracing and write a cfp-profile/1 JSON
 //!                      run report (phase spans, counters, memory
 //!                      time series) to PATH
+//!   --recover POLICY   escalation ladder on failure: off (default),
+//!                      retry (compact-and-retry), degrade (… then
+//!                      sequential), partition (… then item-range
+//!                      partitioned fallback mining; cfp only)
+//!   --worker-timeout S watchdog: fail a parallel run when no worker
+//!                      makes progress for S seconds
 //! ```
 //!
-//! Itemsets print in FIMI output format: space-separated items followed
-//! by the absolute support in parentheses, e.g. `3 17 29 (1250)`.
+//! Flags also accept the `--flag=value` spelling. Itemsets print in FIMI
+//! output format: space-separated items followed by the absolute support
+//! in parentheses, e.g. `3 17 29 (1250)`.
 //!
 //! # Exit codes
 //!
 //! The process maps every failure to a stable code (see
 //! `CfpError::exit_code`): 0 success (including a closed output pipe),
 //! 1 I/O error, 2 usage error, 3 malformed input, 4 memory budget
-//! exhausted, 5 worker panic.
+//! exhausted, 5 worker panic, 6 worker timeout. `--recover=off` leaves
+//! all of these exactly as they were; other policies only change the
+//! outcome when a recovery rung actually completes the run.
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
-    ParallelCfpGrowthMiner, TopKSink, TransactionDb,
+    ParallelCfpGrowthMiner, RecoveryPolicy, RecoveryReport, Supervisor, TopKSink, TransactionDb,
 };
 use cfp_data::{CfpError, ParsePolicy};
 use cfp_fault::EXIT_USAGE;
 use cfp_rules::{closed_itemsets, maximal_itemsets, RuleMiner};
 use std::io::{self, Write};
 use std::process::exit;
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Options {
@@ -62,6 +72,8 @@ struct Options {
     image: Option<String>,
     stats: bool,
     profile: Option<String>,
+    recover: RecoveryPolicy,
+    worker_timeout: Option<Duration>,
 }
 
 #[derive(Debug)]
@@ -76,6 +88,7 @@ fn print_usage() {
     eprintln!("  --threads N | --mem-budget BYTES[k|m|g] | --skip-bad-lines");
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
+    eprintln!("  --recover off|retry|degrade|partition | --worker-timeout SECONDS");
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
@@ -112,7 +125,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         image: None,
         stats: false,
         profile: None,
+        recover: RecoveryPolicy::Off,
+        worker_timeout: None,
     };
+    // Accept `--flag=value` as well as `--flag value`.
+    let args: Vec<String> = args
+        .iter()
+        .flat_map(|a| match a.strip_prefix("--").and_then(|r| r.split_once('=')) {
+            Some((flag, val)) => vec![format!("--{flag}"), val.to_string()],
+            None => vec![a.clone()],
+        })
+        .collect();
     let mut support_given = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -148,6 +171,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--image" => opts.image = Some(value(arg)?),
             "--stats" => opts.stats = true,
             "--profile" => opts.profile = Some(value(arg)?),
+            "--recover" => opts.recover = value(arg)?.parse()?,
+            "--worker-timeout" => {
+                let secs: f64 =
+                    value(arg)?.parse().map_err(|_| "bad worker timeout".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("worker timeout must be a positive number of seconds".to_string());
+                }
+                opts.worker_timeout = Some(Duration::from_secs_f64(secs));
+            }
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_string();
             }
@@ -160,10 +192,49 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if !support_given {
         return Err("no --support given".to_string());
     }
+    // A budget below the arena's initial carve (the root slot, one
+    // minimum-size chunk) can never admit even an empty tree: reject it
+    // up front as a usage error instead of failing every attempt.
+    if let Some(b) = opts.mem_budget {
+        if b < cfp_memman::MIN_CHUNK as u64 {
+            return Err(format!(
+                "--mem-budget {b} is below the arena's minimum carve of {} bytes",
+                cfp_memman::MIN_CHUNK
+            ));
+        }
+    }
     Ok(opts)
 }
 
-fn miner_by_name(opts: &Options) -> Result<Box<dyn Miner>, String> {
+/// How the run executes: a plain miner, or the recovery supervisor
+/// wrapping one (`--recover` other than `off`, cfp algorithm only).
+enum Runner {
+    Plain(Box<dyn Miner>),
+    Supervised(Supervisor),
+}
+
+impl Runner {
+    /// Runs the mining phase; a supervised run also yields its
+    /// [`RecoveryReport`] for the profile's degradation section.
+    fn mine(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+        degradation: &mut Option<RecoveryReport>,
+    ) -> Result<MineStats, CfpError> {
+        match self {
+            Runner::Plain(m) => m.try_mine(db, min_support, sink),
+            Runner::Supervised(s) => {
+                let (r, report) = s.mine(db, min_support, sink);
+                *degradation = Some(report);
+                r
+            }
+        }
+    }
+}
+
+fn runner_by_name(opts: &Options) -> Result<Runner, String> {
     let budget_ignored = |name: &str| {
         if opts.mem_budget.is_some() {
             eprintln!(
@@ -171,11 +242,26 @@ fn miner_by_name(opts: &Options) -> Result<Box<dyn Miner>, String> {
             );
         }
     };
-    Ok(match opts.algorithm.as_str() {
-        "cfp" if opts.threads > 1 => Box::new(ParallelCfpGrowthMiner {
+    if opts.recover != RecoveryPolicy::Off {
+        if opts.algorithm != "cfp" {
+            return Err(format!(
+                "--recover only applies to the cfp algorithm, not {:?}",
+                opts.algorithm
+            ));
+        }
+        return Ok(Runner::Supervised(Supervisor {
             threads: opts.threads,
             single_path_opt: true,
             mem_budget: opts.mem_budget,
+            policy: opts.recover,
+            worker_timeout: opts.worker_timeout,
+        }));
+    }
+    Ok(Runner::Plain(match opts.algorithm.as_str() {
+        "cfp" if opts.threads > 1 => Box::new(ParallelCfpGrowthMiner {
+            mem_budget: opts.mem_budget,
+            worker_timeout: opts.worker_timeout,
+            ..ParallelCfpGrowthMiner::new(opts.threads)
         }),
         "cfp" => Box::new(CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget }),
         "fp" => {
@@ -207,7 +293,7 @@ fn miner_by_name(opts: &Options) -> Result<Box<dyn Miner>, String> {
             Box::new(cfp_baselines::FpArrayStyleMiner::new())
         }
         other => return Err(format!("unknown algorithm {other:?}")),
-    })
+    }))
 }
 
 /// Exits with the documented code for a failed output write. A broken
@@ -328,6 +414,9 @@ fn exit_for_mine_error(e: CfpError) -> ! {
 }
 
 fn main() {
+    // Arm failpoints from CFP_FAULT when the `fault` feature is
+    // compiled in; a guaranteed no-op otherwise.
+    cfp_fault::configure_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(opts) => opts,
@@ -379,7 +468,7 @@ fn main() {
         db.distinct_items()
     );
 
-    let miner = match miner_by_name(&opts) {
+    let runner = match runner_by_name(&opts) {
         Ok(m) => m,
         Err(msg) => {
             eprintln!("cfp-mine: {msg}");
@@ -389,27 +478,31 @@ fn main() {
     };
     let needs_collection =
         opts.top.is_some() || opts.closed || opts.maximal || opts.rules.is_some();
+    let mut degradation: Option<RecoveryReport> = None;
 
     let stats = if opts.count_only {
         let mut sink = CountingSink::new();
-        let stats =
-            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        let stats = runner
+            .mine(&db, min_support, &mut sink, &mut degradation)
+            .unwrap_or_else(|e| exit_for_mine_error(e));
         if let Err(e) = writeln!(std::io::stdout(), "{}", sink.count) {
             exit_for_write_error(&e);
         }
         stats
     } else if let Some(k) = opts.top {
         let mut sink = TopKSink::new(k);
-        let stats =
-            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        let stats = runner
+            .mine(&db, min_support, &mut sink, &mut degradation)
+            .unwrap_or_else(|e| exit_for_mine_error(e));
         if let Err(e) = print_itemsets(&sink.into_sorted()) {
             exit_for_write_error(&e);
         }
         stats
     } else if needs_collection {
         let mut sink = CollectSink::new();
-        let stats =
-            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        let stats = runner
+            .mine(&db, min_support, &mut sink, &mut degradation)
+            .unwrap_or_else(|e| exit_for_mine_error(e));
         let all = sink.into_sorted();
         if let Some(conf) = opts.rules {
             let rules = RuleMiner::new(&all, db.len() as u64).rules_by_confidence(conf);
@@ -442,8 +535,9 @@ fn main() {
         let stdout = std::io::stdout();
         let mut sink =
             PrintSink { out: std::io::BufWriter::new(stdout.lock()), count: 0, err: None };
-        let stats =
-            miner.try_mine(&db, min_support, &mut sink).unwrap_or_else(|e| exit_for_mine_error(e));
+        let stats = runner
+            .mine(&db, min_support, &mut sink, &mut degradation)
+            .unwrap_or_else(|e| exit_for_mine_error(e));
         let flushed = sink.out.flush();
         if let Some(e) = sink.err {
             exit_for_write_error(&e);
@@ -474,8 +568,20 @@ fn main() {
             report_trace_stats();
         }
     }
+    if let Some(d) = degradation.as_ref().filter(|d| d.recovered) {
+        let winner = d.rungs.last().map(|r| r.rung).unwrap_or("?");
+        eprintln!(
+            "recovered via {winner} after {} rung(s){}",
+            d.rungs.len(),
+            if d.final_partitions > 0 {
+                format!(" ({} partitions)", d.final_partitions)
+            } else {
+                String::new()
+            }
+        );
+    }
     if let Some(path) = &opts.profile {
-        let report = cfp_trace::RunReport::capture(
+        let mut report = cfp_trace::RunReport::capture(
             opts.input.clone(),
             db.len() as u64,
             min_support,
@@ -485,6 +591,27 @@ fn main() {
             wall_nanos,
             samples,
         );
+        // A supervised run that needed its ladder records what happened;
+        // healthy runs keep the section absent so the schema stays
+        // backward-compatible.
+        if let Some(d) = degradation.as_ref().filter(|d| !d.rungs.is_empty()) {
+            report = report.with_degradation(cfp_trace::DegradationReport {
+                policy: d.policy.clone(),
+                rungs: d
+                    .rungs
+                    .iter()
+                    .map(|r| cfp_trace::RungOutcome {
+                        rung: r.rung.to_string(),
+                        succeeded: r.succeeded,
+                        reclaimed_bytes: r.reclaimed_bytes,
+                        partitions: r.partitions,
+                        error: r.error.clone(),
+                    })
+                    .collect(),
+                recovered: d.recovered,
+                final_partitions: d.final_partitions,
+            });
+        }
         if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
             eprintln!("cannot write profile {path}: {e}");
             exit(1);

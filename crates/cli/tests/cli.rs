@@ -147,19 +147,24 @@ fn profile_report_is_valid_and_complete() {
     let wall = run.get("wall_nanos").and_then(Json::as_u64).unwrap();
     assert!(wall > 0);
 
-    // All five pipeline phases present, in order, each entered exactly
-    // once; their summed wall time fits inside the end-to-end wall time.
+    // All pipeline phases present, in order. The five classic phases are
+    // each entered exactly once on a healthy run; the recover phase
+    // exists in the schema but stays unentered. Their summed wall time
+    // fits inside the end-to-end wall time.
     let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
     let names: Vec<&str> = phases.iter().filter_map(|p| p.get("name")?.as_str()).collect();
-    assert_eq!(names, ["read", "count", "build", "convert", "mine"]);
+    assert_eq!(names, ["read", "count", "build", "convert", "mine", "recover"]);
     let mut phase_sum = 0;
     for p in phases {
-        assert_eq!(p.get("count").and_then(Json::as_u64), Some(1), "{p:?}");
+        let expected = if p.get("name").and_then(Json::as_str) == Some("recover") { 0 } else { 1 };
+        assert_eq!(p.get("count").and_then(Json::as_u64), Some(expected), "{p:?}");
         let nanos = p.get("nanos").and_then(Json::as_u64).unwrap();
-        assert!(nanos > 0, "{p:?}");
+        assert_eq!(nanos > 0, expected > 0, "{p:?}");
         phase_sum += nanos;
     }
     assert!(phase_sum <= wall, "phases ({phase_sum}) exceed wall time ({wall})");
+    // A healthy run must not carry a degradation section.
+    assert!(doc.get("degradation").is_none(), "healthy run grew a degradation section");
 
     // The counters that must be non-zero for any CFP run on this dataset.
     let counters = doc.get("counters").expect("counters object");
@@ -295,6 +300,113 @@ fn generous_mem_budget_mines_normally() {
         .unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "13");
+}
+
+#[test]
+fn mem_budget_below_arena_floor_exits_2() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--mem-budget", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("below the arena's minimum carve"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+/// `--recover=off` must be indistinguishable from not asking for recovery
+/// at all: same exit code, byte-for-byte identical stderr. Scripts keying
+/// off the PR 2 failure contract keep working.
+#[test]
+fn recover_off_reproduces_the_plain_failure_byte_for_byte() {
+    let path = write_sample();
+    let plain = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--mem-budget", "16"])
+        .output()
+        .unwrap();
+    let off = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--mem-budget", "16", "--recover=off"])
+        .output()
+        .unwrap();
+    assert_eq!(plain.status.code(), Some(4));
+    assert_eq!(off.status.code(), Some(4));
+    assert_eq!(plain.stderr, off.stderr, "stderr must match byte for byte");
+    assert_eq!(plain.stdout, off.stdout);
+}
+
+/// The tentpole e2e: a budget too small for the monolithic tree, mined to
+/// completion under `--recover=partition`, must produce exactly the output
+/// of an unconstrained run (order-normalized) and record the degradation
+/// in the profile report.
+#[test]
+fn partitioned_recovery_matches_unconstrained_output() {
+    use cfp_trace::{json, Json};
+
+    let path = write_sample();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let report_path = dir.join("degraded.json");
+
+    // Learn the monolithic tree's charge from the same rows the file
+    // holds, then budget just below it: build must fail, partitions fit.
+    let db = cfp_core::TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+    let budget = (cfp_core::build_tree(&db, 2).1.arena_footprint() - 10).to_string();
+
+    let baseline =
+        Command::new(bin()).args([path.to_str().unwrap(), "--support", "2"]).output().unwrap();
+    assert!(baseline.status.success());
+
+    let degraded = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--mem-budget",
+            &budget,
+            "--recover=partition",
+            "--profile",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&degraded.stderr);
+    assert_eq!(degraded.status.code(), Some(0), "{stderr}");
+    assert!(stderr.contains("recovered via partition"), "{stderr}");
+
+    let sorted = |bytes: &[u8]| {
+        let mut lines: Vec<String> =
+            String::from_utf8_lossy(bytes).lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(sorted(&degraded.stdout), sorted(&baseline.stdout));
+
+    // The profile must carry the degradation section: which rungs ran,
+    // that the run recovered, and how many partitions the fallback used.
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let doc = json::parse(&text).expect("profile must be valid JSON");
+    let deg = doc.get("degradation").expect("degradation section");
+    assert_eq!(deg.get("policy").and_then(Json::as_str), Some("partition"));
+    assert_eq!(deg.get("recovered"), Some(&Json::Bool(true)));
+    let partitions = deg.get("final_partitions").and_then(Json::as_u64).unwrap();
+    assert!(partitions >= 2, "expected a real split, got {partitions}");
+    let rungs = deg.get("rungs").and_then(Json::as_arr).expect("rungs array");
+    let names: Vec<&str> = rungs.iter().filter_map(|r| r.get("rung")?.as_str()).collect();
+    assert_eq!(names, ["retry", "partition"], "threads=1 skips the degrade rung");
+    let last = rungs.last().unwrap();
+    assert_eq!(last.get("succeeded"), Some(&Json::Bool(true)));
+
+    std::fs::remove_file(&report_path).ok();
 }
 
 fn write_damaged_sample() -> std::path::PathBuf {

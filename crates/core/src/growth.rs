@@ -23,10 +23,49 @@
 
 use cfp_array::{convert, CfpArray};
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
-use cfp_memman::MemoryBudget;
+use cfp_memman::{ArenaOptions, BudgetPool, MemoryBudget};
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
 use cfp_trace::{span, Phase};
-use cfp_tree::CfpTree;
+use cfp_tree::{CfpTree, CfpTreeConfig};
+
+/// Options threaded through the mine phase's conditional-tree recursion.
+///
+/// The defaults reproduce the classic behaviour exactly: conditional
+/// trees are uncapped and never compact. The recovery ladder
+/// ([`crate::supervisor::Supervisor`]) passes a shared [`BudgetPool`] so
+/// that *every* arena of a run — the initial tree and all conditional
+/// trees — answers to one limit, and turns on compact-on-pressure so a
+/// denied allocation first reclaims trailing free chunks and retries.
+#[derive(Clone, Debug, Default)]
+pub struct MineOpts {
+    /// Shared byte pool charged by the initial and conditional tree
+    /// arenas. Exhaustion surfaces as [`CfpError::MemoryExhausted`].
+    pub pool: Option<BudgetPool>,
+    /// Compact an arena and retry once before reporting exhaustion.
+    pub compact_on_pressure: bool,
+}
+
+impl MineOpts {
+    fn arena_options(&self, budget: Option<u64>) -> ArenaOptions {
+        ArenaOptions {
+            budget: budget.map(MemoryBudget::new),
+            pool: self.pool.clone(),
+            compact_on_pressure: self.compact_on_pressure,
+        }
+    }
+}
+
+/// Rewrites the phase of a memory-exhaustion error to `"mine"`:
+/// conditional-tree construction goes through the same build entry
+/// points as the initial tree, but failures there happen mid-mining.
+fn mine_phase(e: CfpError) -> CfpError {
+    match e {
+        CfpError::MemoryExhausted { requested, footprint, limit, .. } => {
+            CfpError::MemoryExhausted { phase: "mine", requested, footprint, limit }
+        }
+        other => other,
+    }
+}
 
 /// The CFP-growth miner.
 #[derive(Clone, Debug)]
@@ -68,8 +107,22 @@ pub fn try_build_tree(
     min_support: u64,
     budget: Option<u64>,
 ) -> Result<(ItemRecoder, CfpTree), CfpError> {
+    try_build_tree_with(
+        db,
+        min_support,
+        ArenaOptions { budget: budget.map(MemoryBudget::new), ..Default::default() },
+    )
+}
+
+/// [`try_build_tree`] with full [`ArenaOptions`]: the initial tree can
+/// draw from a shared [`BudgetPool`] and compact under pressure.
+pub fn try_build_tree_with(
+    db: &TransactionDb,
+    min_support: u64,
+    opts: ArenaOptions,
+) -> Result<(ItemRecoder, CfpTree), CfpError> {
     let recoder = ItemRecoder::scan(db, min_support);
-    let tree = CfpTree::try_from_db(db, &recoder, budget.map(MemoryBudget::new))?;
+    let tree = CfpTree::try_from_db_with(db, &recoder, opts)?;
     Ok((recoder, tree))
 }
 
@@ -78,6 +131,7 @@ struct Ctx<'a> {
     gauge: MemGauge,
     min_support: u64,
     single_path_opt: bool,
+    opts: MineOpts,
     suffix: Vec<Item>,
     emit_buf: Vec<Item>,
     path_buf: Vec<u32>,
@@ -112,6 +166,22 @@ impl Miner for CfpGrowthMiner {
         min_support: u64,
         sink: &mut dyn ItemsetSink,
     ) -> Result<MineStats, CfpError> {
+        self.try_mine_with(db, min_support, sink, &MineOpts::default())
+    }
+}
+
+impl CfpGrowthMiner {
+    /// [`Miner::try_mine`] with explicit [`MineOpts`]: a shared budget
+    /// pool covering the initial *and* every conditional tree, and
+    /// compact-on-pressure retry. `try_mine` delegates here with the
+    /// defaults, so its behaviour is unchanged.
+    pub fn try_mine_with(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+        opts: &MineOpts,
+    ) -> Result<MineStats, CfpError> {
         let mut stats = MineStats::default();
         let gauge = MemGauge::new();
         let mut sw = Stopwatch::start();
@@ -124,15 +194,12 @@ impl Miner for CfpGrowthMiner {
 
         let tree = {
             let _s = span(Phase::Build);
-            CfpTree::try_from_db(db, &recoder, self.mem_budget.map(MemoryBudget::new))?
+            CfpTree::try_from_db_with(db, &recoder, opts.arena_options(self.mem_budget))?
         };
         stats.build_time = sw.lap();
 
-        Ok(self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw))
+        self.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw, opts)
     }
-}
-
-impl CfpGrowthMiner {
     /// The common back half of a run: conversion, recursive mining, and
     /// bookkeeping. Shared by [`Miner::mine`] and the streaming
     /// [`mine_file`](crate::io::mine_file) pipeline.
@@ -146,7 +213,8 @@ impl CfpGrowthMiner {
         mut stats: MineStats,
         gauge: MemGauge,
         mut sw: Stopwatch,
-    ) -> MineStats {
+        opts: &MineOpts,
+    ) -> Result<MineStats, CfpError> {
         gauge.alloc(tree.heap_bytes());
         gauge.checkpoint();
         stats.tree_nodes = tree.num_nodes();
@@ -170,6 +238,7 @@ impl CfpGrowthMiner {
             gauge: gauge.clone(),
             min_support,
             single_path_opt: self.single_path_opt,
+            opts: opts.clone(),
             suffix: Vec::new(),
             emit_buf: Vec::new(),
             path_buf: Vec::new(),
@@ -177,7 +246,7 @@ impl CfpGrowthMiner {
         };
         {
             let _s = span(Phase::Mine);
-            mine_array(&array, &globals, &mut ctx);
+            mine_array(&array, &globals, &mut ctx)?;
         }
         stats.mine_time = sw.lap();
 
@@ -185,7 +254,7 @@ impl CfpGrowthMiner {
         stats.itemsets = ctx.itemsets;
         stats.peak_bytes = gauge.peak();
         stats.avg_bytes = gauge.average();
-        stats
+        Ok(stats)
     }
 }
 
@@ -201,13 +270,15 @@ pub(crate) fn mine_one_item(
     min_support: u64,
     single_path_opt: bool,
     sink: &mut dyn ItemsetSink,
-) -> (u64, u64) {
+    opts: &MineOpts,
+) -> Result<(u64, u64), CfpError> {
     let gauge = MemGauge::new();
     let mut ctx = Ctx {
         sink,
         gauge: gauge.clone(),
         min_support,
         single_path_opt,
+        opts: opts.clone(),
         suffix: Vec::new(),
         emit_buf: Vec::new(),
         path_buf: Vec::new(),
@@ -216,26 +287,26 @@ pub(crate) fn mine_one_item(
     ctx.suffix.push(globals[item as usize]);
     ctx.emit(array.item_support(item));
     if item > 0 {
-        if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx) {
+        if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx)? {
             ctx.gauge.alloc(cond_array.heap_bytes());
-            mine_array(&cond_array, &cond_globals, &mut ctx);
+            mine_array(&cond_array, &cond_globals, &mut ctx)?;
             ctx.gauge.free(cond_array.heap_bytes());
         }
     }
     ctx.suffix.pop();
-    (ctx.itemsets, gauge.peak())
+    Ok((ctx.itemsets, gauge.peak()))
 }
 
 /// Mines every frequent itemset of `array` combined with the suffix in
 /// `ctx`; `globals` maps local ids to original items.
-fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) {
+fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(), CfpError> {
     if ctx.single_path_opt {
         if let Some(path) = single_path(array) {
             if cfp_trace::enabled() {
                 cfp_trace::span::single_path();
             }
             enumerate_single_path(&path, globals, ctx);
-            return;
+            return Ok(());
         }
     }
     let n = array.num_items() as u32;
@@ -247,15 +318,16 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) {
         ctx.suffix.push(globals[item as usize]);
         ctx.emit(support);
         if item > 0 {
-            if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx) {
+            if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx)? {
                 ctx.gauge.alloc(cond_array.heap_bytes());
                 ctx.gauge.checkpoint();
-                mine_array(&cond_array, &cond_globals, ctx);
+                mine_array(&cond_array, &cond_globals, ctx)?;
                 ctx.gauge.free(cond_array.heap_bytes());
             }
         }
         ctx.suffix.pop();
     }
+    Ok(())
 }
 
 /// Builds the conditional CFP-array of `item`: conditional pattern base →
@@ -266,7 +338,7 @@ fn conditional(
     item: u32,
     globals: &[Item],
     ctx: &mut Ctx<'_>,
-) -> Option<(CfpArray, Vec<Item>)> {
+) -> Result<Option<(CfpArray, Vec<Item>)>, CfpError> {
     // Pass A: conditional frequencies along all prefix paths.
     let mut freq = vec![0u64; item as usize];
     let mut path = std::mem::take(&mut ctx.path_buf);
@@ -293,11 +365,18 @@ fn conditional(
     }
     if cond_globals.is_empty() {
         ctx.path_buf = path;
-        return None;
+        return Ok(None);
     }
 
     // Pass B: insert the filtered weighted paths into a conditional tree.
-    let mut cond_tree = CfpTree::new(cond_globals.len());
+    // Conditional arenas share the run's budget pool (when one is set) and
+    // may compact-and-retry; exhaustion surfaces with the "mine" phase.
+    let mut cond_tree = CfpTree::try_with_options(
+        cond_globals.len(),
+        CfpTreeConfig::default(),
+        ctx.opts.arena_options(None),
+    )
+    .map_err(mine_phase)?;
     let mut filtered: Vec<u32> = Vec::new();
     for node in array.subarray(item) {
         array.prefix_path(item, &node, &mut path);
@@ -307,7 +386,10 @@ fn conditional(
         );
         if !filtered.is_empty() {
             let weight = u32::try_from(node.count).expect("count exceeds u32");
-            cond_tree.insert(&filtered, weight);
+            if let Err(e) = cond_tree.try_insert(&filtered, weight) {
+                ctx.path_buf = path;
+                return Err(mine_phase(CfpError::from(e)));
+            }
         }
     }
     ctx.path_buf = path;
@@ -315,7 +397,7 @@ fn conditional(
     ctx.gauge.alloc(cond_tree.heap_bytes());
     let cond_array = convert(&cond_tree);
     ctx.gauge.free(cond_tree.heap_bytes());
-    Some((cond_array, cond_globals))
+    Ok(Some((cond_array, cond_globals)))
 }
 
 /// If the array represents a single downward path (every item has exactly
@@ -492,6 +574,33 @@ mod tests {
         let mut sink = CollectSink::new();
         capped.try_mine(&db, 1, &mut sink).expect("1 MiB is plenty");
         assert_eq!(sink.into_sorted(), mine_collect(&db, 1, true));
+    }
+
+    #[test]
+    fn exhausted_pool_fails_structured_in_the_mine_phase() {
+        // An uncapped initial build followed by mining under a pool too
+        // small for even a conditional tree's root slot: the failure must
+        // be a structured MemoryExhausted naming the mine phase, not a
+        // panic (the conditional recursion is fallible end to end).
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 3],
+        ]);
+        let (recoder, tree) = try_build_tree(&db, 1, None).expect("uncapped build");
+        let array = convert(&tree);
+        drop(tree);
+        let globals: Vec<Item> =
+            (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
+        let opts = MineOpts { pool: Some(BudgetPool::new(4)), compact_on_pressure: true };
+        let mut sink = CountingSink::new();
+        let last = recoder.num_items() as u32 - 1;
+        let err = mine_one_item(&array, last, &globals, 1, false, &mut sink, &opts)
+            .expect_err("a 4-byte pool cannot hold a conditional tree root");
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("mine"), "{err}");
     }
 
     #[test]

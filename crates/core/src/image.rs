@@ -72,7 +72,16 @@ impl MiningImage {
             if self.array.item_support(item) < min_support {
                 continue;
             }
-            let (n, p) = mine_one_item(&self.array, item, &self.globals, min_support, opt, sink);
+            let (n, p) = mine_one_item(
+                &self.array,
+                item,
+                &self.globals,
+                min_support,
+                opt,
+                sink,
+                &crate::growth::MineOpts::default(),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             stats.itemsets += n;
             peak = peak.max(p);
         }

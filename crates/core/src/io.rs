@@ -55,7 +55,18 @@ pub fn mine_file(
     })?;
     stats.build_time = sw.lap();
 
-    Ok(miner.convert_and_mine(&recoder, tree, min_support, sink, stats, gauge, sw))
+    miner
+        .convert_and_mine(
+            &recoder,
+            tree,
+            min_support,
+            sink,
+            stats,
+            gauge,
+            sw,
+            &crate::growth::MineOpts::default(),
+        )
+        .map_err(io::Error::from)
 }
 
 #[cfg(test)]

@@ -41,12 +41,14 @@ pub mod growth;
 pub mod image;
 pub mod io;
 pub mod parallel;
+pub mod supervisor;
 
 pub use cfp_array::{convert, CfpArray};
 pub use cfp_data::miner::{CollectSink, CountingSink, LengthHistogramSink, NullSink, TopKSink};
 pub use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
 pub use cfp_tree::CfpTree;
-pub use growth::{build_tree, CfpGrowthMiner};
+pub use growth::{build_tree, CfpGrowthMiner, MineOpts};
 pub use image::MiningImage;
 pub use io::mine_file;
 pub use parallel::ParallelCfpGrowthMiner;
+pub use supervisor::{RecoveryPolicy, RecoveryReport, RungReport, Supervisor};

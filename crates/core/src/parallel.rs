@@ -4,7 +4,7 @@
 //! at each first-level item touches only that item's subarray and the
 //! subarrays of more frequent items — all reads. The paper's related-work
 //! section (§5, class 4) surveys parallel and distributed FP-growth built
-//! on exactly this independence; here we exploit it with scoped threads
+//! on exactly this independence; here we exploit it with worker threads
 //! over one shared, immutable initial [`CfpArray`].
 //!
 //! The scan, build, and conversion phases stay sequential (they are a
@@ -14,18 +14,34 @@
 //! batches over a channel to the caller's sink, so itemsets are emitted
 //! in nondeterministic order but without buffering the whole result.
 //!
+//! Two robustness mechanisms live here:
+//!
+//! - **One budget, many arenas.** `mem_budget` is enforced by a single
+//!   shared [`BudgetPool`] charged by the initial tree *and* every
+//!   worker's conditional trees — `t` workers cannot oversubscribe the
+//!   limit `t`-fold. Exhaustion in any worker poisons the run and comes
+//!   back as a structured [`CfpError::MemoryExhausted`].
+//! - **A watchdog.** With `worker_timeout` set, each worker ticks a
+//!   heartbeat counter per first-level item; if no result batch arrives
+//!   and no unfinished worker's heartbeat advances for the full timeout,
+//!   the run is poisoned and fails with [`CfpError::WorkerTimeout`]
+//!   instead of hanging forever. Threads are spawned (not scoped) over
+//!   `Arc`-shared structures so a truly wedged worker can be abandoned.
+//!
 //! `peak_bytes` is an upper-bound estimate: the shared structures plus
 //! the sum of the workers' conditional-structure peaks (as if all workers
 //! hit their individual peaks simultaneously).
 
-use crate::growth::{mine_one_item, try_build_tree, CfpGrowthMiner};
+use crate::growth::{mine_one_item, try_build_tree_with, CfpGrowthMiner, MineOpts};
 use cfp_array::convert;
 use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_memman::{ArenaOptions, BudgetPool};
 use cfp_metrics::{HeapSize, Stopwatch};
 use cfp_trace::{span, Phase};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Multi-threaded CFP-growth over a shared initial CFP-array.
 #[derive(Clone, Debug)]
@@ -34,15 +50,38 @@ pub struct ParallelCfpGrowthMiner {
     pub threads: usize,
     /// Enumerate single-path structures directly instead of recursing.
     pub single_path_opt: bool,
-    /// Byte cap on the initial tree's arena (see
-    /// [`CfpGrowthMiner::mem_budget`]).
+    /// Byte cap on the whole run, enforced by one [`BudgetPool`] shared
+    /// between the initial tree's arena and every worker's conditional
+    /// trees. Exceeding it surfaces as [`CfpError::MemoryExhausted`]
+    /// from [`Miner::try_mine`] (or a panic from the infallible
+    /// [`Miner::mine`]).
     pub mem_budget: Option<u64>,
+    /// Pre-built pool to charge instead of a fresh one from
+    /// `mem_budget`; lets the run supervisor read the pool's peak and
+    /// compaction gauges after the run.
+    pub pool: Option<BudgetPool>,
+    /// Watchdog limit: fail with [`CfpError::WorkerTimeout`] when no
+    /// worker makes progress for this long. `None` disables it.
+    pub worker_timeout: Option<Duration>,
+    /// Compact arenas and retry once before reporting exhaustion.
+    pub compact_on_pressure: bool,
 }
 
 impl ParallelCfpGrowthMiner {
     /// A parallel miner with the given worker count.
     pub fn new(threads: usize) -> Self {
-        ParallelCfpGrowthMiner { threads, single_path_opt: true, mem_budget: None }
+        ParallelCfpGrowthMiner {
+            threads,
+            single_path_opt: true,
+            mem_budget: None,
+            pool: None,
+            worker_timeout: None,
+            compact_on_pressure: false,
+        }
+    }
+
+    fn effective_pool(&self) -> Option<BudgetPool> {
+        self.pool.clone().or_else(|| self.mem_budget.map(BudgetPool::new))
     }
 }
 
@@ -86,28 +125,40 @@ impl Miner for ParallelCfpGrowthMiner {
     /// Fallible mine with worker containment: a panic inside any worker
     /// is caught at the thread boundary ([`catch_unwind`]), a shared
     /// poison flag cancels the remaining workers at their next work item,
-    /// and the first failure comes back as
-    /// [`CfpError::WorkerPanic`] — the process and the caller's sink
-    /// survive (the sink may have received a partial result stream).
+    /// and the first failure comes back as [`CfpError::WorkerPanic`],
+    /// [`CfpError::MemoryExhausted`], or [`CfpError::WorkerTimeout`] —
+    /// the process and the caller's sink survive (the sink may have
+    /// received a partial result stream).
     fn try_mine(
         &self,
         db: &TransactionDb,
         min_support: u64,
         sink: &mut dyn ItemsetSink,
     ) -> Result<MineStats, CfpError> {
+        let pool = self.effective_pool();
         if self.threads <= 1 {
-            return CfpGrowthMiner {
-                single_path_opt: self.single_path_opt,
-                mem_budget: self.mem_budget,
-            }
-            .try_mine(db, min_support, sink);
+            return CfpGrowthMiner { single_path_opt: self.single_path_opt, mem_budget: None }
+                .try_mine_with(
+                    db,
+                    min_support,
+                    sink,
+                    &MineOpts { pool, compact_on_pressure: self.compact_on_pressure },
+                );
         }
         let mut stats = MineStats::default();
         let mut sw = Stopwatch::start();
 
         let (recoder, tree) = {
             let _s = span(Phase::Build);
-            try_build_tree(db, min_support, self.mem_budget)?
+            try_build_tree_with(
+                db,
+                min_support,
+                ArenaOptions {
+                    budget: None,
+                    pool: pool.clone(),
+                    compact_on_pressure: self.compact_on_pressure,
+                },
+            )?
         };
         stats.scan_time = std::time::Duration::ZERO; // folded into build
         stats.build_time = sw.lap();
@@ -126,99 +177,205 @@ impl Miner for ParallelCfpGrowthMiner {
         let n = recoder.num_items() as u32;
         let threads = self.threads.min(n.max(1) as usize);
         let single_path_opt = self.single_path_opt;
+        let opts = MineOpts { pool: pool.clone(), compact_on_pressure: self.compact_on_pressure };
 
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_WORKERS.record(threads as u64);
         }
+        let array = Arc::new(array);
+        let globals = Arc::new(globals);
+        let poison = Arc::new(AtomicBool::new(false));
+        let heartbeats: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
         let (tx, rx) = mpsc::channel::<Vec<(Vec<Item>, u64)>>();
         let mut worker_peaks = vec![0u64; threads];
-        let poison = AtomicBool::new(false);
         let mut first_error: Option<CfpError> = None;
-        std::thread::scope(|scope| {
-            let array = &array;
-            let globals = &globals;
-            let poison = &poison;
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let tx = tx.clone();
-                    scope.spawn(move || -> Result<u64, CfpError> {
-                        // Each worker's mining wall time accumulates into
-                        // the mine phase (span count = worker count).
-                        let _s = span(Phase::Mine);
-                        let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
-                        let mut peak = 0u64;
-                        let mut item = n as i64 - 1 - w as i64;
-                        // Round-robin from least to most frequent.
-                        while item >= 0 {
-                            // A failed sibling poisons the run; stop at the
-                            // next work item instead of mining into the void.
-                            if poison.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            let result = catch_unwind(AssertUnwindSafe(|| {
-                                if cfp_fault::should_fail("core.worker") {
-                                    panic!("injected worker fault (failpoint core.worker)");
-                                }
-                                mine_one_item(
-                                    array,
-                                    item as u32,
-                                    globals,
-                                    min_support,
-                                    single_path_opt,
-                                    &mut sink,
-                                )
-                            }));
-                            match result {
-                                Ok((_, p)) => peak = peak.max(p),
-                                Err(payload) => {
-                                    poison.store(true, Ordering::Relaxed);
-                                    if cfp_trace::enabled() {
-                                        cfp_trace::counters::CORE_WORKER_PANICS.inc();
-                                    }
-                                    return Err(CfpError::WorkerPanic {
-                                        worker: w,
-                                        message: panic_message(&*payload),
-                                    });
-                                }
-                            }
-                            item -= threads as i64;
+
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let tx = tx.clone();
+                let array = Arc::clone(&array);
+                let globals = Arc::clone(&globals);
+                let poison = Arc::clone(&poison);
+                let heartbeats = Arc::clone(&heartbeats);
+                let opts = opts.clone();
+                std::thread::spawn(move || -> Result<u64, CfpError> {
+                    // Each worker's mining wall time accumulates into
+                    // the mine phase (span count = worker count).
+                    let _s = span(Phase::Mine);
+                    let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
+                    let mut peak = 0u64;
+                    let mut item = n as i64 - 1 - w as i64;
+                    // Round-robin from least to most frequent.
+                    while item >= 0 {
+                        // A failed sibling poisons the run; stop at the
+                        // next work item instead of mining into the void.
+                        if poison.load(Ordering::Relaxed) {
+                            break;
                         }
-                        if !sink.flush() && !poison.load(Ordering::Relaxed) {
-                            return Err(CfpError::WorkerPanic {
-                                worker: w,
-                                message: "result channel disconnected".to_string(),
-                            });
+                        // The watchdog counts a worker as live while its
+                        // heartbeat advances between first-level items.
+                        heartbeats[w].fetch_add(1, Ordering::Relaxed);
+                        if cfp_trace::enabled() {
+                            cfp_trace::counters::CORE_WORKER_HEARTBEATS.inc();
                         }
-                        Ok(peak)
-                    })
+                        if cfp_fault::should_fail("core.worker.stall") {
+                            // Injected hang: hold the heartbeat still until
+                            // the watchdog poisons the run, then exit.
+                            while !poison.load(Ordering::Relaxed) {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            break;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if cfp_fault::should_fail("core.worker") {
+                                panic!("injected worker fault (failpoint core.worker)");
+                            }
+                            mine_one_item(
+                                &array,
+                                item as u32,
+                                &globals,
+                                min_support,
+                                single_path_opt,
+                                &mut sink,
+                                &opts,
+                            )
+                        }));
+                        match result {
+                            Ok(Ok((_, p))) => peak = peak.max(p),
+                            Ok(Err(e)) => {
+                                poison.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                            Err(payload) => {
+                                poison.store(true, Ordering::Relaxed);
+                                if cfp_trace::enabled() {
+                                    cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                                }
+                                return Err(CfpError::WorkerPanic {
+                                    worker: w,
+                                    message: panic_message(&*payload),
+                                });
+                            }
+                        }
+                        item -= threads as i64;
+                    }
+                    if !sink.flush() && !poison.load(Ordering::Relaxed) {
+                        return Err(CfpError::WorkerPanic {
+                            worker: w,
+                            message: "result channel disconnected".to_string(),
+                        });
+                    }
+                    Ok(peak)
                 })
-                .collect();
-            drop(tx);
-            // Drain results on the caller's thread while workers run.
-            while let Ok(batch) = rx.recv() {
-                for (itemset, support) in batch {
-                    sink.emit(&itemset, support);
-                    stats.itemsets += 1;
+            })
+            .collect();
+        drop(tx);
+
+        // Drain results on the caller's thread while workers run. With a
+        // worker timeout, poll with `recv_timeout` and watch the
+        // heartbeats of unfinished workers; a window with neither a batch
+        // nor a heartbeat tick is a stall.
+        let mut timed_out = false;
+        match self.worker_timeout {
+            None => {
+                while let Ok(batch) = rx.recv() {
+                    for (itemset, support) in batch {
+                        sink.emit(&itemset, support);
+                        stats.itemsets += 1;
+                    }
                 }
             }
-            for (w, h) in handles.into_iter().enumerate() {
-                // join() only errors on a panic that escaped catch_unwind
-                // (e.g. inside BatchSink::flush); fold it into the same
-                // structured error instead of re-panicking.
-                let joined = h.join().unwrap_or_else(|payload| {
-                    poison.store(true, Ordering::Relaxed);
-                    Err(CfpError::WorkerPanic { worker: w, message: panic_message(&*payload) })
-                });
-                match joined {
-                    Ok(peak) => worker_peaks[w] = peak,
-                    Err(e) => {
-                        if first_error.is_none() {
-                            first_error = Some(e);
+            Some(limit) => {
+                let tick = (limit / 4).max(Duration::from_millis(5)).min(limit);
+                let mut last_beats: Vec<u64> =
+                    heartbeats.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+                let mut waited = Duration::ZERO;
+                loop {
+                    match rx.recv_timeout(tick) {
+                        Ok(batch) => {
+                            waited = Duration::ZERO;
+                            for (itemset, support) in batch {
+                                sink.emit(&itemset, support);
+                                stats.itemsets += 1;
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            let beats: Vec<u64> =
+                                heartbeats.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+                            let advanced =
+                                beats.iter().zip(&last_beats).any(|(now, before)| now != before);
+                            if advanced {
+                                last_beats = beats;
+                                waited = Duration::ZERO;
+                                continue;
+                            }
+                            waited += tick;
+                            if waited < limit {
+                                continue;
+                            }
+                            // Stall: no batch, no heartbeat, full window.
+                            // Blame the first unfinished worker.
+                            let stalled =
+                                handles.iter().position(|h| !h.is_finished()).unwrap_or_default();
+                            poison.store(true, Ordering::Relaxed);
+                            if cfp_trace::enabled() {
+                                cfp_trace::counters::CORE_WORKER_STALLS.inc();
+                            }
+                            first_error = Some(CfpError::WorkerTimeout {
+                                worker: stalled,
+                                waited_ms: waited.as_millis() as u64,
+                            });
+                            timed_out = true;
+                            break;
+                        }
+                    }
+                }
+                // Drain whatever the cancelled workers already sent so
+                // they can finish their final flush and exit.
+                while let Ok(batch) = rx.try_recv() {
+                    if !timed_out {
+                        for (itemset, support) in batch {
+                            sink.emit(&itemset, support);
+                            stats.itemsets += 1;
                         }
                     }
                 }
             }
-        });
+        }
+
+        for (w, h) in handles.into_iter().enumerate() {
+            if timed_out {
+                // Give cancelled workers a short grace to observe the
+                // poison flag; abandon any that stay wedged (they hold
+                // only Arc'd shared state, which outlives the run).
+                let mut grace = 50;
+                while !h.is_finished() && grace > 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                    grace -= 1;
+                }
+                if !h.is_finished() {
+                    drop(h);
+                    continue;
+                }
+            }
+            // join() only errors on a panic that escaped catch_unwind
+            // (e.g. inside BatchSink::flush); fold it into the same
+            // structured error instead of re-panicking.
+            let joined = h.join().unwrap_or_else(|payload| {
+                poison.store(true, Ordering::Relaxed);
+                Err(CfpError::WorkerPanic { worker: w, message: panic_message(&*payload) })
+            });
+            match joined {
+                Ok(peak) => worker_peaks[w] = peak,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -226,6 +383,9 @@ impl Miner for ParallelCfpGrowthMiner {
 
         // Upper-bound estimate: shared structures plus all worker peaks.
         stats.peak_bytes = tree_bytes.max(array.heap_bytes()) + worker_peaks.iter().sum::<u64>();
+        if let Some(p) = &pool {
+            stats.peak_bytes = stats.peak_bytes.max(p.peak());
+        }
         stats.avg_bytes = stats.peak_bytes;
         stats.worker_peaks = worker_peaks;
         Ok(stats)
@@ -316,5 +476,62 @@ mod tests {
         let mut sink = CollectSink::new();
         let stats = ParallelCfpGrowthMiner::new(4).mine(&db, 1, &mut sink);
         assert_eq!(stats.itemsets, 0);
+    }
+
+    #[test]
+    fn budget_is_one_shared_pool_not_per_worker_copies() {
+        // The regression this guards: `mem_budget` used to cap only the
+        // initial build, leaving every worker's conditional trees
+        // unaccounted (t workers could oversubscribe the limit t-fold).
+        // With the shared pool, the initial tree AND every conditional
+        // tree of every worker reserve from one limit. The cumulative
+        // reservation gauge makes that observable deterministically:
+        // it must exceed the build charge alone.
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut db = TransactionDb::new();
+        for _ in 0..120 {
+            let t: Vec<Item> = (0..16).filter(|_| rng.gen_bool(0.7)).collect();
+            db.push(&t);
+        }
+        let (_, tree) = crate::growth::try_build_tree(&db, 1, None).expect("uncapped build");
+        let build_charge = tree.arena_footprint() - 1; // offset 0 is the null byte
+        drop(tree);
+
+        let pool = BudgetPool::new(1 << 30);
+        let miner =
+            ParallelCfpGrowthMiner { pool: Some(pool.clone()), ..ParallelCfpGrowthMiner::new(4) };
+        let mut a = CollectSink::new();
+        miner.try_mine(&db, 1, &mut a).expect("generous pool");
+        let mut b = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, 1, &mut b);
+        assert_eq!(a.into_sorted(), b.into_sorted());
+
+        assert!(
+            pool.reserved_total() > build_charge,
+            "conditional trees must charge the shared pool (total {} vs build {build_charge})",
+            pool.reserved_total()
+        );
+        assert_eq!(pool.used(), 0, "every arena must release its reservation on drop");
+        assert!(pool.peak() >= build_charge);
+        assert!(pool.peak() <= pool.limit());
+    }
+
+    #[test]
+    fn watchdog_is_quiet_on_healthy_runs() {
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![1, 2, 4],
+            vec![1, 2],
+            vec![1, 3],
+        ]);
+        let miner = ParallelCfpGrowthMiner {
+            worker_timeout: Some(Duration::from_secs(30)),
+            ..ParallelCfpGrowthMiner::new(3)
+        };
+        let mut sink = CollectSink::new();
+        miner.try_mine(&db, 1, &mut sink).expect("healthy run must not time out");
+        assert_eq!(sink.into_sorted(), sorted(&CfpGrowthMiner::new(), &db, 1));
     }
 }

@@ -1,0 +1,573 @@
+//! The run supervisor: graceful degradation under memory pressure.
+//!
+//! [`Supervisor::mine`] wraps a mining run in an escalation ladder that
+//! turns [`CfpError::MemoryExhausted`] (and watchdog timeouts) into
+//! completed, *exact* runs wherever possible. The rungs, in order, each
+//! attempted at most once per run:
+//!
+//! 1. **retry** — run again with the budget enforced by one shared
+//!    [`BudgetPool`] and compact-on-pressure armed, so a denied
+//!    allocation first reclaims the arena's trailing free chunks.
+//! 2. **degrade** — downshift from parallel to sequential mining (one
+//!    conditional tree live instead of `threads`), same pool and
+//!    compaction.
+//! 3. **partition** — split the database into `k` item-range projections
+//!    ([`cfp_data::partition`]), mine each sequentially under the
+//!    budget, and merge the per-range results into the exact global
+//!    result. A range that still exhausts the budget is split in two and
+//!    requeued; a single-item range that fails ends the run.
+//!
+//! Output is buffered per attempt and flushed to the caller's sink only
+//! when an attempt succeeds, so the caller never sees a partial result
+//! stream mixed into a complete one. Every rung emits a
+//! [`Phase::Recover`] span and a [`RungReport`]; the CLI serialises the
+//! collected [`RecoveryReport`] as the `degradation` section of the
+//! `cfp-profile/1` run report.
+//!
+//! Exactness of the partition rung follows Grahne & Zhu's range
+//! projection argument, spelled out in [`cfp_data::partition`]: every
+//! frequent itemset has exactly one maximal item under the global
+//! support-descending recode order, the projection for that item's range
+//! preserves the itemset's full global support, and a
+//! max-item filter keeps each itemset in exactly one range's output.
+
+use crate::growth::{CfpGrowthMiner, MineOpts};
+use crate::parallel::ParallelCfpGrowthMiner;
+use cfp_data::miner::CollectSink;
+use cfp_data::partition::{project, ranges_by_mass};
+use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_memman::BudgetPool;
+use cfp_trace::{span, Phase};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// How far the supervisor may escalate when a run fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryPolicy {
+    /// No recovery: the first failure is final (classic behaviour).
+    Off,
+    /// Rung 1 only: compact-and-retry under a shared pool.
+    Retry,
+    /// Rungs 1–2: retry, then downshift to sequential mining.
+    Degrade,
+    /// Rungs 1–3: retry, degrade, then partitioned fallback mining.
+    Partition,
+}
+
+impl RecoveryPolicy {
+    /// The policy's CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Off => "off",
+            RecoveryPolicy::Retry => "retry",
+            RecoveryPolicy::Degrade => "degrade",
+            RecoveryPolicy::Partition => "partition",
+        }
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(RecoveryPolicy::Off),
+            "retry" => Ok(RecoveryPolicy::Retry),
+            "degrade" => Ok(RecoveryPolicy::Degrade),
+            "partition" => Ok(RecoveryPolicy::Partition),
+            other => {
+                Err(format!("unknown recovery policy '{other}' (off|retry|degrade|partition)"))
+            }
+        }
+    }
+}
+
+/// One rung's outcome within a recovery ladder.
+#[derive(Clone, Debug)]
+pub struct RungReport {
+    /// Rung name: `"retry"`, `"degrade"`, or `"partition"`.
+    pub rung: &'static str,
+    /// Whether this rung completed the run.
+    pub succeeded: bool,
+    /// Bytes reclaimed by arena compaction during the rung.
+    pub reclaimed_bytes: u64,
+    /// Number of partitions mined (partition rung only, else 0).
+    pub partitions: u64,
+    /// The rung's failure, when it failed.
+    pub error: Option<String>,
+}
+
+/// What the supervisor did to finish (or fail) a run.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// The configured escalation policy.
+    pub policy: String,
+    /// The rungs attempted, in order. Empty for a healthy first attempt.
+    pub rungs: Vec<RungReport>,
+    /// Whether a rung (rather than the first attempt) produced the result.
+    pub recovered: bool,
+    /// Partitions in the final successful configuration (0 = monolithic).
+    pub final_partitions: u64,
+    /// Per-partition pool peaks of the partition rung, in mining order.
+    pub partition_peaks: Vec<u64>,
+}
+
+/// Supervises a mining run with an escalation ladder (see the module
+/// docs). Construct with the same knobs as [`ParallelCfpGrowthMiner`]
+/// plus a [`RecoveryPolicy`].
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    /// Worker threads for the first attempt and the retry rung.
+    pub threads: usize,
+    /// Enumerate single-path structures directly instead of recursing.
+    pub single_path_opt: bool,
+    /// Byte budget for the whole run; `None` disables the memory rungs'
+    /// reason to exist but the ladder still handles worker failures.
+    pub mem_budget: Option<u64>,
+    /// The escalation policy.
+    pub policy: RecoveryPolicy,
+    /// Watchdog limit for parallel attempts (see
+    /// [`ParallelCfpGrowthMiner::worker_timeout`]).
+    pub worker_timeout: Option<Duration>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy and defaults for the rest.
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        Supervisor {
+            threads: 1,
+            single_path_opt: true,
+            mem_budget: None,
+            policy,
+            worker_timeout: None,
+        }
+    }
+
+    /// Mines `db`, escalating through the recovery ladder on failure.
+    ///
+    /// Returns the mining result *and* the recovery report — the report
+    /// survives failure so callers can still explain what was attempted.
+    /// The caller's sink receives either the complete result of the
+    /// winning attempt or nothing.
+    pub fn mine(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+    ) -> (Result<MineStats, CfpError>, RecoveryReport) {
+        let mut report =
+            RecoveryReport { policy: self.policy.name().to_string(), ..Default::default() };
+
+        // First attempt: the classic run, output buffered.
+        let mut buf = CollectSink::new();
+        let first = ParallelCfpGrowthMiner {
+            threads: self.threads,
+            single_path_opt: self.single_path_opt,
+            mem_budget: self.mem_budget,
+            pool: None,
+            worker_timeout: self.worker_timeout,
+            compact_on_pressure: false,
+        }
+        .try_mine(db, min_support, &mut buf);
+        let mut last_err = match first {
+            Ok(stats) => {
+                flush(buf, sink);
+                return (Ok(stats), report);
+            }
+            Err(e) => e,
+        };
+        if self.policy == RecoveryPolicy::Off {
+            return (Err(last_err), report);
+        }
+
+        // Rung 1: retry with compaction armed and the budget enforced by
+        // one shared pool across every arena of the run.
+        {
+            let _s = span(Phase::Recover);
+            rung_started();
+            let pool = self.mem_budget.map(BudgetPool::new);
+            let mut buf = CollectSink::new();
+            let r = ParallelCfpGrowthMiner {
+                threads: self.threads,
+                single_path_opt: self.single_path_opt,
+                mem_budget: None,
+                pool: pool.clone(),
+                worker_timeout: self.worker_timeout,
+                compact_on_pressure: true,
+            }
+            .try_mine(db, min_support, &mut buf);
+            let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
+            match r {
+                Ok(stats) => {
+                    report.rungs.push(RungReport {
+                        rung: "retry",
+                        succeeded: true,
+                        reclaimed_bytes: reclaimed,
+                        partitions: 0,
+                        error: None,
+                    });
+                    report.recovered = true;
+                    flush(buf, sink);
+                    return (Ok(stats), report);
+                }
+                Err(e) => {
+                    report.rungs.push(RungReport {
+                        rung: "retry",
+                        succeeded: false,
+                        reclaimed_bytes: reclaimed,
+                        partitions: 0,
+                        error: Some(e.to_string()),
+                    });
+                    last_err = e;
+                }
+            }
+        }
+        if self.policy == RecoveryPolicy::Retry {
+            return (Err(last_err), report);
+        }
+
+        // Rung 2: downshift to sequential mining — one conditional tree
+        // live at a time instead of `threads`. Skipped when the run was
+        // sequential already (it would repeat rung 1 exactly).
+        if self.threads > 1 {
+            let _s = span(Phase::Recover);
+            rung_started();
+            let pool = self.mem_budget.map(BudgetPool::new);
+            let mut buf = CollectSink::new();
+            let r = CfpGrowthMiner { single_path_opt: self.single_path_opt, mem_budget: None }
+                .try_mine_with(
+                    db,
+                    min_support,
+                    &mut buf,
+                    &MineOpts { pool: pool.clone(), compact_on_pressure: true },
+                );
+            let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
+            match r {
+                Ok(stats) => {
+                    report.rungs.push(RungReport {
+                        rung: "degrade",
+                        succeeded: true,
+                        reclaimed_bytes: reclaimed,
+                        partitions: 0,
+                        error: None,
+                    });
+                    report.recovered = true;
+                    flush(buf, sink);
+                    return (Ok(stats), report);
+                }
+                Err(e) => {
+                    report.rungs.push(RungReport {
+                        rung: "degrade",
+                        succeeded: false,
+                        reclaimed_bytes: reclaimed,
+                        partitions: 0,
+                        error: Some(e.to_string()),
+                    });
+                    last_err = e;
+                }
+            }
+        }
+        if self.policy == RecoveryPolicy::Degrade {
+            return (Err(last_err), report);
+        }
+
+        // Rung 3: partitioned fallback mining.
+        let _s = span(Phase::Recover);
+        rung_started();
+        match self.partition_rung(db, min_support, &last_err) {
+            Ok((stats, partitions, reclaimed, peaks, buf)) => {
+                report.rungs.push(RungReport {
+                    rung: "partition",
+                    succeeded: true,
+                    reclaimed_bytes: reclaimed,
+                    partitions,
+                    error: None,
+                });
+                report.recovered = true;
+                report.final_partitions = partitions;
+                report.partition_peaks = peaks;
+                flush(buf, sink);
+                (Ok(stats), report)
+            }
+            Err((e, partitions, reclaimed)) => {
+                report.rungs.push(RungReport {
+                    rung: "partition",
+                    succeeded: false,
+                    reclaimed_bytes: reclaimed,
+                    partitions,
+                    error: Some(e.to_string()),
+                });
+                (Err(e), report)
+            }
+        }
+    }
+
+    /// The partition rung: project, mine each range under the budget,
+    /// filter by maximal item, and concatenate. Returns the merged
+    /// stats, the number of partitions mined, compaction bytes, the
+    /// per-partition pool peaks, and the buffered output.
+    #[allow(clippy::type_complexity)]
+    fn partition_rung(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        cause: &CfpError,
+    ) -> Result<(MineStats, u64, u64, Vec<u64>, CollectSink), (CfpError, u64, u64)> {
+        let recoder = ItemRecoder::scan(db, min_support);
+        let n = recoder.num_items();
+        if n == 0 {
+            // Nothing frequent: the empty result is exact. (The original
+            // failure was necessarily transient — e.g. injected.)
+            return Ok((MineStats::default(), 0, 0, Vec::new(), CollectSink::new()));
+        }
+        // Initial partition count from the failure itself: aim for
+        // projections of at most half the budget. For non-memory causes
+        // start at 2.
+        let k0 = match *cause {
+            CfpError::MemoryExhausted { footprint, limit, .. } if limit > 0 => {
+                (2 * footprint).div_ceil(limit).max(2) as usize
+            }
+            _ => 2,
+        };
+        let mut queue: VecDeque<(u32, u32)> = ranges_by_mass(&recoder, k0.min(n)).into();
+
+        let mut buf = CollectSink::new();
+        let mut stats = MineStats::default();
+        let mut peaks: Vec<u64> = Vec::new();
+        let mut reclaimed = 0u64;
+        let mut mined = 0u64;
+        let miner = CfpGrowthMiner { single_path_opt: self.single_path_opt, mem_budget: None };
+        while let Some((lo, hi)) = queue.pop_front() {
+            let proj = project(db, &recoder, lo, hi);
+            let pool = self.mem_budget.map(BudgetPool::new);
+            let opts = MineOpts { pool: pool.clone(), compact_on_pressure: true };
+            let mut fsink = RangeFilterSink { inner: &mut buf, recoder: &recoder, lo, hi };
+            let r = miner.try_mine_with(&proj, min_support, &mut fsink, &opts);
+            if let Some(p) = &pool {
+                reclaimed += p.compact_reclaimed();
+            }
+            match r {
+                Ok(s) => {
+                    mined += 1;
+                    peaks.push(pool.map(|p| p.peak()).unwrap_or(s.peak_bytes));
+                    stats.itemsets += s.itemsets;
+                    stats.scan_time += s.scan_time;
+                    stats.build_time += s.build_time;
+                    stats.convert_time += s.convert_time;
+                    stats.mine_time += s.mine_time;
+                    stats.tree_nodes += s.tree_nodes;
+                    stats.peak_bytes = stats.peak_bytes.max(s.peak_bytes);
+                    stats.avg_bytes = stats.avg_bytes.max(s.avg_bytes);
+                }
+                Err(CfpError::MemoryExhausted { .. }) if hi - lo > 1 => {
+                    // Too big even projected: halve the range and requeue
+                    // both parts. The failed attempt may already have
+                    // buffered part of this range's output — retract it
+                    // so the halves re-mine without duplication.
+                    retract_range(&mut buf, &recoder, lo, hi);
+                    let mid = lo + (hi - lo) / 2;
+                    queue.push_front((mid, hi));
+                    queue.push_front((lo, mid));
+                }
+                Err(e) => return Err((e, mined, reclaimed)),
+            }
+        }
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_PARTITIONS.record(mined);
+        }
+        // itemsets counted by the projection miners include filtered-out
+        // emissions; the buffered (kept) count is the real one.
+        stats.itemsets = buf.itemsets.len() as u64;
+        stats.worker_peaks = peaks.clone();
+        Ok((stats, mined, reclaimed, peaks, buf))
+    }
+}
+
+fn rung_started() {
+    if cfp_trace::enabled() {
+        cfp_trace::counters::CORE_RECOVERY_RUNGS.inc();
+    }
+}
+
+fn flush(buf: CollectSink, sink: &mut dyn ItemsetSink) {
+    for (itemset, support) in &buf.itemsets {
+        sink.emit(itemset, *support);
+    }
+}
+
+/// Drops buffered itemsets whose maximal recoded item lies in `[lo, hi)`
+/// — used to undo the partial output of a failed partition attempt
+/// before the halved ranges re-mine it.
+fn retract_range(buf: &mut CollectSink, recoder: &ItemRecoder, lo: u32, hi: u32) {
+    buf.itemsets.retain(|(itemset, _)| {
+        let max = itemset.iter().filter_map(|&it| recoder.recode(it)).max();
+        !matches!(max, Some(m) if lo <= m && m < hi)
+    });
+}
+
+/// Forwards only itemsets whose *maximal* global-recoded item falls in
+/// `[lo, hi)` — the disjointness filter of the partition rung.
+struct RangeFilterSink<'a> {
+    inner: &'a mut CollectSink,
+    recoder: &'a ItemRecoder,
+    lo: u32,
+    hi: u32,
+}
+
+impl ItemsetSink for RangeFilterSink<'_> {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        let max = itemset.iter().filter_map(|&it| self.recoder.recode(it)).max();
+        if let Some(m) = max {
+            if self.lo <= m && m < self.hi {
+                self.inner.emit(itemset, support);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfp_data::miner::CollectSink;
+
+    fn textbook() -> TransactionDb {
+        TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    fn reference(db: &TransactionDb, minsup: u64) -> Vec<(Vec<Item>, u64)> {
+        let mut sink = CollectSink::new();
+        CfpGrowthMiner::new().mine(db, minsup, &mut sink);
+        sink.into_sorted()
+    }
+
+    #[test]
+    fn healthy_run_reports_no_rungs() {
+        let db = textbook();
+        let sup = Supervisor::new(RecoveryPolicy::Partition);
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        r.expect("healthy run");
+        assert!(report.rungs.is_empty());
+        assert!(!report.recovered);
+        assert_eq!(sink.into_sorted(), reference(&db, 2));
+    }
+
+    #[test]
+    fn budget_too_small_for_monolithic_tree_recovers_via_partitioning() {
+        let db = textbook();
+        // Find the monolithic tree's charge, then budget below it: the
+        // first attempt, the retry, and the degrade rung all fail in the
+        // build phase; partitioned projections fit.
+        let (_, tree) = crate::growth::try_build_tree(&db, 2, None).unwrap();
+        let budget = tree.arena_footprint() - 10;
+        drop(tree);
+
+        let sup = Supervisor {
+            threads: 2,
+            mem_budget: Some(budget),
+            ..Supervisor::new(RecoveryPolicy::Partition)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        let stats = r.expect("partitioning must recover the run");
+        assert!(report.recovered);
+        assert_eq!(
+            report.rungs.iter().map(|r| r.rung).collect::<Vec<_>>(),
+            vec!["retry", "degrade", "partition"],
+            "each rung attempted exactly once, in order"
+        );
+        assert!(report.final_partitions >= 2);
+        for (i, peak) in report.partition_peaks.iter().enumerate() {
+            assert!(peak <= &budget, "partition {i} peak {peak} over budget {budget}");
+        }
+        let got = sink.into_sorted();
+        assert_eq!(got, reference(&db, 2), "partitioned result must be exact");
+        assert_eq!(stats.itemsets, got.len() as u64);
+    }
+
+    #[test]
+    fn policy_off_returns_the_original_failure_untouched() {
+        let db = textbook();
+        let sup = Supervisor { mem_budget: Some(16), ..Supervisor::new(RecoveryPolicy::Off) };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        let err = r.expect_err("16 bytes cannot hold the tree");
+        assert_eq!(err.exit_code(), 4);
+        assert!(report.rungs.is_empty());
+        assert!(sink.into_sorted().is_empty(), "no partial output on failure");
+    }
+
+    #[test]
+    fn retry_policy_stops_after_one_rung() {
+        let db = textbook();
+        let sup = Supervisor { mem_budget: Some(16), ..Supervisor::new(RecoveryPolicy::Retry) };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        assert!(r.is_err(), "16 bytes stays impossible after compaction");
+        assert_eq!(report.rungs.len(), 1);
+        assert_eq!(report.rungs[0].rung, "retry");
+        assert!(!report.rungs[0].succeeded);
+    }
+
+    #[test]
+    fn partitioned_equivalence_on_a_block_structured_db() {
+        // Three nearly-disjoint item blocks: projections are about a
+        // third of the monolithic tree, so a budget between the two
+        // sizes forces exactly the partition rung to succeed.
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut db = TransactionDb::new();
+        for block in 0u32..3 {
+            for _ in 0..60 {
+                let t: Vec<Item> =
+                    (0..8).filter(|_| rng.gen_bool(0.6)).map(|i| block * 100 + i).collect();
+                db.push(&t);
+            }
+        }
+        let minsup = 3;
+        let (_, tree) = crate::growth::try_build_tree(&db, minsup, None).unwrap();
+        let mono = tree.arena_footprint();
+        drop(tree);
+
+        let budget = mono * 2 / 3;
+        let sup = Supervisor {
+            threads: 2,
+            mem_budget: Some(budget),
+            ..Supervisor::new(RecoveryPolicy::Partition)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, minsup, &mut sink);
+        r.expect("block-structured db must partition cleanly");
+        assert!(report.recovered);
+        assert_eq!(report.rungs.last().unwrap().rung, "partition");
+        for peak in &report.partition_peaks {
+            assert!(peak <= &budget, "peak {peak} over budget {budget}");
+        }
+        assert_eq!(sink.into_sorted(), reference(&db, minsup));
+    }
+
+    #[test]
+    fn single_item_range_failure_is_final() {
+        let db = textbook();
+        let sup = Supervisor {
+            mem_budget: Some(5), // below even a root slot's charge
+            ..Supervisor::new(RecoveryPolicy::Partition)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        let err = r.expect_err("5 bytes cannot hold any projection");
+        assert_eq!(err.exit_code(), 4);
+        assert!(!report.recovered);
+        assert!(sink.into_sorted().is_empty());
+    }
+}

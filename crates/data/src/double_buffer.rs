@@ -295,6 +295,59 @@ mod tests {
     }
 
     #[test]
+    fn skip_policy_damage_accounting_spans_chunk_boundaries() {
+        // Malformed, blank, and valid lines interleaved, with a chunk
+        // size small enough that the damage spreads over many chunks —
+        // the final stats must still see every line exactly once.
+        let mut text = String::new();
+        let mut expected_rows = 0u64;
+        for i in 0..50u32 {
+            text.push_str(&format!("{} {}\n", i, i + 1)); // valid
+            text.push('\n'); // blank: valid empty transaction
+            text.push_str("oops -3\n"); // malformed: 2 bad tokens
+            expected_rows += 2;
+        }
+        let mut rdr = DoubleBufferedReader::with_policy(
+            std::io::Cursor::new(text.into_bytes()),
+            4,
+            ParsePolicy::Skip,
+        );
+        let mut rows = 0u64;
+        while let Some(chunk) = rdr.next_chunk().unwrap() {
+            rows += chunk.len() as u64;
+            rdr.recycle(chunk);
+        }
+        assert_eq!(rows, expected_rows);
+        let stats = rdr.parse_stats();
+        assert_eq!(stats.lines, 150);
+        assert_eq!(stats.skipped_lines, 50);
+        assert_eq!(stats.bad_tokens, 100);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn skip_policy_trace_counters_through_double_buffer() {
+        use cfp_trace::counters as tc;
+        let before_lines = tc::DATA_SKIPPED_LINES.get();
+        let before_tokens = tc::DATA_BAD_TOKENS.get();
+        cfp_trace::set_enabled(true);
+        let text = b"1 2\nbad\n\n3\nworse yet\n".to_vec();
+        let mut rdr =
+            DoubleBufferedReader::with_policy(std::io::Cursor::new(text), 2, ParsePolicy::Skip);
+        while let Some(chunk) = rdr.next_chunk().unwrap() {
+            rdr.recycle(chunk);
+        }
+        cfp_trace::set_enabled(false);
+        let stats = rdr.parse_stats();
+        assert_eq!(stats.skipped_lines, 2);
+        assert_eq!(stats.bad_tokens, 3);
+        // Trace counters mirror the per-read stats (>= because other
+        // trace-gated tests share the global registry).
+        assert!(tc::DATA_SKIPPED_LINES.get() >= before_lines + 2);
+        assert!(tc::DATA_BAD_TOKENS.get() >= before_tokens + 3);
+    }
+
+    #[test]
     fn dropping_early_does_not_hang() {
         let text = sample_text(100_000);
         let mut rdr =

@@ -270,6 +270,42 @@ mod tests {
         assert_eq!(stats.bad_tokens, 3); // "x", "-9", "4294967296"
     }
 
+    #[test]
+    fn skip_policy_accounts_damage_across_mixed_content() {
+        // A file mixing valid transactions, blank lines (valid empty
+        // transactions), whitespace-only lines, and malformed lines of
+        // one and several bad tokens.
+        let text = "1 2 3\n\nx y\n4 5\n   \t\n-1\n6\n";
+        let (db, stats) = read_with_policy(text.as_bytes(), ParsePolicy::Skip).unwrap();
+        assert_eq!(db.len(), 5, "blank lines are kept as empty transactions");
+        assert_eq!(db.get(0), &[1, 2, 3]);
+        assert_eq!(db.get(1), &[] as &[Item]);
+        assert_eq!(db.get(2), &[4, 5]);
+        assert_eq!(db.get(3), &[] as &[Item]);
+        assert_eq!(db.get(4), &[6]);
+        assert_eq!(stats.lines, 7, "every line is counted, skipped or not");
+        assert_eq!(stats.skipped_lines, 2, "\"x y\" and \"-1\"");
+        assert_eq!(stats.bad_tokens, 3, "\"x\", \"y\", \"-1\"");
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn skip_policy_counters_match_parse_stats_deltas() {
+        use cfp_trace::counters as tc;
+        let before_lines = tc::DATA_SKIPPED_LINES.get();
+        let before_tokens = tc::DATA_BAD_TOKENS.get();
+        cfp_trace::set_enabled(true);
+        let (_, stats) =
+            read_with_policy("a\n1\nb c\n\n2 3\n".as_bytes(), ParsePolicy::Skip).unwrap();
+        cfp_trace::set_enabled(false);
+        assert_eq!(stats.skipped_lines, 2);
+        assert_eq!(stats.bad_tokens, 3);
+        // Other trace-gated tests may run concurrently in this process,
+        // so assert the counters advanced by at least our own damage.
+        assert!(tc::DATA_SKIPPED_LINES.get() >= before_lines + 2);
+        assert!(tc::DATA_BAD_TOKENS.get() >= before_tokens + 3);
+    }
+
     #[cfg(feature = "trace")]
     #[test]
     fn skip_policy_records_trace_counters() {

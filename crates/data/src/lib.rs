@@ -16,6 +16,8 @@
 //!   scale, with fixed seeds for reproducibility.
 //! - [`miner`]: the [`miner::Miner`] trait all algorithms implement
 //!   and the [`miner::ItemsetSink`] output abstraction.
+//! - [`partition`]: item-range projections of a database for exact
+//!   partitioned fallback mining under a memory budget (Grahne & Zhu).
 //! - [`rng`]: a small deterministic PRNG (xoshiro256++) replacing the
 //!   `rand` crate, so the workspace builds without network access.
 
@@ -25,6 +27,7 @@ pub mod count;
 pub mod double_buffer;
 pub mod fimi;
 pub mod miner;
+pub mod partition;
 pub mod profiles;
 pub mod quest;
 pub mod rng;

@@ -47,6 +47,16 @@ pub enum CfpError {
         /// The panic payload (or channel diagnostic), stringified.
         message: String,
     },
+    /// The watchdog saw no progress (no result batches, no heartbeat
+    /// advance) from a parallel worker for the configured timeout; the
+    /// siblings were cancelled via the poison flag and the run reported
+    /// a structured error instead of hanging.
+    WorkerTimeout {
+        /// Index of the stalled worker.
+        worker: usize,
+        /// Milliseconds the watchdog waited without seeing progress.
+        waited_ms: u64,
+    },
 }
 
 /// Exit code for command-line usage errors (bad flags, missing
@@ -58,13 +68,14 @@ impl CfpError {
     ///
     /// The space is documented in the README: 0 success, 1 I/O error,
     /// 2 usage error ([`EXIT_USAGE`]), 3 malformed input, 4 memory
-    /// exhausted, 5 worker panic.
+    /// exhausted, 5 worker panic, 6 worker timeout.
     pub fn exit_code(&self) -> i32 {
         match self {
             CfpError::Io(_) => 1,
             CfpError::Parse { .. } => 3,
             CfpError::MemoryExhausted { .. } => 4,
             CfpError::WorkerPanic { .. } => 5,
+            CfpError::WorkerTimeout { .. } => 6,
         }
     }
 
@@ -104,6 +115,12 @@ impl fmt::Display for CfpError {
             CfpError::WorkerPanic { worker, message } => {
                 write!(f, "worker {worker} failed: {message}")
             }
+            CfpError::WorkerTimeout { worker, waited_ms } => {
+                write!(
+                    f,
+                    "worker {worker} stalled: no progress for {waited_ms} ms; siblings cancelled"
+                )
+            }
         }
     }
 }
@@ -134,6 +151,9 @@ impl From<CfpError> for io::Error {
                 io::Error::new(io::ErrorKind::OutOfMemory, e.to_string())
             }
             CfpError::WorkerPanic { .. } => io::Error::other(e.to_string()),
+            CfpError::WorkerTimeout { .. } => {
+                io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+            }
         }
     }
 }
@@ -149,6 +169,7 @@ mod tests {
             CfpError::Parse { line: 1, message: "x".into() },
             CfpError::MemoryExhausted { phase: "build", requested: 1, footprint: 2, limit: 3 },
             CfpError::WorkerPanic { worker: 0, message: "x".into() },
+            CfpError::WorkerTimeout { worker: 0, waited_ms: 100 },
         ];
         let mut codes: Vec<i32> = errs.iter().map(CfpError::exit_code).collect();
         codes.push(EXIT_USAGE);
@@ -157,7 +178,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), codes.len(), "exit codes must not collide: {codes:?}");
-        assert_eq!(codes, vec![1, 3, 4, 5, 2, 0]);
+        assert_eq!(codes, vec![1, 3, 4, 5, 6, 2, 0]);
     }
 
     #[test]
@@ -187,6 +208,9 @@ mod tests {
         assert!(s.contains("1024"), "{s}");
         let e = CfpError::Parse { line: 17, message: "bad item \"x\"".into() };
         assert!(e.to_string().contains("line 17"));
+        let e = CfpError::WorkerTimeout { worker: 3, waited_ms: 750 };
+        let s = e.to_string();
+        assert!(s.contains("worker 3") && s.contains("750"), "{s}");
     }
 
     #[test]

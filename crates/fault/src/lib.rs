@@ -119,6 +119,48 @@ pub fn configure(site: &str, mode: FaultMode) {
     }
 }
 
+/// Arms failpoints from the `CFP_FAULT` environment variable, so fault
+/// runs can be driven through a spawned binary (the CI recovery matrix
+/// does this to the CLI). Returns the number of sites armed.
+///
+/// Syntax: `site=mode` pairs separated by `;`, where mode is `always`,
+/// `nth:N`, `after:N`, or `prob:P:SEED`. Malformed entries are ignored
+/// (injection is a test aid; a typo must not take down a run). No-op
+/// without the `fault` feature.
+pub fn configure_from_env() -> usize {
+    #[cfg(feature = "fault")]
+    {
+        let Ok(spec) = std::env::var("CFP_FAULT") else { return 0 };
+        let mut armed = 0;
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let Some((site, mode)) = entry.split_once('=') else { continue };
+            let mode = match mode.trim().split(':').collect::<Vec<_>>().as_slice() {
+                ["always"] => FaultMode::Always,
+                ["nth", n] => match n.parse() {
+                    Ok(n) => FaultMode::Nth(n),
+                    Err(_) => continue,
+                },
+                ["after", n] => match n.parse() {
+                    Ok(n) => FaultMode::AfterN(n),
+                    Err(_) => continue,
+                },
+                ["prob", p, seed] => match (p.parse(), seed.parse()) {
+                    (Ok(p), Ok(seed)) => FaultMode::Probability { p, seed },
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            configure(site.trim(), mode);
+            armed += 1;
+        }
+        armed
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        0
+    }
+}
+
 /// Disarms the failpoint `site`. No-op without the `fault` feature.
 pub fn clear(site: &str) {
     #[cfg(feature = "fault")]
@@ -272,6 +314,25 @@ mod tests {
         assert_eq!(a, b, "same seed must replay the same pattern");
         assert_ne!(a, c, "different seeds must diverge");
         assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f), "p=0.5 mixes outcomes");
+        clear_all();
+    }
+
+    #[test]
+    fn env_configuration_arms_sites() {
+        let _g = lock();
+        clear_all();
+        // Setting an env var is process-global, like the registry this
+        // test already serialises on.
+        std::env::set_var(
+            "CFP_FAULT",
+            "a.site=always; b.site=nth:2 ;bad-entry;c.site=prob:0.5:7;d.site=wat:1",
+        );
+        assert_eq!(configure_from_env(), 3, "malformed entries are skipped");
+        assert!(should_fail("a.site"));
+        assert!(!should_fail("b.site"));
+        assert!(should_fail("b.site"), "nth:2 fires on the second call");
+        assert!(!should_fail("d.site"), "unknown mode is ignored");
+        std::env::remove_var("CFP_FAULT");
         clear_all();
     }
 

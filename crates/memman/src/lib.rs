@@ -36,6 +36,13 @@
 //! [`alloc`](Arena::alloc)/[`realloc`](Arena::realloc) wrappers remain
 //! for contexts that treat exhaustion as fatal (tests, ad-hoc tools).
 //!
+//! Two recovery hooks build on that: [`Arena::compact`] returns trailing
+//! free chunks to the OS-facing footprint (live chunks never move, so
+//! offsets stay valid), and a [`BudgetPool`] shares one byte limit
+//! between several arenas — together they let the mining layers retry,
+//! degrade, or partition a run instead of aborting it (see
+//! [`ArenaOptions`]).
+//!
 //! Misuse, by contrast, stays a programming error: freeing the same
 //! chunk twice corrupts the free queue into a cycle, so debug builds
 //! `debug_assert!` against it by scanning the size's free queue on every
@@ -57,6 +64,8 @@
 
 use cfp_encoding::ptr40::{read_raw40, write_raw40, MAX_OFFSET, PTR_BYTES};
 use cfp_trace::counters as tc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Smallest chunk the arena hands out. A free chunk must be able to hold a
 /// 5-byte next-free link, so requests below this are rounded up.
@@ -85,6 +94,128 @@ impl MemoryBudget {
     pub fn new(bytes: u64) -> Self {
         MemoryBudget { bytes }
     }
+}
+
+/// A byte budget *shared* between several arenas (and threads).
+///
+/// Where [`MemoryBudget`] caps one arena in isolation, a `BudgetPool` is a
+/// single atomic pool that every participating arena reserves its carved
+/// bytes from, so the *combined* footprint of all of them stays under one
+/// limit. This is how the parallel miner keeps `threads × conditional
+/// trees` from oversubscribing the budget the user asked for: the build
+/// tree and every worker's conditional trees draw from the same pool.
+///
+/// Clones share the same pool (`Arc` inside). Reservations are released
+/// when an arena is dropped or compacted, and the high-water mark is
+/// recorded in [`peak`](BudgetPool::peak).
+#[derive(Clone, Debug)]
+pub struct BudgetPool {
+    inner: Arc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    limit: u64,
+    used: AtomicU64,
+    peak: AtomicU64,
+    reserved_total: AtomicU64,
+    compact_reclaimed: AtomicU64,
+}
+
+impl BudgetPool {
+    /// A pool of `limit` bytes shared by every clone.
+    pub fn new(limit: u64) -> Self {
+        BudgetPool {
+            inner: Arc::new(PoolInner {
+                limit,
+                used: AtomicU64::new(0),
+                peak: AtomicU64::new(0),
+                reserved_total: AtomicU64::new(0),
+                compact_reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Reserves `bytes` from the pool; `false` when the limit would be
+    /// exceeded (and nothing is reserved).
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        let mut used = self.inner.used.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = used.checked_add(bytes) else { return false };
+            if next > self.inner.limit {
+                return false;
+            }
+            match self.inner.used.compare_exchange_weak(
+                used,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.peak.fetch_max(next, Ordering::Relaxed);
+                    self.inner.reserved_total.fetch_add(bytes, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    /// Returns `bytes` to the pool (saturating: releasing more than was
+    /// reserved clamps to zero rather than underflowing).
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .inner
+            .used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| Some(u.saturating_sub(bytes)));
+    }
+
+    /// The pool's byte limit.
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// Bytes currently reserved across all participants.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of reserved bytes over the pool's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.inner.peak.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes ever reserved (never decremented by releases).
+    /// Lets tests and reports see that a participant charged the pool
+    /// even after it released everything again.
+    pub fn reserved_total(&self) -> u64 {
+        self.inner.reserved_total.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes returned to the pool by [`Arena::compact`] calls, for
+    /// degradation reports.
+    pub fn compact_reclaimed(&self) -> u64 {
+        self.inner.compact_reclaimed.load(Ordering::Relaxed)
+    }
+
+    fn release_reclaimed(&self, bytes: u64) {
+        self.release(bytes);
+        self.inner.compact_reclaimed.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Construction-time knobs for an [`Arena`], threaded down from the
+/// mining layers so recovery policies can arm them per run.
+#[derive(Clone, Debug, Default)]
+pub struct ArenaOptions {
+    /// Per-arena carved-byte cap (see [`MemoryBudget`]).
+    pub budget: Option<MemoryBudget>,
+    /// Shared pool this arena reserves its carved bytes from (see
+    /// [`BudgetPool`]).
+    pub pool: Option<BudgetPool>,
+    /// When an allocation is refused, [`Arena::compact`] once and retry
+    /// before reporting failure.
+    pub compact_on_pressure: bool,
 }
 
 /// Why an allocation could not be satisfied.
@@ -174,6 +305,11 @@ pub struct ArenaStats {
     pub grows: u64,
     /// Reallocations that moved to a smaller chunk class.
     pub shrinks: u64,
+    /// [`Arena::compact`] calls (explicit or triggered by
+    /// [`ArenaOptions::compact_on_pressure`]).
+    pub compactions: u64,
+    /// Total bytes returned to the OS-facing footprint by compaction.
+    pub compact_reclaimed: u64,
 }
 
 /// A bump-pointer arena with per-size free-chunk queues.
@@ -190,6 +326,10 @@ pub struct Arena {
     stats: ArenaStats,
     /// Optional cap on carved bytes, checked on every bump allocation.
     budget: Option<MemoryBudget>,
+    /// Optional shared pool carved bytes are reserved from.
+    pool: Option<BudgetPool>,
+    /// Compact-and-retry once when an allocation is refused.
+    compact_on_pressure: bool,
 }
 
 impl Default for Arena {
@@ -216,6 +356,8 @@ impl Arena {
             live: 0,
             stats: ArenaStats::default(),
             budget: None,
+            pool: None,
+            compact_on_pressure: false,
         }
     }
 
@@ -223,6 +365,16 @@ impl Arena {
     pub fn with_budget(budget: MemoryBudget) -> Self {
         let mut a = Self::new();
         a.budget = Some(budget);
+        a
+    }
+
+    /// Creates an empty arena configured by `opts` (budget, shared pool,
+    /// compact-on-pressure).
+    pub fn with_options(opts: ArenaOptions) -> Self {
+        let mut a = Self::new();
+        a.budget = opts.budget;
+        a.pool = opts.pool;
+        a.compact_on_pressure = opts.compact_on_pressure;
         a
     }
 
@@ -287,16 +439,18 @@ impl Arena {
             self.free_heads[size] = next;
             return Ok(head);
         }
-        // Bump path: validate before touching any state.
-        let off = self.buf.len() as u64;
-        if off + size as u64 > MAX_OFFSET {
-            return Err(self.alloc_error(AllocErrorKind::AddressSpaceExhausted, size));
-        }
-        if let Some(b) = self.budget {
-            if self.footprint() - 1 + size as u64 > b.bytes {
-                return Err(self.alloc_error(AllocErrorKind::BudgetExceeded, size));
+        // Bump path: validate before touching any accounting. Under
+        // `compact_on_pressure`, a refusal triggers one compaction and
+        // one re-check before the failure is reported.
+        if let Err(e) = self.admit_bump(size) {
+            if !self.compact_on_pressure || self.compact() == 0 {
+                return Err(e);
             }
+            self.admit_bump(size)?;
         }
+        // Compaction may have moved the bump pointer, so read it after
+        // admission.
+        let off = self.buf.len() as u64;
         self.used += size as u64;
         self.live += 1;
         self.stats.allocs += 1;
@@ -320,6 +474,102 @@ impl Arena {
             footprint: self.footprint().saturating_sub(1),
             limit: self.budget.map_or(0, |b| b.bytes),
         }
+    }
+
+    /// Checks whether carving `size` bytes at the bump pointer is
+    /// admissible: 40-bit address space, the local budget, then the
+    /// shared pool. On `Ok`, a pool reservation of `size` bytes is held;
+    /// on `Err`, nothing is.
+    fn admit_bump(&mut self, size: usize) -> Result<(), AllocError> {
+        let off = self.buf.len() as u64;
+        if off + size as u64 > MAX_OFFSET {
+            return Err(self.alloc_error(AllocErrorKind::AddressSpaceExhausted, size));
+        }
+        if let Some(b) = self.budget {
+            if self.footprint() - 1 + size as u64 > b.bytes {
+                return Err(self.alloc_error(AllocErrorKind::BudgetExceeded, size));
+            }
+        }
+        if let Some(pool) = &self.pool {
+            if !pool.try_reserve(size as u64) {
+                // Report the pool's view: the other participants' carved
+                // bytes are what left no room, not this arena's own.
+                return Err(AllocError {
+                    kind: AllocErrorKind::BudgetExceeded,
+                    requested: size as u64,
+                    footprint: pool.used(),
+                    limit: pool.limit(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns trailing free chunks to the OS-facing footprint.
+    ///
+    /// Live chunks never move (offsets handed out stay valid), so the
+    /// only memory compaction can return is the contiguous run of free
+    /// chunks ending exactly at the bump pointer. The surviving free
+    /// chunks are re-threaded into their per-size queues (lowest offset
+    /// first, improving locality of later recycling). Returns the bytes
+    /// reclaimed, released back to the budget/pool and subtracted from
+    /// the footprint gauges.
+    pub fn compact(&mut self) -> u64 {
+        let mut chunks: Vec<(u64, usize)> = Vec::new();
+        for size in MIN_CHUNK..=MAX_CHUNK {
+            let mut cur = self.free_heads[size];
+            while cur != 0 {
+                let next = read_raw40(&self.buf[cur as usize..cur as usize + PTR_BYTES]);
+                chunks.push((cur, size));
+                cur = next;
+            }
+        }
+        chunks.sort_unstable_by_key(|&(off, _)| off);
+        let mut end = self.buf.len() as u64;
+        let mut kept = chunks.len();
+        while kept > 0 {
+            let (off, size) = chunks[kept - 1];
+            if off + size as u64 != end {
+                break;
+            }
+            end = off;
+            kept -= 1;
+        }
+        let reclaimed = self.buf.len() as u64 - end;
+        self.stats.compactions += 1;
+        if reclaimed == 0 {
+            return 0;
+        }
+        self.buf.truncate(end as usize);
+        self.free_heads = [0; MAX_CHUNK + 1];
+        for &(off, size) in chunks[..kept].iter().rev() {
+            let head = self.free_heads[size];
+            write_raw40(&mut self.buf[off as usize..off as usize + PTR_BYTES], head);
+            self.free_heads[size] = off;
+        }
+        self.stats.compact_reclaimed += reclaimed;
+        if let Some(pool) = &self.pool {
+            pool.release_reclaimed(reclaimed);
+        }
+        if cfp_trace::enabled() {
+            tc::MEMMAN_COMPACTIONS.inc();
+            tc::MEMMAN_COMPACT_RECLAIMED.add(reclaimed);
+            tc::MEMMAN_FOOTPRINT_BYTES.sub(reclaimed);
+        }
+        reclaimed
+    }
+
+    /// [`compact`](Self::compact), then returns spare `Vec` capacity to
+    /// the OS. Returns the bytes compaction reclaimed.
+    pub fn shrink_to_fit(&mut self) -> u64 {
+        let reclaimed = self.compact();
+        self.buf.shrink_to_fit();
+        reclaimed
+    }
+
+    /// The shared pool this arena reserves from, if any.
+    pub fn pool(&self) -> Option<&BudgetPool> {
+        self.pool.as_ref()
     }
 
     /// Returns a chunk previously obtained from [`alloc`](Self::alloc) with
@@ -489,6 +739,11 @@ impl Drop for Arena {
         if cfp_trace::enabled() {
             tc::MEMMAN_USED_BYTES.sub(self.used);
             tc::MEMMAN_FOOTPRINT_BYTES.sub(self.footprint().saturating_sub(1));
+        }
+        // Give the shared pool back everything this arena carved (the
+        // reservation invariant is exactly `footprint() - 1`).
+        if let Some(pool) = &self.pool {
+            pool.release(self.footprint().saturating_sub(1));
         }
     }
 }
@@ -776,6 +1031,119 @@ mod tests {
         assert_eq!(a.footprint(), before + 24);
         a.free(x, 24);
         assert_eq!(a.footprint(), before + 24, "free never shrinks the arena");
+    }
+
+    #[test]
+    fn compact_reclaims_trailing_free_chunks_only() {
+        let mut a = Arena::new();
+        let x = a.alloc(8);
+        let y = a.alloc(12);
+        let _live = a.alloc(24); // pins y away from the tail
+        let z = a.alloc(16);
+        a.bytes_mut(x, 8).copy_from_slice(b"aaaaaaaa");
+        a.free(y, 12); // interior: must survive, queued
+        a.free(z, 16); // tail: reclaimable
+        let before = a.footprint();
+        let reclaimed = a.compact();
+        assert_eq!(reclaimed, 16);
+        assert_eq!(a.footprint(), before - 16);
+        assert_eq!(a.bytes(x, 8), b"aaaaaaaa", "live chunks never move");
+        assert_eq!(a.free_chunks(12), 1, "interior free chunk stays queued");
+        assert_eq!(a.free_chunks(16), 0);
+        assert_eq!(a.alloc(12), y, "surviving queue still recycles");
+        let s = a.stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.compact_reclaimed, 16);
+    }
+
+    #[test]
+    fn compact_reclaims_a_chain_of_tail_chunks() {
+        let mut a = Arena::new();
+        let _x = a.alloc(8);
+        let y = a.alloc(12);
+        let z = a.alloc(16);
+        // Freed in either order, y and z form a contiguous run that ends
+        // at the bump pointer; both must go.
+        a.free(z, 16);
+        a.free(y, 12);
+        assert_eq!(a.compact(), 28);
+        assert_eq!(a.free_bytes(), 0);
+        // The arena keeps working: new allocations carve at the new end.
+        let w = a.alloc(12);
+        assert_eq!(w, y, "bump pointer moved back to the reclaimed region");
+    }
+
+    #[test]
+    fn compact_with_nothing_to_reclaim_is_a_noop() {
+        let mut a = Arena::new();
+        let x = a.alloc(8);
+        let _y = a.alloc(8);
+        a.free(x, 8); // interior only
+        let before = (a.used(), a.footprint(), a.free_chunks(8));
+        assert_eq!(a.compact(), 0);
+        assert_eq!((a.used(), a.footprint(), a.free_chunks(8)), before);
+    }
+
+    #[test]
+    fn compact_on_pressure_retries_within_budget() {
+        let mut a = Arena::with_options(ArenaOptions {
+            budget: Some(MemoryBudget::new(40)),
+            pool: None,
+            compact_on_pressure: true,
+        });
+        let x = a.alloc(16);
+        let y = a.alloc(24); // at the 40-byte cap
+        a.free(y, 24); // tail chunk: compactable
+                       // Without compaction this would be refused (carved stays 40);
+                       // with compact_on_pressure the tail is returned and re-carved.
+        let z = a.try_alloc(20).expect("compaction must free room under the budget");
+        assert_eq!(z, y, "re-carved at the reclaimed tail");
+        assert!(a.stats().compactions >= 1);
+        assert_eq!(a.bytes(x, 16).len(), 16);
+        // Still over-budget requests keep failing cleanly.
+        assert_eq!(a.try_alloc(24).unwrap_err().kind, AllocErrorKind::BudgetExceeded);
+    }
+
+    #[test]
+    fn budget_pool_is_shared_across_arenas() {
+        let pool = BudgetPool::new(64);
+        let opts = |p: &BudgetPool| ArenaOptions {
+            budget: None,
+            pool: Some(p.clone()),
+            compact_on_pressure: false,
+        };
+        let mut a = Arena::with_options(opts(&pool));
+        let mut b = Arena::with_options(opts(&pool));
+        let _ = a.alloc(40);
+        let _ = b.alloc(24);
+        assert_eq!(pool.used(), 64);
+        // The pool is exhausted even though each arena alone is small:
+        // this is the oversubscription the shared pool exists to prevent.
+        let err = b.try_alloc(8).unwrap_err();
+        assert_eq!(err.kind, AllocErrorKind::BudgetExceeded);
+        assert_eq!(err.limit, 64);
+        assert_eq!(err.footprint, 64, "error reports the pool-wide footprint");
+        drop(a);
+        assert_eq!(pool.used(), 24, "dropping an arena releases its reservation");
+        assert!(b.try_alloc(8).is_ok());
+        assert_eq!(pool.peak(), 64, "peak keeps the high-water mark");
+    }
+
+    #[test]
+    fn compact_releases_reclaimed_bytes_to_the_pool() {
+        let pool = BudgetPool::new(100);
+        let mut a = Arena::with_options(ArenaOptions {
+            budget: None,
+            pool: Some(pool.clone()),
+            compact_on_pressure: false,
+        });
+        let _x = a.alloc(8);
+        let y = a.alloc(32);
+        a.free(y, 32);
+        assert_eq!(pool.used(), 40);
+        assert_eq!(a.compact(), 32);
+        assert_eq!(pool.used(), 8);
+        assert_eq!(pool.compact_reclaimed(), 32);
     }
 
     /// Property tests require the optional `proptest` dependency,

@@ -215,6 +215,10 @@ pub static MEMMAN_USED_BYTES: Gauge = Gauge::new("memman.used_bytes");
 pub static MEMMAN_FOOTPRINT_BYTES: Gauge = Gauge::new("memman.footprint_bytes");
 /// `cfp-memman`: peak of [`MEMMAN_FOOTPRINT_BYTES`] over the run.
 pub static MEMMAN_PEAK_FOOTPRINT: MaxGauge = MaxGauge::new("memman.peak_footprint_bytes");
+/// `cfp-memman`: `Arena::compact` calls across all arenas.
+pub static MEMMAN_COMPACTIONS: Counter = Counter::new("memman.compactions");
+/// `cfp-memman`: bytes returned to the footprint by compaction.
+pub static MEMMAN_COMPACT_RECLAIMED: Counter = Counter::new("memman.compact_reclaimed_bytes");
 
 /// `cfp-metrics`: current tracked bytes, mirrored from `MemGauge`.
 pub static MEM_CURRENT_BYTES: Gauge = Gauge::new("mem.current_bytes");
@@ -259,6 +263,15 @@ pub static CORE_DEPTH: Histogram<64> = Histogram::new("core.recursion_depth");
 pub static CORE_PATTERN_BASE_LOG2: Histogram<33> = Histogram::new("core.pattern_base_log2");
 /// `cfp-core`: worker panics contained by the parallel miner.
 pub static CORE_WORKER_PANICS: Counter = Counter::new("core.worker_panics");
+/// `cfp-core`: heartbeat ticks from parallel workers (one per first-level
+/// item mined), read by the watchdog to tell progress from a hang.
+pub static CORE_WORKER_HEARTBEATS: Counter = Counter::new("core.worker_heartbeats");
+/// `cfp-core`: workers the watchdog declared stalled.
+pub static CORE_WORKER_STALLS: Counter = Counter::new("core.worker_stalls");
+/// `cfp-core`: recovery-ladder rungs attempted by the supervisor.
+pub static CORE_RECOVERY_RUNGS: Counter = Counter::new("core.recovery_rungs");
+/// `cfp-core`: partitions the database was split into for fallback mining.
+pub static CORE_PARTITIONS: MaxGauge = MaxGauge::new("core.partitions");
 
 /// `cfp-data`: malformed lines discarded under `ParsePolicy::Skip`.
 pub static DATA_SKIPPED_LINES: Counter = Counter::new("data.skipped_lines");
@@ -273,6 +286,8 @@ static COUNTERS: &[&Counter] = &[
     &MEMMAN_BUMP_ALLOCS,
     &MEMMAN_GROWS,
     &MEMMAN_SHRINKS,
+    &MEMMAN_COMPACTIONS,
+    &MEMMAN_COMPACT_RECLAIMED,
     &TREE_STANDARD_NODES,
     &TREE_CHAIN_NODES,
     &TREE_EMBEDDED_LEAVES,
@@ -286,6 +301,9 @@ static COUNTERS: &[&Counter] = &[
     &CORE_SINGLE_PATH_SHORTCUTS,
     &CORE_PATTERNS,
     &CORE_WORKER_PANICS,
+    &CORE_WORKER_HEARTBEATS,
+    &CORE_WORKER_STALLS,
+    &CORE_RECOVERY_RUNGS,
     &DATA_SKIPPED_LINES,
     &DATA_BAD_TOKENS,
 ];
@@ -295,7 +313,7 @@ static GAUGES: &[&Gauge] = &[&MEMMAN_USED_BYTES, &MEMMAN_FOOTPRINT_BYTES, &MEM_C
 
 /// All max-gauges, for snapshots.
 static MAX_GAUGES: &[&MaxGauge] =
-    &[&MEMMAN_PEAK_FOOTPRINT, &MEM_PEAK_BYTES, &CORE_WORKERS, &CORE_MAX_DEPTH];
+    &[&MEMMAN_PEAK_FOOTPRINT, &MEM_PEAK_BYTES, &CORE_WORKERS, &CORE_MAX_DEPTH, &CORE_PARTITIONS];
 
 /// Name/value pairs for every counter, gauge, and max-gauge, in registry
 /// order.

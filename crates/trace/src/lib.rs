@@ -53,7 +53,7 @@ pub mod span;
 
 pub use counters::{Counter, Histogram, MaxGauge};
 pub use json::Json;
-pub use report::RunReport;
+pub use report::{DegradationReport, RunReport, RungOutcome};
 pub use sampler::{MemSampler, Sample};
 pub use span::{span, Phase, SpanGuard};
 

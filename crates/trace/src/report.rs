@@ -15,6 +15,37 @@ use crate::span::{self, PhaseSpan};
 /// the shape changes incompatibly; additive changes keep the version.
 pub const SCHEMA: &str = "cfp-profile/1";
 
+/// One rung of the recovery ladder, as reported by the run supervisor.
+#[derive(Clone, Debug)]
+pub struct RungOutcome {
+    /// Rung name: `"retry"`, `"degrade"`, or `"partition"`.
+    pub rung: String,
+    /// Whether this rung completed the run.
+    pub succeeded: bool,
+    /// Bytes compaction returned to the footprint during this rung.
+    pub reclaimed_bytes: u64,
+    /// Partitions mined in this rung (0 for non-partition rungs).
+    pub partitions: u64,
+    /// The error that ended this rung, if it failed.
+    pub error: Option<String>,
+}
+
+/// The `degradation` section of a profile: what the supervisor did after
+/// the initial attempt failed. Absent on healthy runs (additive to the
+/// `cfp-profile/1` schema).
+#[derive(Clone, Debug)]
+pub struct DegradationReport {
+    /// Recovery policy in force (`"retry"`, `"degrade"`, `"partition"`).
+    pub policy: String,
+    /// Rungs attempted, in ladder order; each at most once.
+    pub rungs: Vec<RungOutcome>,
+    /// Whether some rung completed the run.
+    pub recovered: bool,
+    /// Final partition count the database was mined under (0 when the
+    /// partition rung was never reached).
+    pub final_partitions: u64,
+}
+
 /// Everything `--profile` writes about one mining run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -44,6 +75,8 @@ pub struct RunReport {
     pub final_bytes: u64,
     /// Memory time series (at least two samples: start and stop).
     pub samples: Vec<Sample>,
+    /// Recovery-ladder activity, present only for degraded runs.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl RunReport {
@@ -75,7 +108,14 @@ impl RunReport {
             peak_bytes: counters::MEM_PEAK_BYTES.get(),
             final_bytes: counters::MEM_CURRENT_BYTES.get(),
             samples,
+            degradation: None,
         }
+    }
+
+    /// Attaches the supervisor's degradation section to the report.
+    pub fn with_degradation(mut self, degradation: DegradationReport) -> Self {
+        self.degradation = Some(degradation);
+        self
     }
 
     /// Serialises to the `cfp-profile/1` JSON document.
@@ -140,14 +180,46 @@ impl RunReport {
             ("final_bytes".into(), Json::u64(self.final_bytes)),
             ("samples".into(), samples),
         ]);
-        Json::Obj(vec![
+        let mut doc = vec![
             ("schema".into(), Json::str(SCHEMA)),
             ("run".into(), run),
             ("phases".into(), phases),
             ("counters".into(), counters),
             ("histograms".into(), histograms),
             ("memory".into(), memory),
-        ])
+        ];
+        if let Some(d) = &self.degradation {
+            let rungs = Json::Arr(
+                d.rungs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("rung".into(), Json::str(r.rung.clone())),
+                            ("succeeded".into(), Json::Bool(r.succeeded)),
+                            ("reclaimed_bytes".into(), Json::u64(r.reclaimed_bytes)),
+                            ("partitions".into(), Json::u64(r.partitions)),
+                            (
+                                "error".into(),
+                                match &r.error {
+                                    Some(e) => Json::str(e.clone()),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            doc.push((
+                "degradation".into(),
+                Json::Obj(vec![
+                    ("policy".into(), Json::str(d.policy.clone())),
+                    ("rungs".into(), rungs),
+                    ("recovered".into(), Json::Bool(d.recovered)),
+                    ("final_partitions".into(), Json::u64(d.final_partitions)),
+                ]),
+            ));
+        }
+        Json::Obj(doc)
     }
 }
 
@@ -185,7 +257,7 @@ mod tests {
         assert_eq!(run.get("support").and_then(Json::as_u64), Some(240));
         assert_eq!(run.get("algorithm").and_then(Json::as_str), Some("cfp"));
         let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
-        assert_eq!(phases.len(), 5, "one entry per pipeline phase");
+        assert_eq!(phases.len(), 6, "one entry per pipeline phase");
         assert_eq!(
             phases[0].get("name").and_then(Json::as_str),
             Some("read"),
@@ -223,5 +295,45 @@ mod tests {
         let counters = doc.get("counters").expect("counters object");
         assert!(counters.get("memman.allocs").is_some());
         assert!(counters.get("core.conditional_trees").is_some());
+    }
+
+    #[test]
+    fn degradation_section_is_absent_by_default_and_round_trips() {
+        let base = RunReport::capture("d", 1, 1, "cfp", 1, 0, 1, vec![]);
+        let doc = json::parse(&base.to_json().to_compact()).unwrap();
+        assert!(doc.get("degradation").is_none(), "healthy runs carry no degradation");
+
+        let degraded = base.with_degradation(DegradationReport {
+            policy: "partition".into(),
+            rungs: vec![
+                RungOutcome {
+                    rung: "retry".into(),
+                    succeeded: false,
+                    reclaimed_bytes: 512,
+                    partitions: 0,
+                    error: Some("memory exhausted".into()),
+                },
+                RungOutcome {
+                    rung: "partition".into(),
+                    succeeded: true,
+                    reclaimed_bytes: 0,
+                    partitions: 4,
+                    error: None,
+                },
+            ],
+            recovered: true,
+            final_partitions: 4,
+        });
+        let doc = json::parse(&degraded.to_json().to_pretty()).unwrap();
+        let d = doc.get("degradation").expect("degradation section");
+        assert_eq!(d.get("policy").and_then(Json::as_str), Some("partition"));
+        assert_eq!(d.get("recovered"), Some(&Json::Bool(true)));
+        assert_eq!(d.get("final_partitions").and_then(Json::as_u64), Some(4));
+        let rungs = d.get("rungs").and_then(Json::as_arr).expect("rungs array");
+        assert_eq!(rungs.len(), 2);
+        assert_eq!(rungs[0].get("rung").and_then(Json::as_str), Some("retry"));
+        assert_eq!(rungs[0].get("reclaimed_bytes").and_then(Json::as_u64), Some(512));
+        assert_eq!(rungs[1].get("partitions").and_then(Json::as_u64), Some(4));
+        assert_eq!(rungs[1].get("error"), Some(&Json::Null));
     }
 }

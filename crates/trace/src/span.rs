@@ -32,15 +32,18 @@ pub enum Phase {
     Convert,
     /// Mining the CFP-array (conditional-tree recursion).
     Mine,
+    /// Recovery-ladder work after a failed attempt (compaction retry,
+    /// sequential downshift, partitioned fallback). Zero on healthy runs.
+    Recover,
 }
 
 /// Number of phases; keep in sync with [`Phase::ALL`].
-const NUM_PHASES: usize = 5;
+const NUM_PHASES: usize = 6;
 
 impl Phase {
     /// All phases in pipeline order.
     pub const ALL: [Phase; NUM_PHASES] =
-        [Phase::Read, Phase::Count, Phase::Build, Phase::Convert, Phase::Mine];
+        [Phase::Read, Phase::Count, Phase::Build, Phase::Convert, Phase::Mine, Phase::Recover];
 
     /// Stable lower-case name used in reports.
     pub fn name(self) -> &'static str {
@@ -50,6 +53,7 @@ impl Phase {
             Phase::Build => "build",
             Phase::Convert => "convert",
             Phase::Mine => "mine",
+            Phase::Recover => "recover",
         }
     }
 
@@ -60,6 +64,7 @@ impl Phase {
             Phase::Build => 2,
             Phase::Convert => 3,
             Phase::Mine => 4,
+            Phase::Recover => 5,
         }
     }
 }
@@ -187,6 +192,6 @@ mod tests {
     #[test]
     fn snapshot_is_in_pipeline_order() {
         let names: Vec<_> = phase_snapshot().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["read", "count", "build", "convert", "mine"]);
+        assert_eq!(names, vec!["read", "count", "build", "convert", "mine", "recover"]);
     }
 }

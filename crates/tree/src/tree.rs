@@ -27,7 +27,7 @@ use crate::node::{
 use cfp_data::{ItemRecoder, TransactionDb};
 use cfp_encoding::mask::{is_chain, MAX_CHAIN_LEN};
 use cfp_fault::CfpError;
-use cfp_memman::{AllocError, Arena, MemoryBudget};
+use cfp_memman::{AllocError, Arena, ArenaOptions, MemoryBudget};
 use cfp_metrics::HeapSize;
 use cfp_trace::counters as tc;
 
@@ -94,13 +94,25 @@ impl CfpTree {
         config: CfpTreeConfig,
         budget: Option<MemoryBudget>,
     ) -> Result<Self, CfpError> {
+        Self::try_with_options(num_items, config, ArenaOptions { budget, ..Default::default() })
+    }
+
+    /// Creates an empty tree whose arena is configured by `opts`: a local
+    /// budget, a shared [`cfp_memman::BudgetPool`] (so several trees —
+    /// e.g. per-worker conditional trees — answer to one limit), and
+    /// compact-on-pressure retry. The recovery ladder threads these down
+    /// from the run supervisor.
+    pub fn try_with_options(
+        num_items: usize,
+        config: CfpTreeConfig,
+        opts: ArenaOptions,
+    ) -> Result<Self, CfpError> {
         assert!(
             config.max_chain_len <= MAX_CHAIN_LEN,
             "chain length {} exceeds the 4-bit header limit {MAX_CHAIN_LEN}",
             config.max_chain_len
         );
-        let mut arena = Arena::new();
-        arena.set_budget(budget);
+        let mut arena = Arena::with_options(opts);
         let root_slot = arena.try_alloc(5).map_err(|e| CfpError::from(e).with_phase("build"))?;
         arena.bytes_mut(root_slot, 5).fill(0);
         Ok(CfpTree {
@@ -134,8 +146,19 @@ impl CfpTree {
         recoder: &ItemRecoder,
         budget: Option<MemoryBudget>,
     ) -> Result<Self, CfpError> {
+        Self::try_from_db_with(db, recoder, ArenaOptions { budget, ..Default::default() })
+    }
+
+    /// [`try_from_db`](Self::try_from_db) with full [`ArenaOptions`]:
+    /// shared pool and compact-on-pressure in addition to the local
+    /// budget.
+    pub fn try_from_db_with(
+        db: &TransactionDb,
+        recoder: &ItemRecoder,
+        opts: ArenaOptions,
+    ) -> Result<Self, CfpError> {
         let mut tree =
-            CfpTree::try_with_budget(recoder.num_items(), CfpTreeConfig::default(), budget)?;
+            CfpTree::try_with_options(recoder.num_items(), CfpTreeConfig::default(), opts)?;
         let mut buf = Vec::new();
         for t in db.iter() {
             recoder.recode_transaction(t, &mut buf);

@@ -10,12 +10,13 @@
 #![cfg(feature = "fault")]
 
 use cfp_core::growth::try_build_tree;
-use cfp_core::{CfpGrowthMiner, CountingSink, ParallelCfpGrowthMiner};
+use cfp_core::{CfpGrowthMiner, CountingSink, ParallelCfpGrowthMiner, RecoveryPolicy, Supervisor};
 use cfp_data::double_buffer::DoubleBufferedReader;
 use cfp_data::{fimi, CfpError, ItemRecoder, Miner, ParsePolicy, TransactionDb};
 use cfp_fault::{clear_all, configure, fired, FaultMode};
 use cfp_tree::CfpTree;
 use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// The failpoint registry is process-global, so every test in this binary
 /// serialises through one lock and disarms on entry and exit.
@@ -112,7 +113,7 @@ fn budget_overrun_reports_limit_and_uncapped_retry_succeeds() {
 fn injected_worker_panic_is_contained_and_structured() {
     let _g = armed();
     let db = textbook_db();
-    let miner = ParallelCfpGrowthMiner { threads: 4, single_path_opt: true, mem_budget: None };
+    let miner = ParallelCfpGrowthMiner::new(4);
 
     configure("core.worker", FaultMode::Nth(1));
     let mut sink = CountingSink::new();
@@ -140,7 +141,7 @@ fn injected_worker_panic_is_contained_and_structured() {
 fn all_workers_failing_still_yields_one_structured_error() {
     let _g = armed();
     let db = textbook_db();
-    let miner = ParallelCfpGrowthMiner { threads: 4, single_path_opt: true, mem_budget: None };
+    let miner = ParallelCfpGrowthMiner::new(4);
 
     configure("core.worker", FaultMode::Always);
     let mut sink = CountingSink::new();
@@ -218,6 +219,74 @@ fn malformed_input_is_structured_in_both_policies() {
     assert_eq!(recoder.num_items(), 2);
 }
 
+/// Class 6 — the recovery ladder under a fault that never clears: every
+/// rung is attempted at most once, in order, and when the whole ladder
+/// fails the supervisor returns the final structured error instead of
+/// looping forever.
+#[test]
+fn persistent_alloc_fault_climbs_each_rung_exactly_once() {
+    let _g = armed();
+    let db = textbook_db();
+
+    configure("memman.alloc", FaultMode::Always);
+    let supervisor = Supervisor {
+        threads: 4,
+        mem_budget: Some(1 << 20),
+        ..Supervisor::new(RecoveryPolicy::Partition)
+    };
+    let mut sink = CountingSink::new();
+    let (result, report) = supervisor.mine(&db, 2, &mut sink);
+    let err = result.expect_err("nothing can allocate while the site is armed");
+    assert_eq!(err.exit_code(), 4, "{err:?}");
+    assert!(!report.recovered);
+    let rungs: Vec<&str> = report.rungs.iter().map(|r| r.rung).collect();
+    assert_eq!(rungs, ["retry", "degrade", "partition"], "each rung once, in order");
+    assert!(report.rungs.iter().all(|r| !r.succeeded));
+    assert_eq!(sink.count, 0, "failed attempts must not leak output to the caller");
+
+    // Disarmed, the identical supervisor mines healthily with no rungs.
+    clear_all();
+    let mut sink = CountingSink::new();
+    let (result, report) = supervisor.mine(&db, 2, &mut sink);
+    result.expect("disarmed retry");
+    assert!(report.rungs.is_empty());
+    assert_eq!(sink.count, 13);
+}
+
+/// Class 7 — a wedged worker ("core.worker.stall"): the watchdog detects
+/// the missing heartbeat, cancels the siblings, and reports a structured
+/// timeout naming the worker — promptly, not at some OS-level deadline.
+#[test]
+fn stalled_worker_trips_the_watchdog_and_cancels_siblings() {
+    let _g = armed();
+    let db = textbook_db();
+    let miner = ParallelCfpGrowthMiner {
+        worker_timeout: Some(Duration::from_millis(250)),
+        ..ParallelCfpGrowthMiner::new(4)
+    };
+
+    configure("core.worker.stall", FaultMode::Nth(1));
+    let mut sink = CountingSink::new();
+    let start = Instant::now();
+    let err = miner.try_mine(&db, 2, &mut sink).expect_err("stall must trip the watchdog");
+    let elapsed = start.elapsed();
+    match &err {
+        CfpError::WorkerTimeout { worker, waited_ms } => {
+            assert!(*worker < 4, "worker index {worker} out of range");
+            assert!(*waited_ms > 0, "waited_ms must report the stall window");
+        }
+        other => panic!("expected WorkerTimeout, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 6);
+    assert!(elapsed < Duration::from_secs(10), "siblings must be cancelled promptly: {elapsed:?}");
+
+    // Disarmed, the same watchdog-equipped miner completes healthily.
+    clear_all();
+    let mut sink = CountingSink::new();
+    miner.try_mine(&db, 2, &mut sink).expect("disarmed retry");
+    assert_eq!(sink.count, 13);
+}
+
 /// Cross-class: an armed-but-never-fired probabilistic site (p = 0) must
 /// not perturb mining at all — the fault harness itself is inert until a
 /// trigger actually fires.
@@ -233,7 +302,7 @@ fn armed_but_silent_sites_do_not_change_results() {
         configure(site, FaultMode::Probability { p: 0.0, seed: 7 });
     }
     let mut armed_run = CountingSink::new();
-    ParallelCfpGrowthMiner { threads: 3, single_path_opt: true, mem_budget: None }
+    ParallelCfpGrowthMiner::new(3)
         .try_mine(&db, 2, &mut armed_run)
         .expect("silent sites must not fail the run");
     assert_eq!(armed_run.count, baseline.count);
