@@ -146,6 +146,16 @@ impl CfpArray {
         self.subarray(item).count()
     }
 
+    /// Encoded bytes of one item's subarray, straight from the `starts`
+    /// boundaries — an O(1) proxy for how expensive mining the item's
+    /// conditional pattern base will be (more encoded nodes ⇒ more prefix
+    /// paths to walk). The dynamic mine-phase scheduler sorts item tasks
+    /// heaviest-first by this estimate.
+    pub fn subarray_bytes(&self, item: u32) -> u64 {
+        let i = item as usize;
+        self.starts[i + 1] - self.starts[i]
+    }
+
     /// Iterates the nodes of `item`'s subarray in layout order (the
     /// sideways traversal replacing nodelinks).
     pub fn subarray(&self, item: u32) -> SubarrayIter<'_> {

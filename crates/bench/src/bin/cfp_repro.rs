@@ -11,6 +11,9 @@
 //!   ablation                  chain/embedding techniques toggled off
 //!   capacity                  in-core capacity at a 64 MiB budget (§4.4)
 //!   parallel                  mine-phase scaling with worker threads
+//!   skew                      static vs dynamic scheduling on a skewed
+//!                             dataset; with --csv also writes a
+//!                             cfp-profile/1 JSON per schedule
 //!   profile                   traced CFP run on Quest1, written as a
 //!                             cfp-profile/1 JSON document
 //!   all                       everything above
@@ -40,7 +43,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|profile|all> ..."
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ..."
         );
         std::process::exit(2);
     }
@@ -95,6 +98,34 @@ fn run(name: &str, csv_dir: Option<&std::path::Path>) {
         "ablation" => emit("ablation", &experiments::ablation(), csv_dir),
         "capacity" => emit("capacity", &experiments::capacity(64 * 1024 * 1024), csv_dir),
         "parallel" => emit("parallel", &experiments::parallel_scaling(), csv_dir),
+        "skew" => {
+            emit("skew", &experiments::skew(), csv_dir);
+            // One cfp-profile/1 document per schedule, so the steal and
+            // arena-reset counters are inspectable machine-readably.
+            let p = cfp_data::profiles::by_name("kosarak-like").expect("profile exists");
+            let db = p.generate();
+            let minsup = p.absolute_support(&db, 2);
+            for schedule in [cfp_core::Schedule::Static, cfp_core::Schedule::Dynamic] {
+                let miner = cfp_core::ParallelCfpGrowthMiner {
+                    schedule,
+                    ..cfp_core::ParallelCfpGrowthMiner::new(4)
+                };
+                let report = cfp_bench::report::profile_run(&miner, &db, "kosarak-like", minsup, 4)
+                    .with_schedule(schedule.name());
+                let name = format!("profile_skew_{}.json", schedule.name());
+                let path = csv_dir.map(|d| d.join(&name)).unwrap_or_else(|| PathBuf::from(&name));
+                if let Err(e) = std::fs::write(&path, report.to_json().to_pretty()) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!(
+                    "profile: kosarak-like {} schedule  itemsets {}  -> {}",
+                    schedule.name(),
+                    report.itemsets,
+                    path.display()
+                );
+            }
+        }
         "profile" => {
             let db = cfp_data::profiles::by_name("quest1").expect("profile exists").generate();
             let minsup = ((db.len() as f64 * 0.02).ceil() as u64).max(1);
@@ -117,7 +148,7 @@ fn run(name: &str, csv_dir: Option<&std::path::Path>) {
         "all" => {
             for e in [
                 "table1", "table2", "table3", "fig6a", "fig6b", "fig7", "fig8a", "fig8d",
-                "summary", "ablation", "capacity", "parallel", "profile",
+                "summary", "ablation", "capacity", "parallel", "skew", "profile",
             ] {
                 run(e, csv_dir);
             }

@@ -11,6 +11,10 @@
 //!   --algorithm NAME   cfp (default), fp, apriori, eclat, lcm,
 //!                      nonordfp, tiny, fparray
 //!   --threads N        parallel CFP-growth with N workers
+//!   --schedule S       parallel mine-phase scheduling: dynamic
+//!                      (default; work-stealing claims from a shared
+//!                      cost-sorted queue, deterministic output) or
+//!                      static (fixed round-robin deal)
 //!   --mem-budget B     cap the build-phase arena at B bytes (k/m/g
 //!                      suffixes allowed; cfp algorithms only)
 //!   --skip-bad-lines   drop malformed input lines instead of failing
@@ -47,7 +51,8 @@
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
-    ParallelCfpGrowthMiner, RecoveryPolicy, RecoveryReport, Supervisor, TopKSink, TransactionDb,
+    ParallelCfpGrowthMiner, RecoveryPolicy, RecoveryReport, Schedule, Supervisor, TopKSink,
+    TransactionDb,
 };
 use cfp_data::{CfpError, ParsePolicy};
 use cfp_fault::EXIT_USAGE;
@@ -62,6 +67,7 @@ struct Options {
     support: SupportSpec,
     algorithm: String,
     threads: usize,
+    schedule: Schedule,
     mem_budget: Option<u64>,
     skip_bad_lines: bool,
     count_only: bool,
@@ -85,7 +91,8 @@ enum SupportSpec {
 fn print_usage() {
     eprintln!("usage: cfp-mine <input.dat> --support <N | P%> [options]");
     eprintln!("  --algorithm cfp|fp|apriori|eclat|lcm|nonordfp|tiny|fparray");
-    eprintln!("  --threads N | --mem-budget BYTES[k|m|g] | --skip-bad-lines");
+    eprintln!("  --threads N | --schedule static|dynamic | --mem-budget BYTES[k|m|g]");
+    eprintln!("  --skip-bad-lines");
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
     eprintln!("  --recover off|retry|degrade|partition | --worker-timeout SECONDS");
@@ -115,6 +122,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         support: SupportSpec::Absolute(0),
         algorithm: "cfp".into(),
         threads: 1,
+        schedule: Schedule::default(),
         mem_budget: None,
         skip_bad_lines: false,
         count_only: false,
@@ -157,6 +165,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 opts.threads = value(arg)?.parse().map_err(|_| "bad thread count".to_string())?;
             }
+            "--schedule" => opts.schedule = value(arg)?.parse()?,
             "--mem-budget" => opts.mem_budget = Some(parse_bytes(&value(arg)?)?),
             "--skip-bad-lines" => opts.skip_bad_lines = true,
             "--count" => opts.count_only = true,
@@ -251,6 +260,7 @@ fn runner_by_name(opts: &Options) -> Result<Runner, String> {
         }
         return Ok(Runner::Supervised(Supervisor {
             threads: opts.threads,
+            schedule: opts.schedule,
             single_path_opt: true,
             mem_budget: opts.mem_budget,
             policy: opts.recover,
@@ -259,6 +269,7 @@ fn runner_by_name(opts: &Options) -> Result<Runner, String> {
     }
     Ok(Runner::Plain(match opts.algorithm.as_str() {
         "cfp" if opts.threads > 1 => Box::new(ParallelCfpGrowthMiner {
+            schedule: opts.schedule,
             mem_budget: opts.mem_budget,
             worker_timeout: opts.worker_timeout,
             ..ParallelCfpGrowthMiner::new(opts.threads)
@@ -591,6 +602,9 @@ fn main() {
             wall_nanos,
             samples,
         );
+        if opts.algorithm == "cfp" && opts.threads > 1 {
+            report = report.with_schedule(opts.schedule.name());
+        }
         // A supervised run that needed its ladder records what happened;
         // healthy runs keep the section absent so the schema stays
         // backward-compatible.
@@ -674,6 +688,19 @@ mod tests {
         assert!(parse_args(&args(&["in.dat", "--support", "2", "--mem-budget", "huge"]))
             .unwrap_err()
             .contains("bad byte count"));
+    }
+
+    #[test]
+    fn parse_args_schedule() {
+        let o = parse_args(&args(&["in.dat", "--support", "2"])).unwrap();
+        assert_eq!(o.schedule, Schedule::Dynamic);
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--schedule", "static"])).unwrap();
+        assert_eq!(o.schedule, Schedule::Static);
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--schedule=dynamic"])).unwrap();
+        assert_eq!(o.schedule, Schedule::Dynamic);
+        assert!(parse_args(&args(&["in.dat", "--support", "2", "--schedule", "fifo"]))
+            .unwrap_err()
+            .contains("unknown schedule"));
     }
 
     #[test]

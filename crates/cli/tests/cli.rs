@@ -58,6 +58,61 @@ fn algorithms_agree() {
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
 }
 
+/// The dynamic schedule's determinism contract, end to end: a parallel
+/// run must print byte-for-byte what the sequential run prints, with no
+/// sorting anywhere. The static schedule only promises the same multiset
+/// of lines.
+#[test]
+fn dynamic_schedule_output_is_byte_identical_to_sequential() {
+    let path = write_sample();
+    let sequential = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--threads", "1"])
+        .output()
+        .unwrap();
+    assert!(sequential.status.success());
+    for threads in ["2", "4"] {
+        let parallel = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "2",
+                "--threads",
+                threads,
+                "--schedule",
+                "dynamic",
+            ])
+            .output()
+            .unwrap();
+        assert!(parallel.status.success(), "{}", String::from_utf8_lossy(&parallel.stderr));
+        assert_eq!(parallel.stdout, sequential.stdout, "--threads {threads} diverged");
+    }
+    // Static still yields the same itemsets, just in worker-race order.
+    let stat = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--threads", "4", "--schedule=static"])
+        .output()
+        .unwrap();
+    assert!(stat.status.success(), "{}", String::from_utf8_lossy(&stat.stderr));
+    let sorted = |bytes: &[u8]| {
+        let mut lines: Vec<String> =
+            String::from_utf8_lossy(bytes).lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(sorted(&stat.stdout), sorted(&sequential.stdout));
+}
+
+#[test]
+fn bad_schedule_exits_2_with_usage_text() {
+    let out = Command::new(bin())
+        .args(["sample.dat", "--support", "2", "--schedule", "fifo"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown schedule"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
 #[test]
 fn top_k_orders_by_support() {
     let path = write_sample();

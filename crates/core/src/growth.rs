@@ -23,7 +23,7 @@
 
 use cfp_array::{convert, CfpArray};
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
-use cfp_memman::{ArenaOptions, BudgetPool, MemoryBudget};
+use cfp_memman::{Arena, ArenaOptions, BudgetPool, MemoryBudget};
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
 use cfp_trace::{span, Phase};
 use cfp_tree::{CfpTree, CfpTreeConfig};
@@ -51,6 +51,40 @@ impl MineOpts {
             budget: budget.map(MemoryBudget::new),
             pool: self.pool.clone(),
             compact_on_pressure: self.compact_on_pressure,
+        }
+    }
+}
+
+/// Per-worker reusable mine-phase state.
+///
+/// With `recycle` on, the first conditional tree's arena is kept after
+/// conversion, [`Arena::reset`] wipes it (releasing its budget-pool
+/// reservation), and the next conditional tree rebuilds inside it — so a
+/// worker touching thousands of first-level items performs one heap
+/// allocation ramp-up instead of one per item. Only one conditional tree
+/// is ever alive per worker (`conditional` drops it before the recursion
+/// continues), so a single slot suffices.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Recycle one long-lived arena across conditional trees.
+    pub recycle: bool,
+    /// The recycled arena (lazily captured from the first conditional
+    /// tree built while recycling is on).
+    pub arena: Option<Arena>,
+}
+
+impl Scratch {
+    /// Scratch state with arena recycling armed.
+    pub fn recycling() -> Self {
+        Scratch { recycle: true, arena: None }
+    }
+
+    /// Takes the recycled arena, if recycling is armed and one is stashed.
+    fn take_arena(&mut self) -> Option<Arena> {
+        if self.recycle {
+            self.arena.take()
+        } else {
+            None
         }
     }
 }
@@ -132,6 +166,7 @@ struct Ctx<'a> {
     min_support: u64,
     single_path_opt: bool,
     opts: MineOpts,
+    scratch: &'a mut Scratch,
     suffix: Vec<Item>,
     emit_buf: Vec<Item>,
     path_buf: Vec<u32>,
@@ -233,12 +268,14 @@ impl CfpGrowthMiner {
 
         let globals: Vec<Item> =
             (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
+        let mut scratch = Scratch::default();
         let mut ctx = Ctx {
             sink,
             gauge: gauge.clone(),
             min_support,
             single_path_opt: self.single_path_opt,
             opts: opts.clone(),
+            scratch: &mut scratch,
             suffix: Vec::new(),
             emit_buf: Vec::new(),
             path_buf: Vec::new(),
@@ -258,11 +295,48 @@ impl CfpGrowthMiner {
     }
 }
 
+/// If the whole `array` is one single path, enumerates it directly into
+/// `sink` exactly as the sequential miner's shortcut would, returning
+/// the itemset count; returns `None` when the array branches. The
+/// parallel driver checks this before decomposing per item, because the
+/// per-item decomposition groups output by first-level item while the
+/// sequential shortcut groups by path depth — without this check the
+/// two orders diverge on degenerate (single-path) inputs.
+pub(crate) fn mine_single_path_root(
+    array: &CfpArray,
+    globals: &[Item],
+    min_support: u64,
+    sink: &mut dyn ItemsetSink,
+    opts: &MineOpts,
+) -> Option<u64> {
+    let path = single_path(array)?;
+    if cfp_trace::enabled() {
+        cfp_trace::span::single_path();
+    }
+    let mut scratch = Scratch::default();
+    let mut ctx = Ctx {
+        sink,
+        gauge: MemGauge::new(),
+        min_support,
+        single_path_opt: true,
+        opts: opts.clone(),
+        scratch: &mut scratch,
+        suffix: Vec::new(),
+        emit_buf: Vec::new(),
+        path_buf: Vec::new(),
+        itemsets: 0,
+    };
+    enumerate_single_path(&path, globals, &mut ctx);
+    Some(ctx.itemsets)
+}
+
 /// Mines the complete subtree of one first-level item: emits `{item}`
 /// and recurses through its conditional structures. Returns the number of
 /// itemsets emitted and the peak bytes of the conditional structures.
 /// This is the unit of work the parallel driver distributes (each
-/// first-level item is independent of the others).
+/// first-level item is independent of the others). `scratch` carries the
+/// worker's recycled arena between calls.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn mine_one_item(
     array: &CfpArray,
     item: u32,
@@ -271,6 +345,7 @@ pub(crate) fn mine_one_item(
     single_path_opt: bool,
     sink: &mut dyn ItemsetSink,
     opts: &MineOpts,
+    scratch: &mut Scratch,
 ) -> Result<(u64, u64), CfpError> {
     let gauge = MemGauge::new();
     let mut ctx = Ctx {
@@ -279,6 +354,7 @@ pub(crate) fn mine_one_item(
         min_support,
         single_path_opt,
         opts: opts.clone(),
+        scratch,
         suffix: Vec::new(),
         emit_buf: Vec::new(),
         path_buf: Vec::new(),
@@ -371,11 +447,16 @@ fn conditional(
     // Pass B: insert the filtered weighted paths into a conditional tree.
     // Conditional arenas share the run's budget pool (when one is set) and
     // may compact-and-retry; exhaustion surfaces with the "mine" phase.
-    let mut cond_tree = CfpTree::try_with_options(
-        cond_globals.len(),
-        CfpTreeConfig::default(),
-        ctx.opts.arena_options(None),
-    )
+    // A worker with recycling armed rebuilds inside its long-lived arena
+    // instead of allocating a fresh one per conditional tree.
+    let mut cond_tree = match ctx.scratch.take_arena() {
+        Some(arena) => CfpTree::try_with_arena(cond_globals.len(), CfpTreeConfig::default(), arena),
+        None => CfpTree::try_with_options(
+            cond_globals.len(),
+            CfpTreeConfig::default(),
+            ctx.opts.arena_options(None),
+        ),
+    }
     .map_err(mine_phase)?;
     let mut filtered: Vec<u32> = Vec::new();
     for node in array.subarray(item) {
@@ -397,6 +478,11 @@ fn conditional(
     ctx.gauge.alloc(cond_tree.heap_bytes());
     let cond_array = convert(&cond_tree);
     ctx.gauge.free(cond_tree.heap_bytes());
+    if ctx.scratch.recycle {
+        let mut arena = cond_tree.into_arena();
+        arena.reset();
+        ctx.scratch.arena = Some(arena);
+    }
     Ok(Some((cond_array, cond_globals)))
 }
 
@@ -597,8 +683,17 @@ mod tests {
         let opts = MineOpts { pool: Some(BudgetPool::new(4)), compact_on_pressure: true };
         let mut sink = CountingSink::new();
         let last = recoder.num_items() as u32 - 1;
-        let err = mine_one_item(&array, last, &globals, 1, false, &mut sink, &opts)
-            .expect_err("a 4-byte pool cannot hold a conditional tree root");
+        let err = mine_one_item(
+            &array,
+            last,
+            &globals,
+            1,
+            false,
+            &mut sink,
+            &opts,
+            &mut Scratch::default(),
+        )
+        .expect_err("a 4-byte pool cannot hold a conditional tree root");
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("mine"), "{err}");
     }

@@ -68,6 +68,10 @@ impl MiningImage {
         let mut sw = Stopwatch::start();
         let opt = CfpGrowthMiner::new().single_path_opt;
         let mut peak = 0u64;
+        // One recycled arena across all first-level items: image mining is
+        // sequential, so the same recycling the dynamic scheduler's
+        // workers use applies directly.
+        let mut scratch = crate::growth::Scratch::recycling();
         for item in (0..self.globals.len() as u32).rev() {
             if self.array.item_support(item) < min_support {
                 continue;
@@ -80,6 +84,7 @@ impl MiningImage {
                 opt,
                 sink,
                 &crate::growth::MineOpts::default(),
+                &mut scratch,
             )
             .unwrap_or_else(|e| panic!("{e}"));
             stats.itemsets += n;

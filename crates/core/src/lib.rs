@@ -41,6 +41,7 @@ pub mod growth;
 pub mod image;
 pub mod io;
 pub mod parallel;
+pub mod schedule;
 pub mod supervisor;
 
 pub use cfp_array::{convert, CfpArray};
@@ -51,4 +52,5 @@ pub use growth::{build_tree, CfpGrowthMiner, MineOpts};
 pub use image::MiningImage;
 pub use io::mine_file;
 pub use parallel::ParallelCfpGrowthMiner;
+pub use schedule::Schedule;
 pub use supervisor::{RecoveryPolicy, RecoveryReport, RungReport, Supervisor};

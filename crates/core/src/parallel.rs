@@ -5,14 +5,23 @@
 //! subarrays of more frequent items — all reads. The paper's related-work
 //! section (§5, class 4) surveys parallel and distributed FP-growth built
 //! on exactly this independence; here we exploit it with worker threads
-//! over one shared, immutable initial [`CfpArray`].
+//! over one shared, immutable initial [`CfpArray`](cfp_array::CfpArray).
 //!
 //! The scan, build, and conversion phases stay sequential (they are a
-//! small fraction of the runtime at low support). First-level items are
-//! dealt round-robin to `threads` workers, interleaving cheap (frequent)
-//! and expensive (rare, deep-recursion) items. Workers stream result
-//! batches over a channel to the caller's sink, so itemsets are emitted
-//! in nondeterministic order but without buffering the whole result.
+//! small fraction of the runtime at low support). How first-level items
+//! reach the workers is governed by [`Schedule`]:
+//!
+//! - **`Schedule::Dynamic`** (default): workers claim cost-sorted item
+//!   tasks from a shared [`TaskQueue`] — heavy items singly, the cheap
+//!   tail in chunks — so a worker stuck on a deep conditional recursion
+//!   never strands unclaimed work. Each worker keeps one long-lived
+//!   arena recycled across its conditional trees
+//!   ([`cfp_memman::Arena::reset`]), and buffers each task's itemsets so
+//!   the collector can emit them in descending item order: the output
+//!   stream is byte-for-byte identical to sequential mining.
+//! - **`Schedule::Static`**: the pre-scheduler behaviour — items dealt
+//!   round-robin up front, result batches streamed in nondeterministic
+//!   order. Kept as the baseline the skew benchmark compares against.
 //!
 //! Two robustness mechanisms live here:
 //!
@@ -22,17 +31,20 @@
 //!   limit `t`-fold. Exhaustion in any worker poisons the run and comes
 //!   back as a structured [`CfpError::MemoryExhausted`].
 //! - **A watchdog.** With `worker_timeout` set, each worker ticks a
-//!   heartbeat counter per first-level item; if no result batch arrives
-//!   and no unfinished worker's heartbeat advances for the full timeout,
-//!   the run is poisoned and fails with [`CfpError::WorkerTimeout`]
-//!   instead of hanging forever. Threads are spawned (not scoped) over
+//!   heartbeat counter per claimed task; if no result arrives and no
+//!   unfinished worker's heartbeat advances for the full timeout, the
+//!   run is poisoned and fails with [`CfpError::WorkerTimeout`] instead
+//!   of hanging forever. Threads are spawned (not scoped) over
 //!   `Arc`-shared structures so a truly wedged worker can be abandoned.
 //!
 //! `peak_bytes` is an upper-bound estimate: the shared structures plus
 //! the sum of the workers' conditional-structure peaks (as if all workers
 //! hit their individual peaks simultaneously).
 
-use crate::growth::{mine_one_item, try_build_tree_with, CfpGrowthMiner, MineOpts};
+use crate::growth::{
+    mine_one_item, mine_single_path_root, try_build_tree_with, CfpGrowthMiner, MineOpts, Scratch,
+};
+use crate::schedule::{Schedule, TaskQueue};
 use cfp_array::convert;
 use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, TransactionDb};
 use cfp_memman::{ArenaOptions, BudgetPool};
@@ -65,10 +77,13 @@ pub struct ParallelCfpGrowthMiner {
     pub worker_timeout: Option<Duration>,
     /// Compact arenas and retry once before reporting exhaustion.
     pub compact_on_pressure: bool,
+    /// How first-level items are distributed to workers.
+    pub schedule: Schedule,
 }
 
 impl ParallelCfpGrowthMiner {
-    /// A parallel miner with the given worker count.
+    /// A parallel miner with the given worker count and the default
+    /// dynamic schedule.
     pub fn new(threads: usize) -> Self {
         ParallelCfpGrowthMiner {
             threads,
@@ -77,6 +92,7 @@ impl ParallelCfpGrowthMiner {
             pool: None,
             worker_timeout: None,
             compact_on_pressure: false,
+            schedule: Schedule::default(),
         }
     }
 
@@ -85,9 +101,17 @@ impl ParallelCfpGrowthMiner {
     }
 }
 
-/// Batches itemsets into a channel (per worker).
+/// Channel tag marking a batch as order-free streaming output (static
+/// schedule). Item-tagged batches use the item id itself, which is always
+/// a dense recoded id well below this sentinel.
+const STREAM: u32 = u32::MAX;
+
+/// One result batch: `(itemset, support)` pairs in emission order.
+type Batch = Vec<(Vec<Item>, u64)>;
+
+/// Batches itemsets into a channel (per worker, static schedule).
 struct BatchSink {
-    tx: mpsc::Sender<Vec<(Vec<Item>, u64)>>,
+    tx: mpsc::Sender<(u32, Batch)>,
     buf: Vec<(Vec<Item>, u64)>,
 }
 
@@ -100,7 +124,7 @@ impl BatchSink {
         if self.buf.is_empty() {
             return true;
         }
-        self.tx.send(std::mem::take(&mut self.buf)).is_ok()
+        self.tx.send((STREAM, std::mem::take(&mut self.buf))).is_ok()
     }
 }
 
@@ -109,6 +133,68 @@ impl ItemsetSink for BatchSink {
         self.buf.push((itemset.to_vec(), support));
         if self.buf.len() >= BATCH {
             self.flush();
+        }
+    }
+}
+
+/// Buffers one task's itemsets in emission order (dynamic schedule).
+#[derive(Default)]
+struct TaskSink {
+    buf: Vec<(Vec<Item>, u64)>,
+}
+
+impl ItemsetSink for TaskSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.buf.push((itemset.to_vec(), support));
+    }
+}
+
+/// Forwards worker batches to the caller's sink.
+///
+/// Item-tagged batches (dynamic schedule) are held until every batch for
+/// a higher item id has been emitted, reproducing the sequential
+/// `for item in (0..n).rev()` emission order exactly; [`STREAM`]-tagged
+/// batches (static schedule) pass straight through.
+struct OrderedEmitter<'a> {
+    sink: &'a mut dyn ItemsetSink,
+    /// Buffered batches by item id, drained from `next` downwards.
+    pending: Vec<Option<Batch>>,
+    /// Highest item id not yet emitted.
+    next: i64,
+    emitted: u64,
+}
+
+impl<'a> OrderedEmitter<'a> {
+    fn new(sink: &'a mut dyn ItemsetSink, n: u32) -> Self {
+        OrderedEmitter {
+            sink,
+            pending: (0..n).map(|_| None).collect(),
+            next: n as i64 - 1,
+            emitted: 0,
+        }
+    }
+
+    fn emit_batch(&mut self, batch: Batch) {
+        for (itemset, support) in batch {
+            self.sink.emit(&itemset, support);
+            self.emitted += 1;
+        }
+    }
+
+    fn handle(&mut self, tag: u32, batch: Batch) {
+        if tag == STREAM {
+            self.emit_batch(batch);
+            return;
+        }
+        self.pending[tag as usize] = Some(batch);
+        while self.next >= 0 {
+            match self.pending[self.next as usize].take() {
+                Some(batch) => {
+                    self.emit_batch(batch);
+                    self.next -= 1;
+                }
+                None => break,
+            }
         }
     }
 }
@@ -177,18 +263,43 @@ impl Miner for ParallelCfpGrowthMiner {
         let n = recoder.num_items() as u32;
         let threads = self.threads.min(n.max(1) as usize);
         let single_path_opt = self.single_path_opt;
+        let schedule = self.schedule;
         let opts = MineOpts { pool: pool.clone(), compact_on_pressure: self.compact_on_pressure };
+
+        // A globally single-path array needs no parallelism — and must not
+        // be decomposed per item, or the emission order diverges from the
+        // sequential shortcut's depth-grouped order. Mine it inline so
+        // output stays byte-identical across thread counts and schedules.
+        if single_path_opt {
+            let inline = {
+                let _s = span(Phase::Mine);
+                mine_single_path_root(&array, &globals, min_support, sink, &opts)
+            };
+            if let Some(itemsets) = inline {
+                stats.mine_time = sw.lap();
+                stats.itemsets = itemsets;
+                stats.peak_bytes = tree_bytes.max(array.heap_bytes());
+                if let Some(p) = &pool {
+                    stats.peak_bytes = stats.peak_bytes.max(p.peak());
+                }
+                stats.avg_bytes = stats.peak_bytes;
+                return Ok(stats);
+            }
+        }
 
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_WORKERS.record(threads as u64);
         }
         let array = Arc::new(array);
         let globals = Arc::new(globals);
+        let queue = Arc::new(TaskQueue::new(&array));
         let poison = Arc::new(AtomicBool::new(false));
         let heartbeats: Arc<Vec<AtomicU64>> =
             Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
-        let (tx, rx) = mpsc::channel::<Vec<(Vec<Item>, u64)>>();
+        let (tx, rx) = mpsc::channel::<(u32, Batch)>();
         let mut worker_peaks = vec![0u64; threads];
+        let mut worker_tasks = vec![0u64; threads];
+        let mut worker_costs = vec![0u64; threads];
         let mut first_error: Option<CfpError> = None;
 
         let handles: Vec<_> = (0..threads)
@@ -196,77 +307,157 @@ impl Miner for ParallelCfpGrowthMiner {
                 let tx = tx.clone();
                 let array = Arc::clone(&array);
                 let globals = Arc::clone(&globals);
+                let queue = Arc::clone(&queue);
                 let poison = Arc::clone(&poison);
                 let heartbeats = Arc::clone(&heartbeats);
                 let opts = opts.clone();
-                std::thread::spawn(move || -> Result<u64, CfpError> {
+                std::thread::spawn(move || -> Result<(u64, u64, u64), CfpError> {
                     // Each worker's mining wall time accumulates into
                     // the mine phase (span count = worker count).
                     let _s = span(Phase::Mine);
-                    let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
-                    let mut peak = 0u64;
-                    let mut item = n as i64 - 1 - w as i64;
-                    // Round-robin from least to most frequent.
-                    while item >= 0 {
-                        // A failed sibling poisons the run; stop at the
-                        // next work item instead of mining into the void.
-                        if poison.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        // The watchdog counts a worker as live while its
-                        // heartbeat advances between first-level items.
-                        heartbeats[w].fetch_add(1, Ordering::Relaxed);
-                        if cfp_trace::enabled() {
-                            cfp_trace::counters::CORE_WORKER_HEARTBEATS.inc();
-                        }
-                        if cfp_fault::should_fail("core.worker.stall") {
-                            // Injected hang: hold the heartbeat still until
-                            // the watchdog poisons the run, then exit.
-                            while !poison.load(Ordering::Relaxed) {
-                                std::thread::sleep(Duration::from_millis(1));
-                            }
-                            break;
-                        }
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            if cfp_fault::should_fail("core.worker") {
-                                panic!("injected worker fault (failpoint core.worker)");
-                            }
-                            mine_one_item(
-                                &array,
-                                item as u32,
-                                &globals,
-                                min_support,
-                                single_path_opt,
-                                &mut sink,
-                                &opts,
-                            )
-                        }));
-                        match result {
-                            Ok(Ok((_, p))) => peak = peak.max(p),
-                            Ok(Err(e)) => {
-                                poison.store(true, Ordering::Relaxed);
-                                return Err(e);
-                            }
-                            Err(payload) => {
-                                poison.store(true, Ordering::Relaxed);
-                                if cfp_trace::enabled() {
-                                    cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                    match schedule {
+                        Schedule::Static => {
+                            let mut sink = BatchSink { tx, buf: Vec::with_capacity(BATCH) };
+                            let mut scratch = Scratch::default();
+                            let mut peak = 0u64;
+                            let mut tasks = 0u64;
+                            let mut cost = 0u64;
+                            let mut item = n as i64 - 1 - w as i64;
+                            // Round-robin from least to most frequent.
+                            while item >= 0 {
+                                // A failed sibling poisons the run; stop at
+                                // the next work item instead of mining into
+                                // the void.
+                                if poison.load(Ordering::Relaxed) {
+                                    break;
                                 }
+                                worker_tick(&heartbeats[w], schedule, tasks, 0);
+                                if cfp_fault::should_fail("core.worker.stall") {
+                                    // Injected hang: hold the heartbeat
+                                    // still until the watchdog poisons the
+                                    // run, then exit.
+                                    while !poison.load(Ordering::Relaxed) {
+                                        std::thread::sleep(Duration::from_millis(1));
+                                    }
+                                    break;
+                                }
+                                tasks += 1;
+                                cost += array.subarray_bytes(item as u32);
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    if cfp_fault::should_fail("core.worker") {
+                                        panic!("injected worker fault (failpoint core.worker)");
+                                    }
+                                    mine_one_item(
+                                        &array,
+                                        item as u32,
+                                        &globals,
+                                        min_support,
+                                        single_path_opt,
+                                        &mut sink,
+                                        &opts,
+                                        &mut scratch,
+                                    )
+                                }));
+                                match result {
+                                    Ok(Ok((_, p))) => peak = peak.max(p),
+                                    Ok(Err(e)) => {
+                                        poison.store(true, Ordering::Relaxed);
+                                        return Err(e);
+                                    }
+                                    Err(payload) => {
+                                        poison.store(true, Ordering::Relaxed);
+                                        if cfp_trace::enabled() {
+                                            cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                                        }
+                                        return Err(CfpError::WorkerPanic {
+                                            worker: w,
+                                            message: panic_message(&*payload),
+                                        });
+                                    }
+                                }
+                                item -= threads as i64;
+                            }
+                            if !sink.flush() && !poison.load(Ordering::Relaxed) {
                                 return Err(CfpError::WorkerPanic {
                                     worker: w,
-                                    message: panic_message(&*payload),
+                                    message: "result channel disconnected".to_string(),
                                 });
                             }
+                            Ok((peak, tasks, cost))
                         }
-                        item -= threads as i64;
+                        Schedule::Dynamic => {
+                            // Claims beyond the fair static share count as
+                            // steals: work the dynamic queue moved onto
+                            // this worker that round-robin would not have.
+                            let fair_share = (n as u64).div_ceil(threads as u64);
+                            let mut scratch = Scratch::recycling();
+                            let mut peak = 0u64;
+                            let mut tasks = 0u64;
+                            let mut cost = 0u64;
+                            'claims: while let Some((start, len)) = queue.claim() {
+                                for slot in start..start + len {
+                                    if poison.load(Ordering::Relaxed) {
+                                        break 'claims;
+                                    }
+                                    worker_tick(&heartbeats[w], schedule, tasks, fair_share);
+                                    if cfp_fault::should_fail("core.worker.stall") {
+                                        while !poison.load(Ordering::Relaxed) {
+                                            std::thread::sleep(Duration::from_millis(1));
+                                        }
+                                        break 'claims;
+                                    }
+                                    let item = queue.item(slot);
+                                    tasks += 1;
+                                    cost += queue.cost(slot);
+                                    let mut sink = TaskSink::default();
+                                    let result = catch_unwind(AssertUnwindSafe(|| {
+                                        if cfp_fault::should_fail("core.worker") {
+                                            panic!("injected worker fault (failpoint core.worker)");
+                                        }
+                                        mine_one_item(
+                                            &array,
+                                            item,
+                                            &globals,
+                                            min_support,
+                                            single_path_opt,
+                                            &mut sink,
+                                            &opts,
+                                            &mut scratch,
+                                        )
+                                    }));
+                                    match result {
+                                        Ok(Ok((_, p))) => {
+                                            peak = peak.max(p);
+                                            if tx.send((item, sink.buf)).is_err()
+                                                && !poison.load(Ordering::Relaxed)
+                                            {
+                                                return Err(CfpError::WorkerPanic {
+                                                    worker: w,
+                                                    message: "result channel disconnected"
+                                                        .to_string(),
+                                                });
+                                            }
+                                        }
+                                        Ok(Err(e)) => {
+                                            poison.store(true, Ordering::Relaxed);
+                                            return Err(e);
+                                        }
+                                        Err(payload) => {
+                                            poison.store(true, Ordering::Relaxed);
+                                            if cfp_trace::enabled() {
+                                                cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                                            }
+                                            return Err(CfpError::WorkerPanic {
+                                                worker: w,
+                                                message: panic_message(&*payload),
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            Ok((peak, tasks, cost))
+                        }
                     }
-                    if !sink.flush() && !poison.load(Ordering::Relaxed) {
-                        return Err(CfpError::WorkerPanic {
-                            worker: w,
-                            message: "result channel disconnected".to_string(),
-                        });
-                    }
-                    Ok(peak)
                 })
             })
             .collect();
@@ -276,14 +467,12 @@ impl Miner for ParallelCfpGrowthMiner {
         // worker timeout, poll with `recv_timeout` and watch the
         // heartbeats of unfinished workers; a window with neither a batch
         // nor a heartbeat tick is a stall.
+        let mut emitter = OrderedEmitter::new(sink, n);
         let mut timed_out = false;
         match self.worker_timeout {
             None => {
-                while let Ok(batch) = rx.recv() {
-                    for (itemset, support) in batch {
-                        sink.emit(&itemset, support);
-                        stats.itemsets += 1;
-                    }
+                while let Ok((tag, batch)) = rx.recv() {
+                    emitter.handle(tag, batch);
                 }
             }
             Some(limit) => {
@@ -293,12 +482,9 @@ impl Miner for ParallelCfpGrowthMiner {
                 let mut waited = Duration::ZERO;
                 loop {
                     match rx.recv_timeout(tick) {
-                        Ok(batch) => {
+                        Ok((tag, batch)) => {
                             waited = Duration::ZERO;
-                            for (itemset, support) in batch {
-                                sink.emit(&itemset, support);
-                                stats.itemsets += 1;
-                            }
+                            emitter.handle(tag, batch);
                         }
                         Err(mpsc::RecvTimeoutError::Disconnected) => break,
                         Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -334,16 +520,15 @@ impl Miner for ParallelCfpGrowthMiner {
                 }
                 // Drain whatever the cancelled workers already sent so
                 // they can finish their final flush and exit.
-                while let Ok(batch) = rx.try_recv() {
+                while let Ok((tag, batch)) = rx.try_recv() {
                     if !timed_out {
-                        for (itemset, support) in batch {
-                            sink.emit(&itemset, support);
-                            stats.itemsets += 1;
-                        }
+                        emitter.handle(tag, batch);
                     }
                 }
             }
         }
+        stats.itemsets = emitter.emitted;
+        drop(emitter);
 
         for (w, h) in handles.into_iter().enumerate() {
             if timed_out {
@@ -368,7 +553,11 @@ impl Miner for ParallelCfpGrowthMiner {
                 Err(CfpError::WorkerPanic { worker: w, message: panic_message(&*payload) })
             });
             match joined {
-                Ok(peak) => worker_peaks[w] = peak,
+                Ok((peak, tasks, cost)) => {
+                    worker_peaks[w] = peak;
+                    worker_tasks[w] = tasks;
+                    worker_costs[w] = cost;
+                }
                 Err(e) => {
                     if first_error.is_none() {
                         first_error = Some(e);
@@ -388,7 +577,30 @@ impl Miner for ParallelCfpGrowthMiner {
         }
         stats.avg_bytes = stats.peak_bytes;
         stats.worker_peaks = worker_peaks;
+        stats.worker_tasks = worker_tasks;
+        stats.worker_costs = worker_costs;
         Ok(stats)
+    }
+}
+
+/// Per-task worker bookkeeping: the watchdog heartbeat, plus the
+/// scheduler's claim/steal counters when tracing is on. `done` is the
+/// number of tasks the worker completed before this one; under the
+/// dynamic schedule, claims past `fair_share` (the round-robin deal size)
+/// are counted as steals.
+#[inline]
+fn worker_tick(heartbeat: &AtomicU64, schedule: Schedule, done: u64, fair_share: u64) {
+    // The watchdog counts a worker as live while its heartbeat advances
+    // between claimed tasks.
+    heartbeat.fetch_add(1, Ordering::Relaxed);
+    if cfp_trace::enabled() {
+        cfp_trace::counters::CORE_WORKER_HEARTBEATS.inc();
+        if schedule == Schedule::Dynamic {
+            cfp_trace::counters::CORE_TASKS_CLAIMED.inc();
+            if done >= fair_share {
+                cfp_trace::counters::CORE_TASKS_STOLEN.inc();
+            }
+        }
     }
 }
 
@@ -415,6 +627,10 @@ mod tests {
         sink.into_sorted()
     }
 
+    fn with_schedule(threads: usize, schedule: Schedule) -> ParallelCfpGrowthMiner {
+        ParallelCfpGrowthMiner { schedule, ..ParallelCfpGrowthMiner::new(threads) }
+    }
+
     #[test]
     fn parallel_matches_sequential_on_textbook_example() {
         let db = TransactionDb::from_rows(&[
@@ -429,12 +645,15 @@ mod tests {
             vec![1, 2, 3],
         ]);
         let seq = sorted(&CfpGrowthMiner::new(), &db, 2);
-        for threads in [2, 3, 8] {
-            assert_eq!(
-                sorted(&ParallelCfpGrowthMiner::new(threads), &db, 2),
-                seq,
-                "{threads} threads"
-            );
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    sorted(&with_schedule(threads, schedule), &db, 2),
+                    seq,
+                    "{threads} threads, {} schedule",
+                    schedule.name()
+                );
+            }
         }
     }
 
@@ -445,14 +664,38 @@ mod tests {
         let minsup = p.absolute_support(&db, 1);
         let mut seq = CountingSink::new();
         CfpGrowthMiner::new().mine(&db, minsup, &mut seq);
-        let mut par = CountingSink::new();
-        let stats = ParallelCfpGrowthMiner::new(4).mine(&db, minsup, &mut par);
-        assert_eq!(
-            (seq.count, seq.support_sum, seq.item_sum),
-            (par.count, par.support_sum, par.item_sum)
-        );
-        assert_eq!(stats.itemsets, par.count);
-        assert!(stats.peak_bytes > 0);
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let mut par = CountingSink::new();
+            let stats = with_schedule(4, schedule).mine(&db, minsup, &mut par);
+            assert_eq!(
+                (seq.count, seq.support_sum, seq.item_sum),
+                (par.count, par.support_sum, par.item_sum),
+                "{} schedule",
+                schedule.name()
+            );
+            assert_eq!(stats.itemsets, par.count);
+            assert!(stats.peak_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_emits_in_exact_sequential_order() {
+        // Not just the same multiset: the same stream. The ordered
+        // emitter replays per-item buffers in descending item order,
+        // which is exactly the sequential `for item in (0..n).rev()`.
+        let p = profiles::by_name("retail-like").unwrap();
+        let db = p.generate();
+        let minsup = p.absolute_support(&db, 2);
+        let mut seq = CollectSink::new();
+        CfpGrowthMiner::new().mine(&db, minsup, &mut seq);
+        for threads in [2, 3, 8] {
+            let mut par = CollectSink::new();
+            with_schedule(threads, Schedule::Dynamic).mine(&db, minsup, &mut par);
+            assert_eq!(
+                par.itemsets, seq.itemsets,
+                "dynamic {threads}-thread emission order diverged from sequential"
+            );
+        }
     }
 
     #[test]
@@ -466,8 +709,10 @@ mod tests {
     #[test]
     fn more_threads_than_items_is_fine() {
         let db = TransactionDb::from_rows(&[vec![1, 2], vec![1]]);
-        let got = sorted(&ParallelCfpGrowthMiner::new(64), &db, 1);
-        assert_eq!(got, sorted(&CfpGrowthMiner::new(), &db, 1));
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let got = sorted(&with_schedule(64, schedule), &db, 1);
+            assert_eq!(got, sorted(&CfpGrowthMiner::new(), &db, 1), "{}", schedule.name());
+        }
     }
 
     #[test]
@@ -498,23 +743,47 @@ mod tests {
         let build_charge = tree.arena_footprint() - 1; // offset 0 is the null byte
         drop(tree);
 
-        let pool = BudgetPool::new(1 << 30);
-        let miner =
-            ParallelCfpGrowthMiner { pool: Some(pool.clone()), ..ParallelCfpGrowthMiner::new(4) };
-        let mut a = CollectSink::new();
-        miner.try_mine(&db, 1, &mut a).expect("generous pool");
-        let mut b = CollectSink::new();
-        CfpGrowthMiner::new().mine(&db, 1, &mut b);
-        assert_eq!(a.into_sorted(), b.into_sorted());
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let pool = BudgetPool::new(1 << 30);
+            let miner = ParallelCfpGrowthMiner {
+                pool: Some(pool.clone()),
+                schedule,
+                ..ParallelCfpGrowthMiner::new(4)
+            };
+            let mut a = CollectSink::new();
+            miner.try_mine(&db, 1, &mut a).expect("generous pool");
+            let mut b = CollectSink::new();
+            CfpGrowthMiner::new().mine(&db, 1, &mut b);
+            assert_eq!(a.into_sorted(), b.into_sorted(), "{} schedule", schedule.name());
 
-        assert!(
-            pool.reserved_total() > build_charge,
-            "conditional trees must charge the shared pool (total {} vs build {build_charge})",
-            pool.reserved_total()
-        );
-        assert_eq!(pool.used(), 0, "every arena must release its reservation on drop");
-        assert!(pool.peak() >= build_charge);
-        assert!(pool.peak() <= pool.limit());
+            assert!(
+                pool.reserved_total() > build_charge,
+                "conditional trees must charge the shared pool (total {} vs build {build_charge})",
+                pool.reserved_total()
+            );
+            assert_eq!(pool.used(), 0, "every arena must release its reservation on drop/reset");
+            assert!(pool.peak() >= build_charge);
+            assert!(pool.peak() <= pool.limit());
+        }
+    }
+
+    #[test]
+    fn dynamic_schedule_reports_per_worker_tasks_and_costs() {
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut db = TransactionDb::new();
+        for _ in 0..200 {
+            let t: Vec<Item> = (0..24).filter(|_| rng.gen_bool(0.3)).collect();
+            db.push(&t);
+        }
+        let mut sink = CountingSink::new();
+        let stats = with_schedule(4, Schedule::Dynamic).mine(&db, 1, &mut sink);
+        assert_eq!(stats.worker_tasks.len(), 4);
+        assert_eq!(stats.worker_costs.len(), 4);
+        // Every first-level item is claimed exactly once, by someone.
+        let (_, tree) = crate::growth::try_build_tree(&db, 1, None).unwrap();
+        let n = tree.num_items() as u64;
+        assert_eq!(stats.worker_tasks.iter().sum::<u64>(), n);
     }
 
     #[test]
@@ -526,12 +795,20 @@ mod tests {
             vec![1, 2],
             vec![1, 3],
         ]);
-        let miner = ParallelCfpGrowthMiner {
-            worker_timeout: Some(Duration::from_secs(30)),
-            ..ParallelCfpGrowthMiner::new(3)
-        };
-        let mut sink = CollectSink::new();
-        miner.try_mine(&db, 1, &mut sink).expect("healthy run must not time out");
-        assert_eq!(sink.into_sorted(), sorted(&CfpGrowthMiner::new(), &db, 1));
+        for schedule in [Schedule::Static, Schedule::Dynamic] {
+            let miner = ParallelCfpGrowthMiner {
+                worker_timeout: Some(Duration::from_secs(30)),
+                schedule,
+                ..ParallelCfpGrowthMiner::new(3)
+            };
+            let mut sink = CollectSink::new();
+            miner.try_mine(&db, 1, &mut sink).expect("healthy run must not time out");
+            assert_eq!(
+                sink.into_sorted(),
+                sorted(&CfpGrowthMiner::new(), &db, 1),
+                "{} schedule",
+                schedule.name()
+            );
+        }
     }
 }

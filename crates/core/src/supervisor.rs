@@ -33,6 +33,7 @@
 
 use crate::growth::{CfpGrowthMiner, MineOpts};
 use crate::parallel::ParallelCfpGrowthMiner;
+use crate::schedule::Schedule;
 use cfp_data::miner::CollectSink;
 use cfp_data::partition::{project, ranges_by_mass};
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
@@ -129,6 +130,9 @@ pub struct Supervisor {
     /// Watchdog limit for parallel attempts (see
     /// [`ParallelCfpGrowthMiner::worker_timeout`]).
     pub worker_timeout: Option<Duration>,
+    /// Mine-phase schedule for the first attempt and the retry rung
+    /// (the degrade and partition rungs are sequential by design).
+    pub schedule: Schedule,
 }
 
 impl Supervisor {
@@ -140,6 +144,7 @@ impl Supervisor {
             mem_budget: None,
             policy,
             worker_timeout: None,
+            schedule: Schedule::default(),
         }
     }
 
@@ -167,6 +172,7 @@ impl Supervisor {
             pool: None,
             worker_timeout: self.worker_timeout,
             compact_on_pressure: false,
+            schedule: self.schedule,
         }
         .try_mine(db, min_support, &mut buf);
         let mut last_err = match first {
@@ -194,6 +200,7 @@ impl Supervisor {
                 pool: pool.clone(),
                 worker_timeout: self.worker_timeout,
                 compact_on_pressure: true,
+                schedule: self.schedule,
             }
             .try_mine(db, min_support, &mut buf);
             let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);

@@ -310,6 +310,8 @@ pub struct ArenaStats {
     pub compactions: u64,
     /// Total bytes returned to the OS-facing footprint by compaction.
     pub compact_reclaimed: u64,
+    /// [`Arena::reset`] calls (arena recycled for a new structure).
+    pub resets: u64,
 }
 
 /// A bump-pointer arena with per-size free-chunk queues.
@@ -565,6 +567,32 @@ impl Arena {
         let reclaimed = self.compact();
         self.buf.shrink_to_fit();
         reclaimed
+    }
+
+    /// Empties the arena for reuse, keeping the buffer capacity.
+    ///
+    /// All outstanding offsets become invalid. The footprint drops back to
+    /// the single burned null byte, the full carved reservation is released
+    /// to the budget/pool and subtracted from the trace gauges (exactly as
+    /// [`Drop`] would), and the free queues are cleared — but the `Vec`
+    /// capacity is retained, so a recycled arena rebuilds without touching
+    /// the OS allocator. Cumulative [`stats`](Self::stats) survive; the
+    /// `resets` counter records the recycle.
+    pub fn reset(&mut self) {
+        let carved = self.footprint().saturating_sub(1);
+        if cfp_trace::enabled() {
+            tc::MEMMAN_USED_BYTES.sub(self.used);
+            tc::MEMMAN_FOOTPRINT_BYTES.sub(carved);
+            tc::MEMMAN_RESETS.inc();
+        }
+        if let Some(pool) = &self.pool {
+            pool.release(carved);
+        }
+        self.buf.truncate(1);
+        self.free_heads = [0; MAX_CHUNK + 1];
+        self.used = 0;
+        self.live = 0;
+        self.stats.resets += 1;
     }
 
     /// The shared pool this arena reserves from, if any.
@@ -1144,6 +1172,57 @@ mod tests {
         assert_eq!(a.compact(), 32);
         assert_eq!(pool.used(), 8);
         assert_eq!(pool.compact_reclaimed(), 32);
+    }
+
+    #[test]
+    fn reset_empties_the_arena_but_keeps_capacity() {
+        let mut a = Arena::new();
+        let x = a.alloc(16);
+        let _y = a.alloc(32);
+        a.free(x, 16);
+        let cap = a.reserved();
+        a.reset();
+        assert_eq!(a.footprint(), 1, "only the burned null byte remains");
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.live_allocs(), 0);
+        assert_eq!(a.free_chunks(16), 0, "free queues cleared");
+        assert_eq!(a.reserved(), cap, "Vec capacity survives the reset");
+        assert_eq!(a.stats().resets, 1);
+        // The arena is immediately reusable and re-carves from offset 1.
+        let z = a.alloc(16);
+        assert!(z >= 1);
+        assert_eq!(a.used(), 16);
+    }
+
+    #[test]
+    fn reset_releases_the_full_pool_reservation() {
+        let pool = BudgetPool::new(100);
+        let mut a = Arena::with_options(ArenaOptions {
+            budget: None,
+            pool: Some(pool.clone()),
+            compact_on_pressure: false,
+        });
+        let _x = a.alloc(8);
+        let _y = a.alloc(32);
+        assert_eq!(pool.used(), 40);
+        a.reset();
+        assert_eq!(pool.used(), 0, "reset releases exactly footprint - 1");
+        // A recycled arena re-reserves as it re-carves, same as a fresh one.
+        let _z = a.alloc(24);
+        assert_eq!(pool.used(), 24);
+        drop(a);
+        assert_eq!(pool.used(), 0, "drop after reset does not double-release");
+    }
+
+    #[test]
+    fn reset_respects_a_fixed_budget_afresh() {
+        let mut a = Arena::with_budget(MemoryBudget::new(40));
+        let _x = a.alloc(32);
+        assert!(a.try_alloc(32).is_err(), "budget refuses past the cap");
+        a.reset();
+        // After a reset the footprint is back to zero carved bytes, so the
+        // same budget admits a fresh allocation.
+        assert!(a.try_alloc(32).is_ok());
     }
 
     /// Property tests require the optional `proptest` dependency,

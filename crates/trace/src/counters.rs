@@ -219,6 +219,8 @@ pub static MEMMAN_PEAK_FOOTPRINT: MaxGauge = MaxGauge::new("memman.peak_footprin
 pub static MEMMAN_COMPACTIONS: Counter = Counter::new("memman.compactions");
 /// `cfp-memman`: bytes returned to the footprint by compaction.
 pub static MEMMAN_COMPACT_RECLAIMED: Counter = Counter::new("memman.compact_reclaimed_bytes");
+/// `cfp-memman`: arenas recycled via `Arena::reset` instead of reallocated.
+pub static MEMMAN_RESETS: Counter = Counter::new("memman.arena_resets");
 
 /// `cfp-metrics`: current tracked bytes, mirrored from `MemGauge`.
 pub static MEM_CURRENT_BYTES: Gauge = Gauge::new("mem.current_bytes");
@@ -268,6 +270,11 @@ pub static CORE_WORKER_PANICS: Counter = Counter::new("core.worker_panics");
 pub static CORE_WORKER_HEARTBEATS: Counter = Counter::new("core.worker_heartbeats");
 /// `cfp-core`: workers the watchdog declared stalled.
 pub static CORE_WORKER_STALLS: Counter = Counter::new("core.worker_stalls");
+/// `cfp-core`: item tasks claimed from the dynamic mine-phase scheduler.
+pub static CORE_TASKS_CLAIMED: Counter = Counter::new("core.tasks_claimed");
+/// `cfp-core`: claimed tasks beyond a worker's fair static share — work the
+/// dynamic scheduler moved off an overloaded peer.
+pub static CORE_TASKS_STOLEN: Counter = Counter::new("core.tasks_stolen");
 /// `cfp-core`: recovery-ladder rungs attempted by the supervisor.
 pub static CORE_RECOVERY_RUNGS: Counter = Counter::new("core.recovery_rungs");
 /// `cfp-core`: partitions the database was split into for fallback mining.
@@ -288,6 +295,7 @@ static COUNTERS: &[&Counter] = &[
     &MEMMAN_SHRINKS,
     &MEMMAN_COMPACTIONS,
     &MEMMAN_COMPACT_RECLAIMED,
+    &MEMMAN_RESETS,
     &TREE_STANDARD_NODES,
     &TREE_CHAIN_NODES,
     &TREE_EMBEDDED_LEAVES,
@@ -303,6 +311,8 @@ static COUNTERS: &[&Counter] = &[
     &CORE_WORKER_PANICS,
     &CORE_WORKER_HEARTBEATS,
     &CORE_WORKER_STALLS,
+    &CORE_TASKS_CLAIMED,
+    &CORE_TASKS_STOLEN,
     &CORE_RECOVERY_RUNGS,
     &DATA_SKIPPED_LINES,
     &DATA_BAD_TOKENS,

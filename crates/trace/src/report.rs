@@ -59,6 +59,10 @@ pub struct RunReport {
     pub algorithm: String,
     /// Worker threads (1 = sequential).
     pub threads: u64,
+    /// Mine-phase schedule of a parallel run (`"static"` or
+    /// `"dynamic"`); absent for sequential runs and non-cfp algorithms
+    /// (additive to the `cfp-profile/1` schema).
+    pub schedule: Option<String>,
     /// Frequent itemsets found.
     pub itemsets: u64,
     /// End-to-end wall time of the run in nanoseconds.
@@ -102,6 +106,7 @@ impl RunReport {
             threads,
             itemsets,
             wall_nanos,
+            schedule: None,
             phases: span::phase_snapshot(),
             counters: counters::snapshot(),
             histograms: counters::histogram_snapshot(),
@@ -112,6 +117,13 @@ impl RunReport {
         }
     }
 
+    /// Records the mine-phase schedule of a parallel run in the `run`
+    /// section.
+    pub fn with_schedule(mut self, schedule: impl Into<String>) -> Self {
+        self.schedule = Some(schedule.into());
+        self
+    }
+
     /// Attaches the supervisor's degradation section to the report.
     pub fn with_degradation(mut self, degradation: DegradationReport) -> Self {
         self.degradation = Some(degradation);
@@ -120,15 +132,19 @@ impl RunReport {
 
     /// Serialises to the `cfp-profile/1` JSON document.
     pub fn to_json(&self) -> Json {
-        let run = Json::Obj(vec![
+        let mut run_fields = vec![
             ("dataset".into(), Json::str(self.dataset.clone())),
             ("transactions".into(), Json::u64(self.transactions)),
             ("support".into(), Json::u64(self.support)),
             ("algorithm".into(), Json::str(self.algorithm.clone())),
             ("threads".into(), Json::u64(self.threads)),
-            ("itemsets".into(), Json::u64(self.itemsets)),
-            ("wall_nanos".into(), Json::u64(self.wall_nanos)),
-        ]);
+        ];
+        if let Some(s) = &self.schedule {
+            run_fields.push(("schedule".into(), Json::str(s.clone())));
+        }
+        run_fields.push(("itemsets".into(), Json::u64(self.itemsets)));
+        run_fields.push(("wall_nanos".into(), Json::u64(self.wall_nanos)));
+        let run = Json::Obj(run_fields);
         let phases = Json::Arr(
             self.phases
                 .iter()
@@ -270,6 +286,18 @@ mod tests {
             .expect("memory.samples");
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[1].get("arena_footprint").and_then(Json::as_u64), Some(4096));
+    }
+
+    #[test]
+    fn schedule_field_is_absent_by_default_and_round_trips() {
+        let base = RunReport::capture("d", 1, 1, "cfp", 4, 0, 1, vec![]);
+        let doc = json::parse(&base.to_json().to_compact()).unwrap();
+        assert!(doc.get("run").unwrap().get("schedule").is_none());
+
+        let doc = json::parse(&base.with_schedule("dynamic").to_json().to_pretty()).unwrap();
+        let run = doc.get("run").expect("run object");
+        assert_eq!(run.get("schedule").and_then(Json::as_str), Some("dynamic"));
+        assert_eq!(run.get("threads").and_then(Json::as_u64), Some(4));
     }
 
     #[test]

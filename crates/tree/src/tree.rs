@@ -126,6 +126,47 @@ impl CfpTree {
         })
     }
 
+    /// Creates an empty tree inside a recycled `arena` instead of a fresh
+    /// one, keeping the arena's budget/pool wiring and — crucially — its
+    /// already-reserved `Vec` capacity. This is the mine-phase recycling
+    /// path: a worker builds one conditional tree, converts it, takes the
+    /// arena back via [`into_arena`](Self::into_arena), resets it, and
+    /// hands it here for the next conditional tree, avoiding a fresh heap
+    /// allocation per first-level item.
+    ///
+    /// The arena must be empty (freshly created or [`cfp_memman::Arena::reset`]);
+    /// stale contents would corrupt node decoding.
+    pub fn try_with_arena(
+        num_items: usize,
+        config: CfpTreeConfig,
+        mut arena: Arena,
+    ) -> Result<Self, CfpError> {
+        assert!(
+            config.max_chain_len <= MAX_CHAIN_LEN,
+            "chain length {} exceeds the 4-bit header limit {MAX_CHAIN_LEN}",
+            config.max_chain_len
+        );
+        assert!(arena.live_allocs() == 0 && arena.footprint() == 1, "recycled arena not empty");
+        let root_slot = arena.try_alloc(5).map_err(|e| CfpError::from(e).with_phase("build"))?;
+        arena.bytes_mut(root_slot, 5).fill(0);
+        Ok(CfpTree {
+            arena,
+            root_slot,
+            config,
+            num_items: num_items as u32,
+            num_nodes: 0,
+            weight_total: 0,
+            item_supports: vec![0; num_items],
+        })
+    }
+
+    /// Consumes the tree and returns its arena for recycling (see
+    /// [`try_with_arena`](Self::try_with_arena)). The caller is expected to
+    /// [`cfp_memman::Arena::reset`] it before reuse.
+    pub fn into_arena(self) -> Arena {
+        self.arena
+    }
+
     /// The representation configuration of this tree.
     pub fn config(&self) -> CfpTreeConfig {
         self.config
