@@ -13,10 +13,19 @@
 //!   parallel                  mine-phase scaling with worker threads
 //!   skew                      static vs dynamic scheduling on a skewed
 //!                             dataset; with --csv also writes a
-//!                             cfp-profile/1 JSON per schedule
+//!                             cfp-profile/2 JSON per schedule
 //!   profile                   traced CFP run on Quest1, written as a
-//!                             cfp-profile/1 JSON document
+//!                             cfp-profile/2 JSON document
 //!   all                       everything above
+//!
+//! cfp-repro bench [--out DIR]
+//!   Runs the fixed benchmark set and writes one cfp-bench/1 snapshot
+//!   per benchmark as DIR/BENCH_<name>.json (default DIR: results/).
+//!
+//! cfp-repro compare BASELINE CANDIDATE [--threshold PCT]
+//!   Diffs two snapshot files and exits 1 when the candidate regressed
+//!   more than PCT percent (default 25) on wall time, peak bytes, or
+//!   any phase — or mined a different itemset count.
 //! ```
 //!
 //! With `--csv DIR`, every produced table is additionally written to
@@ -32,6 +41,13 @@ use std::time::Instant;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `bench` and `compare` are subcommands with their own flags, not
+    // experiments; dispatch them before --csv handling.
+    match args.first().map(String::as_str) {
+        Some("bench") => run_bench(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        _ => {}
+    }
     let mut csv_dir: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         if pos + 1 >= args.len() {
@@ -43,7 +59,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ..."
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]"
         );
         std::process::exit(2);
     }
@@ -160,4 +176,140 @@ fn run(name: &str, csv_dir: Option<&std::path::Path>) {
         }
     }
     eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
+}
+
+/// One entry of the fixed benchmark set `cfp-repro bench` snapshots.
+struct Bench {
+    name: &'static str,
+    miner: Box<dyn cfp_data::Miner>,
+    dataset: &'static str,
+    minsup: u64,
+    threads: u64,
+}
+
+/// The fixed benchmark set: one sequential and one parallel-with-steals
+/// workload, both deterministic.
+fn bench_set() -> Vec<Bench> {
+    let quest1 = cfp_data::profiles::by_name("quest1").expect("profile exists");
+    let kosarak = cfp_data::profiles::by_name("kosarak-like").expect("profile exists");
+    let q_db = quest1.generate();
+    let k_db = kosarak.generate();
+    vec![
+        Bench {
+            name: "quest1-seq",
+            miner: Box::new(cfp_core::CfpGrowthMiner::new()),
+            dataset: "quest1",
+            minsup: ((q_db.len() as f64 * 0.02).ceil() as u64).max(1),
+            threads: 1,
+        },
+        Bench {
+            name: "kosarak-par4",
+            miner: Box::new(cfp_core::ParallelCfpGrowthMiner {
+                schedule: cfp_core::Schedule::Dynamic,
+                ..cfp_core::ParallelCfpGrowthMiner::new(4)
+            }),
+            dataset: "kosarak-like",
+            minsup: kosarak.absolute_support(&k_db, 2),
+            threads: 4,
+        },
+    ]
+}
+
+/// `cfp-repro bench [--out DIR]` — snapshot the fixed benchmark set.
+fn run_bench(args: &[String]) -> ! {
+    let mut out_dir = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown bench argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for Bench { name, miner, dataset, minsup, threads } in bench_set() {
+        let db = cfp_data::profiles::by_name(dataset).expect("profile exists").generate();
+        let report = cfp_bench::report::profile_run(miner.as_ref(), &db, dataset, minsup, threads);
+        let snap = cfp_bench::snapshot::BenchSnapshot::from_report(name, &report);
+        let path = out_dir.join(format!("BENCH_{name}.json"));
+        if let Err(e) = std::fs::write(&path, snap.to_json().to_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "bench: {name}  itemsets {}  wall {:.3}s  peak {} MiB  steals {}  -> {}",
+            snap.itemsets,
+            snap.wall_nanos as f64 / 1e9,
+            cfp_bench::report::mib(snap.peak_bytes),
+            snap.steals,
+            path.display()
+        );
+    }
+    std::process::exit(0);
+}
+
+/// `cfp-repro compare BASELINE CANDIDATE [--threshold PCT]` — exits 1 on
+/// regression.
+fn run_compare(args: &[String]) -> ! {
+    let mut threshold_pct = 25.0;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => threshold_pct = pct,
+                None => {
+                    eprintln!("--threshold requires a percentage");
+                    std::process::exit(2);
+                }
+            },
+            _ => files.push(arg),
+        }
+    }
+    let [baseline_path, candidate_path] = files[..] else {
+        eprintln!("usage: cfp-repro compare BASELINE CANDIDATE [--threshold PCT]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| {
+        cfp_bench::snapshot::BenchSnapshot::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        })
+    };
+    let baseline = load(baseline_path);
+    let candidate = load(candidate_path);
+    if baseline.name != candidate.name {
+        eprintln!(
+            "warning: comparing different benchmarks ({:?} vs {:?})",
+            baseline.name, candidate.name
+        );
+    }
+    println!("compare: {} (threshold {threshold_pct}%)", baseline.name);
+    let deltas = cfp_bench::snapshot::compare(&baseline, &candidate, threshold_pct);
+    let mut regressed = false;
+    for d in &deltas {
+        let flag = if d.regressed { "  REGRESSED" } else { "" };
+        println!(
+            "  {:<16} {:>14} -> {:>14}  {:>+8.1}%{flag}",
+            d.metric, d.baseline, d.candidate, d.change_pct
+        );
+        regressed |= d.regressed;
+    }
+    if regressed {
+        eprintln!("compare: regression past {threshold_pct}% threshold");
+        std::process::exit(1);
+    }
+    println!("compare: ok");
+    std::process::exit(0);
 }

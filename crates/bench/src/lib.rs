@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 
 use cfp_data::miner::CountingSink;
 use cfp_data::{MineStats, Miner, TransactionDb};

@@ -1,5 +1,5 @@
 //! Plain-text table rendering for experiment reports, plus traced runs
-//! producing machine-readable `cfp-profile/1` documents.
+//! producing machine-readable `cfp-profile/2` documents.
 
 use cfp_data::miner::CountingSink;
 use cfp_data::{Miner, TransactionDb};

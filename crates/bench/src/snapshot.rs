@@ -1,0 +1,311 @@
+//! Benchmark snapshots and regression comparison.
+//!
+//! `cfp-repro bench` distils a traced run ([`crate::report::profile_run`])
+//! into a small `cfp-bench/1` JSON document — phase wall times, peak
+//! bytes, steal count, itemsets — written as `results/BENCH_<name>.json`.
+//! `cfp-repro compare old.json new.json` diffs two such snapshots and
+//! exits non-zero when the candidate regressed past a percentage
+//! threshold, so CI can keep a baseline file and catch performance
+//! regressions without any external tooling.
+
+use cfp_trace::json::{self, Json};
+use cfp_trace::RunReport;
+use std::path::Path;
+
+/// Schema identifier of the snapshot layout.
+pub const SCHEMA: &str = "cfp-bench/1";
+
+/// Phases shorter than this in the baseline are skipped by [`compare`]:
+/// their relative timing is scheduler noise, not signal.
+pub const PHASE_FLOOR_NANOS: u64 = 1_000_000;
+
+/// One benchmark run, reduced to the numbers worth diffing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSnapshot {
+    /// Benchmark name (also names the `BENCH_<name>.json` file).
+    pub name: String,
+    /// Dataset profile the benchmark mined.
+    pub dataset: String,
+    /// Absolute minimum support.
+    pub min_support: u64,
+    /// Worker threads.
+    pub threads: u64,
+    /// Frequent itemsets found — a correctness check, not a perf number.
+    pub itemsets: u64,
+    /// End-to-end wall time.
+    pub wall_nanos: u64,
+    /// Accumulated `(phase, nanos)` wall times, in pipeline order.
+    pub phases: Vec<(String, u64)>,
+    /// Peak tracked bytes.
+    pub peak_bytes: u64,
+    /// Dynamic-schedule steals during the mine phase.
+    pub steals: u64,
+}
+
+impl BenchSnapshot {
+    /// Reduces a traced run report to a snapshot.
+    pub fn from_report(name: &str, report: &RunReport) -> Self {
+        let steals = report
+            .counters
+            .iter()
+            .find(|&&(n, _)| n == "core.tasks_stolen")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        BenchSnapshot {
+            name: name.to_string(),
+            dataset: report.dataset.clone(),
+            min_support: report.support,
+            threads: report.threads,
+            itemsets: report.itemsets,
+            wall_nanos: report.wall_nanos,
+            phases: report.phases.iter().map(|p| (p.name.to_string(), p.nanos)).collect(),
+            peak_bytes: report.peak_bytes,
+            steals,
+        }
+    }
+
+    /// Serialises to the `cfp-bench/1` JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str(SCHEMA)),
+            ("name".into(), Json::str(self.name.clone())),
+            ("dataset".into(), Json::str(self.dataset.clone())),
+            ("min_support".into(), Json::u64(self.min_support)),
+            ("threads".into(), Json::u64(self.threads)),
+            ("itemsets".into(), Json::u64(self.itemsets)),
+            ("wall_nanos".into(), Json::u64(self.wall_nanos)),
+            (
+                "phases".into(),
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|(name, nanos)| (name.clone(), Json::u64(*nanos)))
+                        .collect(),
+                ),
+            ),
+            ("peak_bytes".into(), Json::u64(self.peak_bytes)),
+            ("steals".into(), Json::u64(self.steals)),
+        ])
+    }
+
+    /// Parses a snapshot document, checking the schema first.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("<missing>");
+        if schema != SCHEMA {
+            return Err(format!("unsupported snapshot schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let str_field = |name: &str| -> Result<String, String> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("snapshot field {name:?} missing or not a string"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("snapshot field {name:?} missing or not an integer"))
+        };
+        let phases = match doc.get("phases") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|nanos| (name.clone(), nanos))
+                        .ok_or_else(|| format!("phase {name:?} is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("snapshot field \"phases\" missing or not an object".into()),
+        };
+        Ok(BenchSnapshot {
+            name: str_field("name")?,
+            dataset: str_field("dataset")?,
+            min_support: u64_field("min_support")?,
+            threads: u64_field("threads")?,
+            itemsets: u64_field("itemsets")?,
+            wall_nanos: u64_field("wall_nanos")?,
+            phases,
+            peak_bytes: u64_field("peak_bytes")?,
+            steals: u64_field("steals")?,
+        })
+    }
+
+    /// Loads and parses a snapshot file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&doc)
+    }
+}
+
+/// One metric's change between two snapshots, produced by [`compare`].
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Metric name (`"wall_nanos"`, `"peak_bytes"`, `"phase mine"`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Candidate value.
+    pub candidate: u64,
+    /// Signed percentage change relative to the baseline.
+    pub change_pct: f64,
+    /// Whether the change exceeds the caller's regression threshold.
+    pub regressed: bool,
+}
+
+fn delta(metric: &str, baseline: u64, candidate: u64, threshold_pct: f64) -> Delta {
+    let change_pct = if baseline == 0 {
+        if candidate == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (candidate as f64 - baseline as f64) / baseline as f64 * 100.0
+    };
+    Delta {
+        metric: metric.to_string(),
+        baseline,
+        candidate,
+        change_pct,
+        regressed: change_pct > threshold_pct,
+    }
+}
+
+/// Diffs `candidate` against `baseline`: wall time, peak bytes, and every
+/// phase at least [`PHASE_FLOOR_NANOS`] long in the baseline, each flagged
+/// when it grew more than `threshold_pct` percent. An itemsets mismatch is
+/// always flagged — a benchmark that mines a different result is not
+/// comparable, it is broken.
+pub fn compare(
+    baseline: &BenchSnapshot,
+    candidate: &BenchSnapshot,
+    threshold_pct: f64,
+) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    let mut itemsets = delta("itemsets", baseline.itemsets, candidate.itemsets, threshold_pct);
+    itemsets.regressed = baseline.itemsets != candidate.itemsets;
+    deltas.push(itemsets);
+    deltas.push(delta("wall_nanos", baseline.wall_nanos, candidate.wall_nanos, threshold_pct));
+    deltas.push(delta("peak_bytes", baseline.peak_bytes, candidate.peak_bytes, threshold_pct));
+    for (name, base_nanos) in &baseline.phases {
+        if *base_nanos < PHASE_FLOOR_NANOS {
+            continue;
+        }
+        let cand_nanos =
+            candidate.phases.iter().find(|(n, _)| n == name).map(|&(_, nanos)| nanos).unwrap_or(0);
+        deltas.push(delta(&format!("phase {name}"), *base_nanos, cand_nanos, threshold_pct));
+    }
+    deltas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(wall: u64, peak: u64, mine_nanos: u64) -> BenchSnapshot {
+        BenchSnapshot {
+            name: "quest1-seq".into(),
+            dataset: "quest1".into(),
+            min_support: 40,
+            threads: 1,
+            itemsets: 1234,
+            wall_nanos: wall,
+            phases: vec![
+                ("read".into(), 0),
+                ("build".into(), 30_000_000),
+                ("mine".into(), mine_nanos),
+            ],
+            peak_bytes: peak,
+            steals: 0,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = snapshot(100_000_000, 5 << 20, 60_000_000);
+        let text = snap.to_json().to_pretty();
+        let parsed = BenchSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let doc = json::parse(r#"{"schema": "cfp-bench/9"}"#).unwrap();
+        let err = BenchSnapshot::from_json(&doc).unwrap_err();
+        assert!(err.contains("cfp-bench/9"), "{err}");
+    }
+
+    #[test]
+    fn identical_snapshots_do_not_regress() {
+        let snap = snapshot(100_000_000, 5 << 20, 60_000_000);
+        assert!(compare(&snap, &snap, 10.0).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn slowdown_past_the_threshold_regresses() {
+        let base = snapshot(100_000_000, 5 << 20, 60_000_000);
+        let slow = snapshot(150_000_000, 5 << 20, 95_000_000);
+        let deltas = compare(&base, &slow, 25.0);
+        let wall = deltas.iter().find(|d| d.metric == "wall_nanos").unwrap();
+        assert!(wall.regressed, "{wall:?}");
+        assert!((wall.change_pct - 50.0).abs() < 1e-9);
+        let mine = deltas.iter().find(|d| d.metric == "phase mine").unwrap();
+        assert!(mine.regressed, "{mine:?}");
+        // Improvements and in-threshold moves pass.
+        assert!(compare(&base, &snapshot(110_000_000, 5 << 20, 62_000_000), 25.0)
+            .iter()
+            .all(|d| !d.regressed));
+        assert!(compare(&slow, &base, 25.0).iter().all(|d| !d.regressed), "speedup flagged");
+    }
+
+    #[test]
+    fn itemsets_mismatch_always_regresses() {
+        let base = snapshot(100, 100, 100);
+        let mut wrong = base.clone();
+        wrong.itemsets += 1;
+        let deltas = compare(&base, &wrong, 1_000_000.0);
+        assert!(deltas.iter().any(|d| d.metric == "itemsets" && d.regressed));
+    }
+
+    #[test]
+    fn sub_floor_phases_are_ignored() {
+        let base = snapshot(100_000_000, 5 << 20, 60_000_000);
+        let mut noisy = base.clone();
+        // "read" is 0ns in the baseline: even a huge relative change in a
+        // sub-millisecond phase must not flag.
+        noisy.phases[0].1 = 900_000;
+        let deltas = compare(&base, &noisy, 10.0);
+        assert!(!deltas.iter().any(|d| d.metric == "phase read"), "{deltas:?}");
+    }
+
+    #[test]
+    fn from_report_extracts_steals_from_the_counters() {
+        // Built as a literal rather than via RunReport::capture so this
+        // test does not touch the global counter registry (which other
+        // tests in this binary reset concurrently).
+        let report = RunReport {
+            dataset: "kosarak-like".into(),
+            transactions: 1000,
+            support: 8,
+            algorithm: "cfp-growth-parallel".into(),
+            threads: 4,
+            schedule: Some("dynamic".into()),
+            itemsets: 77,
+            wall_nanos: 5_000,
+            phases: vec![cfp_trace::span::PhaseSpan { name: "mine", nanos: 4_000, count: 4 }],
+            counters: vec![("core.tasks_stolen", 2), ("core.workers", 4)],
+            histograms: vec![],
+            peak_bytes: 9_000,
+            final_bytes: 0,
+            samples: vec![],
+            degradation: None,
+            events: None,
+        };
+        let snap = BenchSnapshot::from_report("kosarak-par4", &report);
+        assert_eq!(snap.steals, 2);
+        assert_eq!(snap.itemsets, 77);
+        assert_eq!(snap.threads, 4);
+        assert_eq!(snap.phases, vec![("mine".to_string(), 4_000)]);
+    }
+}

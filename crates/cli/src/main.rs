@@ -25,9 +25,18 @@
 //!   --rules CONF       print association rules with confidence ≥ CONF
 //!   --image PATH       also save a reusable mining image (CFP only)
 //!   --stats            print phase times and peak memory to stderr
-//!   --profile PATH     enable tracing and write a cfp-profile/1 JSON
+//!   --profile PATH     enable tracing and write a cfp-profile/2 JSON
 //!                      run report (phase spans, counters, memory
-//!                      time series) to PATH
+//!                      time series, event summary) to PATH
+//!   --trace-out PATH   capture the event timeline and write Chrome
+//!                      trace-event JSON (open in Perfetto or
+//!                      chrome://tracing; one track per worker plus
+//!                      memory counter tracks)
+//!   --flame-out PATH   write folded flamegraph stacks of the
+//!                      conditional-tree descent (flamegraph.pl /
+//!                      speedscope input)
+//!   --progress         live status heartbeat on stderr (phase, items
+//!                      mined, steals, budget-pool peak)
 //!   --recover POLICY   escalation ladder on failure: off (default),
 //!                      retry (compact-and-retry), degrade (… then
 //!                      sequential), partition (… then item-range
@@ -78,6 +87,9 @@ struct Options {
     image: Option<String>,
     stats: bool,
     profile: Option<String>,
+    trace_out: Option<String>,
+    flame_out: Option<String>,
+    progress: bool,
     recover: RecoveryPolicy,
     worker_timeout: Option<Duration>,
 }
@@ -95,6 +107,7 @@ fn print_usage() {
     eprintln!("  --skip-bad-lines");
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
+    eprintln!("  --trace-out PATH | --flame-out PATH | --progress");
     eprintln!("  --recover off|retry|degrade|partition | --worker-timeout SECONDS");
 }
 
@@ -133,6 +146,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         image: None,
         stats: false,
         profile: None,
+        trace_out: None,
+        flame_out: None,
+        progress: false,
         recover: RecoveryPolicy::Off,
         worker_timeout: None,
     };
@@ -180,6 +196,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--image" => opts.image = Some(value(arg)?),
             "--stats" => opts.stats = true,
             "--profile" => opts.profile = Some(value(arg)?),
+            "--trace-out" => opts.trace_out = Some(value(arg)?),
+            "--flame-out" => opts.flame_out = Some(value(arg)?),
+            "--progress" => opts.progress = true,
             "--recover" => opts.recover = value(arg)?.parse()?,
             "--worker-timeout" => {
                 let secs: f64 =
@@ -438,12 +457,22 @@ fn main() {
         }
     };
     let profiling = opts.profile.is_some();
-    if profiling {
+    let tracing = opts.trace_out.is_some() || opts.flame_out.is_some();
+    if profiling || tracing || opts.progress {
         cfp_trace::set_enabled(true);
     }
+    if tracing {
+        // Event capture is gated separately from the counters so plain
+        // `--profile` runs do not pay the per-event ring-buffer cost.
+        cfp_trace::events::set_capture(true);
+        cfp_trace::events::name_thread("main");
+    }
     let run_started = std::time::Instant::now();
-    let sampler =
-        profiling.then(|| cfp_trace::MemSampler::start(std::time::Duration::from_millis(10)));
+    let sampler = (profiling || opts.trace_out.is_some())
+        .then(|| cfp_trace::MemSampler::start(std::time::Duration::from_millis(10)));
+    let meter = opts
+        .progress
+        .then(|| cfp_trace::ProgressMeter::start(std::time::Duration::from_millis(200)));
 
     let policy = if opts.skip_bad_lines { ParsePolicy::Skip } else { ParsePolicy::Strict };
     let db: TransactionDb = {
@@ -560,6 +589,33 @@ fn main() {
     };
     let wall_nanos = run_started.elapsed().as_nanos() as u64;
     let samples = sampler.map(cfp_trace::MemSampler::stop).unwrap_or_default();
+    if let Some(meter) = meter {
+        meter.stop();
+    }
+    // Freeze the timeline before any export reads it; the tracks are
+    // shared by the Chrome export, the flame export, and the profile
+    // report's events summary.
+    let tracks = if tracing {
+        cfp_trace::events::set_capture(false);
+        cfp_trace::events::drain()
+    } else {
+        Vec::new()
+    };
+    if let Some(path) = &opts.trace_out {
+        let json = cfp_trace::chrome::chrome_trace(&tracks, &samples);
+        if let Err(e) = std::fs::write(path, json.to_pretty()) {
+            eprintln!("cannot write trace {path}: {e}");
+            exit(1);
+        }
+        eprintln!("trace written to {path} ({} tracks)", tracks.len());
+    }
+    if let Some(path) = &opts.flame_out {
+        if let Err(e) = std::fs::write(path, cfp_trace::flame::folded_stacks(&tracks)) {
+            eprintln!("cannot write flamegraph stacks {path}: {e}");
+            exit(1);
+        }
+        eprintln!("flamegraph stacks written to {path}");
+    }
 
     if let Some(path) = &opts.image {
         if opts.algorithm != "cfp" {
@@ -626,6 +682,7 @@ fn main() {
                 final_partitions: d.final_partitions,
             });
         }
+        report = report.with_events(cfp_trace::events::summarize(&tracks));
         if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
             eprintln!("cannot write profile {path}: {e}");
             exit(1);

@@ -166,7 +166,7 @@ fn image_round_trip_via_cli() {
 }
 
 /// Golden test for the machine-readable run report: `--profile` must emit
-/// a valid `cfp-profile/1` document whose structure downstream tooling can
+/// a valid `cfp-profile/2` document whose structure downstream tooling can
 /// rely on. Parsed with the same zero-dependency parser shipped in
 /// `cfp-trace`, so writer and reader are exercised together.
 #[test]
@@ -192,7 +192,7 @@ fn profile_report_is_valid_and_complete() {
     let text = std::fs::read_to_string(&report_path).unwrap();
     let doc = json::parse(&text).expect("profile must be valid JSON");
 
-    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cfp-profile/1"));
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cfp-profile/2"));
 
     let run = doc.get("run").expect("run object");
     assert_eq!(run.get("transactions").and_then(Json::as_u64), Some(9));
@@ -253,7 +253,233 @@ fn profile_report_is_valid_and_complete() {
         }
     }
 
+    // /2 addition: the events summary block. Without `--trace-out` the
+    // timeline is not captured, so it reports an empty capture rather
+    // than being absent.
+    let events = doc.get("events").expect("cfp-profile/2 carries an events block");
+    assert_eq!(events.get("tracks").and_then(Json::as_u64), Some(0));
+    assert_eq!(events.get("recorded").and_then(Json::as_u64), Some(0));
+    assert_eq!(events.get("dropped_events").and_then(Json::as_u64), Some(0));
+
     std::fs::remove_file(&report_path).ok();
+}
+
+/// A deterministic skewed dataset (geometric-ish item frequencies): the
+/// head items appear in almost every row, the tail rarely. The cost
+/// imbalance across first-level items is what makes the dynamic scheduler
+/// steal, so the timeline tests below can demand steal events.
+fn write_skewed() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("skewed.dat");
+    let mut state: u64 = 0x243F_6A88_85A3_08D3;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut text = String::new();
+    for _ in 0..2000 {
+        let mut row = Vec::new();
+        for i in 0..48u32 {
+            if next() < 0.9 / (i as f64 + 1.0) {
+                row.push(i.to_string());
+            }
+        }
+        if !row.is_empty() {
+            text.push_str(&row.join(" "));
+            text.push('\n');
+        }
+    }
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// The tentpole e2e: `--trace-out` must produce Chrome trace-event JSON
+/// that the in-repo parser accepts, with one named track per worker
+/// (each carrying at least one event), steal instants on a skewed
+/// dataset, recursion slices, and counter tracks from the memory
+/// sampler.
+#[test]
+fn trace_out_is_a_valid_chrome_trace_with_per_worker_tracks() {
+    use cfp_trace::{json, Json};
+
+    let path = write_skewed();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let trace_path = dir.join("timeline.json");
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--threads",
+            "4",
+            "--count",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = json::parse(&text).expect("trace must be valid JSON");
+    let events = doc.as_arr().expect("array-of-events form");
+
+    // One thread_name metadata record per track; every worker is named.
+    let mut tid_by_name = std::collections::HashMap::new();
+    for e in events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("M")) {
+        let name = e.get("args").and_then(|a| a.get("name")).and_then(Json::as_str).unwrap();
+        let tid = e.get("tid").and_then(Json::as_u64).unwrap();
+        tid_by_name.insert(name.to_string(), tid);
+    }
+    for worker in ["worker-0", "worker-1", "worker-2", "worker-3"] {
+        let tid = *tid_by_name.get(worker).unwrap_or_else(|| panic!("missing track {worker}"));
+        let on_track = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Json::as_str) != Some("M")
+                    && e.get("tid").and_then(Json::as_u64) == Some(tid)
+            })
+            .count();
+        assert!(on_track >= 1, "track {worker} carries no events");
+    }
+
+    let name_count = |name: &str| {
+        events.iter().filter(|e| e.get("name").and_then(Json::as_str) == Some(name)).count()
+    };
+    assert!(name_count("steal") > 0, "skewed data must produce steal instants");
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("X")
+            && e.get("cat").and_then(Json::as_str) == Some("mine")),
+        "recursion slices missing"
+    );
+    // Counter tracks mirrored from the memory sampler series.
+    assert!(
+        events.iter().any(|e| e.get("ph").and_then(Json::as_str) == Some("C")
+            && e.get("name").and_then(Json::as_str) == Some("mem.peak_bytes")),
+        "counter tracks missing"
+    );
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// Recovery rung transitions land on the timeline: a budget too small
+/// for the monolithic tree under `--recover=partition` emits `rung`
+/// instants for each attempted rung.
+#[test]
+fn recovery_rungs_appear_on_the_event_timeline() {
+    use cfp_trace::{json, Json};
+
+    let path = write_sample();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let trace_path = dir.join("recovery_timeline.json");
+    let db = cfp_core::TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+    let budget = (cfp_core::build_tree(&db, 2).1.arena_footprint() - 10).to_string();
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--count",
+            "--mem-budget",
+            &budget,
+            "--recover=partition",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = json::parse(&text).expect("trace must be valid JSON");
+    let rungs: Vec<&str> = doc
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("recover"))
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(rungs, ["rung retry", "rung partition"], "threads=1 skips the degrade rung");
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// `--flame-out` writes folded stacks: `mine;i<a>;i<b> <self-nanos>`
+/// lines, sorted, with at least one nested path on a dataset this dense.
+#[test]
+fn flame_out_folded_stacks_are_well_formed() {
+    let path = write_skewed();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let flame_path = dir.join("stacks.folded");
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--threads",
+            "2",
+            "--count",
+            "--flame-out",
+            flame_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&flame_path).unwrap();
+    assert!(!text.is_empty(), "flame output is empty");
+    for line in text.lines() {
+        let (stack, nanos) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(stack.starts_with("mine"), "{line:?}");
+        nanos.parse::<u64>().unwrap_or_else(|_| panic!("bad self-time in {line:?}"));
+    }
+    assert!(text.lines().any(|l| l.contains(';')), "no nested stacks in:\n{text}");
+    std::fs::remove_file(&flame_path).ok();
+}
+
+/// The observability bargain: turning everything on (timeline capture,
+/// flame export, progress meter, profiling) must not change the mining
+/// output by a single byte.
+#[test]
+fn mining_output_is_byte_identical_with_tracing_on() {
+    let path = write_skewed();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let plain = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "20", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    let traced = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--threads",
+            "4",
+            "--trace-out",
+            dir.join("ident_trace.json").to_str().unwrap(),
+            "--flame-out",
+            dir.join("ident_stacks.folded").to_str().unwrap(),
+            "--profile",
+            dir.join("ident_profile.json").to_str().unwrap(),
+            "--progress",
+        ])
+        .output()
+        .unwrap();
+    assert!(traced.status.success(), "{}", String::from_utf8_lossy(&traced.stderr));
+    assert_eq!(traced.stdout, plain.stdout, "tracing changed the mining output");
+    for f in ["ident_trace.json", "ident_stacks.folded", "ident_profile.json"] {
+        std::fs::remove_file(dir.join(f)).ok();
+    }
 }
 
 #[test]

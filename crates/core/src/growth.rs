@@ -268,6 +268,9 @@ impl CfpGrowthMiner {
 
         let globals: Vec<Item> =
             (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_FIRST_LEVEL_ITEMS.record(globals.len() as u64);
+        }
         let mut scratch = Scratch::default();
         let mut ctx = Ctx {
             sink,
@@ -368,8 +371,16 @@ pub(crate) fn mine_one_item(
             mine_array(&cond_array, &cond_globals, &mut ctx)?;
             ctx.gauge.free(cond_array.heap_bytes());
         }
+        if cfp_trace::events::capturing() {
+            cfp_trace::events::record(cfp_trace::events::EventKind::RecExit {
+                item: globals[item as usize],
+            });
+        }
     }
     ctx.suffix.pop();
+    if cfp_trace::enabled() {
+        cfp_trace::counters::CORE_ITEMS_MINED.inc();
+    }
     Ok((ctx.itemsets, gauge.peak()))
 }
 
@@ -400,8 +411,19 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
                 mine_array(&cond_array, &cond_globals, ctx)?;
                 ctx.gauge.free(cond_array.heap_bytes());
             }
+            if cfp_trace::events::capturing() {
+                cfp_trace::events::record(cfp_trace::events::EventKind::RecExit {
+                    item: globals[item as usize],
+                });
+            }
         }
         ctx.suffix.pop();
+        // Only the outermost loop (empty suffix) walks first-level items;
+        // recursive calls arrive here with the suffix still holding their
+        // conditional prefix.
+        if cfp_trace::enabled() && ctx.suffix.is_empty() {
+            cfp_trace::counters::CORE_ITEMS_MINED.inc();
+        }
     }
     Ok(())
 }
@@ -429,6 +451,17 @@ fn conditional(
     if cfp_trace::enabled() {
         // Depth = suffix length: how many conditional levels we are down.
         cfp_trace::span::conditional_tree(ctx.suffix.len(), pattern_base);
+        if cfp_trace::events::capturing() {
+            // The matching RecExit is recorded by the caller once the
+            // conditional subtree is fully mined (or immediately, when
+            // this returns None), so the enter/exit pair brackets the
+            // whole recursion.
+            cfp_trace::events::record(cfp_trace::events::EventKind::RecEnter {
+                item: globals[item as usize],
+                depth: ctx.suffix.len().min(u16::MAX as usize) as u16,
+                pattern_base: pattern_base as u64,
+            });
+        }
     }
 
     let mut remap = vec![u32::MAX; item as usize];

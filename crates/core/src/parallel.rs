@@ -289,6 +289,7 @@ impl Miner for ParallelCfpGrowthMiner {
 
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_WORKERS.record(threads as u64);
+            cfp_trace::counters::CORE_FIRST_LEVEL_ITEMS.record(n as u64);
         }
         let array = Arc::new(array);
         let globals = Arc::new(globals);
@@ -312,6 +313,13 @@ impl Miner for ParallelCfpGrowthMiner {
                 let heartbeats = Arc::clone(&heartbeats);
                 let opts = opts.clone();
                 std::thread::spawn(move || -> Result<(u64, u64, u64), CfpError> {
+                    if cfp_trace::events::capturing() {
+                        // Pin this worker's event track to a stable name
+                        // before the mine-phase span records its first
+                        // event (which would auto-register the track
+                        // under a fallback name).
+                        cfp_trace::events::name_thread(&format!("worker-{w}"));
+                    }
                     // Each worker's mining wall time accumulates into
                     // the mine phase (span count = worker count).
                     let _s = span(Phase::Mine);
@@ -342,7 +350,19 @@ impl Miner for ParallelCfpGrowthMiner {
                                     break;
                                 }
                                 tasks += 1;
-                                cost += array.subarray_bytes(item as u32);
+                                let task_cost = array.subarray_bytes(item as u32);
+                                cost += task_cost;
+                                if cfp_trace::events::capturing() {
+                                    // Static deals are never steals: the
+                                    // round-robin assignment is fixed.
+                                    cfp_trace::events::record(
+                                        cfp_trace::events::EventKind::TaskClaim {
+                                            item: item as u32,
+                                            cost: task_cost,
+                                            stolen: false,
+                                        },
+                                    );
+                                }
                                 let result = catch_unwind(AssertUnwindSafe(|| {
                                     if cfp_fault::should_fail("core.worker") {
                                         panic!("injected worker fault (failpoint core.worker)");
@@ -409,6 +429,18 @@ impl Miner for ParallelCfpGrowthMiner {
                                     let item = queue.item(slot);
                                     tasks += 1;
                                     cost += queue.cost(slot);
+                                    if cfp_trace::events::capturing() {
+                                        // Same steal definition as
+                                        // `worker_tick`: claims past the
+                                        // fair round-robin share.
+                                        cfp_trace::events::record(
+                                            cfp_trace::events::EventKind::TaskClaim {
+                                                item,
+                                                cost: queue.cost(slot),
+                                                stolen: tasks > fair_share,
+                                            },
+                                        );
+                                    }
                                     let mut sink = TaskSink::default();
                                     let result = catch_unwind(AssertUnwindSafe(|| {
                                         if cfp_fault::should_fail("core.worker") {

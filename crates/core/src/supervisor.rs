@@ -22,7 +22,7 @@
 //! stream mixed into a complete one. Every rung emits a
 //! [`Phase::Recover`] span and a [`RungReport`]; the CLI serialises the
 //! collected [`RecoveryReport`] as the `degradation` section of the
-//! `cfp-profile/1` run report.
+//! `cfp-profile/2` run report.
 //!
 //! Exactness of the partition rung follows Grahne & Zhu's range
 //! projection argument, spelled out in [`cfp_data::partition`]: every
@@ -190,7 +190,7 @@ impl Supervisor {
         // one shared pool across every arena of the run.
         {
             let _s = span(Phase::Recover);
-            rung_started();
+            rung_started(cfp_trace::Rung::Retry);
             let pool = self.mem_budget.map(BudgetPool::new);
             let mut buf = CollectSink::new();
             let r = ParallelCfpGrowthMiner {
@@ -238,7 +238,7 @@ impl Supervisor {
         // sequential already (it would repeat rung 1 exactly).
         if self.threads > 1 {
             let _s = span(Phase::Recover);
-            rung_started();
+            rung_started(cfp_trace::Rung::Degrade);
             let pool = self.mem_budget.map(BudgetPool::new);
             let mut buf = CollectSink::new();
             let r = CfpGrowthMiner { single_path_opt: self.single_path_opt, mem_budget: None }
@@ -280,7 +280,7 @@ impl Supervisor {
 
         // Rung 3: partitioned fallback mining.
         let _s = span(Phase::Recover);
-        rung_started();
+        rung_started(cfp_trace::Rung::Partition);
         match self.partition_rung(db, min_support, &last_err) {
             Ok((stats, partitions, reclaimed, peaks, buf)) => {
                 report.rungs.push(RungReport {
@@ -390,9 +390,12 @@ impl Supervisor {
     }
 }
 
-fn rung_started() {
+fn rung_started(rung: cfp_trace::Rung) {
     if cfp_trace::enabled() {
         cfp_trace::counters::CORE_RECOVERY_RUNGS.inc();
+        if cfp_trace::events::capturing() {
+            cfp_trace::events::record(cfp_trace::EventKind::RecoveryRung(rung));
+        }
     }
 }
 

@@ -97,6 +97,11 @@ impl DoubleBufferedReader {
                         Ok(0) => {
                             flush(&local);
                             if !db.is_empty() {
+                                if cfp_trace::events::capturing() {
+                                    cfp_trace::events::record(cfp_trace::EventKind::BufferSwap {
+                                        rows: n as u32,
+                                    });
+                                }
                                 let _ = filled_tx.send(Filled::Chunk(db));
                             }
                             break 'outer;
@@ -116,6 +121,11 @@ impl DoubleBufferedReader {
                                     n += 1;
                                     if n == chunk {
                                         flush(&local);
+                                        if cfp_trace::events::capturing() {
+                                            cfp_trace::events::record(
+                                                cfp_trace::EventKind::BufferSwap { rows: n as u32 },
+                                            );
+                                        }
                                         if filled_tx.send(Filled::Chunk(db)).is_err() {
                                             break 'outer; // consumer dropped
                                         }
@@ -345,6 +355,34 @@ mod tests {
         // trace-gated tests share the global registry).
         assert!(tc::DATA_SKIPPED_LINES.get() >= before_lines + 2);
         assert!(tc::DATA_BAD_TOKENS.get() >= before_tokens + 3);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn buffer_swaps_land_on_the_reader_threads_event_track() {
+        cfp_trace::events::set_capture(true);
+        let text = sample_text(250);
+        let rdr =
+            DoubleBufferedReader::with_chunk_size(std::io::Cursor::new(text.into_bytes()), 100);
+        let db = rdr.collect().unwrap();
+        assert_eq!(db.len(), 250);
+        cfp_trace::events::set_capture(false);
+        let tracks = cfp_trace::events::drain();
+        let reader = tracks
+            .iter()
+            .find(|t| t.name == "cfp-data-reader")
+            .expect("reader thread must have a named track");
+        let swaps: Vec<u32> = reader
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                cfp_trace::EventKind::BufferSwap { rows } => Some(rows),
+                _ => None,
+            })
+            .collect();
+        // 250 rows in chunks of 100: two full buffers plus the final
+        // partial one at end of input.
+        assert_eq!(swaps, vec![100, 100, 50]);
     }
 
     #[test]

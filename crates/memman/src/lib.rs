@@ -154,6 +154,9 @@ impl BudgetPool {
                 Ok(_) => {
                     self.inner.peak.fetch_max(next, Ordering::Relaxed);
                     self.inner.reserved_total.fetch_add(bytes, Ordering::Relaxed);
+                    if cfp_trace::enabled() {
+                        tc::MEMMAN_POOL_PEAK.record(next);
+                    }
                     return true;
                 }
                 Err(actual) => used = actual,
@@ -445,6 +448,11 @@ impl Arena {
         // `compact_on_pressure`, a refusal triggers one compaction and
         // one re-check before the failure is reported.
         if let Err(e) = self.admit_bump(size) {
+            if cfp_trace::events::capturing() {
+                cfp_trace::events::record(cfp_trace::EventKind::ArenaPressure {
+                    requested: size as u64,
+                });
+            }
             if !self.compact_on_pressure || self.compact() == 0 {
                 return Err(e);
             }
@@ -557,6 +565,9 @@ impl Arena {
             tc::MEMMAN_COMPACTIONS.inc();
             tc::MEMMAN_COMPACT_RECLAIMED.add(reclaimed);
             tc::MEMMAN_FOOTPRINT_BYTES.sub(reclaimed);
+            if cfp_trace::events::capturing() {
+                cfp_trace::events::record(cfp_trace::EventKind::ArenaCompact { reclaimed });
+            }
         }
         reclaimed
     }
@@ -584,6 +595,9 @@ impl Arena {
             tc::MEMMAN_USED_BYTES.sub(self.used);
             tc::MEMMAN_FOOTPRINT_BYTES.sub(carved);
             tc::MEMMAN_RESETS.inc();
+            if cfp_trace::events::capturing() {
+                cfp_trace::events::record(cfp_trace::EventKind::ArenaReset);
+            }
         }
         if let Some(pool) = &self.pool {
             pool.release(carved);

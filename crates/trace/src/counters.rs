@@ -221,6 +221,9 @@ pub static MEMMAN_COMPACTIONS: Counter = Counter::new("memman.compactions");
 pub static MEMMAN_COMPACT_RECLAIMED: Counter = Counter::new("memman.compact_reclaimed_bytes");
 /// `cfp-memman`: arenas recycled via `Arena::reset` instead of reallocated.
 pub static MEMMAN_RESETS: Counter = Counter::new("memman.arena_resets");
+/// `cfp-memman`: high-water mark of reserved bytes in the shared budget
+/// pool (0 when mining runs without a budget).
+pub static MEMMAN_POOL_PEAK: MaxGauge = MaxGauge::new("memman.pool_peak_bytes");
 
 /// `cfp-metrics`: current tracked bytes, mirrored from `MemGauge`.
 pub static MEM_CURRENT_BYTES: Gauge = Gauge::new("mem.current_bytes");
@@ -279,6 +282,11 @@ pub static CORE_TASKS_STOLEN: Counter = Counter::new("core.tasks_stolen");
 pub static CORE_RECOVERY_RUNGS: Counter = Counter::new("core.recovery_rungs");
 /// `cfp-core`: partitions the database was split into for fallback mining.
 pub static CORE_PARTITIONS: MaxGauge = MaxGauge::new("core.partitions");
+/// `cfp-core`: first-level items fully mined (conditional subtree done).
+pub static CORE_ITEMS_MINED: Counter = Counter::new("core.items_mined");
+/// `cfp-core`: first-level items the mine phase started with; with
+/// [`CORE_ITEMS_MINED`] this gives the progress meter its denominator.
+pub static CORE_FIRST_LEVEL_ITEMS: MaxGauge = MaxGauge::new("core.first_level_items");
 
 /// `cfp-data`: malformed lines discarded under `ParsePolicy::Skip`.
 pub static DATA_SKIPPED_LINES: Counter = Counter::new("data.skipped_lines");
@@ -314,6 +322,7 @@ static COUNTERS: &[&Counter] = &[
     &CORE_TASKS_CLAIMED,
     &CORE_TASKS_STOLEN,
     &CORE_RECOVERY_RUNGS,
+    &CORE_ITEMS_MINED,
     &DATA_SKIPPED_LINES,
     &DATA_BAD_TOKENS,
 ];
@@ -322,26 +331,37 @@ static COUNTERS: &[&Counter] = &[
 static GAUGES: &[&Gauge] = &[&MEMMAN_USED_BYTES, &MEMMAN_FOOTPRINT_BYTES, &MEM_CURRENT_BYTES];
 
 /// All max-gauges, for snapshots.
-static MAX_GAUGES: &[&MaxGauge] =
-    &[&MEMMAN_PEAK_FOOTPRINT, &MEM_PEAK_BYTES, &CORE_WORKERS, &CORE_MAX_DEPTH, &CORE_PARTITIONS];
+static MAX_GAUGES: &[&MaxGauge] = &[
+    &MEMMAN_PEAK_FOOTPRINT,
+    &MEMMAN_POOL_PEAK,
+    &MEM_PEAK_BYTES,
+    &CORE_WORKERS,
+    &CORE_MAX_DEPTH,
+    &CORE_PARTITIONS,
+    &CORE_FIRST_LEVEL_ITEMS,
+];
 
-/// Name/value pairs for every counter, gauge, and max-gauge, in registry
-/// order.
+/// Name/value pairs for every counter, gauge, and max-gauge, sorted by
+/// name so snapshots (and the reports built from them) are byte-stable
+/// regardless of how the registry statics are grouped.
 pub fn snapshot() -> Vec<(&'static str, u64)> {
     let mut out = Vec::with_capacity(COUNTERS.len() + GAUGES.len() + MAX_GAUGES.len());
     out.extend(COUNTERS.iter().map(|c| (c.name(), c.get())));
     out.extend(GAUGES.iter().map(|g| (g.name(), g.get())));
     out.extend(MAX_GAUGES.iter().map(|g| (g.name(), g.get())));
+    out.sort_unstable_by_key(|&(name, _)| name);
     out
 }
 
-/// Name/buckets pairs for every histogram.
+/// Name/buckets pairs for every histogram, sorted by name.
 pub fn histogram_snapshot() -> Vec<(&'static str, Vec<u64>)> {
-    vec![
+    let mut out = vec![
         (TREE_MASK_BYTES.name(), TREE_MASK_BYTES.snapshot()),
         (CORE_DEPTH.name(), CORE_DEPTH.snapshot()),
         (CORE_PATTERN_BASE_LOG2.name(), CORE_PATTERN_BASE_LOG2.snapshot()),
-    ]
+    ];
+    out.sort_unstable_by_key(|&(name, _)| name);
+    out
 }
 
 /// Zeroes every registered metric.
@@ -437,6 +457,19 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let _g = lock();
+        let names: Vec<_> = snapshot().iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "counter snapshot must iterate in name order");
+        let hist_names: Vec<_> = histogram_snapshot().iter().map(|(n, _)| *n).collect();
+        let mut hist_sorted = hist_names.clone();
+        hist_sorted.sort_unstable();
+        assert_eq!(hist_names, hist_sorted);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Folded-stack flamegraph export of the conditional-tree descent.
+//!
+//! Emits the semicolon-separated format consumed by `flamegraph.pl` and
+//! speedscope: one line per unique item path, `mine;i<a>;i<b> <value>`,
+//! where the frames are the conditional suffix (global item ids, outermost
+//! first) and the value is *self time* in nanoseconds — the recursion's
+//! wall time minus the wall time of its child recursions, so stacking the
+//! rectangles reproduces inclusive time without double counting.
+//!
+//! Like the Chrome exporter, the enter/exit stream is replayed per track
+//! and unmatched events (possible after ring-buffer overflow) are
+//! discarded, never guessed at.
+
+use crate::events::{EventKind, TrackDump};
+use std::collections::BTreeMap;
+
+struct Frame {
+    item: u32,
+    entered_nanos: u64,
+    child_nanos: u64,
+}
+
+/// Folds every track's recursion events into `path value` lines, sorted
+/// by path so the output is deterministic. Returns an empty string when
+/// no recursion completed on any track.
+pub fn folded_stacks(tracks: &[TrackDump]) -> String {
+    // Self-times from different workers with the same item path merge
+    // into one line, exactly like merged stack samples from flamegraph
+    // collapse scripts.
+    let mut self_nanos: BTreeMap<String, u64> = BTreeMap::new();
+    for track in tracks {
+        let mut stack: Vec<Frame> = Vec::new();
+        for event in &track.events {
+            match event.kind {
+                EventKind::RecEnter { item, .. } => {
+                    stack.push(Frame { item, entered_nanos: event.t_nanos, child_nanos: 0 });
+                }
+                EventKind::RecExit { item } => {
+                    // See chrome.rs: resynchronise on the nearest enter,
+                    // discarding frames whose exits were dropped.
+                    let Some(pos) = stack.iter().rposition(|f| f.item == item) else {
+                        continue;
+                    };
+                    stack.truncate(pos + 1);
+                    let frame = stack.pop().expect("rposition found an entry");
+                    let total = event.t_nanos.saturating_sub(frame.entered_nanos);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_nanos += total;
+                    }
+                    let mut path = String::from("mine");
+                    for f in &stack {
+                        path.push_str(&format!(";i{}", f.item));
+                    }
+                    path.push_str(&format!(";i{item}"));
+                    *self_nanos.entry(path).or_insert(0) += total.saturating_sub(frame.child_nanos);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, nanos) in &self_nanos {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&nanos.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::Event;
+
+    fn track(events: Vec<(u64, EventKind)>) -> TrackDump {
+        let events: Vec<Event> =
+            events.into_iter().map(|(t_nanos, kind)| Event { t_nanos, kind }).collect();
+        let recorded = events.len() as u64;
+        TrackDump { name: "w".into(), tid: 1, events, recorded, dropped: 0 }
+    }
+
+    fn enter(item: u32) -> EventKind {
+        EventKind::RecEnter { item, depth: 0, pattern_base: 1 }
+    }
+
+    #[test]
+    fn self_time_excludes_children_and_paths_nest() {
+        // i7 runs 100ns total, of which i3 (nested) takes 40ns.
+        let t = track(vec![
+            (0, enter(7)),
+            (30, enter(3)),
+            (70, EventKind::RecExit { item: 3 }),
+            (100, EventKind::RecExit { item: 7 }),
+        ]);
+        let folded = folded_stacks(&[t]);
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines, vec!["mine;i7 60", "mine;i7;i3 40"]);
+    }
+
+    #[test]
+    fn same_path_across_tracks_merges_and_output_is_sorted() {
+        let a = track(vec![(0, enter(2)), (10, EventKind::RecExit { item: 2 })]);
+        let b = track(vec![(5, enter(2)), (20, EventKind::RecExit { item: 2 })]);
+        assert_eq!(folded_stacks(&[a, b]), "mine;i2 25\n");
+    }
+
+    #[test]
+    fn unmatched_events_fold_to_nothing() {
+        let t = track(vec![
+            (0, EventKind::RecExit { item: 5 }),
+            (10, enter(6)),
+            (20, EventKind::ArenaReset),
+        ]);
+        assert_eq!(folded_stacks(&[t]), "");
+    }
+}

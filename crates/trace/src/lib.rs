@@ -17,9 +17,18 @@
 //!   single-path short-circuits).
 //! - [`sampler`]: a background [`MemSampler`] thread snapshotting the
 //!   memory gauges at a configurable interval into a time series.
+//! - [`events`]: the event timeline — lock-free per-thread ring buffers
+//!   of typed, timestamped events (phase transitions, task claims/steals,
+//!   recursion enter/exit, arena activity, recovery rungs, buffer swaps).
+//! - [`chrome`]: Chrome trace-event JSON export of the timeline (loads
+//!   in Perfetto / `chrome://tracing`).
+//! - [`flame`]: folded-stack flamegraph lines of the conditional-tree
+//!   descent (`flamegraph.pl` / speedscope input).
+//! - [`progress`]: a live status heartbeat on stderr.
 //! - [`json`]: a hand-rolled JSON value type, writer, and parser.
 //! - [`report`]: the versioned machine-readable run report
-//!   (`"cfp-profile/1"`) emitted by `cfp-mine --profile`.
+//!   (`"cfp-profile/2"`; `/1` documents remain readable) emitted by
+//!   `cfp-mine --profile`.
 //!
 //! # Cost when disabled
 //!
@@ -45,14 +54,20 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod counters;
+pub mod events;
+pub mod flame;
 pub mod json;
+pub mod progress;
 pub mod report;
 pub mod sampler;
 pub mod span;
 
 pub use counters::{Counter, Histogram, MaxGauge};
+pub use events::{Event, EventKind, EventsSummary, Rung, TrackDump};
 pub use json::Json;
+pub use progress::ProgressMeter;
 pub use report::{DegradationReport, RunReport, RungOutcome};
 pub use sampler::{MemSampler, Sample};
 pub use span::{span, Phase, SpanGuard};
@@ -86,7 +101,8 @@ pub fn set_enabled(on: bool) {
     let _ = on;
 }
 
-/// Resets every counter, histogram, gauge, and phase span to zero.
+/// Resets every counter, histogram, gauge, phase span, and event ring to
+/// zero.
 ///
 /// Tests use this to start from a clean slate; note that the registry is
 /// process-global, so tests touching it must serialise themselves (see
@@ -94,4 +110,5 @@ pub fn set_enabled(on: bool) {
 pub fn reset() {
     counters::reset_all();
     span::reset();
+    events::reset();
 }

@@ -7,13 +7,24 @@
 //! field; consumers must check it before reading anything else.
 
 use crate::counters;
+use crate::events::EventsSummary;
 use crate::json::Json;
 use crate::sampler::Sample;
 use crate::span::{self, PhaseSpan};
 
-/// Schema identifier of the current report layout. Bump the suffix when
-/// the shape changes incompatibly; additive changes keep the version.
-pub const SCHEMA: &str = "cfp-profile/1";
+/// Schema identifier of the current report layout. `/2` adds the
+/// `events` summary block (with its `dropped_events` accounting) for the
+/// event-timeline layer; everything a `/1` consumer reads is unchanged.
+pub const SCHEMA: &str = "cfp-profile/2";
+
+/// The previous schema. [`schema_is_supported`] keeps accepting it: `/2`
+/// only added fields, so `/1` documents parse with the same code.
+pub const SCHEMA_V1: &str = "cfp-profile/1";
+
+/// Whether `schema` names a report layout this crate can read.
+pub fn schema_is_supported(schema: &str) -> bool {
+    schema == SCHEMA || schema == SCHEMA_V1
+}
 
 /// One rung of the recovery ladder, as reported by the run supervisor.
 #[derive(Clone, Debug)]
@@ -81,6 +92,9 @@ pub struct RunReport {
     pub samples: Vec<Sample>,
     /// Recovery-ladder activity, present only for degraded runs.
     pub degradation: Option<DegradationReport>,
+    /// Event-timeline summary, present when the caller attached one via
+    /// [`with_events`](Self::with_events) (additive in `cfp-profile/2`).
+    pub events: Option<EventsSummary>,
 }
 
 impl RunReport {
@@ -114,6 +128,7 @@ impl RunReport {
             final_bytes: counters::MEM_CURRENT_BYTES.get(),
             samples,
             degradation: None,
+            events: None,
         }
     }
 
@@ -130,7 +145,14 @@ impl RunReport {
         self
     }
 
-    /// Serialises to the `cfp-profile/1` JSON document.
+    /// Attaches the event-timeline summary (usually
+    /// [`crate::events::summary`]) to the report.
+    pub fn with_events(mut self, events: EventsSummary) -> Self {
+        self.events = Some(events);
+        self
+    }
+
+    /// Serialises to the `cfp-profile/2` JSON document.
     pub fn to_json(&self) -> Json {
         let mut run_fields = vec![
             ("dataset".into(), Json::str(self.dataset.clone())),
@@ -204,6 +226,25 @@ impl RunReport {
             ("histograms".into(), histograms),
             ("memory".into(), memory),
         ];
+        if let Some(e) = &self.events {
+            doc.push((
+                "events".into(),
+                Json::Obj(vec![
+                    ("tracks".into(), Json::u64(e.tracks)),
+                    ("recorded".into(), Json::u64(e.recorded)),
+                    ("dropped_events".into(), Json::u64(e.dropped_events)),
+                    (
+                        "by_kind".into(),
+                        Json::Obj(
+                            e.by_kind
+                                .iter()
+                                .map(|&(name, count)| (name.to_string(), Json::u64(count)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
         if let Some(d) = &self.degradation {
             let rungs = Json::Arr(
                 d.rungs
@@ -323,6 +364,36 @@ mod tests {
         let counters = doc.get("counters").expect("counters object");
         assert!(counters.get("memman.allocs").is_some());
         assert!(counters.get("core.conditional_trees").is_some());
+    }
+
+    #[test]
+    fn both_schema_generations_are_supported() {
+        assert!(schema_is_supported(SCHEMA));
+        assert!(schema_is_supported("cfp-profile/1"), "v1 documents must keep parsing");
+        assert!(schema_is_supported("cfp-profile/2"));
+        assert!(!schema_is_supported("cfp-profile/3"));
+        assert!(!schema_is_supported("something-else/1"));
+    }
+
+    #[test]
+    fn events_section_is_absent_by_default_and_round_trips() {
+        let base = RunReport::capture("d", 1, 1, "cfp", 1, 0, 1, vec![]);
+        let doc = json::parse(&base.to_json().to_compact()).unwrap();
+        assert!(doc.get("events").is_none(), "no events block unless attached");
+
+        let with = base.with_events(EventsSummary {
+            tracks: 4,
+            recorded: 1000,
+            dropped_events: 12,
+            by_kind: vec![("phase_begin", 6), ("task_claim", 982)],
+        });
+        let doc = json::parse(&with.to_json().to_pretty()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cfp-profile/2"));
+        let events = doc.get("events").expect("events section");
+        assert_eq!(events.get("tracks").and_then(Json::as_u64), Some(4));
+        assert_eq!(events.get("dropped_events").and_then(Json::as_u64), Some(12));
+        let by_kind = events.get("by_kind").expect("by_kind map");
+        assert_eq!(by_kind.get("task_claim").and_then(Json::as_u64), Some(982));
     }
 
     #[test]

@@ -48,7 +48,6 @@ fn take_sample(started: Instant) -> Sample {
 pub struct MemSampler {
     stop_tx: Sender<()>,
     handle: JoinHandle<Vec<Sample>>,
-    started: Instant,
 }
 
 impl MemSampler {
@@ -65,22 +64,28 @@ impl MemSampler {
                 loop {
                     match stop_rx.recv_timeout(interval) {
                         Err(RecvTimeoutError::Timeout) => samples.push(take_sample(started)),
-                        // Stop requested or the sampler handle vanished.
-                        Ok(()) | Err(RecvTimeoutError::Disconnected) => return samples,
+                        // Stop requested or the sampler handle vanished:
+                        // flush one final sample *before* returning, so
+                        // even a run shorter than `interval` ends its
+                        // series with a fresh "now" point instead of a
+                        // stale or missing one.
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => {
+                            samples.push(take_sample(started));
+                            return samples;
+                        }
                     }
                 }
             })
             .expect("spawn mem-sampler thread");
-        MemSampler { stop_tx, handle, started }
+        MemSampler { stop_tx, handle }
     }
 
-    /// Stops the thread and returns the time series, appending one final
-    /// sample so the series always ends at "now".
+    /// Stops the thread and returns the time series. The thread flushes
+    /// one final sample on the way out, so the series always ends at
+    /// "now" (and every run yields at least two samples).
     pub fn stop(self) -> Vec<Sample> {
         let _ = self.stop_tx.send(());
-        let mut samples = self.handle.join().expect("mem-sampler thread panicked");
-        samples.push(take_sample(self.started));
-        samples
+        self.handle.join().expect("mem-sampler thread panicked")
     }
 }
 
@@ -102,6 +107,20 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         let samples = s.stop();
         assert!(samples.len() >= 4, "expected periodic samples, got {}", samples.len());
+    }
+
+    #[test]
+    fn final_sample_is_taken_at_stop_not_at_start() {
+        // The interval is far longer than the test, so the series can
+        // only see this change if stop() flushes a final sample.
+        let s = MemSampler::start(Duration::from_secs(3600));
+        MEMMAN_FOOTPRINT_BYTES.add(777);
+        let samples = s.stop();
+        assert!(
+            samples.last().unwrap().arena_footprint >= 777,
+            "final sample is stale: {samples:?}"
+        );
+        MEMMAN_FOOTPRINT_BYTES.sub(777);
     }
 
     #[test]

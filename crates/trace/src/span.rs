@@ -57,7 +57,7 @@ impl Phase {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Phase::Read => 0,
             Phase::Count => 1,
@@ -67,17 +67,44 @@ impl Phase {
             Phase::Recover => 5,
         }
     }
+
+    pub(crate) fn from_index(i: usize) -> Option<Phase> {
+        Phase::ALL.get(i).copied()
+    }
 }
 
 static PHASE_NANOS: [AtomicU64; NUM_PHASES] = [const { AtomicU64::new(0) }; NUM_PHASES];
 static PHASE_COUNTS: [AtomicU64; NUM_PHASES] = [const { AtomicU64::new(0) }; NUM_PHASES];
 
+/// Most recently *entered* phase, as `index + 1` (0 = none yet). Spans
+/// nest and overlap across workers, so this is a display hint for the
+/// live progress meter, not an accounting structure; it is deliberately
+/// not cleared when a span ends.
+static CURRENT_PHASE: AtomicU64 = AtomicU64::new(0);
+
 /// Starts a span attributed to `phase`. The span ends (and its duration
 /// is recorded) when the returned guard drops. When tracing is disabled
-/// the guard is inert and the call costs one relaxed load.
+/// the guard is inert and the call costs one relaxed load. With event
+/// capture on, the guard additionally records `PhaseBegin`/`PhaseEnd`
+/// on the calling thread's timeline track.
 #[inline]
 pub fn span(phase: Phase) -> SpanGuard {
-    SpanGuard { started: if crate::enabled() { Some((phase, Instant::now())) } else { None } }
+    if !crate::enabled() {
+        return SpanGuard { started: None };
+    }
+    CURRENT_PHASE.store(phase.index() as u64 + 1, Ordering::Relaxed);
+    if crate::events::capturing() {
+        crate::events::record(crate::events::EventKind::PhaseBegin(phase));
+    }
+    SpanGuard { started: Some((phase, Instant::now())) }
+}
+
+/// The phase most recently entered by any thread, if spans have run.
+pub fn current_phase() -> Option<Phase> {
+    match CURRENT_PHASE.load(Ordering::Relaxed) {
+        0 => None,
+        i => Phase::from_index(i as usize - 1),
+    }
 }
 
 /// RAII guard returned by [`span`]; records on drop.
@@ -93,6 +120,9 @@ impl Drop for SpanGuard {
             let nanos = start.elapsed().as_nanos() as u64;
             PHASE_NANOS[phase.index()].fetch_add(nanos, Ordering::Relaxed);
             PHASE_COUNTS[phase.index()].fetch_add(1, Ordering::Relaxed);
+            if crate::events::capturing() {
+                crate::events::record(crate::events::EventKind::PhaseEnd(phase));
+            }
         }
     }
 }
@@ -120,12 +150,13 @@ pub fn phase_snapshot() -> Vec<PhaseSpan> {
         .collect()
 }
 
-/// Zeroes all phase accumulators.
+/// Zeroes all phase accumulators and the current-phase hint.
 pub fn reset() {
     for i in 0..NUM_PHASES {
         PHASE_NANOS[i].store(0, Ordering::Relaxed);
         PHASE_COUNTS[i].store(0, Ordering::Relaxed);
     }
+    CURRENT_PHASE.store(0, Ordering::Relaxed);
 }
 
 /// Records one conditional-tree recursion at `depth` (length of the
