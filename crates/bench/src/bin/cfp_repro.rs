@@ -21,11 +21,22 @@
 //! cfp-repro bench [--out DIR]
 //!   Runs the fixed benchmark set and writes one cfp-bench/1 snapshot
 //!   per benchmark as DIR/BENCH_<name>.json (default DIR: results/).
+//!   Every run is armed with an attribution pool, so snapshots carry a
+//!   per-component memory summary alongside the timings.
 //!
 //! cfp-repro compare BASELINE CANDIDATE [--threshold PCT]
 //!   Diffs two snapshot files and exits 1 when the candidate regressed
-//!   more than PCT percent (default 25) on wall time, peak bytes, or
-//!   any phase — or mined a different itemset count.
+//!   more than PCT percent (default 25) on wall time, peak bytes, any
+//!   phase, the pool peak or any attribution component — or mined a
+//!   different itemset count, or failed its memory audit.
+//!
+//! cfp-repro inspect [--out PATH] [--support N] PROFILE
+//!   Mines a synthetic dataset profile sequentially with an attribution
+//!   pool and emits the cfp-memstat/1 document (stdout by default):
+//!   per-component peaks, the reconciliation audit, structure
+//!   analytics, the compression table against FP-tree baselines, and
+//!   the mine-phase distributions. N is an absolute support; the
+//!   default is the profile's high-support level.
 //! ```
 //!
 //! With `--csv DIR`, every produced table is additionally written to
@@ -46,6 +57,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("bench") => run_bench(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
+        Some("inspect") => run_inspect(&args[1..]),
         _ => {}
     }
     let mut csv_dir: Option<PathBuf> = None;
@@ -59,7 +71,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]"
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]\n       cfp-repro inspect [--out PATH] [--support N] PROFILE"
         );
         std::process::exit(2);
     }
@@ -178,6 +190,47 @@ fn run(name: &str, csv_dir: Option<&std::path::Path>) {
     eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
 }
 
+/// Arms the sequential miner with an attribution pool: every arena the
+/// run carves is charged to the pool's per-component gauges, while the
+/// unlimited budget keeps admission — and therefore the mined output —
+/// identical to an unpooled run.
+struct PooledMiner {
+    inner: cfp_core::CfpGrowthMiner,
+    pool: cfp_memman::BudgetPool,
+}
+
+impl cfp_data::Miner for PooledMiner {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn mine(
+        &self,
+        db: &cfp_data::TransactionDb,
+        min_support: u64,
+        sink: &mut dyn cfp_data::ItemsetSink,
+    ) -> cfp_data::MineStats {
+        let opts = cfp_core::MineOpts { pool: Some(self.pool.clone()), ..Default::default() };
+        self.inner
+            .try_mine_with(db, min_support, sink, &opts)
+            .expect("an unlimited attribution pool admits every reservation")
+    }
+}
+
+/// FP-tree baselines for the compression table, built from the same
+/// item counts the CFP structures use.
+fn fp_baselines(db: &cfp_data::TransactionDb, min_support: u64) -> cfp_core::FpBaselineBytes {
+    let recoder = cfp_core::ItemRecoder::scan(db, min_support);
+    let fp = cfp_fptree::FpTree::from_db(db, &recoder);
+    let b = cfp_fptree::analysis::baselines(&fp);
+    cfp_core::FpBaselineBytes {
+        nodes: b.nodes,
+        in_memory_bytes: b.in_memory_bytes,
+        paper_bytes: b.paper_bytes,
+        nonordfp_bytes: b.nonordfp_bytes,
+    }
+}
+
 /// One entry of the fixed benchmark set `cfp-repro bench` snapshots.
 struct Bench {
     name: &'static str,
@@ -185,32 +238,57 @@ struct Bench {
     dataset: &'static str,
     minsup: u64,
     threads: u64,
+    /// The attribution pool the miner above is armed with; read back
+    /// after the run for the snapshot's memory summary.
+    pool: cfp_memman::BudgetPool,
 }
 
-/// The fixed benchmark set: one sequential and one parallel-with-steals
-/// workload, both deterministic.
+/// The fixed benchmark set: one sequential, one parallel-with-steals,
+/// and one dense workload, all deterministic.
 fn bench_set() -> Vec<Bench> {
     let quest1 = cfp_data::profiles::by_name("quest1").expect("profile exists");
     let kosarak = cfp_data::profiles::by_name("kosarak-like").expect("profile exists");
+    let connect = cfp_data::profiles::by_name("connect-like").expect("profile exists");
     let q_db = quest1.generate();
     let k_db = kosarak.generate();
+    let c_db = connect.generate();
+    let q_pool = cfp_memman::BudgetPool::unlimited();
+    let k_pool = cfp_memman::BudgetPool::unlimited();
+    let c_pool = cfp_memman::BudgetPool::unlimited();
     vec![
         Bench {
             name: "quest1-seq",
-            miner: Box::new(cfp_core::CfpGrowthMiner::new()),
+            miner: Box::new(PooledMiner {
+                inner: cfp_core::CfpGrowthMiner::new(),
+                pool: q_pool.clone(),
+            }),
             dataset: "quest1",
             minsup: ((q_db.len() as f64 * 0.02).ceil() as u64).max(1),
             threads: 1,
+            pool: q_pool,
         },
         Bench {
             name: "kosarak-par4",
             miner: Box::new(cfp_core::ParallelCfpGrowthMiner {
                 schedule: cfp_core::Schedule::Dynamic,
+                pool: Some(k_pool.clone()),
                 ..cfp_core::ParallelCfpGrowthMiner::new(4)
             }),
             dataset: "kosarak-like",
             minsup: kosarak.absolute_support(&k_db, 2),
             threads: 4,
+            pool: k_pool,
+        },
+        Bench {
+            name: "connect-seq",
+            miner: Box::new(PooledMiner {
+                inner: cfp_core::CfpGrowthMiner::new(),
+                pool: c_pool.clone(),
+            }),
+            dataset: "connect-like",
+            minsup: connect.absolute_support(&c_db, 0),
+            threads: 1,
+            pool: c_pool,
         },
     ]
 }
@@ -238,25 +316,112 @@ fn run_bench(args: &[String]) -> ! {
         eprintln!("cannot create {}: {e}", out_dir.display());
         std::process::exit(1);
     }
-    for Bench { name, miner, dataset, minsup, threads } in bench_set() {
+    for Bench { name, miner, dataset, minsup, threads, pool } in bench_set() {
         let db = cfp_data::profiles::by_name(dataset).expect("profile exists").generate();
         let report = cfp_bench::report::profile_run(miner.as_ref(), &db, dataset, minsup, threads);
-        let snap = cfp_bench::snapshot::BenchSnapshot::from_report(name, &report);
+        // A post-run analytics pass over the same pool: the snapshot
+        // carries per-component peaks and the reconciliation verdict.
+        let run = cfp_core::MemStatRun { dataset, algorithm: miner.name(), threads };
+        let memstat =
+            cfp_core::collect_memstat(&db, minsup, &run, &pool, Some(fp_baselines(&db, minsup)))
+                .unwrap_or_else(|e| {
+                    eprintln!("bench {name}: memory attribution failed: {e}");
+                    std::process::exit(1);
+                });
+        let snap = cfp_bench::snapshot::BenchSnapshot::from_report(name, &report)
+            .with_memstat(memstat.summary());
         let path = out_dir.join(format!("BENCH_{name}.json"));
         if let Err(e) = std::fs::write(&path, snap.to_json().to_pretty()) {
             eprintln!("cannot write {}: {e}", path.display());
             std::process::exit(1);
         }
         println!(
-            "bench: {name}  itemsets {}  wall {:.3}s  peak {} MiB  steals {}  -> {}",
+            "bench: {name}  itemsets {}  wall {:.3}s  peak {} MiB  steals {}  audit {}  -> {}",
             snap.itemsets,
             snap.wall_nanos as f64 / 1e9,
             cfp_bench::report::mib(snap.peak_bytes),
             snap.steals,
+            if snap.memstat.as_ref().is_some_and(|m| m.reconciled) { "ok" } else { "FAILED" },
             path.display()
         );
     }
     std::process::exit(0);
+}
+
+/// `cfp-repro inspect [--out PATH] [--support N] PROFILE` — mine one
+/// profile with an attribution pool and emit the cfp-memstat/1 report.
+fn run_inspect(args: &[String]) -> ! {
+    let mut out: Option<PathBuf> = None;
+    let mut support: Option<u64> = None;
+    let mut profile_name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--support" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => support = Some(n),
+                _ => {
+                    eprintln!("--support requires a positive absolute count");
+                    std::process::exit(2);
+                }
+            },
+            other if profile_name.is_none() && !other.starts_with('-') => {
+                profile_name = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown inspect argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(name) = profile_name else {
+        eprintln!("usage: cfp-repro inspect [--out PATH] [--support N] PROFILE");
+        std::process::exit(2);
+    };
+    let Some(profile) = cfp_data::profiles::by_name(&name) else {
+        let known: Vec<&str> = cfp_data::profiles::all().iter().map(|p| p.name).collect();
+        eprintln!("unknown profile {name:?}; known profiles: {}", known.join(", "));
+        std::process::exit(2);
+    };
+    let db = profile.generate();
+    let minsup = support.unwrap_or_else(|| profile.absolute_support(&db, 0));
+    // Mine with the pool armed so the mine-phase histograms and the
+    // cond-tree/cond-array components are populated, then run the
+    // analytics pass over the same pool.
+    let pool = cfp_memman::BudgetPool::unlimited();
+    let miner = PooledMiner { inner: cfp_core::CfpGrowthMiner::new(), pool: pool.clone() };
+    let report = cfp_bench::report::profile_run(&miner, &db, &name, minsup, 1);
+    let run = cfp_core::MemStatRun { dataset: &name, algorithm: "cfp", threads: 1 };
+    let memstat =
+        cfp_core::collect_memstat(&db, minsup, &run, &pool, Some(fp_baselines(&db, minsup)))
+            .unwrap_or_else(|e| {
+                eprintln!("inspect {name}: memory attribution failed: {e}");
+                std::process::exit(1);
+            });
+    eprintln!(
+        "inspect: {name}  minsup {minsup}  itemsets {}  pool peak {} MiB  audit {}",
+        report.itemsets,
+        cfp_bench::report::mib(memstat.summary().pool_peak),
+        if memstat.audit.reconciled { "ok" } else { "FAILED" },
+    );
+    let text = memstat.to_json().to_pretty();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("inspect: report -> {}", path.display());
+        }
+        None => println!("{text}"),
+    }
+    std::process::exit(if memstat.audit.reconciled { 0 } else { 1 });
 }
 
 /// `cfp-repro compare BASELINE CANDIDATE [--threshold PCT]` — exits 1 on

@@ -9,7 +9,7 @@
 //! regressions without any external tooling.
 
 use cfp_trace::json::{self, Json};
-use cfp_trace::RunReport;
+use cfp_trace::{MemSummary, RunReport};
 use std::path::Path;
 
 /// Schema identifier of the snapshot layout.
@@ -40,6 +40,9 @@ pub struct BenchSnapshot {
     pub peak_bytes: u64,
     /// Dynamic-schedule steals during the mine phase.
     pub steals: u64,
+    /// Per-component memory attribution (absent in snapshots taken
+    /// before the memstat report existed — old files must keep parsing).
+    pub memstat: Option<MemSummary>,
 }
 
 impl BenchSnapshot {
@@ -61,12 +64,19 @@ impl BenchSnapshot {
             phases: report.phases.iter().map(|p| (p.name.to_string(), p.nanos)).collect(),
             peak_bytes: report.peak_bytes,
             steals,
+            memstat: report.memstat.clone(),
         }
+    }
+
+    /// Attaches a memory-attribution summary (builder style).
+    pub fn with_memstat(mut self, summary: MemSummary) -> Self {
+        self.memstat = Some(summary);
+        self
     }
 
     /// Serialises to the `cfp-bench/1` JSON document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::str(SCHEMA)),
             ("name".into(), Json::str(self.name.clone())),
             ("dataset".into(), Json::str(self.dataset.clone())),
@@ -85,7 +95,11 @@ impl BenchSnapshot {
             ),
             ("peak_bytes".into(), Json::u64(self.peak_bytes)),
             ("steals".into(), Json::u64(self.steals)),
-        ])
+        ];
+        if let Some(m) = &self.memstat {
+            fields.push(("memstat".into(), m.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a snapshot document, checking the schema first.
@@ -126,6 +140,7 @@ impl BenchSnapshot {
             phases,
             peak_bytes: u64_field("peak_bytes")?,
             steals: u64_field("steals")?,
+            memstat: doc.get("memstat").map(MemSummary::from_json),
         })
     }
 
@@ -177,6 +192,13 @@ fn delta(metric: &str, baseline: u64, candidate: u64, threshold_pct: f64) -> Del
 /// when it grew more than `threshold_pct` percent. An itemsets mismatch is
 /// always flagged — a benchmark that mines a different result is not
 /// comparable, it is broken.
+///
+/// When both snapshots carry a memstat summary, the pool peak and every
+/// baseline component peak are diffed too, so a memory regression in one
+/// component fails CI even if the total stays flat. A candidate whose
+/// audit did not reconcile is always flagged — its numbers cannot be
+/// trusted. Snapshots without memstat (pre-attribution files) skip the
+/// memory deltas rather than erroring.
 pub fn compare(
     baseline: &BenchSnapshot,
     candidate: &BenchSnapshot,
@@ -195,6 +217,27 @@ pub fn compare(
         let cand_nanos =
             candidate.phases.iter().find(|(n, _)| n == name).map(|&(_, nanos)| nanos).unwrap_or(0);
         deltas.push(delta(&format!("phase {name}"), *base_nanos, cand_nanos, threshold_pct));
+    }
+    if let (Some(base_mem), Some(cand_mem)) = (&baseline.memstat, &candidate.memstat) {
+        deltas.push(delta("mem pool_peak", base_mem.pool_peak, cand_mem.pool_peak, threshold_pct));
+        for (name, base_peak) in &base_mem.component_peaks {
+            let cand_peak = cand_mem
+                .component_peaks
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, peak)| peak)
+                .unwrap_or(0);
+            deltas.push(delta(&format!("mem {name}"), *base_peak, cand_peak, threshold_pct));
+        }
+        if !cand_mem.reconciled {
+            deltas.push(Delta {
+                metric: "mem reconciled".into(),
+                baseline: base_mem.reconciled as u64,
+                candidate: 0,
+                change_pct: -100.0,
+                regressed: true,
+            });
+        }
     }
     deltas
 }
@@ -218,6 +261,18 @@ mod tests {
             ],
             peak_bytes: peak,
             steals: 0,
+            memstat: None,
+        }
+    }
+
+    fn mem(pool_peak: u64, tree_peak: u64, arrays_peak: u64) -> MemSummary {
+        MemSummary {
+            pool_peak,
+            reconciled: true,
+            component_peaks: vec![
+                ("build-tree".into(), tree_peak),
+                ("cond-arrays".into(), arrays_peak),
+            ],
         }
     }
 
@@ -227,6 +282,32 @@ mod tests {
         let text = snap.to_json().to_pretty();
         let parsed = BenchSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn snapshot_with_memstat_round_trips_and_emits_the_block() {
+        let snap = snapshot(100_000_000, 5 << 20, 60_000_000).with_memstat(mem(9000, 8000, 1500));
+        let text = snap.to_json().to_pretty();
+        assert!(text.contains("\"memstat\""), "{text}");
+        let parsed = BenchSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, snap);
+        // A snapshot without the summary omits the key entirely.
+        let bare = snapshot(1, 1, 1).to_json().to_pretty();
+        assert!(!bare.contains("memstat"), "{bare}");
+    }
+
+    #[test]
+    fn unknown_fields_and_absent_memstat_are_tolerated() {
+        // Forward compatibility: a snapshot written by a newer build with
+        // extra fields — or an older one without memstat — must parse.
+        let mut doc = snapshot(100, 200, 300).to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.push(("future_field".into(), Json::str("ignored")));
+            fields.push(("another".into(), Json::Obj(vec![("x".into(), Json::u64(1))])));
+        }
+        let parsed = BenchSnapshot::from_json(&doc).unwrap();
+        assert_eq!(parsed, snapshot(100, 200, 300));
+        assert_eq!(parsed.memstat, None);
     }
 
     #[test]
@@ -257,6 +338,47 @@ mod tests {
             .iter()
             .all(|d| !d.regressed));
         assert!(compare(&slow, &base, 25.0).iter().all(|d| !d.regressed), "speedup flagged");
+    }
+
+    #[test]
+    fn component_memory_regression_is_flagged() {
+        let base = snapshot(100, 100, 100).with_memstat(mem(9000, 8000, 1000));
+        // Total pool peak flat, but one component doubled: still flagged.
+        let mut grown = base.clone();
+        grown.memstat = Some(mem(9000, 8000, 2500));
+        let deltas = compare(&base, &grown, 25.0);
+        let arrays = deltas.iter().find(|d| d.metric == "mem cond-arrays").unwrap();
+        assert!(arrays.regressed, "{arrays:?}");
+        let pool = deltas.iter().find(|d| d.metric == "mem pool_peak").unwrap();
+        assert!(!pool.regressed, "{pool:?}");
+        // In-threshold memory moves pass.
+        let mut ok = base.clone();
+        ok.memstat = Some(mem(9100, 8100, 1100));
+        assert!(compare(&base, &ok, 25.0).iter().all(|d| !d.regressed));
+    }
+
+    #[test]
+    fn unreconciled_candidate_always_regresses() {
+        let base = snapshot(100, 100, 100).with_memstat(mem(9000, 8000, 1000));
+        let mut broken = base.clone();
+        if let Some(m) = &mut broken.memstat {
+            m.reconciled = false;
+        }
+        let deltas = compare(&base, &broken, 1_000_000.0);
+        assert!(deltas.iter().any(|d| d.metric == "mem reconciled" && d.regressed), "{deltas:?}");
+    }
+
+    #[test]
+    fn memoryless_snapshots_skip_memory_deltas() {
+        // An old baseline without memstat compares cleanly against a new
+        // candidate that has one (and vice versa) — no memory rows.
+        let old = snapshot(100, 100, 100);
+        let new = snapshot(100, 100, 100).with_memstat(mem(9000, 8000, 1000));
+        for (a, b) in [(&old, &new), (&new, &old)] {
+            let deltas = compare(a, b, 25.0);
+            assert!(deltas.iter().all(|d| !d.metric.starts_with("mem ")), "{deltas:?}");
+            assert!(deltas.iter().all(|d| !d.regressed));
+        }
     }
 
     #[test]
@@ -301,6 +423,7 @@ mod tests {
             samples: vec![],
             degradation: None,
             events: None,
+            memstat: None,
         };
         let snap = BenchSnapshot::from_report("kosarak-par4", &report);
         assert_eq!(snap.steals, 2);

@@ -37,6 +37,13 @@
 //!                      speedscope input)
 //!   --progress         live status heartbeat on stderr (phase, items
 //!                      mined, steals, budget-pool peak)
+//!   --mem-report PATH  write a cfp-memstat/1 JSON memory report
+//!                      (per-component attribution, reconciliation
+//!                      audit, per-structure analytics, compression
+//!                      table vs FP-tree baselines; cfp only). The
+//!                      mining run charges an attribution pool and a
+//!                      post-run analytics pass measures the structures;
+//!                      mining output is byte-identical with the flag on
 //!   --recover POLICY   escalation ladder on failure: off (default),
 //!                      retry (compact-and-retry), degrade (… then
 //!                      sequential), partition (… then item-range
@@ -90,6 +97,7 @@ struct Options {
     trace_out: Option<String>,
     flame_out: Option<String>,
     progress: bool,
+    mem_report: Option<String>,
     recover: RecoveryPolicy,
     worker_timeout: Option<Duration>,
 }
@@ -107,7 +115,7 @@ fn print_usage() {
     eprintln!("  --skip-bad-lines");
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
-    eprintln!("  --trace-out PATH | --flame-out PATH | --progress");
+    eprintln!("  --trace-out PATH | --flame-out PATH | --progress | --mem-report PATH");
     eprintln!("  --recover off|retry|degrade|partition | --worker-timeout SECONDS");
 }
 
@@ -149,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         flame_out: None,
         progress: false,
+        mem_report: None,
         recover: RecoveryPolicy::Off,
         worker_timeout: None,
     };
@@ -199,6 +208,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--trace-out" => opts.trace_out = Some(value(arg)?),
             "--flame-out" => opts.flame_out = Some(value(arg)?),
             "--progress" => opts.progress = true,
+            "--mem-report" => opts.mem_report = Some(value(arg)?),
             "--recover" => opts.recover = value(arg)?.parse()?,
             "--worker-timeout" => {
                 let secs: f64 =
@@ -231,13 +241,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             ));
         }
     }
+    if opts.mem_report.is_some() && opts.algorithm != "cfp" {
+        return Err(format!(
+            "--mem-report only applies to the cfp algorithm, not {:?}",
+            opts.algorithm
+        ));
+    }
     Ok(opts)
 }
 
-/// How the run executes: a plain miner, or the recovery supervisor
+/// How the run executes: a plain miner, a sequential CFP miner charging
+/// an attribution pool (`--mem-report`), or the recovery supervisor
 /// wrapping one (`--recover` other than `off`, cfp algorithm only).
 enum Runner {
     Plain(Box<dyn Miner>),
+    Pooled(CfpGrowthMiner, cfp_memman::BudgetPool),
     Supervised(Supervisor),
 }
 
@@ -253,6 +271,12 @@ impl Runner {
     ) -> Result<MineStats, CfpError> {
         match self {
             Runner::Plain(m) => m.try_mine(db, min_support, sink),
+            Runner::Pooled(m, pool) => m.try_mine_with(
+                db,
+                min_support,
+                sink,
+                &cfp_core::MineOpts { pool: Some(pool.clone()), ..Default::default() },
+            ),
             Runner::Supervised(s) => {
                 let (r, report) = s.mine(db, min_support, sink);
                 *degradation = Some(report);
@@ -262,7 +286,20 @@ impl Runner {
     }
 }
 
-fn runner_by_name(opts: &Options) -> Result<Runner, String> {
+/// Builds the attribution pool a `--mem-report` run charges. Admission
+/// must be byte-identical to a run without the flag: sequential runs get
+/// an unlimited pool (their `--mem-budget` stays a per-arena cap), while
+/// parallel runs get exactly the pool `ParallelCfpGrowthMiner` would
+/// have created from `--mem-budget` itself.
+fn attribution_pool(opts: &Options) -> cfp_memman::BudgetPool {
+    use cfp_memman::BudgetPool;
+    match opts.mem_budget {
+        Some(b) if opts.algorithm == "cfp" && opts.threads > 1 => BudgetPool::new(b),
+        _ => BudgetPool::unlimited(),
+    }
+}
+
+fn runner_by_name(opts: &Options, pool: Option<&cfp_memman::BudgetPool>) -> Result<Runner, String> {
     let budget_ignored = |name: &str| {
         if opts.mem_budget.is_some() {
             eprintln!(
@@ -290,10 +327,17 @@ fn runner_by_name(opts: &Options) -> Result<Runner, String> {
         "cfp" if opts.threads > 1 => Box::new(ParallelCfpGrowthMiner {
             schedule: opts.schedule,
             mem_budget: opts.mem_budget,
+            pool: pool.cloned(),
             worker_timeout: opts.worker_timeout,
             ..ParallelCfpGrowthMiner::new(opts.threads)
         }),
-        "cfp" => Box::new(CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget }),
+        "cfp" => {
+            let miner = CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget };
+            match pool {
+                Some(p) => return Ok(Runner::Pooled(miner, p.clone())),
+                None => Box::new(miner),
+            }
+        }
         "fp" => {
             budget_ignored("fp");
             Box::new(cfp_fptree::FpGrowthMiner::new())
@@ -458,7 +502,9 @@ fn main() {
     };
     let profiling = opts.profile.is_some();
     let tracing = opts.trace_out.is_some() || opts.flame_out.is_some();
-    if profiling || tracing || opts.progress {
+    // --mem-report needs the counter registry live for its distribution
+    // summaries; counters are observational and never change output.
+    if profiling || tracing || opts.progress || opts.mem_report.is_some() {
         cfp_trace::set_enabled(true);
     }
     if tracing {
@@ -508,7 +554,11 @@ fn main() {
         db.distinct_items()
     );
 
-    let runner = match runner_by_name(&opts) {
+    // The attribution pool exists only when --mem-report asked for it;
+    // the mining run charges it so per-component peaks describe the
+    // real run, and the post-run analytics pass audits against it.
+    let mem_pool = opts.mem_report.as_ref().map(|_| attribution_pool(&opts));
+    let runner = match runner_by_name(&opts, mem_pool.as_ref()) {
         Ok(m) => m,
         Err(msg) => {
             eprintln!("cfp-mine: {msg}");
@@ -635,6 +685,41 @@ fn main() {
             report_trace_stats();
         }
     }
+    let mut memstat_summary: Option<cfp_trace::MemSummary> = None;
+    if let Some(path) = &opts.mem_report {
+        let pool = mem_pool.as_ref().expect("pool exists whenever --mem-report is given");
+        // FP-tree baselines for the compression table, built from the
+        // same counts the CFP structures use.
+        let recoder = cfp_core::ItemRecoder::scan(&db, min_support);
+        let fp = cfp_fptree::FpTree::from_db(&db, &recoder);
+        let b = cfp_fptree::analysis::baselines(&fp);
+        drop(fp);
+        let baselines = cfp_core::FpBaselineBytes {
+            nodes: b.nodes,
+            in_memory_bytes: b.in_memory_bytes,
+            paper_bytes: b.paper_bytes,
+            nonordfp_bytes: b.nonordfp_bytes,
+        };
+        let run = cfp_core::MemStatRun {
+            dataset: &opts.input,
+            algorithm: &opts.algorithm,
+            threads: opts.threads.max(1) as u64,
+        };
+        match cfp_core::collect_memstat(&db, min_support, &run, pool, Some(baselines)) {
+            Ok(report) => {
+                memstat_summary = Some(report.summary());
+                if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
+                    eprintln!("cannot write memory report {path}: {e}");
+                    exit(1);
+                }
+                eprintln!("memory report written to {path}");
+            }
+            Err(e) => {
+                eprintln!("cfp-mine: memory report failed: {e}");
+                exit(e.exit_code());
+            }
+        }
+    }
     if let Some(d) = degradation.as_ref().filter(|d| d.recovered) {
         let winner = d.rungs.last().map(|r| r.rung).unwrap_or("?");
         eprintln!(
@@ -683,6 +768,11 @@ fn main() {
             });
         }
         report = report.with_events(cfp_trace::events::summarize(&tracks));
+        // Fold the memory summary in when --mem-report also ran, so
+        // profile consumers can diff memory without the full document.
+        if let Some(m) = memstat_summary.clone() {
+            report = report.with_memstat(m);
+        }
         if let Err(e) = std::fs::write(path, report.to_json().to_pretty()) {
             eprintln!("cannot write profile {path}: {e}");
             exit(1);

@@ -722,3 +722,141 @@ fn skip_bad_lines_mines_the_rest_and_warns() {
     // The two surviving transactions are both {1, 2}: itemsets 1, 2, 1 2.
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
 }
+
+/// `--mem-report` is observational: the mining output must be
+/// byte-identical with the flag on, sequentially and in parallel.
+#[test]
+fn mining_output_is_byte_identical_with_mem_report_on() {
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    for (path, threads, report) in
+        [(write_sample(), "1", "memstat_seq.json"), (write_skewed(), "4", "memstat_par.json")]
+    {
+        let support = if threads == "1" { "2" } else { "20" };
+        let plain = Command::new(bin())
+            .args([path.to_str().unwrap(), "--support", support, "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(plain.status.success());
+        let reported = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                support,
+                "--threads",
+                threads,
+                "--mem-report",
+                dir.join(report).to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(reported.status.success(), "{}", String::from_utf8_lossy(&reported.stderr));
+        assert_eq!(
+            reported.stdout, plain.stdout,
+            "--mem-report changed output ({threads} threads)"
+        );
+        std::fs::remove_file(dir.join(report)).ok();
+    }
+}
+
+/// The memstat document itself: valid JSON, a reconciled audit, the
+/// paper-shaped compression claim, an exact savings ladder, and the
+/// mine-phase distributions all present.
+#[test]
+fn mem_report_is_valid_and_audit_reconciles() {
+    use cfp_trace::{json, Json};
+
+    let path = write_sample();
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    let report_path = dir.join("memstat_full.json");
+    let profile_path = dir.join("memstat_profile.json");
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--count",
+            "--mem-report",
+            report_path.to_str().unwrap(),
+            "--profile",
+            profile_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report_path).unwrap();
+    let doc = json::parse(&text).expect("memstat must be valid JSON");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cfp-memstat/1"));
+
+    // Audit: the per-component identity holds exactly and the arena
+    // capacity sits within the documented slack bound.
+    let audit = doc.get("audit").expect("audit section");
+    assert_eq!(audit.get("reconciled"), Some(&Json::Bool(true)), "{audit:?}");
+    assert_eq!(audit.get("within_slack"), Some(&Json::Bool(true)), "{audit:?}");
+    assert_eq!(
+        audit.get("components_total").and_then(Json::as_u64),
+        audit.get("accounted").and_then(Json::as_u64),
+    );
+    // RSS is informational but present on Linux.
+    #[cfg(target_os = "linux")]
+    assert!(audit.get("rss_bytes").and_then(Json::as_u64).unwrap_or(0) > 0);
+
+    // Attribution: the mining run charged the build-tree and
+    // cond-arrays components; nothing is live after the run.
+    let attribution = doc.get("attribution").expect("attribution section");
+    let components = attribution.get("components").and_then(Json::as_arr).unwrap();
+    let peak_of = |name: &str| {
+        components
+            .iter()
+            .find(|c| c.get("component").and_then(Json::as_str) == Some(name))
+            .and_then(|c| c.get("peak"))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert!(peak_of("build-tree") > 0);
+    assert!(peak_of("cond-arrays") > 0);
+
+    // Compression: the CFP-tree beats the FP-tree built from the same
+    // counts — the paper's claim, measured.
+    let compression = doc.get("compression").and_then(Json::as_arr).unwrap();
+    let bytes_of = |name: &str| {
+        compression
+            .iter()
+            .find(|r| r.get("representation").and_then(Json::as_str) == Some(name))
+            .and_then(|r| r.get("bytes"))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert!(bytes_of("cfp-tree") < bytes_of("fp-tree"), "{compression:?}");
+
+    // Savings ladder: itemized and exact.
+    let savings = doc.get("savings").expect("savings section");
+    assert_eq!(savings.get("identity-residual").and_then(Json::as_f64), Some(0.0), "{savings:?}");
+    assert!(savings.get("ptr40").and_then(Json::as_f64).unwrap() > 0.0);
+
+    // Distributions recorded during the traced mine phase.
+    let dist = doc.get("distributions").expect("distributions section");
+    let count = dist.get("cond_tree_bytes").and_then(|d| d.get("count")).and_then(Json::as_u64);
+    assert!(count.unwrap() > 0, "{dist:?}");
+
+    // And the profile folded the summary in.
+    let profile = json::parse(&std::fs::read_to_string(&profile_path).unwrap()).unwrap();
+    let memstat = profile.get("memstat").expect("profile carries the memstat summary");
+    assert_eq!(memstat.get("reconciled"), Some(&Json::Bool(true)));
+    assert!(memstat.get("pool_peak").and_then(Json::as_u64).unwrap() > 0);
+
+    std::fs::remove_file(&report_path).ok();
+    std::fs::remove_file(&profile_path).ok();
+}
+
+#[test]
+fn mem_report_requires_the_cfp_algorithm() {
+    let path = write_sample();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--algorithm", "fp", "--mem-report", "x"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--mem-report"), "{stderr}");
+}

@@ -23,7 +23,7 @@
 
 use cfp_array::{convert, CfpArray};
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
-use cfp_memman::{Arena, ArenaOptions, BudgetPool, MemoryBudget};
+use cfp_memman::{Arena, ArenaOptions, BudgetPool, Component, MemoryBudget, StatsReset};
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
 use cfp_trace::{span, Phase};
 use cfp_tree::{CfpTree, CfpTreeConfig};
@@ -46,11 +46,41 @@ pub struct MineOpts {
 }
 
 impl MineOpts {
-    fn arena_options(&self, budget: Option<u64>) -> ArenaOptions {
+    fn arena_options(&self, budget: Option<u64>, component: Component) -> ArenaOptions {
         ArenaOptions {
             budget: budget.map(MemoryBudget::new),
             pool: self.pool.clone(),
             compact_on_pressure: self.compact_on_pressure,
+            component,
+        }
+    }
+}
+
+/// RAII attribution of a flat CFP-array buffer to the run's budget pool.
+///
+/// The charge is *unmetered* ([`BudgetPool::charge_external`]): it feeds
+/// the per-component gauges of the memstat report but never affects
+/// admission, so mining output stays byte-identical with attribution on.
+/// Dropping the guard releases the charge on every path, including
+/// errors.
+pub(crate) struct ArrayCharge {
+    pool: Option<BudgetPool>,
+    bytes: u64,
+}
+
+impl ArrayCharge {
+    pub(crate) fn new(pool: Option<BudgetPool>, bytes: u64) -> Self {
+        if let Some(p) = &pool {
+            p.charge_external(Component::CondArrays, bytes);
+        }
+        ArrayCharge { pool, bytes }
+    }
+}
+
+impl Drop for ArrayCharge {
+    fn drop(&mut self) {
+        if let Some(p) = &self.pool {
+            p.release_external(Component::CondArrays, self.bytes);
         }
     }
 }
@@ -144,7 +174,11 @@ pub fn try_build_tree(
     try_build_tree_with(
         db,
         min_support,
-        ArenaOptions { budget: budget.map(MemoryBudget::new), ..Default::default() },
+        ArenaOptions {
+            budget: budget.map(MemoryBudget::new),
+            component: Component::BuildTree,
+            ..Default::default()
+        },
     )
 }
 
@@ -229,7 +263,11 @@ impl CfpGrowthMiner {
 
         let tree = {
             let _s = span(Phase::Build);
-            CfpTree::try_from_db_with(db, &recoder, opts.arena_options(self.mem_budget))?
+            CfpTree::try_from_db_with(
+                db,
+                &recoder,
+                opts.arena_options(self.mem_budget, Component::BuildTree),
+            )?
         };
         stats.build_time = sw.lap();
 
@@ -261,6 +299,7 @@ impl CfpGrowthMiner {
             convert(&tree)
         };
         gauge.alloc(array.heap_bytes());
+        let _array_charge = ArrayCharge::new(opts.pool.clone(), array.heap_bytes());
         gauge.checkpoint();
         gauge.free(tree.heap_bytes());
         drop(tree);
@@ -368,6 +407,7 @@ pub(crate) fn mine_one_item(
     if item > 0 {
         if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx)? {
             ctx.gauge.alloc(cond_array.heap_bytes());
+            let _charge = ArrayCharge::new(ctx.opts.pool.clone(), cond_array.heap_bytes());
             mine_array(&cond_array, &cond_globals, &mut ctx)?;
             ctx.gauge.free(cond_array.heap_bytes());
         }
@@ -407,6 +447,7 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
         if item > 0 {
             if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx)? {
                 ctx.gauge.alloc(cond_array.heap_bytes());
+                let _charge = ArrayCharge::new(ctx.opts.pool.clone(), cond_array.heap_bytes());
                 ctx.gauge.checkpoint();
                 mine_array(&cond_array, &cond_globals, ctx)?;
                 ctx.gauge.free(cond_array.heap_bytes());
@@ -487,7 +528,7 @@ fn conditional(
         None => CfpTree::try_with_options(
             cond_globals.len(),
             CfpTreeConfig::default(),
-            ctx.opts.arena_options(None),
+            ctx.opts.arena_options(None, Component::CondTrees),
         ),
     }
     .map_err(mine_phase)?;
@@ -508,12 +549,19 @@ fn conditional(
     }
     ctx.path_buf = path;
 
+    if cfp_trace::enabled() {
+        cfp_trace::counters::CORE_COND_TREE_BYTES.record_log2(cond_tree.arena_used());
+    }
     ctx.gauge.alloc(cond_tree.heap_bytes());
     let cond_array = convert(&cond_tree);
     ctx.gauge.free(cond_tree.heap_bytes());
     if ctx.scratch.recycle {
         let mut arena = cond_tree.into_arena();
-        arena.reset();
+        // ClearPeaks: each task gets a fresh per-instance high-water
+        // window, so one early giant conditional tree cannot smear its
+        // peak across every later task (the run-level peak stays in the
+        // budget pool).
+        arena.reset_with(StatsReset::ClearPeaks);
         ctx.scratch.arena = Some(arena);
     }
     Ok(Some((cond_array, cond_globals)))

@@ -40,6 +40,7 @@
 pub mod growth;
 pub mod image;
 pub mod io;
+pub mod memstat;
 pub mod parallel;
 pub mod schedule;
 pub mod supervisor;
@@ -51,6 +52,7 @@ pub use cfp_tree::CfpTree;
 pub use growth::{build_tree, CfpGrowthMiner, MineOpts};
 pub use image::MiningImage;
 pub use io::mine_file;
+pub use memstat::{collect_memstat, FpBaselineBytes, MemStatRun};
 pub use parallel::ParallelCfpGrowthMiner;
 pub use schedule::Schedule;
 pub use supervisor::{RecoveryPolicy, RecoveryReport, RungReport, Supervisor};

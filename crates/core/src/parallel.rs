@@ -42,12 +42,13 @@
 //! hit their individual peaks simultaneously).
 
 use crate::growth::{
-    mine_one_item, mine_single_path_root, try_build_tree_with, CfpGrowthMiner, MineOpts, Scratch,
+    mine_one_item, mine_single_path_root, try_build_tree_with, ArrayCharge, CfpGrowthMiner,
+    MineOpts, Scratch,
 };
 use crate::schedule::{Schedule, TaskQueue};
 use cfp_array::convert;
 use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, TransactionDb};
-use cfp_memman::{ArenaOptions, BudgetPool};
+use cfp_memman::{ArenaOptions, BudgetPool, Component};
 use cfp_metrics::{HeapSize, Stopwatch};
 use cfp_trace::{span, Phase};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -243,6 +244,7 @@ impl Miner for ParallelCfpGrowthMiner {
                     budget: None,
                     pool: pool.clone(),
                     compact_on_pressure: self.compact_on_pressure,
+                    component: Component::BuildTree,
                 },
             )?
         };
@@ -256,6 +258,7 @@ impl Miner for ParallelCfpGrowthMiner {
             convert(&tree)
         };
         drop(tree);
+        let _array_charge = ArrayCharge::new(pool.clone(), array.heap_bytes());
         stats.convert_time = sw.lap();
 
         let globals: Vec<Item> =

@@ -73,6 +73,37 @@ impl FpTreeFieldStats {
     }
 }
 
+/// Baseline byte figures of an FP-tree, for the memstat compression
+/// table: the same logical tree costed under three representations the
+/// paper compares against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FpTreeBaselines {
+    /// Logical nodes (excluding the sentinel root).
+    pub nodes: u64,
+    /// Exact bytes of this crate's in-memory layout (28-byte nodes plus
+    /// per-item headers — [`FpTree`]'s [`HeapSize`] accounting).
+    pub in_memory_bytes: u64,
+    /// The paper's §4.2 baseline convention: 40 bytes per node.
+    pub paper_bytes: u64,
+    /// Estimate of the nonordfp array representation built from the
+    /// same tree: `count` + `parent` `u32` arrays per node, per-item
+    /// subarray `starts` (`u32`, items + 1), and a `u64` support table.
+    pub nonordfp_bytes: u64,
+}
+
+/// Costs `tree` under the three baseline representations.
+pub fn baselines(tree: &FpTree) -> FpTreeBaselines {
+    use cfp_metrics::HeapSize;
+    let nodes = tree.num_nodes() as u64;
+    let items = tree.num_items() as u64;
+    FpTreeBaselines {
+        nodes,
+        in_memory_bytes: tree.heap_bytes(),
+        paper_bytes: nodes * FpTree::PAPER_NODE_BYTES as u64,
+        nonordfp_bytes: 4 * nodes + 4 * nodes + 4 * (items + 1) + 8 * items,
+    }
+}
+
 /// Synthetic byte address of a node index in a pointer-based pool.
 fn address(idx: u32) -> u32 {
     if idx == NIL || idx == 0 {
@@ -153,5 +184,19 @@ mod tests {
         let s = analyze(&t);
         assert_eq!(s.item.total(), 0);
         assert_eq!(s.zero_byte_fraction(), 0.0);
+    }
+
+    #[test]
+    fn baselines_cost_the_same_tree_three_ways() {
+        let t = bushy_tree();
+        let b = baselines(&t);
+        assert_eq!(b.nodes, t.num_nodes() as u64);
+        assert_eq!(b.paper_bytes, b.nodes * 40);
+        assert_eq!(b.in_memory_bytes, cfp_metrics::HeapSize::heap_bytes(&t));
+        // nonordfp drops the five pointers for two u32 arrays plus a
+        // small index: smaller than the in-memory tree on any
+        // non-degenerate shape.
+        assert!(b.nonordfp_bytes < b.in_memory_bytes);
+        assert_eq!(b.nonordfp_bytes, 8 * b.nodes + 4 * (8 + 1) + 8 * 8);
     }
 }

@@ -96,6 +96,103 @@ impl MemoryBudget {
     }
 }
 
+/// What a participant is holding pool memory *for*.
+///
+/// Every arena (and every out-of-arena charge, see
+/// [`BudgetPool::charge_external`]) is tagged with the pipeline component
+/// it serves, so a run report can say where the bytes went instead of
+/// presenting one opaque total. The labels mirror the mining pipeline:
+/// the initial build tree, the per-suffix conditional trees, the flat
+/// CFP-array buffers, tid-lists (vertical baselines / future out-of-core
+/// spilling), and scratch buffers. [`Component::Other`] is the default
+/// for untagged participants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// The initial CFP-tree built from the database.
+    BuildTree,
+    /// Conditional CFP-trees built during the mine-phase recursion.
+    CondTrees,
+    /// CFP-array buffers (the converted top-level array and every
+    /// conditional array).
+    CondArrays,
+    /// Transaction-id lists (vertical-format baselines, out-of-core
+    /// spill candidates).
+    TidLists,
+    /// Scratch buffers (recycled arenas between tasks, emit buffers).
+    Scratch,
+    /// Anything not explicitly tagged.
+    #[default]
+    Other,
+}
+
+impl Component {
+    /// Every component, in report order.
+    pub const ALL: [Component; 6] = [
+        Component::BuildTree,
+        Component::CondTrees,
+        Component::CondArrays,
+        Component::TidLists,
+        Component::Scratch,
+        Component::Other,
+    ];
+
+    /// Stable report label of this component.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::BuildTree => "build-tree",
+            Component::CondTrees => "cond-trees",
+            Component::CondArrays => "cond-arrays",
+            Component::TidLists => "tid-lists",
+            Component::Scratch => "scratch",
+            Component::Other => "other",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Component::BuildTree => 0,
+            Component::CondTrees => 1,
+            Component::CondArrays => 2,
+            Component::TidLists => 3,
+            Component::Scratch => 4,
+            Component::Other => 5,
+        }
+    }
+}
+
+/// Point-in-time view of a [`BudgetPool`]'s accounting, for memory
+/// reports. Captured with [`BudgetPool::snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// The pool's byte limit (`u64::MAX` for an unlimited pool).
+    pub limit: u64,
+    /// Metered bytes currently reserved (arena carved bytes).
+    pub used: u64,
+    /// High-water mark of metered bytes.
+    pub peak: u64,
+    /// Unmetered bytes currently charged (flat buffers tracked for
+    /// attribution only; they never count against the limit).
+    pub external_used: u64,
+    /// Per-component `(label, live, peak)` rows, in [`Component::ALL`]
+    /// order. The sum of `live` over all rows equals
+    /// `used + external_used` exactly — the attribution audit invariant.
+    pub components: Vec<(&'static str, u64, u64)>,
+}
+
+impl PoolSnapshot {
+    /// Total bytes the pool accounts for right now (metered + external).
+    pub fn accounted(&self) -> u64 {
+        self.used + self.external_used
+    }
+
+    /// Sum of per-component live bytes; must equal
+    /// [`accounted`](Self::accounted) exactly.
+    pub fn components_total(&self) -> u64 {
+        self.components.iter().map(|&(_, live, _)| live).sum()
+    }
+}
+
 /// A byte budget *shared* between several arenas (and threads).
 ///
 /// Where [`MemoryBudget`] caps one arena in isolation, a `BudgetPool` is a
@@ -113,6 +210,8 @@ pub struct BudgetPool {
     inner: Arc<PoolInner>,
 }
 
+const N_COMPONENTS: usize = Component::ALL.len();
+
 #[derive(Debug)]
 struct PoolInner {
     limit: u64,
@@ -120,6 +219,12 @@ struct PoolInner {
     peak: AtomicU64,
     reserved_total: AtomicU64,
     compact_reclaimed: AtomicU64,
+    /// Unmetered attribution charges (never count against `limit`).
+    external_used: AtomicU64,
+    /// Per-component live bytes (metered + external).
+    comp_used: [AtomicU64; N_COMPONENTS],
+    /// Per-component high-water marks.
+    comp_peak: [AtomicU64; N_COMPONENTS],
 }
 
 impl BudgetPool {
@@ -132,13 +237,31 @@ impl BudgetPool {
                 peak: AtomicU64::new(0),
                 reserved_total: AtomicU64::new(0),
                 compact_reclaimed: AtomicU64::new(0),
+                external_used: AtomicU64::new(0),
+                comp_used: Default::default(),
+                comp_peak: Default::default(),
             }),
         }
     }
 
+    /// A pool that never refuses a reservation (`u64::MAX` limit) —
+    /// attribution accounting without admission control, for runs that
+    /// want a memory report but no budget.
+    pub fn unlimited() -> Self {
+        Self::new(u64::MAX)
+    }
+
     /// Reserves `bytes` from the pool; `false` when the limit would be
-    /// exceeded (and nothing is reserved).
+    /// exceeded (and nothing is reserved). Charged to
+    /// [`Component::Other`]; tagged arenas use
+    /// [`try_reserve_for`](Self::try_reserve_for).
     pub fn try_reserve(&self, bytes: u64) -> bool {
+        self.try_reserve_for(Component::Other, bytes)
+    }
+
+    /// Reserves `bytes` on behalf of `component`; `false` when the limit
+    /// would be exceeded (and nothing is reserved or attributed).
+    pub fn try_reserve_for(&self, component: Component, bytes: u64) -> bool {
         let mut used = self.inner.used.load(Ordering::Relaxed);
         loop {
             let Some(next) = used.checked_add(bytes) else { return false };
@@ -154,6 +277,7 @@ impl BudgetPool {
                 Ok(_) => {
                     self.inner.peak.fetch_max(next, Ordering::Relaxed);
                     self.inner.reserved_total.fetch_add(bytes, Ordering::Relaxed);
+                    self.attribute(component, bytes);
                     if cfp_trace::enabled() {
                         tc::MEMMAN_POOL_PEAK.record(next);
                     }
@@ -165,12 +289,54 @@ impl BudgetPool {
     }
 
     /// Returns `bytes` to the pool (saturating: releasing more than was
-    /// reserved clamps to zero rather than underflowing).
+    /// reserved clamps to zero rather than underflowing). Attributed to
+    /// [`Component::Other`]; tagged arenas use
+    /// [`release_for`](Self::release_for).
     pub fn release(&self, bytes: u64) {
+        self.release_for(Component::Other, bytes);
+    }
+
+    /// Returns `bytes` reserved on behalf of `component` to the pool.
+    pub fn release_for(&self, component: Component, bytes: u64) {
         let _ = self
             .inner
             .used
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| Some(u.saturating_sub(bytes)));
+        self.unattribute(component, bytes);
+    }
+
+    /// Records `bytes` held by `component` *outside* any arena (flat
+    /// `Vec` buffers like CFP-arrays). External charges flow into the
+    /// per-component gauges and the attribution audit but never count
+    /// against the pool's limit, so arming attribution cannot change
+    /// admission decisions or mining results.
+    pub fn charge_external(&self, component: Component, bytes: u64) {
+        self.inner.external_used.fetch_add(bytes, Ordering::Relaxed);
+        self.attribute(component, bytes);
+    }
+
+    /// Releases an external charge made with
+    /// [`charge_external`](Self::charge_external).
+    pub fn release_external(&self, component: Component, bytes: u64) {
+        let _ = self
+            .inner
+            .external_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| Some(u.saturating_sub(bytes)));
+        self.unattribute(component, bytes);
+    }
+
+    fn attribute(&self, component: Component, bytes: u64) {
+        let i = component.idx();
+        let next = self.inner.comp_used[i].fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.comp_peak[i].fetch_max(next, Ordering::Relaxed);
+    }
+
+    fn unattribute(&self, component: Component, bytes: u64) {
+        let _ = self.inner.comp_used[component.idx()].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |u| Some(u.saturating_sub(bytes)),
+        );
     }
 
     /// The pool's byte limit.
@@ -201,8 +367,44 @@ impl BudgetPool {
         self.inner.compact_reclaimed.load(Ordering::Relaxed)
     }
 
-    fn release_reclaimed(&self, bytes: u64) {
-        self.release(bytes);
+    /// Live bytes currently attributed to `component` (metered carved
+    /// bytes plus external charges).
+    pub fn component_used(&self, component: Component) -> u64 {
+        self.inner.comp_used[component.idx()].load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of bytes attributed to `component`.
+    pub fn component_peak(&self, component: Component) -> u64 {
+        self.inner.comp_peak[component.idx()].load(Ordering::Relaxed)
+    }
+
+    /// Unmetered bytes currently charged via
+    /// [`charge_external`](Self::charge_external).
+    pub fn external_used(&self) -> u64 {
+        self.inner.external_used.load(Ordering::Relaxed)
+    }
+
+    /// Captures the pool's accounting for a memory report. The snapshot
+    /// upholds the audit invariant `components_total() == accounted()`
+    /// whenever every participant reserves and releases through the
+    /// component-aware entry points (reads are relaxed, so a snapshot
+    /// taken *while* other threads allocate may be transiently off; take
+    /// it at a quiescent point).
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            limit: self.limit(),
+            used: self.used(),
+            peak: self.peak(),
+            external_used: self.external_used(),
+            components: Component::ALL
+                .iter()
+                .map(|&c| (c.name(), self.component_used(c), self.component_peak(c)))
+                .collect(),
+        }
+    }
+
+    fn release_reclaimed(&self, component: Component, bytes: u64) {
+        self.release_for(component, bytes);
         self.inner.compact_reclaimed.fetch_add(bytes, Ordering::Relaxed);
     }
 }
@@ -219,6 +421,9 @@ pub struct ArenaOptions {
     /// When an allocation is refused, [`Arena::compact`] once and retry
     /// before reporting failure.
     pub compact_on_pressure: bool,
+    /// Attribution label for this arena's pool reservations (see
+    /// [`Component`]); purely observational, never changes admission.
+    pub component: Component,
 }
 
 /// Why an allocation could not be satisfied.
@@ -315,6 +520,30 @@ pub struct ArenaStats {
     pub compact_reclaimed: u64,
     /// [`Arena::reset`] calls (arena recycled for a new structure).
     pub resets: u64,
+    /// High-water mark of live (used) bytes in *this* arena since its
+    /// creation or the last [`Arena::reset_with`] with
+    /// [`StatsReset::ClearPeaks`].
+    pub peak_used: u64,
+    /// High-water mark of carved bytes in *this* arena, same window as
+    /// [`peak_used`](Self::peak_used). The run-level peak across all
+    /// arenas lives in [`BudgetPool::peak`].
+    pub peak_footprint: u64,
+}
+
+/// What [`Arena::reset_with`] does to the per-instance high-water marks
+/// in [`ArenaStats`].
+///
+/// Per-task arena recycling reuses one arena for many conditional trees;
+/// keeping the peaks across resets would smear the largest task's peak
+/// over every later task's report. `ClearPeaks` gives each task a fresh
+/// window while the cumulative event counters (and the pool's run-level
+/// peak) survive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsReset {
+    /// Keep the high-water marks (the [`Arena::reset`] default).
+    Keep,
+    /// Zero `peak_used`/`peak_footprint` for a fresh per-task window.
+    ClearPeaks,
 }
 
 /// A bump-pointer arena with per-size free-chunk queues.
@@ -335,6 +564,8 @@ pub struct Arena {
     pool: Option<BudgetPool>,
     /// Compact-and-retry once when an allocation is refused.
     compact_on_pressure: bool,
+    /// Attribution label for pool reservations.
+    component: Component,
 }
 
 impl Default for Arena {
@@ -363,6 +594,7 @@ impl Arena {
             budget: None,
             pool: None,
             compact_on_pressure: false,
+            component: Component::Other,
         }
     }
 
@@ -380,7 +612,13 @@ impl Arena {
         a.budget = opts.budget;
         a.pool = opts.pool;
         a.compact_on_pressure = opts.compact_on_pressure;
+        a.component = opts.component;
         a
+    }
+
+    /// The attribution label this arena charges its pool under.
+    pub fn component(&self) -> Component {
+        self.component
     }
 
     /// Sets or clears the carved-byte cap. Lowering the budget below the
@@ -435,6 +673,7 @@ impl Arena {
             self.live += 1;
             self.stats.allocs += 1;
             self.stats.queue_hits += 1;
+            self.stats.peak_used = self.stats.peak_used.max(self.used);
             if cfp_trace::enabled() {
                 tc::MEMMAN_ALLOCS.inc();
                 tc::MEMMAN_USED_BYTES.add(size as u64);
@@ -465,6 +704,9 @@ impl Arena {
         self.live += 1;
         self.stats.allocs += 1;
         self.stats.bump_allocs += 1;
+        self.stats.peak_used = self.stats.peak_used.max(self.used);
+        self.stats.peak_footprint =
+            self.stats.peak_footprint.max(self.footprint() - 1 + size as u64);
         if cfp_trace::enabled() {
             tc::MEMMAN_ALLOCS.inc();
             tc::MEMMAN_USED_BYTES.add(size as u64);
@@ -501,7 +743,7 @@ impl Arena {
             }
         }
         if let Some(pool) = &self.pool {
-            if !pool.try_reserve(size as u64) {
+            if !pool.try_reserve_for(self.component, size as u64) {
                 // Report the pool's view: the other participants' carved
                 // bytes are what left no room, not this arena's own.
                 return Err(AllocError {
@@ -559,7 +801,7 @@ impl Arena {
         }
         self.stats.compact_reclaimed += reclaimed;
         if let Some(pool) = &self.pool {
-            pool.release_reclaimed(reclaimed);
+            pool.release_reclaimed(self.component, reclaimed);
         }
         if cfp_trace::enabled() {
             tc::MEMMAN_COMPACTIONS.inc();
@@ -587,9 +829,21 @@ impl Arena {
     /// to the budget/pool and subtracted from the trace gauges (exactly as
     /// [`Drop`] would), and the free queues are cleared — but the `Vec`
     /// capacity is retained, so a recycled arena rebuilds without touching
-    /// the OS allocator. Cumulative [`stats`](Self::stats) survive; the
-    /// `resets` counter records the recycle.
+    /// the OS allocator. Cumulative [`stats`](Self::stats) survive,
+    /// including the per-instance high-water marks; the `resets` counter
+    /// records the recycle. See [`reset_with`](Self::reset_with) to open
+    /// a fresh peak window per recycle.
     pub fn reset(&mut self) {
+        self.reset_with(StatsReset::Keep);
+    }
+
+    /// [`reset`](Self::reset) with explicit control over the
+    /// per-instance high-water marks: [`StatsReset::ClearPeaks`] zeroes
+    /// `peak_used`/`peak_footprint` so the next task's peak is measured
+    /// on its own instead of inheriting the largest earlier task's. The
+    /// run-level peak is unaffected — it lives in the shared
+    /// [`BudgetPool`] (and the trace gauges).
+    pub fn reset_with(&mut self, stats: StatsReset) {
         let carved = self.footprint().saturating_sub(1);
         if cfp_trace::enabled() {
             tc::MEMMAN_USED_BYTES.sub(self.used);
@@ -600,13 +854,17 @@ impl Arena {
             }
         }
         if let Some(pool) = &self.pool {
-            pool.release(carved);
+            pool.release_for(self.component, carved);
         }
         self.buf.truncate(1);
         self.free_heads = [0; MAX_CHUNK + 1];
         self.used = 0;
         self.live = 0;
         self.stats.resets += 1;
+        if stats == StatsReset::ClearPeaks {
+            self.stats.peak_used = 0;
+            self.stats.peak_footprint = 0;
+        }
     }
 
     /// The shared pool this arena reserves from, if any.
@@ -785,7 +1043,7 @@ impl Drop for Arena {
         // Give the shared pool back everything this arena carved (the
         // reservation invariant is exactly `footprint() - 1`).
         if let Some(pool) = &self.pool {
-            pool.release(self.footprint().saturating_sub(1));
+            pool.release_for(self.component, self.footprint().saturating_sub(1));
         }
     }
 }
@@ -1132,6 +1390,7 @@ mod tests {
             budget: Some(MemoryBudget::new(40)),
             pool: None,
             compact_on_pressure: true,
+            component: Component::Other,
         });
         let x = a.alloc(16);
         let y = a.alloc(24); // at the 40-byte cap
@@ -1153,6 +1412,7 @@ mod tests {
             budget: None,
             pool: Some(p.clone()),
             compact_on_pressure: false,
+            component: Component::Other,
         };
         let mut a = Arena::with_options(opts(&pool));
         let mut b = Arena::with_options(opts(&pool));
@@ -1178,6 +1438,7 @@ mod tests {
             budget: None,
             pool: Some(pool.clone()),
             compact_on_pressure: false,
+            component: Component::Other,
         });
         let _x = a.alloc(8);
         let y = a.alloc(32);
@@ -1215,6 +1476,7 @@ mod tests {
             budget: None,
             pool: Some(pool.clone()),
             compact_on_pressure: false,
+            component: Component::Other,
         });
         let _x = a.alloc(8);
         let _y = a.alloc(32);
@@ -1237,6 +1499,108 @@ mod tests {
         // After a reset the footprint is back to zero carved bytes, so the
         // same budget admits a fresh allocation.
         assert!(a.try_alloc(32).is_ok());
+    }
+
+    #[test]
+    fn components_attribute_reserves_and_releases() {
+        let pool = BudgetPool::unlimited();
+        let mut build = Arena::with_options(ArenaOptions {
+            pool: Some(pool.clone()),
+            component: Component::BuildTree,
+            ..Default::default()
+        });
+        let mut cond = Arena::with_options(ArenaOptions {
+            pool: Some(pool.clone()),
+            component: Component::CondTrees,
+            ..Default::default()
+        });
+        assert_eq!(build.component(), Component::BuildTree);
+        let _b = build.alloc(24);
+        let _c = cond.alloc(16);
+        assert_eq!(pool.component_used(Component::BuildTree), 24);
+        assert_eq!(pool.component_used(Component::CondTrees), 16);
+        assert_eq!(pool.used(), 40);
+        cond.reset();
+        assert_eq!(pool.component_used(Component::CondTrees), 0);
+        assert_eq!(pool.component_peak(Component::CondTrees), 16);
+        drop(build);
+        assert_eq!(pool.component_used(Component::BuildTree), 0);
+        assert_eq!(pool.component_peak(Component::BuildTree), 24);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn external_charges_attribute_but_never_meter() {
+        let pool = BudgetPool::new(10);
+        pool.charge_external(Component::CondArrays, 1000);
+        assert_eq!(pool.used(), 0, "external bytes are unmetered");
+        assert_eq!(pool.external_used(), 1000);
+        assert_eq!(pool.component_used(Component::CondArrays), 1000);
+        // Admission is unaffected: the 10-byte limit is still fully free.
+        assert!(pool.try_reserve(10));
+        assert!(!pool.try_reserve(1));
+        pool.release(10);
+        pool.release_external(Component::CondArrays, 1000);
+        assert_eq!(pool.external_used(), 0);
+        assert_eq!(pool.component_used(Component::CondArrays), 0);
+        assert_eq!(pool.component_peak(Component::CondArrays), 1000);
+    }
+
+    #[test]
+    fn snapshot_components_sum_to_accounted_bytes() {
+        let pool = BudgetPool::unlimited();
+        let mut a = Arena::with_options(ArenaOptions {
+            pool: Some(pool.clone()),
+            component: Component::BuildTree,
+            ..Default::default()
+        });
+        let _x = a.alloc(17);
+        pool.charge_external(Component::CondArrays, 123);
+        pool.try_reserve(9); // untagged -> Component::Other
+        let snap = pool.snapshot();
+        assert_eq!(snap.used, 17 + 9);
+        assert_eq!(snap.external_used, 123);
+        assert_eq!(snap.components_total(), snap.accounted());
+        assert_eq!(snap.components.len(), Component::ALL.len());
+        let row = |name: &str| snap.components.iter().find(|r| r.0 == name).unwrap();
+        assert_eq!(row("build-tree").1, 17);
+        assert_eq!(row("cond-arrays").1, 123);
+        assert_eq!(row("other").1, 9);
+        pool.release(9);
+    }
+
+    #[test]
+    fn arena_stats_track_peaks_within_the_window() {
+        let mut a = Arena::new();
+        let x = a.alloc(32);
+        a.free(x, 32);
+        let _y = a.alloc(8); // queue miss (wrong size) -> bump
+        assert_eq!(a.stats().peak_used, 32, "peak survives the free");
+        assert!(a.stats().peak_footprint >= a.footprint() - 1);
+        let z = a.alloc(32); // queue hit: used rises, footprint does not
+        assert_eq!(a.stats().peak_used, 40);
+        let fp = a.stats().peak_footprint;
+        a.free(z, 32);
+        assert_eq!(a.stats().peak_used, 40, "peak survives frees");
+        assert_eq!(a.stats().peak_footprint, fp, "queue traffic leaves footprint peak");
+    }
+
+    #[test]
+    fn reset_with_clear_peaks_starts_a_fresh_window() {
+        let mut a = Arena::new();
+        let _x = a.alloc(32);
+        assert_eq!(a.stats().peak_used, 32);
+        // Plain reset keeps the peaks (run-level view)...
+        a.reset();
+        assert_eq!(a.stats().peak_used, 32);
+        // ...while ClearPeaks starts a per-task window so recycling does
+        // not smear one task's peak across the next.
+        let _y = a.alloc(8);
+        a.reset_with(StatsReset::ClearPeaks);
+        assert_eq!(a.stats().peak_used, 0);
+        assert_eq!(a.stats().peak_footprint, 0);
+        let _z = a.alloc(16);
+        assert_eq!(a.stats().peak_used, 16);
     }
 
     /// Property tests require the optional `proptest` dependency,

@@ -24,7 +24,7 @@ pub mod timer;
 
 pub use gauge::MemGauge;
 pub use heapsize::HeapSize;
-pub use hist::LeadingZeroHistogram;
+pub use hist::{summarize_linear, summarize_log2, LeadingZeroHistogram, Log2Summary};
 pub use timer::{PhaseTimes, Stopwatch};
 
 /// Formats a byte count with a binary-prefixed unit (`1.50 MiB`).

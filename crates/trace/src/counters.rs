@@ -266,6 +266,9 @@ pub static CORE_MAX_DEPTH: MaxGauge = MaxGauge::new("core.max_depth");
 pub static CORE_DEPTH: Histogram<64> = Histogram::new("core.recursion_depth");
 /// `cfp-core`: log2 histogram of conditional pattern-base sizes.
 pub static CORE_PATTERN_BASE_LOG2: Histogram<33> = Histogram::new("core.pattern_base_log2");
+/// `cfp-core`: log2 histogram of conditional-tree arena bytes at the
+/// moment each conditional tree finishes building (per-task peaks).
+pub static CORE_COND_TREE_BYTES: Histogram<64> = Histogram::new("core.cond_tree_bytes");
 /// `cfp-core`: worker panics contained by the parallel miner.
 pub static CORE_WORKER_PANICS: Counter = Counter::new("core.worker_panics");
 /// `cfp-core`: heartbeat ticks from parallel workers (one per first-level
@@ -359,6 +362,7 @@ pub fn histogram_snapshot() -> Vec<(&'static str, Vec<u64>)> {
         (TREE_MASK_BYTES.name(), TREE_MASK_BYTES.snapshot()),
         (CORE_DEPTH.name(), CORE_DEPTH.snapshot()),
         (CORE_PATTERN_BASE_LOG2.name(), CORE_PATTERN_BASE_LOG2.snapshot()),
+        (CORE_COND_TREE_BYTES.name(), CORE_COND_TREE_BYTES.snapshot()),
     ];
     out.sort_unstable_by_key(|&(name, _)| name);
     out
@@ -378,6 +382,7 @@ pub fn reset_all() {
     TREE_MASK_BYTES.reset();
     CORE_DEPTH.reset();
     CORE_PATTERN_BASE_LOG2.reset();
+    CORE_COND_TREE_BYTES.reset();
 }
 
 #[cfg(test)]

@@ -29,6 +29,10 @@
 //! - [`report`]: the versioned machine-readable run report
 //!   (`"cfp-profile/2"`; `/1` documents remain readable) emitted by
 //!   `cfp-mine --profile`.
+//! - [`memstat`]: the versioned space-domain report (`"cfp-memstat/1"`)
+//!   emitted by `cfp-mine --mem-report` — per-component attribution,
+//!   reconciliation audit, structure analytics, and the compression
+//!   table.
 //!
 //! # Cost when disabled
 //!
@@ -59,6 +63,7 @@ pub mod counters;
 pub mod events;
 pub mod flame;
 pub mod json;
+pub mod memstat;
 pub mod progress;
 pub mod report;
 pub mod sampler;
@@ -67,6 +72,7 @@ pub mod span;
 pub use counters::{Counter, Histogram, MaxGauge};
 pub use events::{Event, EventKind, EventsSummary, Rung, TrackDump};
 pub use json::Json;
+pub use memstat::{MemStatReport, MemSummary};
 pub use progress::ProgressMeter;
 pub use report::{DegradationReport, RunReport, RungOutcome};
 pub use sampler::{MemSampler, Sample};

@@ -9,6 +9,7 @@
 use crate::counters;
 use crate::events::EventsSummary;
 use crate::json::Json;
+use crate::memstat::MemSummary;
 use crate::sampler::Sample;
 use crate::span::{self, PhaseSpan};
 
@@ -95,6 +96,11 @@ pub struct RunReport {
     /// Event-timeline summary, present when the caller attached one via
     /// [`with_events`](Self::with_events) (additive in `cfp-profile/2`).
     pub events: Option<EventsSummary>,
+    /// Per-component memory summary, present when the caller attached
+    /// one via [`with_memstat`](Self::with_memstat) (additive in
+    /// `cfp-profile/2`; see the `cfp-memstat/1` document for the full
+    /// space-domain report).
+    pub memstat: Option<MemSummary>,
 }
 
 impl RunReport {
@@ -129,6 +135,7 @@ impl RunReport {
             samples,
             degradation: None,
             events: None,
+            memstat: None,
         }
     }
 
@@ -149,6 +156,14 @@ impl RunReport {
     /// [`crate::events::summary`]) to the report.
     pub fn with_events(mut self, events: EventsSummary) -> Self {
         self.events = Some(events);
+        self
+    }
+
+    /// Attaches the per-component memory summary (usually
+    /// [`MemStatReport::summary`](crate::memstat::MemStatReport::summary))
+    /// to the report.
+    pub fn with_memstat(mut self, memstat: MemSummary) -> Self {
+        self.memstat = Some(memstat);
         self
     }
 
@@ -226,6 +241,9 @@ impl RunReport {
             ("histograms".into(), histograms),
             ("memory".into(), memory),
         ];
+        if let Some(m) = &self.memstat {
+            doc.push(("memstat".into(), m.to_json()));
+        }
         if let Some(e) = &self.events {
             doc.push((
                 "events".into(),
@@ -394,6 +412,25 @@ mod tests {
         assert_eq!(events.get("dropped_events").and_then(Json::as_u64), Some(12));
         let by_kind = events.get("by_kind").expect("by_kind map");
         assert_eq!(by_kind.get("task_claim").and_then(Json::as_u64), Some(982));
+    }
+
+    #[test]
+    fn memstat_section_is_absent_by_default_and_round_trips() {
+        let base = RunReport::capture("d", 1, 1, "cfp", 1, 0, 1, vec![]);
+        let doc = json::parse(&base.to_json().to_compact()).unwrap();
+        assert!(doc.get("memstat").is_none(), "no memstat block unless attached");
+
+        let with = base.with_memstat(MemSummary {
+            pool_peak: 62213,
+            reconciled: true,
+            component_peaks: vec![("build-tree".into(), 50000), ("cond-trees".into(), 9000)],
+        });
+        let doc = json::parse(&with.to_json().to_pretty()).unwrap();
+        let m = doc.get("memstat").expect("memstat section");
+        assert_eq!(m.get("pool_peak").and_then(Json::as_u64), Some(62213));
+        assert_eq!(m.get("reconciled"), Some(&Json::Bool(true)));
+        let peaks = m.get("component_peaks").expect("component_peaks map");
+        assert_eq!(peaks.get("cond-trees").and_then(Json::as_u64), Some(9000));
     }
 
     #[test]
