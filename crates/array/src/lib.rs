@@ -57,6 +57,33 @@ pub mod stats;
 use cfp_encoding::{varint, zigzag};
 use cfp_metrics::HeapSize;
 use cfp_tree::{CfpTree, DfsEvent, DfsIter};
+use std::sync::Arc;
+
+/// Backing storage of the encoded triples: owned by the array (the usual
+/// case), or a zero-copy window into a shared buffer — a spill file read
+/// into memory once and mined in place (see [`serialize`] and
+/// [`CfpArray::from_bytes`](CfpArray::from_bytes)).
+#[derive(Clone, Debug)]
+enum Bytes {
+    Owned(Vec<u8>),
+    Shared { buf: Arc<[u8]>, start: usize, len: usize },
+}
+
+impl Bytes {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Owned(v) => v,
+            Bytes::Shared { buf, start, len } => &buf[*start..*start + *len],
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::Owned(Vec::new())
+    }
+}
 
 /// A decoded CFP-array node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +101,7 @@ pub struct NodeView {
 /// The compressed mine-phase representation of an FP-tree.
 #[derive(Clone, Debug, Default)]
 pub struct CfpArray {
-    data: Vec<u8>,
+    data: Bytes,
     /// `starts[i]` = first byte of item `i`'s subarray; `starts[n]` = len.
     starts: Vec<u64>,
     /// Per-item support (sum of counts in the subarray).
@@ -100,7 +127,7 @@ impl CfpArray {
 
     /// Total encoded bytes of all triples.
     pub fn data_bytes(&self) -> u64 {
-        self.data.len() as u64
+        self.data.as_slice().len() as u64
     }
 
     /// Average encoded bytes per node (Figure 6(b)).
@@ -108,8 +135,15 @@ impl CfpArray {
         if self.num_nodes == 0 {
             0.0
         } else {
-            self.data.len() as f64 / self.num_nodes as f64
+            self.data_bytes() as f64 / self.num_nodes as f64
         }
+    }
+
+    /// Whether the triples live in a shared buffer (a loaded spill file)
+    /// rather than an owned `Vec`. Shared bytes are attributed by the
+    /// spill layer, not by this array's [`HeapSize`].
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Bytes::Shared { .. })
     }
 
     /// Whether the array holds no nodes.
@@ -125,19 +159,19 @@ impl CfpArray {
 
     /// The raw encoded triple bytes.
     pub fn data(&self) -> &[u8] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Reassembles an array from its serialized parts (see
     /// [`serialize`]); invariants are the writer's responsibility.
     pub(crate) fn from_parts(
-        data: Vec<u8>,
+        data: Bytes,
         starts: Vec<u64>,
         supports: Vec<u64>,
         num_nodes: u64,
     ) -> Self {
         debug_assert_eq!(starts.len(), supports.len() + 1);
-        debug_assert_eq!(*starts.last().unwrap_or(&0), data.len() as u64);
+        debug_assert_eq!(*starts.last().unwrap_or(&0), data.as_slice().len() as u64);
         CfpArray { data, starts, supports, num_nodes }
     }
 
@@ -161,7 +195,7 @@ impl CfpArray {
     pub fn subarray(&self, item: u32) -> SubarrayIter<'_> {
         let i = item as usize;
         SubarrayIter {
-            data: &self.data[..self.starts[i + 1] as usize],
+            data: &self.data.as_slice()[..self.starts[i + 1] as usize],
             at: self.starts[i] as usize,
             base: self.starts[i] as usize,
         }
@@ -170,7 +204,7 @@ impl CfpArray {
     /// Decodes the node of `item` at local byte offset `local`.
     pub fn node_at(&self, item: u32, local: u64) -> NodeView {
         let at = (self.starts[item as usize] + local) as usize;
-        let (view, _) = decode_triple(&self.data, at, local);
+        let (view, _) = decode_triple(self.data.as_slice(), at, local);
         view
     }
 
@@ -203,7 +237,14 @@ impl CfpArray {
 
 impl HeapSize for CfpArray {
     fn heap_bytes(&self) -> u64 {
-        self.data.heap_bytes() + self.starts.heap_bytes() + self.supports.heap_bytes()
+        // Shared bytes belong to the spill file's buffer, which the spill
+        // layer attributes separately (once per file, not per view); only
+        // owned storage counts here.
+        let data = match &self.data {
+            Bytes::Owned(v) => v.heap_bytes(),
+            Bytes::Shared { .. } => 0,
+        };
+        data + self.starts.heap_bytes() + self.supports.heap_bytes()
     }
 }
 
@@ -287,7 +328,7 @@ pub fn convert(tree: &CfpTree) -> CfpArray {
         tc::ARRAY_BYTES_WRITTEN.add(data.len() as u64);
         tc::ARRAY_CONVERT_NANOS.add(started.elapsed().as_nanos() as u64);
     }
-    CfpArray { data, starts, supports, num_nodes }
+    CfpArray { data: Bytes::Owned(data), starts, supports, num_nodes }
 }
 
 /// Drives one DFS pass, invoking `f(item, local, ditem, dpos, count, size)`

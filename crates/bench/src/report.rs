@@ -192,10 +192,10 @@ mod tests {
         assert!(report.wall_nanos > 0);
         assert!(report.samples.len() >= 2);
         // Count/build/convert/mine all ran under tracing (read is the
-        // CLI's file pass and recover is the supervisor's escalation
-        // phase; both stay zero here).
+        // CLI's file pass; recover and spill belong to the supervisor's
+        // escalation ladder; all three stay zero here).
         for p in &report.phases {
-            if p.name != "read" && p.name != "recover" {
+            if !matches!(p.name, "read" | "recover" | "spill") {
                 assert!(p.count > 0, "phase {} not recorded", p.name);
             }
         }

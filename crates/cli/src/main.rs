@@ -47,7 +47,13 @@
 //!   --recover POLICY   escalation ladder on failure: off (default),
 //!                      retry (compact-and-retry), degrade (… then
 //!                      sequential), partition (… then item-range
-//!                      partitioned fallback mining; cfp only)
+//!                      partitioned fallback mining), spill (… then
+//!                      out-of-core: partition arrays go through
+//!                      crash-safe disk files; cfp only)
+//!   --spill-dir PATH   parent directory for the spill rung's scratch
+//!                      files (default: the system temp directory; a
+//!                      per-run subdirectory is created and removed on
+//!                      every exit path; requires --recover=spill)
 //!   --worker-timeout S watchdog: fail a parallel run when no worker
 //!                      makes progress for S seconds
 //! ```
@@ -61,9 +67,11 @@
 //! The process maps every failure to a stable code (see
 //! `CfpError::exit_code`): 0 success (including a closed output pipe),
 //! 1 I/O error, 2 usage error, 3 malformed input, 4 memory budget
-//! exhausted, 5 worker panic, 6 worker timeout. `--recover=off` leaves
-//! all of these exactly as they were; other policies only change the
-//! outcome when a recovery rung actually completes the run.
+//! exhausted, 5 worker panic, 6 worker timeout, 7 spill failure (a
+//! spill-file write, read, or checksum validation failed permanently
+//! during `--recover=spill`). `--recover=off` leaves all of these
+//! exactly as they were; other policies only change the outcome when a
+//! recovery rung actually completes the run.
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
@@ -99,6 +107,7 @@ struct Options {
     progress: bool,
     mem_report: Option<String>,
     recover: RecoveryPolicy,
+    spill_dir: Option<String>,
     worker_timeout: Option<Duration>,
 }
 
@@ -116,7 +125,8 @@ fn print_usage() {
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
     eprintln!("  --trace-out PATH | --flame-out PATH | --progress | --mem-report PATH");
-    eprintln!("  --recover off|retry|degrade|partition | --worker-timeout SECONDS");
+    eprintln!("  --recover off|retry|degrade|partition|spill | --spill-dir PATH");
+    eprintln!("  --worker-timeout SECONDS");
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
@@ -159,6 +169,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         progress: false,
         mem_report: None,
         recover: RecoveryPolicy::Off,
+        spill_dir: None,
         worker_timeout: None,
     };
     // Accept `--flag=value` as well as `--flag value`.
@@ -210,6 +221,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--progress" => opts.progress = true,
             "--mem-report" => opts.mem_report = Some(value(arg)?),
             "--recover" => opts.recover = value(arg)?.parse()?,
+            "--spill-dir" => opts.spill_dir = Some(value(arg)?),
             "--worker-timeout" => {
                 let secs: f64 =
                     value(arg)?.parse().map_err(|_| "bad worker timeout".to_string())?;
@@ -240,6 +252,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 cfp_memman::MIN_CHUNK
             ));
         }
+    }
+    if opts.spill_dir.is_some() && opts.recover != RecoveryPolicy::Spill {
+        return Err("--spill-dir requires --recover=spill".to_string());
     }
     if opts.mem_report.is_some() && opts.algorithm != "cfp" {
         return Err(format!(
@@ -321,6 +336,7 @@ fn runner_by_name(opts: &Options, pool: Option<&cfp_memman::BudgetPool>) -> Resu
             mem_budget: opts.mem_budget,
             policy: opts.recover,
             worker_timeout: opts.worker_timeout,
+            spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
         }));
     }
     Ok(Runner::Plain(match opts.algorithm.as_str() {
@@ -848,6 +864,53 @@ mod tests {
         assert!(parse_args(&args(&["in.dat", "--support", "2", "--schedule", "fifo"]))
             .unwrap_err()
             .contains("unknown schedule"));
+    }
+
+    #[test]
+    fn parse_args_spill_flags() {
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--recover=spill",
+            "--spill-dir",
+            "/tmp/scratch",
+        ]))
+        .unwrap();
+        assert_eq!(o.recover, RecoveryPolicy::Spill);
+        assert_eq!(o.spill_dir.as_deref(), Some("/tmp/scratch"));
+
+        // --spill-dir is meaningless outside the spill policy.
+        let err =
+            parse_args(&args(&["in.dat", "--support", "2", "--spill-dir", "/tmp/s"])).unwrap_err();
+        assert!(err.contains("--recover=spill"), "{err}");
+        let err = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--recover=partition",
+            "--spill-dir",
+            "/tmp/s",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--recover=spill"), "{err}");
+
+        // The policy list in the parse error names spill.
+        let err =
+            parse_args(&args(&["in.dat", "--support", "2", "--recover", "disk"])).unwrap_err();
+        assert!(err.contains("spill"), "{err}");
+
+        // --recover=spill applies to the cfp algorithm only.
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--algorithm",
+            "apriori",
+            "--recover=spill",
+        ]))
+        .unwrap();
+        assert!(runner_by_name(&o, None).is_err());
     }
 
     #[test]

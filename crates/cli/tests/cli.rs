@@ -203,15 +203,16 @@ fn profile_report_is_valid_and_complete() {
     assert!(wall > 0);
 
     // All pipeline phases present, in order. The five classic phases are
-    // each entered exactly once on a healthy run; the recover phase
-    // exists in the schema but stays unentered. Their summed wall time
+    // each entered exactly once on a healthy run; the recover and spill
+    // phases exist in the schema but stay unentered. Their summed wall time
     // fits inside the end-to-end wall time.
     let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
     let names: Vec<&str> = phases.iter().filter_map(|p| p.get("name")?.as_str()).collect();
-    assert_eq!(names, ["read", "count", "build", "convert", "mine", "recover"]);
+    assert_eq!(names, ["read", "count", "build", "convert", "mine", "recover", "spill"]);
     let mut phase_sum = 0;
     for p in phases {
-        let expected = if p.get("name").and_then(Json::as_str) == Some("recover") { 0 } else { 1 };
+        let name = p.get("name").and_then(Json::as_str).unwrap();
+        let expected = if matches!(name, "recover" | "spill") { 0 } else { 1 };
         assert_eq!(p.get("count").and_then(Json::as_u64), Some(expected), "{p:?}");
         let nanos = p.get("nanos").and_then(Json::as_u64).unwrap();
         assert_eq!(nanos > 0, expected > 0, "{p:?}");

@@ -21,6 +21,7 @@
 //! degenerates into a single path short-circuits into direct subset
 //! enumeration.
 
+use crate::spill::CondSpill;
 use cfp_array::{convert, CfpArray};
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
 use cfp_memman::{Arena, ArenaOptions, BudgetPool, Component, MemoryBudget, StatsReset};
@@ -43,6 +44,11 @@ pub struct MineOpts {
     pub pool: Option<BudgetPool>,
     /// Compact an arena and retry once before reporting exhaustion.
     pub compact_on_pressure: bool,
+    /// Round-trip oversized conditional CFP-arrays through spill files
+    /// ([`CondSpill`]), leaving their data bytes outside pool-metered
+    /// memory. Armed by the supervisor's spill rung; `None` keeps every
+    /// conditional structure in RAM (classic behaviour).
+    pub cond_spill: Option<CondSpill>,
 }
 
 impl MineOpts {
@@ -65,24 +71,51 @@ impl MineOpts {
 /// errors.
 pub(crate) struct ArrayCharge {
     pool: Option<BudgetPool>,
+    component: Component,
     bytes: u64,
 }
 
 impl ArrayCharge {
     pub(crate) fn new(pool: Option<BudgetPool>, bytes: u64) -> Self {
+        Self::with_component(pool, Component::CondArrays, bytes)
+    }
+
+    /// An external charge against an explicit component — the spill rung
+    /// attributes loaded spill buffers to [`Component::Spill`] this way.
+    pub(crate) fn with_component(
+        pool: Option<BudgetPool>,
+        component: Component,
+        bytes: u64,
+    ) -> Self {
         if let Some(p) = &pool {
-            p.charge_external(Component::CondArrays, bytes);
+            p.charge_external(component, bytes);
         }
-        ArrayCharge { pool, bytes }
+        ArrayCharge { pool, component, bytes }
     }
 }
 
 impl Drop for ArrayCharge {
     fn drop(&mut self) {
         if let Some(p) = &self.pool {
-            p.release_external(Component::CondArrays, self.bytes);
+            p.release_external(self.component, self.bytes);
         }
     }
+}
+
+/// Charges a conditional array's bytes to the pool with the right
+/// attribution: an in-RAM array is a `CondArrays` charge for its whole
+/// heap footprint; a spilled (shared-buffer) array additionally
+/// attributes its data block — which `heap_bytes` no longer counts — to
+/// [`Component::Spill`].
+fn charge_cond_array(
+    pool: &Option<BudgetPool>,
+    array: &CfpArray,
+) -> (ArrayCharge, Option<ArrayCharge>) {
+    let charge = ArrayCharge::new(pool.clone(), array.heap_bytes());
+    let spill = array
+        .is_shared()
+        .then(|| ArrayCharge::with_component(pool.clone(), Component::Spill, array.data_bytes()));
+    (charge, spill)
 }
 
 /// Per-worker reusable mine-phase state.
@@ -372,6 +405,37 @@ pub(crate) fn mine_single_path_root(
     Some(ctx.itemsets)
 }
 
+/// Sequentially mines a pre-built top-level CFP-array — the spill rung's
+/// entry point for arrays loaded back from disk, where no tree or
+/// database exists anymore. Behaves exactly like the mine phase of
+/// [`CfpGrowthMiner::try_mine_with`] on the same array and returns the
+/// number of itemsets emitted.
+pub(crate) fn mine_loaded(
+    array: &CfpArray,
+    globals: &[Item],
+    min_support: u64,
+    single_path_opt: bool,
+    sink: &mut dyn ItemsetSink,
+    opts: &MineOpts,
+) -> Result<u64, CfpError> {
+    let _s = span(Phase::Mine);
+    let mut scratch = Scratch::default();
+    let mut ctx = Ctx {
+        sink,
+        gauge: MemGauge::new(),
+        min_support,
+        single_path_opt,
+        opts: opts.clone(),
+        scratch: &mut scratch,
+        suffix: Vec::new(),
+        emit_buf: Vec::new(),
+        path_buf: Vec::new(),
+        itemsets: 0,
+    };
+    mine_array(array, globals, &mut ctx)?;
+    Ok(ctx.itemsets)
+}
+
 /// Mines the complete subtree of one first-level item: emits `{item}`
 /// and recurses through its conditional structures. Returns the number of
 /// itemsets emitted and the peak bytes of the conditional structures.
@@ -407,7 +471,7 @@ pub(crate) fn mine_one_item(
     if item > 0 {
         if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx)? {
             ctx.gauge.alloc(cond_array.heap_bytes());
-            let _charge = ArrayCharge::new(ctx.opts.pool.clone(), cond_array.heap_bytes());
+            let _charges = charge_cond_array(&ctx.opts.pool, &cond_array);
             mine_array(&cond_array, &cond_globals, &mut ctx)?;
             ctx.gauge.free(cond_array.heap_bytes());
         }
@@ -447,7 +511,7 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
         if item > 0 {
             if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx)? {
                 ctx.gauge.alloc(cond_array.heap_bytes());
-                let _charge = ArrayCharge::new(ctx.opts.pool.clone(), cond_array.heap_bytes());
+                let _charges = charge_cond_array(&ctx.opts.pool, &cond_array);
                 ctx.gauge.checkpoint();
                 mine_array(&cond_array, &cond_globals, ctx)?;
                 ctx.gauge.free(cond_array.heap_bytes());
@@ -564,6 +628,15 @@ fn conditional(
         arena.reset_with(StatsReset::ClearPeaks);
         ctx.scratch.arena = Some(arena);
     }
+    // Out-of-core hook: an oversized conditional array round-trips
+    // through a spill file and comes back as a shared view, so its data
+    // block leaves pool-metered memory. The checksum on the file proves
+    // the round trip intact; mining a view is byte-identical to mining
+    // the owned original.
+    let cond_array = match &ctx.opts.cond_spill {
+        Some(cs) if cond_array.data_bytes() >= cs.threshold() => cs.round_trip(&cond_array)?,
+        _ => cond_array,
+    };
     Ok(Some((cond_array, cond_globals)))
 }
 
@@ -638,6 +711,78 @@ mod tests {
         let mut sink = CollectSink::new();
         FpGrowthMiner::new().mine(db, minsup, &mut sink);
         sink.into_sorted()
+    }
+
+    #[test]
+    fn shared_cond_arrays_charge_the_spill_component_externally() {
+        use cfp_data::spill::SpillDir;
+        let db = TransactionDb::from_rows(&[
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![1, 2, 4],
+            vec![1, 2],
+            vec![1, 3],
+        ]);
+        let (_, tree) = try_build_tree(&db, 2, None).unwrap();
+        let array = convert(&tree);
+        drop(tree);
+        let parent = std::env::temp_dir().join(format!("cfp-growth-spill-{}", std::process::id()));
+        let dir = std::sync::Arc::new(SpillDir::create(&parent).unwrap());
+        let view = crate::spill::CondSpill::new(std::sync::Arc::clone(&dir), 1)
+            .round_trip(&array)
+            .unwrap();
+        assert!(view.is_shared());
+
+        let pool = BudgetPool::new(1 << 20);
+        let charges = charge_cond_array(&Some(pool.clone()), &view);
+        let snap = pool.snapshot();
+        let spill_row =
+            snap.components.iter().find(|(name, _, _)| *name == "spill").expect("spill row");
+        assert_eq!(spill_row.1, view.data_bytes(), "the shared data block is a spill charge");
+        assert_eq!(
+            snap.components_total(),
+            snap.accounted(),
+            "Σ components must stay equal to used + external with spill charges live"
+        );
+        drop(charges);
+        let snap = pool.snapshot();
+        assert_eq!(snap.external_used, 0, "dropping the guards releases every charge");
+        assert_eq!(snap.components_total(), snap.accounted());
+        drop(dir);
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn cond_spill_round_trip_keeps_mining_byte_identical() {
+        use cfp_data::spill::SpillDir;
+        // A denser db so several conditional arrays exist; threshold 1
+        // forces every one of them through the spill file path.
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut db = TransactionDb::new();
+        for _ in 0..80 {
+            let row: Vec<Item> = (0..10).filter(|_| rng.gen_bool(0.5)).collect();
+            db.push(&row);
+        }
+        let baseline = mine_collect(&db, 3, true);
+
+        let parent =
+            std::env::temp_dir().join(format!("cfp-growth-condspill-{}", std::process::id()));
+        let dir = std::sync::Arc::new(SpillDir::create(&parent).unwrap());
+        let opts = MineOpts {
+            cond_spill: Some(crate::spill::CondSpill::new(std::sync::Arc::clone(&dir), 1)),
+            ..Default::default()
+        };
+        let mut sink = CollectSink::new();
+        CfpGrowthMiner::new().try_mine_with(&db, 3, &mut sink, &opts).unwrap();
+        assert_eq!(sink.into_sorted(), baseline, "spilled conditionals must not change output");
+        assert_eq!(
+            std::fs::read_dir(dir.path()).unwrap().count(),
+            0,
+            "every conditional round-trip file is removed after its load"
+        );
+        drop(dir);
+        let _ = std::fs::remove_dir_all(&parent);
     }
 
     #[test]
@@ -761,7 +906,11 @@ mod tests {
         drop(tree);
         let globals: Vec<Item> =
             (0..recoder.num_items() as u32).map(|i| recoder.original(i)).collect();
-        let opts = MineOpts { pool: Some(BudgetPool::new(4)), compact_on_pressure: true };
+        let opts = MineOpts {
+            pool: Some(BudgetPool::new(4)),
+            compact_on_pressure: true,
+            cond_spill: None,
+        };
         let mut sink = CountingSink::new();
         let last = recoder.num_items() as u32 - 1;
         let err = mine_one_item(

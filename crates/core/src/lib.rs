@@ -43,6 +43,7 @@ pub mod io;
 pub mod memstat;
 pub mod parallel;
 pub mod schedule;
+pub mod spill;
 pub mod supervisor;
 
 pub use cfp_array::{convert, CfpArray};
@@ -55,4 +56,5 @@ pub use io::mine_file;
 pub use memstat::{collect_memstat, FpBaselineBytes, MemStatRun};
 pub use parallel::ParallelCfpGrowthMiner;
 pub use schedule::Schedule;
+pub use spill::CondSpill;
 pub use supervisor::{RecoveryPolicy, RecoveryReport, RungReport, Supervisor};

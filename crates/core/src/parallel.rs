@@ -229,7 +229,11 @@ impl Miner for ParallelCfpGrowthMiner {
                     db,
                     min_support,
                     sink,
-                    &MineOpts { pool, compact_on_pressure: self.compact_on_pressure },
+                    &MineOpts {
+                        pool,
+                        compact_on_pressure: self.compact_on_pressure,
+                        cond_spill: None,
+                    },
                 );
         }
         let mut stats = MineStats::default();
@@ -267,7 +271,11 @@ impl Miner for ParallelCfpGrowthMiner {
         let threads = self.threads.min(n.max(1) as usize);
         let single_path_opt = self.single_path_opt;
         let schedule = self.schedule;
-        let opts = MineOpts { pool: pool.clone(), compact_on_pressure: self.compact_on_pressure };
+        let opts = MineOpts {
+            pool: pool.clone(),
+            compact_on_pressure: self.compact_on_pressure,
+            cond_spill: None,
+        };
 
         // A globally single-path array needs no parallelism — and must not
         // be decomposed per item, or the emission order diverges from the
@@ -640,7 +648,7 @@ fn worker_tick(heartbeat: &AtomicU64, schedule: Schedule, done: u64, fair_share:
 }
 
 /// Renders a caught panic payload as a diagnostic string.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

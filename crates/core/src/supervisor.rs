@@ -16,6 +16,11 @@
 //!    budget, and merge the per-range results into the exact global
 //!    result. A range that still exhausts the budget is split in two and
 //!    requeued; a single-item range that fails ends the run.
+//! 4. **spill** (replacing rung 3 under [`RecoveryPolicy::Spill`]) —
+//!    out-of-core partitioned mining: each projection's CFP-array is
+//!    written to a crash-safe spill file and mined back one at a time
+//!    through a zero-copy view, so the budget covers only one
+//!    partition's transient structures at a time.
 //!
 //! Output is buffered per attempt and flushed to the caller's sink only
 //! when an attempt succeeds, so the caller never sees a partial result
@@ -31,15 +36,21 @@
 //! preserves the itemset's full global support, and a
 //! max-item filter keeps each itemset in exactly one range's output.
 
-use crate::growth::{CfpGrowthMiner, MineOpts};
+use crate::growth::{mine_loaded, ArrayCharge, CfpGrowthMiner, MineOpts};
 use crate::parallel::ParallelCfpGrowthMiner;
 use crate::schedule::Schedule;
+use crate::spill::{load_spill_array, write_spill_array, CondSpill};
+use cfp_array::convert;
 use cfp_data::miner::CollectSink;
 use cfp_data::partition::{project, ranges_by_mass};
+use cfp_data::spill::SpillDir;
 use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
-use cfp_memman::BudgetPool;
+use cfp_memman::{BudgetPool, Component};
 use cfp_trace::{span, Phase};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How far the supervisor may escalate when a run fails.
@@ -53,6 +64,11 @@ pub enum RecoveryPolicy {
     Degrade,
     /// Rungs 1–3: retry, degrade, then partitioned fallback mining.
     Partition,
+    /// Rungs 1–2 then out-of-core: retry, degrade, then spill partition
+    /// arrays to disk and mine them back one at a time through zero-copy
+    /// views. The disk-backed sibling of [`RecoveryPolicy::Partition`]
+    /// for datasets whose projections still crowd the budget in RAM.
+    Spill,
 }
 
 impl RecoveryPolicy {
@@ -63,6 +79,7 @@ impl RecoveryPolicy {
             RecoveryPolicy::Retry => "retry",
             RecoveryPolicy::Degrade => "degrade",
             RecoveryPolicy::Partition => "partition",
+            RecoveryPolicy::Spill => "spill",
         }
     }
 }
@@ -76,9 +93,10 @@ impl std::str::FromStr for RecoveryPolicy {
             "retry" => Ok(RecoveryPolicy::Retry),
             "degrade" => Ok(RecoveryPolicy::Degrade),
             "partition" => Ok(RecoveryPolicy::Partition),
-            other => {
-                Err(format!("unknown recovery policy '{other}' (off|retry|degrade|partition)"))
-            }
+            "spill" => Ok(RecoveryPolicy::Spill),
+            other => Err(format!(
+                "unknown recovery policy '{other}' (off|retry|degrade|partition|spill)"
+            )),
         }
     }
 }
@@ -86,7 +104,7 @@ impl std::str::FromStr for RecoveryPolicy {
 /// One rung's outcome within a recovery ladder.
 #[derive(Clone, Debug)]
 pub struct RungReport {
-    /// Rung name: `"retry"`, `"degrade"`, or `"partition"`.
+    /// Rung name: `"retry"`, `"degrade"`, `"partition"`, or `"spill"`.
     pub rung: &'static str,
     /// Whether this rung completed the run.
     pub succeeded: bool,
@@ -133,6 +151,10 @@ pub struct Supervisor {
     /// Mine-phase schedule for the first attempt and the retry rung
     /// (the degrade and partition rungs are sequential by design).
     pub schedule: Schedule,
+    /// Parent directory for the spill rung's scratch files; the system
+    /// temp directory when unset. A uniquely-named subdirectory is
+    /// created per run and removed on every exit path.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Supervisor {
@@ -145,6 +167,7 @@ impl Supervisor {
             policy,
             worker_timeout: None,
             schedule: Schedule::default(),
+            spill_dir: None,
         }
     }
 
@@ -246,7 +269,7 @@ impl Supervisor {
                     db,
                     min_support,
                     &mut buf,
-                    &MineOpts { pool: pool.clone(), compact_on_pressure: true },
+                    &MineOpts { pool: pool.clone(), compact_on_pressure: true, cond_spill: None },
                 );
             let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
             match r {
@@ -278,13 +301,20 @@ impl Supervisor {
             return (Err(last_err), report);
         }
 
-        // Rung 3: partitioned fallback mining.
+        // Rung 3: partitioned fallback mining — in RAM for the
+        // `partition` policy, through disk for `spill`.
         let _s = span(Phase::Recover);
-        rung_started(cfp_trace::Rung::Partition);
-        match self.partition_rung(db, min_support, &last_err) {
+        let (rung, r) = if self.policy == RecoveryPolicy::Spill {
+            rung_started(cfp_trace::Rung::Spill);
+            ("spill", self.spill_rung(db, min_support, &last_err))
+        } else {
+            rung_started(cfp_trace::Rung::Partition);
+            ("partition", self.partition_rung(db, min_support, &last_err))
+        };
+        match r {
             Ok((stats, partitions, reclaimed, peaks, buf)) => {
                 report.rungs.push(RungReport {
-                    rung: "partition",
+                    rung,
                     succeeded: true,
                     reclaimed_bytes: reclaimed,
                     partitions,
@@ -298,7 +328,7 @@ impl Supervisor {
             }
             Err((e, partitions, reclaimed)) => {
                 report.rungs.push(RungReport {
-                    rung: "partition",
+                    rung,
                     succeeded: false,
                     reclaimed_bytes: reclaimed,
                     partitions,
@@ -347,7 +377,7 @@ impl Supervisor {
         while let Some((lo, hi)) = queue.pop_front() {
             let proj = project(db, &recoder, lo, hi);
             let pool = self.mem_budget.map(BudgetPool::new);
-            let opts = MineOpts { pool: pool.clone(), compact_on_pressure: true };
+            let opts = MineOpts { pool: pool.clone(), compact_on_pressure: true, cond_spill: None };
             let mut fsink = RangeFilterSink { inner: &mut buf, recoder: &recoder, lo, hi };
             let r = miner.try_mine_with(&proj, min_support, &mut fsink, &opts);
             if let Some(p) = &pool {
@@ -388,6 +418,260 @@ impl Supervisor {
         stats.worker_peaks = peaks.clone();
         Ok((stats, mined, reclaimed, peaks, buf))
     }
+
+    /// Runs the out-of-core spill rung directly, without first climbing
+    /// the in-memory rungs — for callers that already know the dataset
+    /// must go through disk (and for differential testing of the rung in
+    /// isolation). Output, exactness, and reporting match a
+    /// [`mine`](Supervisor::mine) run whose ladder ends in the spill
+    /// rung.
+    pub fn mine_out_of_core(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+    ) -> (Result<MineStats, CfpError>, RecoveryReport) {
+        let mut report = RecoveryReport {
+            policy: RecoveryPolicy::Spill.name().to_string(),
+            ..Default::default()
+        };
+        let _s = span(Phase::Recover);
+        rung_started(cfp_trace::Rung::Spill);
+        let cause = CfpError::MemoryExhausted {
+            phase: "build",
+            requested: 0,
+            footprint: 0,
+            limit: self.mem_budget.unwrap_or(0),
+        };
+        match self.spill_rung(db, min_support, &cause) {
+            Ok((stats, partitions, reclaimed, peaks, buf)) => {
+                report.rungs.push(RungReport {
+                    rung: "spill",
+                    succeeded: true,
+                    reclaimed_bytes: reclaimed,
+                    partitions,
+                    error: None,
+                });
+                report.recovered = true;
+                report.final_partitions = partitions;
+                report.partition_peaks = peaks;
+                flush(buf, sink);
+                (Ok(stats), report)
+            }
+            Err((e, partitions, reclaimed)) => {
+                report.rungs.push(RungReport {
+                    rung: "spill",
+                    succeeded: false,
+                    reclaimed_bytes: reclaimed,
+                    partitions,
+                    error: Some(e.to_string()),
+                });
+                (Err(e), report)
+            }
+        }
+    }
+
+    /// The spill rung: out-of-core partitioned mining.
+    ///
+    /// **Spill phase** — each queued item range is projected, its
+    /// CFP-tree built and converted under a fresh budget pool, and the
+    /// resulting array written to a crash-safe spill file
+    /// ([`cfp_data::spill::write_atomic`]); tree and array are dropped
+    /// before the next range, so at most one partition's structures are
+    /// in RAM. A range whose *tree* already busts the budget is halved
+    /// and requeued, exactly like the in-memory partition rung.
+    ///
+    /// **Mine phase** — each spill file is loaded back as one shared
+    /// buffer, charged to the pool as external [`Component::Spill`]
+    /// memory, and mined zero-copy through [`CfpArray::from_bytes`]
+    /// (cfp_array::CfpArray::from_bytes) with a max-item range filter.
+    /// Oversized conditional arrays round-trip through the same spill
+    /// directory ([`CondSpill`]). A partition whose *conditional*
+    /// structures bust the budget is retracted, deleted, halved, and
+    /// sent back through the spill phase.
+    ///
+    /// Exactness is the partition rung's Grahne & Zhu argument
+    /// unchanged: the on-disk detour is a checksummed identity
+    /// transformation of each partition's array. All spill state lives
+    /// in one [`SpillDir`] removed on every exit path; a worker panic is
+    /// contained to a structured [`CfpError::WorkerPanic`].
+    #[allow(clippy::type_complexity)]
+    fn spill_rung(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        cause: &CfpError,
+    ) -> Result<(MineStats, u64, u64, Vec<u64>, CollectSink), (CfpError, u64, u64)> {
+        let recoder = ItemRecoder::scan(db, min_support);
+        let n = recoder.num_items();
+        if n == 0 {
+            return Ok((MineStats::default(), 0, 0, Vec::new(), CollectSink::new()));
+        }
+        let k0 = match *cause {
+            CfpError::MemoryExhausted { footprint, limit, .. } if limit > 0 => {
+                (2 * footprint).div_ceil(limit).max(2) as usize
+            }
+            _ => 2,
+        };
+        let parent = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+        let dir = match SpillDir::create(&parent) {
+            Ok(d) => Arc::new(d),
+            Err(e) => {
+                return Err((
+                    CfpError::Spill {
+                        op: "write",
+                        path: parent.display().to_string(),
+                        message: e.to_string(),
+                    },
+                    0,
+                    0,
+                ))
+            }
+        };
+        // Conditional arrays above a quarter of the budget follow the
+        // partitions to disk; without a budget nothing is oversized.
+        let cond_spill = self.mem_budget.map(|b| CondSpill::new(Arc::clone(&dir), (b / 4).max(1)));
+
+        let mut ranges: VecDeque<(u32, u32)> = ranges_by_mass(&recoder, k0.min(n)).into();
+        let mut entries: VecDeque<SpillEntry> = VecDeque::new();
+        let mut buf = CollectSink::new();
+        let mut stats = MineStats::default();
+        let mut peaks: Vec<u64> = Vec::new();
+        let mut reclaimed = 0u64;
+        let mut mined = 0u64;
+        let mut seq = 0u64;
+        loop {
+            // Spill phase: write every queued range's array to disk.
+            while let Some((lo, hi)) = ranges.pop_front() {
+                let proj = project(db, &recoder, lo, hi);
+                let pool = self.mem_budget.map(BudgetPool::new);
+                let built = crate::growth::try_build_tree_with(
+                    &proj,
+                    min_support,
+                    cfp_memman::ArenaOptions {
+                        budget: None,
+                        pool: pool.clone(),
+                        compact_on_pressure: true,
+                        component: Component::BuildTree,
+                    },
+                );
+                if let Some(p) = &pool {
+                    reclaimed += p.compact_reclaimed();
+                }
+                match built {
+                    Ok((proj_recoder, tree)) => {
+                        stats.tree_nodes += tree.num_nodes();
+                        let array = convert(&tree);
+                        drop(tree);
+                        let globals: Vec<Item> = (0..proj_recoder.num_items() as u32)
+                            .map(|i| proj_recoder.original(i))
+                            .collect();
+                        let name = format!("p{seq}.cfpa");
+                        seq += 1;
+                        let bytes = write_spill_array(&dir.file(&name), &array)
+                            .map_err(|e| (e, mined, reclaimed))?;
+                        entries.push_back(SpillEntry { name, lo, hi, globals, bytes });
+                    }
+                    Err(CfpError::MemoryExhausted { .. }) if hi - lo > 1 => {
+                        let mid = lo + (hi - lo) / 2;
+                        ranges.push_front((mid, hi));
+                        ranges.push_front((lo, mid));
+                    }
+                    Err(e) => return Err((e, mined, reclaimed)),
+                }
+            }
+            // Mine phase: load each file back and mine it zero-copy.
+            while let Some(entry) = entries.pop_front() {
+                let SpillEntry { name, lo, hi, globals, bytes: _ } = &entry;
+                let path = dir.file(name);
+                let pool = self.mem_budget.map(BudgetPool::new);
+                let opts = MineOpts {
+                    pool: pool.clone(),
+                    compact_on_pressure: true,
+                    cond_spill: cond_spill.clone(),
+                };
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    if cfp_fault::should_fail("core.worker") {
+                        panic!("injected worker fault (failpoint core.worker)");
+                    }
+                    let (array, loaded_bytes) = load_spill_array(&path)?;
+                    let _spill_charge =
+                        ArrayCharge::with_component(pool.clone(), Component::Spill, loaded_bytes);
+                    let mut fsink =
+                        RangeFilterSink { inner: &mut buf, recoder: &recoder, lo: *lo, hi: *hi };
+                    mine_loaded(
+                        &array,
+                        globals,
+                        min_support,
+                        self.single_path_opt,
+                        &mut fsink,
+                        &opts,
+                    )
+                }));
+                if let Some(p) = &pool {
+                    reclaimed += p.compact_reclaimed();
+                }
+                match r {
+                    Ok(Ok(_)) => {
+                        dir.remove(name);
+                        mined += 1;
+                        peaks.push(pool.map(|p| p.peak()).unwrap_or(0));
+                    }
+                    Ok(Err(CfpError::MemoryExhausted { .. })) if hi - lo > 1 => {
+                        // Conditional structures still too big: retract
+                        // this range's partial output, drop its file, and
+                        // send both halves back through the spill phase.
+                        retract_range(&mut buf, &recoder, *lo, *hi);
+                        dir.remove(name);
+                        let mid = lo + (hi - lo) / 2;
+                        ranges.push_back((*lo, mid));
+                        ranges.push_back((mid, *hi));
+                    }
+                    Ok(Err(e)) => return Err((e, mined, reclaimed)),
+                    Err(payload) => {
+                        if cfp_trace::enabled() {
+                            cfp_trace::counters::CORE_WORKER_PANICS.inc();
+                        }
+                        return Err((
+                            CfpError::WorkerPanic {
+                                worker: 0,
+                                message: crate::parallel::panic_message(&*payload),
+                            },
+                            mined,
+                            reclaimed,
+                        ));
+                    }
+                }
+            }
+            if ranges.is_empty() {
+                break;
+            }
+        }
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_SPILL_PARTITIONS.record(mined);
+        }
+        stats.itemsets = buf.itemsets.len() as u64;
+        stats.peak_bytes = peaks.iter().copied().max().unwrap_or(0);
+        stats.worker_peaks = peaks.clone();
+        Ok((stats, mined, reclaimed, peaks, buf))
+    }
+}
+
+/// One partition's spill file, between the spill and mine phases.
+struct SpillEntry {
+    /// File name inside the run's [`SpillDir`].
+    name: String,
+    /// Global recoded item range `[lo, hi)` this partition covers.
+    lo: u32,
+    /// Exclusive upper bound of the range.
+    hi: u32,
+    /// The projection's local-id → original-item map, captured at build
+    /// time (the database is not consulted again during the mine phase).
+    globals: Vec<Item>,
+    /// On-disk byte size (recorded for reporting; the mine phase charges
+    /// the actual loaded size).
+    #[allow(dead_code)]
+    bytes: u64,
 }
 
 fn rung_started(rung: cfp_trace::Rung) {
@@ -564,6 +848,127 @@ mod tests {
             assert!(peak <= &budget, "peak {peak} over budget {budget}");
         }
         assert_eq!(sink.into_sorted(), reference(&db, minsup));
+    }
+
+    fn spill_parent(tag: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("cfp-sup-spill-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn assert_clean(parent: &std::path::Path) {
+        let leftovers = std::fs::read_dir(parent).map(|it| it.count()).unwrap_or(0);
+        assert_eq!(leftovers, 0, "no stray spill state may survive the run");
+        let _ = std::fs::remove_dir_all(parent);
+    }
+
+    #[test]
+    fn spill_policy_recovers_out_of_core_on_a_block_structured_db() {
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut db = TransactionDb::new();
+        for block in 0u32..3 {
+            for _ in 0..60 {
+                let t: Vec<Item> =
+                    (0..8).filter(|_| rng.gen_bool(0.6)).map(|i| block * 100 + i).collect();
+                db.push(&t);
+            }
+        }
+        let minsup = 3;
+        let (_, tree) = crate::growth::try_build_tree(&db, minsup, None).unwrap();
+        let mono = tree.arena_footprint();
+        drop(tree);
+
+        let parent = spill_parent("ladder");
+        let sup = Supervisor {
+            threads: 2,
+            mem_budget: Some(mono * 2 / 3),
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, minsup, &mut sink);
+        r.expect("the spill rung must recover the run");
+        assert!(report.recovered);
+        assert_eq!(
+            report.rungs.iter().map(|r| r.rung).collect::<Vec<_>>(),
+            vec!["retry", "degrade", "spill"],
+            "the spill policy replaces the partition rung"
+        );
+        assert!(report.final_partitions >= 2);
+        assert_eq!(sink.into_sorted(), reference(&db, minsup), "spilled result must be exact");
+        assert_clean(&parent);
+    }
+
+    #[test]
+    fn mine_out_of_core_matches_the_reference_on_the_textbook_db() {
+        let db = textbook();
+        let parent = spill_parent("direct");
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine_out_of_core(&db, 2, &mut sink);
+        let stats = r.expect("out-of-core run");
+        assert!(report.recovered);
+        assert_eq!(report.rungs.len(), 1);
+        assert_eq!(report.rungs[0].rung, "spill");
+        assert!(report.final_partitions >= 2, "the rung must actually partition");
+        let got = sink.into_sorted();
+        assert_eq!(got, reference(&db, 2));
+        assert_eq!(stats.itemsets, got.len() as u64);
+        assert_clean(&parent);
+    }
+
+    #[test]
+    fn mine_out_of_core_stays_under_a_sub_monolithic_budget() {
+        let db = textbook();
+        // Budget below the monolithic tree but above a single projection:
+        // ranges that overrun it are halved and respilled until they fit.
+        let (_, tree) = crate::growth::try_build_tree(&db, 2, None).unwrap();
+        let budget = tree.arena_footprint() - 10;
+        drop(tree);
+
+        let parent = spill_parent("tiny");
+        let sup = Supervisor {
+            mem_budget: Some(budget),
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine_out_of_core(&db, 2, &mut sink);
+        r.expect("halving must make every partition fit");
+        for (i, peak) in report.partition_peaks.iter().enumerate() {
+            assert!(peak <= &budget, "partition {i} peak {peak} over budget {budget}");
+        }
+        assert_eq!(sink.into_sorted(), reference(&db, 2));
+        assert_clean(&parent);
+    }
+
+    #[test]
+    fn mine_out_of_core_on_an_empty_db_is_exactly_empty() {
+        let parent = spill_parent("empty");
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine_out_of_core(&TransactionDb::new(), 1, &mut sink);
+        let stats = r.expect("empty run");
+        assert_eq!(stats.itemsets, 0);
+        assert_eq!(report.final_partitions, 0);
+        assert!(sink.into_sorted().is_empty());
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn spill_policy_name_round_trips() {
+        let p: RecoveryPolicy = "spill".parse().unwrap();
+        assert_eq!(p, RecoveryPolicy::Spill);
+        assert_eq!(p.name(), "spill");
+        let err = "disk".parse::<RecoveryPolicy>().unwrap_err();
+        assert!(err.contains("spill"), "the error must list the new policy: {err}");
     }
 
     #[test]

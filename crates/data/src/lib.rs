@@ -18,6 +18,9 @@
 //!   and the [`miner::ItemsetSink`] output abstraction.
 //! - [`partition`]: item-range projections of a database for exact
 //!   partitioned fallback mining under a memory budget (Grahne & Zhu).
+//! - [`spill`]: crash-safe spill files (atomic write-fsync-rename, RAII
+//!   directory cleanup, bounded retries, I/O failpoints) backing the
+//!   supervisor's out-of-core rung.
 //! - [`rng`]: a small deterministic PRNG (xoshiro256++) replacing the
 //!   `rand` crate, so the workspace builds without network access.
 
@@ -31,6 +34,7 @@ pub mod partition;
 pub mod profiles;
 pub mod quest;
 pub mod rng;
+pub mod spill;
 pub mod types;
 pub mod zipf;
 

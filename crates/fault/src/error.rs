@@ -57,6 +57,18 @@ pub enum CfpError {
         /// Milliseconds the watchdog waited without seeing progress.
         waited_ms: u64,
     },
+    /// A spill-file operation of the out-of-core rung failed permanently
+    /// (after bounded retries for transient kinds): ENOSPC or a short
+    /// write while spilling a partition, a read error while loading one
+    /// back, or a checksum/schema mismatch mapping the loaded bytes.
+    Spill {
+        /// The failing operation: `"write"`, `"read"`, or `"map"`.
+        op: &'static str,
+        /// The spill file (or directory) involved.
+        path: String,
+        /// The underlying failure, stringified.
+        message: String,
+    },
 }
 
 /// Exit code for command-line usage errors (bad flags, missing
@@ -68,7 +80,7 @@ impl CfpError {
     ///
     /// The space is documented in the README: 0 success, 1 I/O error,
     /// 2 usage error ([`EXIT_USAGE`]), 3 malformed input, 4 memory
-    /// exhausted, 5 worker panic, 6 worker timeout.
+    /// exhausted, 5 worker panic, 6 worker timeout, 7 spill failure.
     pub fn exit_code(&self) -> i32 {
         match self {
             CfpError::Io(_) => 1,
@@ -76,6 +88,7 @@ impl CfpError {
             CfpError::MemoryExhausted { .. } => 4,
             CfpError::WorkerPanic { .. } => 5,
             CfpError::WorkerTimeout { .. } => 6,
+            CfpError::Spill { .. } => 7,
         }
     }
 
@@ -121,6 +134,9 @@ impl fmt::Display for CfpError {
                     "worker {worker} stalled: no progress for {waited_ms} ms; siblings cancelled"
                 )
             }
+            CfpError::Spill { op, path, message } => {
+                write!(f, "spill {op} failed at {path}: {message}")
+            }
         }
     }
 }
@@ -154,6 +170,7 @@ impl From<CfpError> for io::Error {
             CfpError::WorkerTimeout { .. } => {
                 io::Error::new(io::ErrorKind::TimedOut, e.to_string())
             }
+            CfpError::Spill { .. } => io::Error::other(e.to_string()),
         }
     }
 }
@@ -170,6 +187,7 @@ mod tests {
             CfpError::MemoryExhausted { phase: "build", requested: 1, footprint: 2, limit: 3 },
             CfpError::WorkerPanic { worker: 0, message: "x".into() },
             CfpError::WorkerTimeout { worker: 0, waited_ms: 100 },
+            CfpError::Spill { op: "write", path: "/tmp/p0.cfpa".into(), message: "x".into() },
         ];
         let mut codes: Vec<i32> = errs.iter().map(CfpError::exit_code).collect();
         codes.push(EXIT_USAGE);
@@ -178,7 +196,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), codes.len(), "exit codes must not collide: {codes:?}");
-        assert_eq!(codes, vec![1, 3, 4, 5, 6, 2, 0]);
+        assert_eq!(codes, vec![1, 3, 4, 5, 6, 7, 2, 0]);
     }
 
     #[test]
@@ -211,6 +229,13 @@ mod tests {
         let e = CfpError::WorkerTimeout { worker: 3, waited_ms: 750 };
         let s = e.to_string();
         assert!(s.contains("worker 3") && s.contains("750"), "{s}");
+        let e = CfpError::Spill {
+            op: "write",
+            path: "/spill/p3.cfpa".into(),
+            message: "No space left on device".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("write") && s.contains("p3.cfpa") && s.contains("space"), "{s}");
     }
 
     #[test]

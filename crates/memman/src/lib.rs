@@ -120,6 +120,10 @@ pub enum Component {
     TidLists,
     /// Scratch buffers (recycled arenas between tasks, emit buffers).
     Scratch,
+    /// Out-of-core spill buffers: partition arrays loaded back from disk
+    /// by the spill rung, charged externally so reports can attribute the
+    /// borrowed file bytes.
+    Spill,
     /// Anything not explicitly tagged.
     #[default]
     Other,
@@ -127,12 +131,13 @@ pub enum Component {
 
 impl Component {
     /// Every component, in report order.
-    pub const ALL: [Component; 6] = [
+    pub const ALL: [Component; 7] = [
         Component::BuildTree,
         Component::CondTrees,
         Component::CondArrays,
         Component::TidLists,
         Component::Scratch,
+        Component::Spill,
         Component::Other,
     ];
 
@@ -144,6 +149,7 @@ impl Component {
             Component::CondArrays => "cond-arrays",
             Component::TidLists => "tid-lists",
             Component::Scratch => "scratch",
+            Component::Spill => "spill",
             Component::Other => "other",
         }
     }
@@ -156,7 +162,8 @@ impl Component {
             Component::CondArrays => 2,
             Component::TidLists => 3,
             Component::Scratch => 4,
-            Component::Other => 5,
+            Component::Spill => 5,
+            Component::Other => 6,
         }
     }
 }

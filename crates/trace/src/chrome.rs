@@ -175,6 +175,15 @@ fn emit_track(track: &TrackDump, out: &mut Vec<Json>) {
                     vec![("rows".into(), Json::u64(rows as u64))],
                 ));
             }
+            EventKind::SpillIo { bytes, write } => {
+                out.push(instant(
+                    if write { "spill write" } else { "spill read" },
+                    "io",
+                    tid,
+                    ts,
+                    vec![("bytes".into(), Json::u64(bytes))],
+                ));
+            }
         }
     }
 }

@@ -296,6 +296,17 @@ pub static DATA_SKIPPED_LINES: Counter = Counter::new("data.skipped_lines");
 /// `cfp-data`: malformed tokens across all skipped lines.
 pub static DATA_BAD_TOKENS: Counter = Counter::new("data.bad_tokens");
 
+/// `cfp-data`: spill files durably committed (fsync + rename completed).
+pub static DATA_SPILL_FILES: Counter = Counter::new("data.spill_files");
+/// `cfp-data`: bytes written into committed spill files.
+pub static DATA_SPILL_BYTES_WRITTEN: Counter = Counter::new("data.spill_bytes_written");
+/// `cfp-data`: bytes read back from spill files for mining.
+pub static DATA_SPILL_BYTES_READ: Counter = Counter::new("data.spill_bytes_read");
+/// `cfp-data`: transient spill I/O errors absorbed by retry-with-backoff.
+pub static DATA_SPILL_RETRIES: Counter = Counter::new("data.spill_retries");
+/// `cfp-core`: partitions mined through on-disk spill files.
+pub static CORE_SPILL_PARTITIONS: MaxGauge = MaxGauge::new("core.spill_partitions");
+
 /// All plain counters, for snapshots.
 static COUNTERS: &[&Counter] = &[
     &MEMMAN_ALLOCS,
@@ -328,6 +339,10 @@ static COUNTERS: &[&Counter] = &[
     &CORE_ITEMS_MINED,
     &DATA_SKIPPED_LINES,
     &DATA_BAD_TOKENS,
+    &DATA_SPILL_FILES,
+    &DATA_SPILL_BYTES_WRITTEN,
+    &DATA_SPILL_BYTES_READ,
+    &DATA_SPILL_RETRIES,
 ];
 
 /// All gauges, for snapshots.
@@ -341,6 +356,7 @@ static MAX_GAUGES: &[&MaxGauge] = &[
     &CORE_WORKERS,
     &CORE_MAX_DEPTH,
     &CORE_PARTITIONS,
+    &CORE_SPILL_PARTITIONS,
     &CORE_FIRST_LEVEL_ITEMS,
 ];
 

@@ -90,6 +90,14 @@ pub enum EventKind {
         /// Transactions in the swapped buffer.
         rows: u32,
     },
+    /// The spill rung moved one serialized structure across the disk
+    /// boundary (one event per completed file write or read-back).
+    SpillIo {
+        /// Bytes written to (or read from) the spill file.
+        bytes: u64,
+        /// `true` for a write, `false` for a read-back.
+        write: bool,
+    },
 }
 
 /// Rungs of the supervisor's recovery ladder, in escalation order.
@@ -101,6 +109,8 @@ pub enum Rung {
     Degrade,
     /// Partitioned fallback mining.
     Partition,
+    /// Out-of-core partitioned fallback: projections spilled to disk.
+    Spill,
 }
 
 impl Rung {
@@ -110,6 +120,7 @@ impl Rung {
             Rung::Retry => "retry",
             Rung::Degrade => "degrade",
             Rung::Partition => "partition",
+            Rung::Spill => "spill",
         }
     }
 
@@ -118,11 +129,12 @@ impl Rung {
             Rung::Retry => 0,
             Rung::Degrade => 1,
             Rung::Partition => 2,
+            Rung::Spill => 3,
         }
     }
 
     fn from_index(i: u32) -> Option<Rung> {
-        [Rung::Retry, Rung::Degrade, Rung::Partition].get(i as usize).copied()
+        [Rung::Retry, Rung::Degrade, Rung::Partition, Rung::Spill].get(i as usize).copied()
     }
 }
 
@@ -140,6 +152,7 @@ impl EventKind {
             EventKind::ArenaReset => "arena_reset",
             EventKind::RecoveryRung(_) => "recovery_rung",
             EventKind::BufferSwap { .. } => "buffer_swap",
+            EventKind::SpillIo { .. } => "spill_io",
         }
     }
 }
@@ -169,6 +182,7 @@ const TAG_ARENA_COMPACT: u64 = 7;
 const TAG_ARENA_RESET: u64 = 8;
 const TAG_RECOVERY_RUNG: u64 = 9;
 const TAG_BUFFER_SWAP: u64 = 10;
+const TAG_SPILL_IO: u64 = 11;
 
 fn pack(tag: u64, a: u32, b: u16) -> u64 {
     tag | (a as u64) << 8 | (b as u64) << 40
@@ -190,6 +204,7 @@ fn encode(kind: EventKind) -> (u64, u64) {
         EventKind::ArenaReset => (TAG_ARENA_RESET, 0),
         EventKind::RecoveryRung(r) => (pack(TAG_RECOVERY_RUNG, r.index(), 0), 0),
         EventKind::BufferSwap { rows } => (pack(TAG_BUFFER_SWAP, rows, 0), 0),
+        EventKind::SpillIo { bytes, write } => (pack(TAG_SPILL_IO, 0, write as u16), bytes),
     }
 }
 
@@ -207,6 +222,7 @@ fn decode(word1: u64, word2: u64) -> Option<EventKind> {
         TAG_ARENA_RESET => Some(EventKind::ArenaReset),
         TAG_RECOVERY_RUNG => Rung::from_index(a).map(EventKind::RecoveryRung),
         TAG_BUFFER_SWAP => Some(EventKind::BufferSwap { rows: a }),
+        TAG_SPILL_IO => Some(EventKind::SpillIo { bytes: word2, write: b != 0 }),
         _ => None,
     }
 }
@@ -461,7 +477,10 @@ mod tests {
             EventKind::ArenaCompact { reclaimed: 1 << 33 },
             EventKind::ArenaReset,
             EventKind::RecoveryRung(Rung::Partition),
+            EventKind::RecoveryRung(Rung::Spill),
             EventKind::BufferSwap { rows: 8192 },
+            EventKind::SpillIo { bytes: 1 << 39, write: true },
+            EventKind::SpillIo { bytes: 512, write: false },
         ];
         for kind in kinds {
             let (w1, w2) = encode(kind);

@@ -332,7 +332,7 @@ mod tests {
         assert_eq!(run.get("support").and_then(Json::as_u64), Some(240));
         assert_eq!(run.get("algorithm").and_then(Json::as_str), Some("cfp"));
         let phases = doc.get("phases").and_then(Json::as_arr).expect("phases");
-        assert_eq!(phases.len(), 6, "one entry per pipeline phase");
+        assert_eq!(phases.len(), 7, "one entry per pipeline phase");
         assert_eq!(
             phases[0].get("name").and_then(Json::as_str),
             Some("read"),

@@ -35,15 +35,25 @@ pub enum Phase {
     /// Recovery-ladder work after a failed attempt (compaction retry,
     /// sequential downshift, partitioned fallback). Zero on healthy runs.
     Recover,
+    /// Out-of-core spill I/O: writing partition projections to disk and
+    /// loading them back for mining. Zero unless the spill rung runs.
+    Spill,
 }
 
 /// Number of phases; keep in sync with [`Phase::ALL`].
-const NUM_PHASES: usize = 6;
+const NUM_PHASES: usize = 7;
 
 impl Phase {
     /// All phases in pipeline order.
-    pub const ALL: [Phase; NUM_PHASES] =
-        [Phase::Read, Phase::Count, Phase::Build, Phase::Convert, Phase::Mine, Phase::Recover];
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::Read,
+        Phase::Count,
+        Phase::Build,
+        Phase::Convert,
+        Phase::Mine,
+        Phase::Recover,
+        Phase::Spill,
+    ];
 
     /// Stable lower-case name used in reports.
     pub fn name(self) -> &'static str {
@@ -54,6 +64,7 @@ impl Phase {
             Phase::Convert => "convert",
             Phase::Mine => "mine",
             Phase::Recover => "recover",
+            Phase::Spill => "spill",
         }
     }
 
@@ -65,6 +76,7 @@ impl Phase {
             Phase::Convert => 3,
             Phase::Mine => 4,
             Phase::Recover => 5,
+            Phase::Spill => 6,
         }
     }
 
@@ -223,6 +235,6 @@ mod tests {
     #[test]
     fn snapshot_is_in_pipeline_order() {
         let names: Vec<_> = phase_snapshot().iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["read", "count", "build", "convert", "mine", "recover"]);
+        assert_eq!(names, vec!["read", "count", "build", "convert", "mine", "recover", "spill"]);
     }
 }

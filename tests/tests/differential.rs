@@ -143,6 +143,30 @@ fn check_seed(seed: u64) -> Result<(), String> {
         }
     }
 
+    // Out-of-core: the spill rung run directly must produce exactly the
+    // in-memory result on every shape — the disk round trip is an
+    // identity transformation of each partition's array.
+    {
+        let parent = std::env::temp_dir()
+            .join(format!("cfp-differential-spill-{}-{seed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&parent);
+        let sup = cfp_core::Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..cfp_core::Supervisor::new(cfp_core::RecoveryPolicy::Spill)
+        };
+        let mut sink = CollectSink::new();
+        let (r, _) = sup.mine_out_of_core(&case.db, case.minsup, &mut sink);
+        match r {
+            Ok(_) => problems.extend(diff_summary("cfp-spill", &oracle, &sorted(sink.itemsets))),
+            Err(e) => problems.push(format!("cfp-spill: failed with {e}")),
+        }
+        let leftovers = std::fs::read_dir(&parent).map(|it| it.count()).unwrap_or(0);
+        if leftovers != 0 {
+            problems.push(format!("cfp-spill: {leftovers} stray entries left in {parent:?}"));
+        }
+        let _ = std::fs::remove_dir_all(&parent);
+    }
+
     if problems.is_empty() {
         Ok(())
     } else {

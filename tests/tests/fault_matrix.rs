@@ -287,6 +287,148 @@ fn stalled_worker_trips_the_watchdog_and_cancels_siblings() {
     assert_eq!(sink.count, 13);
 }
 
+/// A unique spill parent directory for one test, plus the supervisor
+/// that spills into it. Each spill-rung test asserts the parent is left
+/// empty — the per-run subdirectory must vanish on every exit path.
+fn spill_setup(tag: &str) -> (std::path::PathBuf, Supervisor) {
+    let parent = std::env::temp_dir().join(format!("cfp-fault-spill-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&parent);
+    let sup =
+        Supervisor { spill_dir: Some(parent.clone()), ..Supervisor::new(RecoveryPolicy::Spill) };
+    (parent, sup)
+}
+
+fn assert_spill_dir_clean(parent: &std::path::Path) {
+    let leftovers = std::fs::read_dir(parent).map(|it| it.count()).unwrap_or(0);
+    assert_eq!(leftovers, 0, "spill parent {parent:?} must hold no stray temp state");
+    let _ = std::fs::remove_dir_all(parent);
+}
+
+/// Class 8 — ENOSPC on the very first spill write ("data.spill.write"):
+/// the out-of-core rung fails as a structured `Spill` error with exit
+/// code 7 naming the write, and no temp file survives. Disarmed, the
+/// identical run mines the exact result.
+#[test]
+fn injected_enospc_on_first_spill_write_is_structured_and_clean() {
+    let _g = armed();
+    let db = textbook_db();
+    let (parent, sup) = spill_setup("enospc");
+
+    configure("data.spill.write", FaultMode::Nth(1));
+    let mut sink = CountingSink::new();
+    let (result, report) = sup.mine_out_of_core(&db, 2, &mut sink);
+    let err = result.expect_err("disk-full must fail the spill rung");
+    assert_eq!(fired("data.spill.write"), 1);
+    match &err {
+        CfpError::Spill { op, message, .. } => {
+            assert_eq!(*op, "write");
+            assert!(message.contains("injected disk-full"), "{message}");
+        }
+        other => panic!("expected Spill, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 7);
+    assert!(!report.recovered);
+    assert_eq!(sink.count, 0, "no partial output on failure");
+    assert_spill_dir_clean(&parent);
+
+    clear_all();
+    let (parent, sup) = spill_setup("enospc-ok");
+    let mut sink = CountingSink::new();
+    let (result, _) = sup.mine_out_of_core(&db, 2, &mut sink);
+    result.expect("disarmed spill run");
+    assert_eq!(sink.count, 13);
+    assert_spill_dir_clean(&parent);
+}
+
+/// Class 8 — a short write striking a later partition mid-run: already
+/// spilled files do not rescue the run, the error is still structured,
+/// and the whole spill directory (including the good files) is removed.
+#[test]
+fn short_write_mid_partition_is_structured_and_clean() {
+    let _g = armed();
+    let db = textbook_db();
+    let (parent, sup) = spill_setup("short");
+
+    configure("data.spill.write", FaultMode::Nth(2));
+    let mut sink = CountingSink::new();
+    let (result, _) = sup.mine_out_of_core(&db, 2, &mut sink);
+    let err = result.expect_err("second partition's write must fail");
+    assert!(matches!(err, CfpError::Spill { op: "write", .. }), "{err:?}");
+    assert_eq!(err.exit_code(), 7);
+    assert_eq!(sink.count, 0);
+    assert_spill_dir_clean(&parent);
+    clear_all();
+}
+
+/// Class 8 — a read failure while loading a partition back
+/// ("data.spill.read"): structured `Spill { op: "read" }`, exit code 7,
+/// clean directory.
+#[test]
+fn injected_spill_read_failure_is_structured_and_clean() {
+    let _g = armed();
+    let db = textbook_db();
+    let (parent, sup) = spill_setup("read");
+
+    configure("data.spill.read", FaultMode::Nth(1));
+    let mut sink = CountingSink::new();
+    let (result, _) = sup.mine_out_of_core(&db, 2, &mut sink);
+    let err = result.expect_err("read fault must fail the mine phase");
+    match &err {
+        CfpError::Spill { op, message, .. } => {
+            assert_eq!(*op, "read");
+            assert!(message.contains("injected read failure"), "{message}");
+        }
+        other => panic!("expected Spill, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 7);
+    assert_spill_dir_clean(&parent);
+    clear_all();
+}
+
+/// Class 8 — a torn read ("data.spill.map" flips one loaded byte): the
+/// format checksum catches the corruption and maps it to
+/// `Spill { op: "map" }` instead of mining garbage.
+#[test]
+fn torn_spill_read_is_caught_by_the_checksum() {
+    let _g = armed();
+    let db = textbook_db();
+    let (parent, sup) = spill_setup("torn");
+
+    configure("data.spill.map", FaultMode::Always);
+    let mut sink = CountingSink::new();
+    let (result, _) = sup.mine_out_of_core(&db, 2, &mut sink);
+    let err = result.expect_err("corrupt bytes must not mine");
+    match &err {
+        CfpError::Spill { op, message, .. } => {
+            assert_eq!(*op, "map");
+            assert!(message.contains("checksum"), "{message}");
+        }
+        other => panic!("expected Spill, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 7);
+    assert_spill_dir_clean(&parent);
+    clear_all();
+}
+
+/// Class 8 — a worker panic inside the spill rung's mine phase
+/// ("core.worker"): contained as `WorkerPanic` (exit code 5) and the
+/// RAII guard still removes the spill directory on the unwind path.
+#[test]
+fn worker_panic_in_the_spill_rung_still_cleans_the_directory() {
+    let _g = armed();
+    let db = textbook_db();
+    let (parent, sup) = spill_setup("panic");
+
+    configure("core.worker", FaultMode::Nth(1));
+    let mut sink = CountingSink::new();
+    let (result, _) = sup.mine_out_of_core(&db, 2, &mut sink);
+    let err = result.expect_err("armed worker must fail");
+    assert!(matches!(err, CfpError::WorkerPanic { .. }), "{err:?}");
+    assert_eq!(err.exit_code(), 5);
+    assert_spill_dir_clean(&parent);
+    clear_all();
+}
+
 /// Cross-class: an armed-but-never-fired probabilistic site (p = 0) must
 /// not perturb mining at all — the fault harness itself is inert until a
 /// trigger actually fires.
