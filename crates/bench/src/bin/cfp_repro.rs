@@ -30,6 +30,18 @@
 //!   phase, the pool peak or any attribution component — or mined a
 //!   different itemset count, or failed its memory audit.
 //!
+//! cfp-repro ckpt-trim OUTPUT CKPT_DIR
+//!   Prepares a crashed checkpointed run's output file for `--resume`:
+//!   truncates OUTPUT to the durable watermark recorded in CKPT_DIR's
+//!   manifest (to zero when no manifest was committed), discarding any
+//!   bytes written past the last commit. Rejects an invalid manifest
+//!   with exit 9 and an output file shorter than its watermark with
+//!   exit 9 (the stream lost committed bytes; resume would be wrong).
+//!
+//! cfp-repro ckpt-info CKPT_DIR
+//!   Prints the validated manifest JSON, or fails with its structured
+//!   error (exit 9 on a torn/corrupt manifest, 1 when none exists).
+//!
 //! cfp-repro inspect [--out PATH] [--support N] PROFILE
 //!   Mines a synthetic dataset profile sequentially with an attribution
 //!   pool and emits the cfp-memstat/1 document (stdout by default):
@@ -58,6 +70,8 @@ fn main() {
         Some("bench") => run_bench(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("inspect") => run_inspect(&args[1..]),
+        Some("ckpt-trim") => run_ckpt_trim(&args[1..]),
+        Some("ckpt-info") => run_ckpt_info(&args[1..]),
         _ => {}
     }
     let mut csv_dir: Option<PathBuf> = None;
@@ -71,7 +85,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]\n       cfp-repro inspect [--out PATH] [--support N] PROFILE"
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]\n       cfp-repro inspect [--out PATH] [--support N] PROFILE\n       cfp-repro ckpt-trim OUTPUT CKPT_DIR\n       cfp-repro ckpt-info CKPT_DIR"
         );
         std::process::exit(2);
     }
@@ -232,6 +246,104 @@ fn fp_baselines(db: &cfp_data::TransactionDb, min_support: u64) -> cfp_core::FpB
 }
 
 /// One entry of the fixed benchmark set `cfp-repro bench` snapshots.
+/// A parallel CFP run that also commits `cfp-ckpt/1` manifests at its
+/// progress boundaries — the checkpointed benchmark. Output goes to the
+/// harness's counting sink (no stdout), so the snapshot's wall-time
+/// delta against the identical uncheckpointed run isolates the cost of
+/// the commit protocol itself.
+struct CkptMiner {
+    inner: cfp_core::ParallelCfpGrowthMiner,
+    dataset: &'static str,
+    dir: PathBuf,
+    every: u64,
+}
+
+/// Forwards emissions and commits a manifest every `every` completed
+/// resume units.
+struct CkptAdapter<'a> {
+    inner: &'a mut dyn cfp_data::ItemsetSink,
+    dir: &'a std::path::Path,
+    every: u64,
+    template: cfp_core::Manifest,
+    emitted: u64,
+    last: u64,
+}
+
+impl cfp_data::ItemsetSink for CkptAdapter<'_> {
+    fn emit(&mut self, itemset: &[u32], support: u64) {
+        self.emitted += 1;
+        self.inner.emit(itemset, support);
+    }
+
+    fn progress(&mut self, p: cfp_data::MineProgress<'_>) -> Result<(), cfp_data::CfpError> {
+        let snapshot = match p {
+            cfp_data::MineProgress::Items { done } => {
+                cfp_core::CkptProgress::Mono { items_done: done }
+            }
+            cfp_data::MineProgress::SpillParts { done, remaining } => {
+                cfp_core::CkptProgress::Spill { parts_done: done, remaining: remaining.to_vec() }
+            }
+        };
+        let done = snapshot.done();
+        if done >= self.last + self.every {
+            let manifest = cfp_core::Manifest {
+                progress: snapshot,
+                itemsets: self.emitted,
+                ..self.template.clone()
+            };
+            cfp_core::ckpt::save(self.dir, &manifest)?;
+            self.last = done;
+        }
+        Ok(())
+    }
+}
+
+impl cfp_data::Miner for CkptMiner {
+    fn name(&self) -> &'static str {
+        "cfp-parallel-ckpt"
+    }
+
+    fn mine(
+        &self,
+        db: &cfp_data::TransactionDb,
+        min_support: u64,
+        sink: &mut dyn cfp_data::ItemsetSink,
+    ) -> cfp_data::MineStats {
+        self.try_mine(db, min_support, sink).expect("checkpointed bench run failed")
+    }
+
+    fn try_mine(
+        &self,
+        db: &cfp_data::TransactionDb,
+        min_support: u64,
+        sink: &mut dyn cfp_data::ItemsetSink,
+    ) -> Result<cfp_data::MineStats, cfp_data::CfpError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let recoder = cfp_data::ItemRecoder::scan(db, min_support);
+        let template = cfp_core::Manifest {
+            input: self.dataset.to_string(),
+            min_support,
+            counts: cfp_core::ckpt::counts_fingerprint(&recoder),
+            num_items: recoder.num_items() as u64,
+            progress: cfp_core::CkptProgress::Mono { items_done: 0 },
+            output_bytes: 0,
+            itemsets: 0,
+        };
+        let mut adapter = CkptAdapter {
+            inner: sink,
+            dir: &self.dir,
+            every: self.every,
+            template,
+            emitted: 0,
+            last: 0,
+        };
+        let stats = self.inner.try_mine(db, min_support, &mut adapter)?;
+        cfp_core::ckpt::clear(&self.dir);
+        let _ = std::fs::remove_dir_all(&self.dir);
+        Ok(stats)
+    }
+}
+
 struct Bench {
     name: &'static str,
     miner: Box<dyn cfp_data::Miner>,
@@ -254,6 +366,7 @@ fn bench_set() -> Vec<Bench> {
     let c_db = connect.generate();
     let q_pool = cfp_memman::BudgetPool::unlimited();
     let k_pool = cfp_memman::BudgetPool::unlimited();
+    let kc_pool = cfp_memman::BudgetPool::unlimited();
     let c_pool = cfp_memman::BudgetPool::unlimited();
     vec![
         Bench {
@@ -280,6 +393,27 @@ fn bench_set() -> Vec<Bench> {
             pool: k_pool,
         },
         Bench {
+            // kosarak-par4 with the checkpoint commit protocol armed:
+            // the wall-time delta between the two snapshots is the
+            // price of crash safety (manifest commits at watermark
+            // boundaries), pinned by results/BENCH_kosarak-ckpt.json.
+            name: "kosarak-ckpt",
+            miner: Box::new(CkptMiner {
+                inner: cfp_core::ParallelCfpGrowthMiner {
+                    schedule: cfp_core::Schedule::Dynamic,
+                    pool: Some(kc_pool.clone()),
+                    ..cfp_core::ParallelCfpGrowthMiner::new(4)
+                },
+                dataset: "kosarak-like",
+                dir: std::env::temp_dir().join(format!("cfp-bench-ckpt-{}", std::process::id())),
+                every: 32,
+            }),
+            dataset: "kosarak-like",
+            minsup: kosarak.absolute_support(&k_db, 2),
+            threads: 4,
+            pool: kc_pool,
+        },
+        Bench {
             name: "connect-seq",
             miner: Box::new(PooledMiner {
                 inner: cfp_core::CfpGrowthMiner::new(),
@@ -291,6 +425,83 @@ fn bench_set() -> Vec<Bench> {
             pool: c_pool,
         },
     ]
+}
+
+/// `cfp-repro ckpt-trim OUTPUT CKPT_DIR` — truncate a crashed run's
+/// output file to its manifest's durable watermark so `--resume` can
+/// append to it byte-exactly. A crash (SIGKILL, power loss) can leave
+/// auto-flushed bytes past the last committed manifest; those are
+/// exactly the bytes a resumed run will re-emit, so they must go.
+fn run_ckpt_trim(args: &[String]) -> ! {
+    let [output, dir] = args else {
+        eprintln!("usage: cfp-repro ckpt-trim OUTPUT CKPT_DIR");
+        std::process::exit(2);
+    };
+    let watermark = match cfp_core::ckpt::load(std::path::Path::new(dir)) {
+        Ok(Some(m)) => {
+            println!(
+                "manifest: {} unit(s) done ({} mode), watermark {} byte(s)",
+                m.progress.done(),
+                m.progress.mode(),
+                m.output_bytes
+            );
+            m.output_bytes
+        }
+        // No commit ever happened: everything in the file is
+        // uncommitted and the fresh run re-emits it all.
+        Ok(None) => {
+            println!("no manifest in {dir}; trimming {output} to 0 bytes");
+            0
+        }
+        Err(e) => {
+            eprintln!("cfp-repro: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
+    let file =
+        match std::fs::OpenOptions::new().write(true).create(true).truncate(false).open(output) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cfp-repro: cannot open {output}: {e}");
+                std::process::exit(1);
+            }
+        };
+    let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+    if len < watermark {
+        eprintln!(
+            "cfp-repro: {output} holds {len} byte(s) but the manifest committed {watermark}: \
+             the output lost durable bytes, resume would corrupt the stream"
+        );
+        std::process::exit(9);
+    }
+    if let Err(e) = file.set_len(watermark) {
+        eprintln!("cfp-repro: cannot truncate {output}: {e}");
+        std::process::exit(1);
+    }
+    println!("trimmed {output}: {len} -> {watermark} byte(s)");
+    std::process::exit(0);
+}
+
+/// `cfp-repro ckpt-info CKPT_DIR` — print the validated manifest.
+fn run_ckpt_info(args: &[String]) -> ! {
+    let [dir] = args else {
+        eprintln!("usage: cfp-repro ckpt-info CKPT_DIR");
+        std::process::exit(2);
+    };
+    match cfp_core::ckpt::load(std::path::Path::new(dir)) {
+        Ok(Some(m)) => {
+            print!("{}", m.to_json_text());
+            std::process::exit(0);
+        }
+        Ok(None) => {
+            eprintln!("cfp-repro: no checkpoint manifest in {dir}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cfp-repro: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
 }
 
 /// `cfp-repro bench [--out DIR]` — snapshot the fixed benchmark set.

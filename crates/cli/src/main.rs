@@ -56,6 +56,22 @@
 //!                      every exit path; requires --recover=spill)
 //!   --worker-timeout S watchdog: fail a parallel run when no worker
 //!                      makes progress for S seconds
+//!   --checkpoint-dir P crash-safe checkpointing: periodically commit a
+//!                      cfp-ckpt/1 manifest into P recording an exact
+//!                      output watermark. The directory is guarded by a
+//!                      PID lockfile. Requires the cfp algorithm, plain
+//!                      streaming output, the dynamic schedule, and
+//!                      --recover off or spill
+//!   --checkpoint-every N  commit the manifest every N completed
+//!                      top-level items (default 32; spill partitions
+//!                      always commit per partition)
+//!   --resume           continue from the manifest in --checkpoint-dir:
+//!                      completed units are skipped, so appending this
+//!                      run's stdout to the previous (truncated) output
+//!                      reproduces an uninterrupted run byte for byte
+//!   --deadline S       cooperative wall-clock budget: stop gracefully
+//!                      at the next resumable boundary after S seconds
+//!                      and exit 8 (cfp only)
 //! ```
 //!
 //! Flags also accept the `--flag=value` spelling. Itemsets print in FIMI
@@ -69,9 +85,15 @@
 //! 1 I/O error, 2 usage error, 3 malformed input, 4 memory budget
 //! exhausted, 5 worker panic, 6 worker timeout, 7 spill failure (a
 //! spill-file write, read, or checksum validation failed permanently
-//! during `--recover=spill`). `--recover=off` leaves all of these
-//! exactly as they were; other policies only change the outcome when a
-//! recovery rung actually completes the run.
+//! during `--recover=spill`), 8 interrupted (SIGINT/SIGTERM or
+//! `--deadline` stopped the run at a resumable boundary; buffered
+//! output was flushed and, under `--checkpoint-dir`, a manifest was
+//! committed), 9 invalid checkpoint (torn, corrupted, or
+//! config-mismatched manifest on `--resume`, or a checkpoint commit
+//! failed), 10 state directory locked by another live process.
+//! `--recover=off` leaves all of these exactly as they were; other
+//! policies only change the outcome when a recovery rung actually
+//! completes the run.
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
@@ -109,6 +131,10 @@ struct Options {
     recover: RecoveryPolicy,
     spill_dir: Option<String>,
     worker_timeout: Option<Duration>,
+    checkpoint_dir: Option<String>,
+    checkpoint_every: u64,
+    resume: bool,
+    deadline: Option<Duration>,
 }
 
 #[derive(Debug)]
@@ -127,6 +153,7 @@ fn print_usage() {
     eprintln!("  --trace-out PATH | --flame-out PATH | --progress | --mem-report PATH");
     eprintln!("  --recover off|retry|degrade|partition|spill | --spill-dir PATH");
     eprintln!("  --worker-timeout SECONDS");
+    eprintln!("  --checkpoint-dir PATH | --checkpoint-every N | --resume | --deadline SECONDS");
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
@@ -171,7 +198,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         recover: RecoveryPolicy::Off,
         spill_dir: None,
         worker_timeout: None,
+        checkpoint_dir: None,
+        checkpoint_every: 32,
+        resume: false,
+        deadline: None,
     };
+    let mut checkpoint_every_given = false;
     // Accept `--flag=value` as well as `--flag value`.
     let args: Vec<String> = args
         .iter()
@@ -230,6 +262,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.worker_timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value(arg)?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    value(arg)?.parse().map_err(|_| "bad checkpoint interval".to_string())?;
+                if opts.checkpoint_every == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+                checkpoint_every_given = true;
+            }
+            "--resume" => opts.resume = true,
+            "--deadline" => {
+                let secs: f64 = value(arg)?.parse().map_err(|_| "bad deadline".to_string())?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("deadline must be a positive number of seconds".to_string());
+                }
+                opts.deadline = Some(Duration::from_secs_f64(secs));
+            }
             other if !other.starts_with('-') && opts.input.is_empty() => {
                 opts.input = other.to_string();
             }
@@ -262,15 +311,62 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             opts.algorithm
         ));
     }
+    // Checkpointing promises an exact output watermark, which only the
+    // deterministic plain-streaming CFP pipeline provides.
+    if opts.checkpoint_dir.is_some() {
+        if opts.algorithm != "cfp" {
+            return Err(format!(
+                "--checkpoint-dir only applies to the cfp algorithm, not {:?}",
+                opts.algorithm
+            ));
+        }
+        if opts.count_only
+            || opts.top.is_some()
+            || opts.closed
+            || opts.maximal
+            || opts.rules.is_some()
+        {
+            return Err("--checkpoint-dir requires plain streaming output (no --count, --top, \
+                 --closed, --maximal, or --rules)"
+                .to_string());
+        }
+        if opts.schedule != Schedule::Dynamic {
+            return Err("--checkpoint-dir requires --schedule dynamic (static output order is \
+                 nondeterministic, so no byte watermark exists)"
+                .to_string());
+        }
+        if !matches!(opts.recover, RecoveryPolicy::Off | RecoveryPolicy::Spill) {
+            return Err("--checkpoint-dir requires --recover off or spill (the other rungs \
+                 re-emit output without a resumable watermark)"
+                .to_string());
+        }
+        if opts.mem_report.is_some() {
+            return Err("--checkpoint-dir cannot be combined with --mem-report".to_string());
+        }
+    } else {
+        if opts.resume {
+            return Err("--resume requires --checkpoint-dir".to_string());
+        }
+        if checkpoint_every_given {
+            return Err("--checkpoint-every requires --checkpoint-dir".to_string());
+        }
+    }
+    if opts.deadline.is_some() && opts.algorithm != "cfp" {
+        return Err(format!(
+            "--deadline only applies to the cfp algorithm, not {:?}",
+            opts.algorithm
+        ));
+    }
     Ok(opts)
 }
 
-/// How the run executes: a plain miner, a sequential CFP miner charging
-/// an attribution pool (`--mem-report`), or the recovery supervisor
-/// wrapping one (`--recover` other than `off`, cfp algorithm only).
+/// How the run executes: a plain miner, a sequential CFP miner with
+/// non-default [`cfp_core::MineOpts`] (an attribution pool from
+/// `--mem-report`, a cancel token from `--deadline`), or the recovery
+/// supervisor wrapping one (`--recover` other than `off`, cfp only).
 enum Runner {
     Plain(Box<dyn Miner>),
-    Pooled(CfpGrowthMiner, cfp_memman::BudgetPool),
+    Seq(CfpGrowthMiner, cfp_core::MineOpts),
     Supervised(Supervisor),
 }
 
@@ -286,12 +382,7 @@ impl Runner {
     ) -> Result<MineStats, CfpError> {
         match self {
             Runner::Plain(m) => m.try_mine(db, min_support, sink),
-            Runner::Pooled(m, pool) => m.try_mine_with(
-                db,
-                min_support,
-                sink,
-                &cfp_core::MineOpts { pool: Some(pool.clone()), ..Default::default() },
-            ),
+            Runner::Seq(m, mine_opts) => m.try_mine_with(db, min_support, sink, mine_opts),
             Runner::Supervised(s) => {
                 let (r, report) = s.mine(db, min_support, sink);
                 *degradation = Some(report);
@@ -314,7 +405,11 @@ fn attribution_pool(opts: &Options) -> cfp_memman::BudgetPool {
     }
 }
 
-fn runner_by_name(opts: &Options, pool: Option<&cfp_memman::BudgetPool>) -> Result<Runner, String> {
+fn runner_by_name(
+    opts: &Options,
+    pool: Option<&cfp_memman::BudgetPool>,
+    cancel: Option<&cfp_fault::CancelToken>,
+) -> Result<Runner, String> {
     let budget_ignored = |name: &str| {
         if opts.mem_budget.is_some() {
             eprintln!(
@@ -337,6 +432,7 @@ fn runner_by_name(opts: &Options, pool: Option<&cfp_memman::BudgetPool>) -> Resu
             policy: opts.recover,
             worker_timeout: opts.worker_timeout,
             spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
+            cancel: cancel.cloned(),
         }));
     }
     Ok(Runner::Plain(match opts.algorithm.as_str() {
@@ -345,14 +441,22 @@ fn runner_by_name(opts: &Options, pool: Option<&cfp_memman::BudgetPool>) -> Resu
             mem_budget: opts.mem_budget,
             pool: pool.cloned(),
             worker_timeout: opts.worker_timeout,
+            cancel: cancel.cloned(),
             ..ParallelCfpGrowthMiner::new(opts.threads)
         }),
         "cfp" => {
             let miner = CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget };
-            match pool {
-                Some(p) => return Ok(Runner::Pooled(miner, p.clone())),
-                None => Box::new(miner),
+            if pool.is_some() || cancel.is_some() {
+                return Ok(Runner::Seq(
+                    miner,
+                    cfp_core::MineOpts {
+                        pool: pool.cloned(),
+                        cancel: cancel.cloned(),
+                        ..Default::default()
+                    },
+                ));
             }
+            Box::new(miner)
         }
         "fp" => {
             budget_ignored("fp");
@@ -398,6 +502,20 @@ fn exit_for_write_error(e: &io::Error) -> ! {
     exit(1);
 }
 
+/// One itemset in FIMI output format: space-separated items followed by
+/// the support in parentheses, newline-terminated.
+fn fimi_line(itemset: &[u32], support: u64) -> String {
+    let mut line = String::with_capacity(itemset.len() * 7 + 12);
+    for (i, item) in itemset.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&item.to_string());
+    }
+    line.push_str(&format!(" ({support})\n"));
+    line
+}
+
 /// Streams itemsets straight to a writer in FIMI output format.
 ///
 /// Write failures are recorded, not panicked on; after the first failure
@@ -415,15 +533,7 @@ impl<W: Write> ItemsetSink for PrintSink<W> {
         if self.err.is_some() {
             return;
         }
-        let mut line = String::with_capacity(itemset.len() * 7 + 12);
-        for (i, item) in itemset.iter().enumerate() {
-            if i > 0 {
-                line.push(' ');
-            }
-            line.push_str(&item.to_string());
-        }
-        line.push_str(&format!(" ({support})\n"));
-        if let Err(e) = self.out.write_all(line.as_bytes()) {
+        if let Err(e) = self.out.write_all(fimi_line(itemset, support).as_bytes()) {
             self.err = Some(e);
         }
     }
@@ -433,17 +543,139 @@ fn print_itemsets(itemsets: &[(Vec<u32>, u64)]) -> io::Result<()> {
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
     for (items, support) in itemsets {
-        let mut line = String::new();
-        for (i, item) in items.iter().enumerate() {
-            if i > 0 {
-                line.push(' ');
-            }
-            line.push_str(&item.to_string());
-        }
-        line.push_str(&format!(" ({support})\n"));
-        out.write_all(line.as_bytes())?;
+        out.write_all(fimi_line(items, *support).as_bytes())?;
     }
     out.flush()
+}
+
+/// Counts the bytes that actually reached the inner writer — under a
+/// `BufWriter` this advances on flush, so at commit time `written` is
+/// exactly the output watermark a manifest may record as durable.
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Best-effort durability for stdout before a manifest commit: when
+/// stdout is a regular file (`cfp-mine … > out.dat`), fsync it so the
+/// manifest never records a watermark ahead of what survives a crash.
+/// Pipes and ttys reject the sync; that is fine — they have no
+/// post-crash contents to resume against.
+fn sync_stdout() {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::FromRawFd;
+        // ManuallyDrop: fd 1 must stay open after the sync.
+        let f = std::mem::ManuallyDrop::new(unsafe { std::fs::File::from_raw_fd(1) });
+        let _ = f.sync_all();
+    }
+}
+
+/// The checkpointing output sink (`--checkpoint-dir`): streams FIMI
+/// lines like [`PrintSink`] and, at the resumable boundaries the miner
+/// announces through [`ItemsetSink::progress`], commits a `cfp-ckpt/1`
+/// manifest. The commit protocol orders durability correctly: flush the
+/// line buffer, fsync stdout, then atomically write the manifest — so a
+/// committed manifest never names bytes that were not durably written
+/// first.
+struct CheckpointSink<'a> {
+    out: io::BufWriter<CountingWriter<io::StdoutLock<'a>>>,
+    err: Option<io::Error>,
+    dir: std::path::PathBuf,
+    /// Commit cadence in completed top-level items; spill partitions
+    /// always commit.
+    every: u64,
+    /// Config fingerprint stamped into every manifest.
+    input: String,
+    min_support: u64,
+    counts: String,
+    num_items: u64,
+    /// Output bytes and itemsets carried over from the segment(s) this
+    /// run resumed; manifests record cumulative totals so a crashed
+    /// appended-to output file can be truncated to `output_bytes`.
+    base_bytes: u64,
+    base_itemsets: u64,
+    /// Itemsets emitted by this segment.
+    emitted: u64,
+    /// The most recent watermark the miner announced, committed or not.
+    latest: Option<(cfp_core::CkptProgress, u64)>,
+    /// Resume units covered by the last committed manifest.
+    last_committed: u64,
+}
+
+impl CheckpointSink<'_> {
+    /// Flushes output and commits the latest watermark. An error from
+    /// the manifest write (e.g. the `core.ckpt.write` failpoint) is
+    /// structured and aborts the run through [`ItemsetSink::progress`].
+    fn commit(&mut self) -> Result<(), CfpError> {
+        let Some((progress, itemsets)) = self.latest.clone() else {
+            return Ok(());
+        };
+        if self.err.is_some() {
+            // Output is no longer reaching the stream; a manifest
+            // claiming otherwise would corrupt a later resume.
+            return Ok(());
+        }
+        if let Err(e) = self.out.flush() {
+            self.err = Some(e);
+            return Ok(());
+        }
+        sync_stdout();
+        let manifest = cfp_core::Manifest {
+            input: self.input.clone(),
+            min_support: self.min_support,
+            counts: self.counts.clone(),
+            num_items: self.num_items,
+            progress,
+            output_bytes: self.base_bytes + self.out.get_ref().written,
+            itemsets: self.base_itemsets + itemsets,
+        };
+        cfp_core::ckpt::save(&self.dir, &manifest)?;
+        self.last_committed = manifest.progress.done();
+        Ok(())
+    }
+}
+
+impl ItemsetSink for CheckpointSink<'_> {
+    fn emit(&mut self, itemset: &[u32], support: u64) {
+        self.emitted += 1;
+        if self.err.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(fimi_line(itemset, support).as_bytes()) {
+            self.err = Some(e);
+        }
+    }
+
+    fn progress(&mut self, progress: cfp_data::MineProgress<'_>) -> Result<(), CfpError> {
+        let (snapshot, force) = match progress {
+            cfp_data::MineProgress::Items { done } => {
+                (cfp_core::CkptProgress::Mono { items_done: done }, false)
+            }
+            cfp_data::MineProgress::SpillParts { done, remaining } => (
+                cfp_core::CkptProgress::Spill { parts_done: done, remaining: remaining.to_vec() },
+                true,
+            ),
+        };
+        let done = snapshot.done();
+        self.latest = Some((snapshot, self.emitted));
+        if force || done >= self.last_committed + self.every {
+            self.commit()?;
+        }
+        Ok(())
+    }
 }
 
 fn report_stats(stats: &MineStats, n_itemsets: u64) {
@@ -503,6 +735,169 @@ fn exit_for_mine_error(e: CfpError) -> ! {
     exit(e.exit_code());
 }
 
+/// Runs a `--checkpoint-dir` mining run end to end: resolve the resume
+/// watermark from the manifest (if `--resume`), mine through a
+/// [`CheckpointSink`], and handle the three outcomes — completed
+/// (manifest cleared), interrupted at a watermark (final manifest
+/// committed, exit 8), or failed (structured exit). Exits the process on
+/// every error path; returns the run's stats on success.
+fn run_checkpointed(
+    opts: &Options,
+    db: &TransactionDb,
+    min_support: u64,
+    cancel: Option<&cfp_fault::CancelToken>,
+    degradation: &mut Option<RecoveryReport>,
+) -> MineStats {
+    use cfp_core::{ckpt, CkptProgress};
+    let dir = std::path::Path::new(opts.checkpoint_dir.as_deref().expect("checkpoint dir set"));
+    let recoder = cfp_core::ItemRecoder::scan(db, min_support);
+    let counts = ckpt::counts_fingerprint(&recoder);
+    let num_items = recoder.num_items() as u64;
+    let spill_mode = opts.recover == RecoveryPolicy::Spill;
+
+    let mut resume_skip = 0u64;
+    let mut spill_resume: Option<(u64, Vec<(u32, u32)>)> = None;
+    let mut base_bytes = 0u64;
+    let mut base_itemsets = 0u64;
+    if opts.resume {
+        match ckpt::load(dir) {
+            // No manifest is a fresh start, not an error: the previous
+            // run may have died before its first commit, or completed
+            // and cleared it.
+            Ok(None) => eprintln!("no checkpoint manifest in {}; starting fresh", dir.display()),
+            Ok(Some(m)) => {
+                if let Err(e) = m.ensure_matches(dir, &opts.input, min_support, &counts) {
+                    exit_for_mine_error(e);
+                }
+                let manifest_path = ckpt::manifest_path(dir).display().to_string();
+                match (&m.progress, spill_mode) {
+                    (CkptProgress::Mono { items_done }, false) => {
+                        if *items_done > num_items {
+                            exit_for_mine_error(CfpError::Checkpoint {
+                                path: manifest_path,
+                                message: format!(
+                                    "watermark of {items_done} item(s) exceeds the \
+                                     {num_items}-item universe"
+                                ),
+                            });
+                        }
+                        resume_skip = *items_done;
+                    }
+                    (CkptProgress::Spill { parts_done, remaining }, true) => {
+                        spill_resume = Some((*parts_done, remaining.clone()));
+                    }
+                    (p, _) => exit_for_mine_error(CfpError::Checkpoint {
+                        path: manifest_path,
+                        message: format!(
+                            "manifest records a '{}' run; resume it with the matching \
+                             --recover policy",
+                            p.mode()
+                        ),
+                    }),
+                }
+                base_bytes = m.output_bytes;
+                base_itemsets = m.itemsets;
+                eprintln!(
+                    "resuming from checkpoint: {} unit(s) done, {} output byte(s) committed",
+                    m.progress.done(),
+                    m.output_bytes
+                );
+            }
+            Err(e) => exit_for_mine_error(e),
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut sink = CheckpointSink {
+        out: io::BufWriter::new(CountingWriter { inner: stdout.lock(), written: 0 }),
+        err: None,
+        dir: dir.to_path_buf(),
+        every: opts.checkpoint_every,
+        input: opts.input.clone(),
+        min_support,
+        counts,
+        num_items,
+        base_bytes,
+        base_itemsets,
+        emitted: 0,
+        latest: None,
+        last_committed: resume_skip.max(spill_resume.as_ref().map_or(0, |(done, _)| *done)),
+    };
+
+    let result = if spill_mode {
+        // Checkpointed spill runs go straight out of core: only the
+        // streaming spill rung produces partition watermarks, so the
+        // in-memory rungs (whose output has no committed prefix) are
+        // skipped deliberately.
+        let supervisor = Supervisor {
+            threads: opts.threads,
+            schedule: opts.schedule,
+            single_path_opt: true,
+            mem_budget: opts.mem_budget,
+            policy: RecoveryPolicy::Spill,
+            worker_timeout: opts.worker_timeout,
+            spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
+            cancel: cancel.cloned(),
+        };
+        let (r, report) =
+            supervisor.mine_out_of_core_resumable(db, min_support, &mut sink, spill_resume);
+        *degradation = Some(report);
+        r
+    } else if opts.threads > 1 {
+        ParallelCfpGrowthMiner {
+            schedule: opts.schedule,
+            mem_budget: opts.mem_budget,
+            worker_timeout: opts.worker_timeout,
+            cancel: cancel.cloned(),
+            resume_skip,
+            ..ParallelCfpGrowthMiner::new(opts.threads)
+        }
+        .try_mine(db, min_support, &mut sink)
+    } else {
+        CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget }.try_mine_with(
+            db,
+            min_support,
+            &mut sink,
+            &cfp_core::MineOpts { cancel: cancel.cloned(), resume_skip, ..Default::default() },
+        )
+    };
+
+    match result {
+        Ok(stats) => {
+            let flushed = sink.out.flush();
+            if let Some(e) = sink.err {
+                exit_for_write_error(&e);
+            }
+            if let Err(e) = flushed {
+                exit_for_write_error(&e);
+            }
+            ckpt::clear(dir);
+            stats
+        }
+        Err(CfpError::Interrupted) => {
+            // The miner stopped exactly at the watermark in `latest`
+            // (nothing is emitted between a boundary notification and
+            // the Interrupted return), so committing it makes the next
+            // `--resume` continue byte-exactly. A failed final commit
+            // only costs re-mining back to the previous manifest.
+            if let Err(e) = sink.commit() {
+                eprintln!("cfp-mine: warning: final checkpoint commit failed: {e}");
+            }
+            if let Some(e) = sink.err {
+                exit_for_write_error(&e);
+            }
+            let done =
+                sink.latest.as_ref().map_or(sink.last_committed, |(progress, _)| progress.done());
+            eprintln!(
+                "cfp-mine: interrupted at a resumable watermark ({done} unit(s) done); run \
+                 again with --resume to continue"
+            );
+            exit(CfpError::Interrupted.exit_code());
+        }
+        Err(e) => exit_for_mine_error(e),
+    }
+}
+
 fn main() {
     // Arm failpoints from CFP_FAULT when the `fault` feature is
     // compiled in; a guaranteed no-op otherwise.
@@ -516,6 +911,20 @@ fn main() {
             exit(EXIT_USAGE);
         }
     };
+    // Shared state directories are single-owner: claim their PID locks
+    // before any work, failing fast with exit 10 when another live run
+    // already holds one. Stale locks from crashed runs are reclaimed.
+    let mut state_dirs: Vec<&String> = Vec::new();
+    state_dirs.extend(opts.checkpoint_dir.as_ref());
+    state_dirs.extend(opts.spill_dir.as_ref());
+    state_dirs.dedup();
+    let _dir_locks: Vec<cfp_data::DirLock> = state_dirs
+        .into_iter()
+        .map(|dir| {
+            cfp_data::DirLock::acquire(std::path::Path::new(dir))
+                .unwrap_or_else(|e| exit_for_mine_error(e))
+        })
+        .collect();
     let profiling = opts.profile.is_some();
     let tracing = opts.trace_out.is_some() || opts.flame_out.is_some();
     // --mem-report needs the counter registry live for its distribution
@@ -570,11 +979,27 @@ fn main() {
         db.distinct_items()
     );
 
+    // Cooperative cancellation: a checkpointed or deadlined run stops at
+    // the next resumable boundary on SIGINT/SIGTERM or when its
+    // wall-clock budget expires, instead of dying mid-stream. Signal
+    // handlers are installed only here, so plain runs keep the default
+    // kill-me-now semantics.
+    let cancel = (opts.checkpoint_dir.is_some() || opts.deadline.is_some()).then(|| {
+        let mut token = cfp_fault::CancelToken::new();
+        if let Some(budget) = opts.deadline {
+            token = token.with_deadline(budget);
+        }
+        if cfp_fault::install_signal_handlers() {
+            token = token.observing_signals();
+        }
+        token
+    });
+
     // The attribution pool exists only when --mem-report asked for it;
     // the mining run charges it so per-component peaks describe the
     // real run, and the post-run analytics pass audits against it.
     let mem_pool = opts.mem_report.as_ref().map(|_| attribution_pool(&opts));
-    let runner = match runner_by_name(&opts, mem_pool.as_ref()) {
+    let runner = match runner_by_name(&opts, mem_pool.as_ref(), cancel.as_ref()) {
         Ok(m) => m,
         Err(msg) => {
             eprintln!("cfp-mine: {msg}");
@@ -586,7 +1011,9 @@ fn main() {
         opts.top.is_some() || opts.closed || opts.maximal || opts.rules.is_some();
     let mut degradation: Option<RecoveryReport> = None;
 
-    let stats = if opts.count_only {
+    let stats = if opts.checkpoint_dir.is_some() {
+        run_checkpointed(&opts, &db, min_support, cancel.as_ref(), &mut degradation)
+    } else if opts.count_only {
         let mut sink = CountingSink::new();
         let stats = runner
             .mine(&db, min_support, &mut sink, &mut degradation)
@@ -641,9 +1068,16 @@ fn main() {
         let stdout = std::io::stdout();
         let mut sink =
             PrintSink { out: std::io::BufWriter::new(stdout.lock()), count: 0, err: None };
-        let stats = runner
-            .mine(&db, min_support, &mut sink, &mut degradation)
-            .unwrap_or_else(|e| exit_for_mine_error(e));
+        let stats = match runner.mine(&db, min_support, &mut sink, &mut degradation) {
+            Ok(stats) => stats,
+            Err(e) => {
+                // A failed run — notably a `--deadline` interruption —
+                // still flushes the complete lines emitted before the
+                // stop, so a graceful exit 8 loses no buffered output.
+                let _ = sink.out.flush();
+                exit_for_mine_error(e)
+            }
+        };
         let flushed = sink.out.flush();
         if let Some(e) = sink.err {
             exit_for_write_error(&e);
@@ -910,7 +1344,82 @@ mod tests {
             "--recover=spill",
         ]))
         .unwrap();
-        assert!(runner_by_name(&o, None).is_err());
+        assert!(runner_by_name(&o, None, None).is_err());
+    }
+
+    #[test]
+    fn parse_args_checkpoint_flags() {
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "7",
+            "--resume",
+            "--deadline",
+            "1.5",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(o.checkpoint_every, 7);
+        assert!(o.resume);
+        assert_eq!(o.deadline, Some(Duration::from_secs_f64(1.5)));
+
+        // Defaults: every 32 items, no resume, no deadline.
+        let o =
+            parse_args(&args(&["in.dat", "--support", "2", "--checkpoint-dir=/tmp/ck"])).unwrap();
+        assert_eq!(o.checkpoint_every, 32);
+        assert!(!o.resume);
+        assert_eq!(o.deadline, None);
+
+        // The checkpointed spill mode parses too.
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir=/tmp/ck",
+            "--recover=spill",
+            "--spill-dir=/tmp/sp",
+        ]))
+        .unwrap();
+        assert_eq!(o.recover, RecoveryPolicy::Spill);
+    }
+
+    #[test]
+    fn parse_args_checkpoint_validations() {
+        let err = parse_args(&args(&["in.dat", "--support", "2", "--resume"])).unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = parse_args(&args(&["in.dat", "--support", "2", "--checkpoint-every", "4"]))
+            .unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir=/tmp/ck",
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        for bad in [
+            &["--checkpoint-dir=/tmp/ck", "--count"][..],
+            &["--checkpoint-dir=/tmp/ck", "--top", "5"][..],
+            &["--checkpoint-dir=/tmp/ck", "--rules", "0.5"][..],
+            &["--checkpoint-dir=/tmp/ck", "--schedule=static"][..],
+            &["--checkpoint-dir=/tmp/ck", "--recover=partition"][..],
+            &["--checkpoint-dir=/tmp/ck", "--mem-report", "m.json"][..],
+            &["--checkpoint-dir=/tmp/ck", "--algorithm", "fp"][..],
+            &["--deadline", "5", "--algorithm", "eclat"][..],
+            &["--deadline", "0"][..],
+            &["--deadline", "-3"][..],
+        ] {
+            let mut a = vec!["in.dat", "--support", "2"];
+            a.extend_from_slice(bad);
+            assert!(parse_args(&args(&a)).is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -850,6 +850,370 @@ fn mem_report_is_valid_and_audit_reconciles() {
     std::fs::remove_file(&profile_path).ok();
 }
 
+/// A per-test scratch area for checkpoint state, cleaned before use so
+/// stale manifests from a failed earlier run cannot leak in.
+fn ckpt_scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfp_cli_ckpt_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Checkpointing is free when nothing interrupts: the output matches a
+/// plain run byte for byte, the manifest is cleared on completion, and
+/// no temp files are left behind.
+#[test]
+fn checkpointed_run_matches_plain_output_and_clears_its_manifest() {
+    let path = write_skewed();
+    let scratch = ckpt_scratch("clean");
+    let ck = scratch.join("ck");
+    let plain = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "20", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    let checked = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--threads",
+            "4",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(checked.status.success(), "{}", String::from_utf8_lossy(&checked.stderr));
+    assert_eq!(checked.stdout, plain.stdout, "checkpointing changed the mining output");
+    assert!(!ck.join("ckpt.json").exists(), "completed run must clear its manifest");
+    for entry in std::fs::read_dir(&ck).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(!name.ends_with(".tmp"), "stray temp file {name}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The deadline interrupt–resume loop: repeatedly run with a small
+/// wall-clock budget, appending each segment's stdout to one file, until
+/// a segment completes. The assembled file must be byte-identical to an
+/// uninterrupted run — the tentpole's exactness contract, end to end.
+#[test]
+fn deadline_interrupt_resume_loop_reproduces_the_uninterrupted_stream() {
+    use std::process::Stdio;
+
+    let path = write_skewed();
+    let scratch = ckpt_scratch("deadline");
+    let ck = scratch.join("ck");
+    let assembled = scratch.join("assembled.out");
+
+    let full = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "20", "--checkpoint-dir", ck.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+
+    let mut deadline = 0.01f64;
+    let mut interrupted = 0u32;
+    for round in 0.. {
+        assert!(round < 40, "resume loop did not converge");
+        let out_file =
+            std::fs::OpenOptions::new().create(true).append(true).open(&assembled).unwrap();
+        let out = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "20",
+                "--checkpoint-dir",
+                ck.to_str().unwrap(),
+                "--checkpoint-every",
+                "1",
+                "--resume",
+                "--deadline",
+                &format!("{deadline}"),
+            ])
+            .stdout(Stdio::from(out_file))
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        match out.status.code() {
+            Some(0) => break,
+            Some(8) => {
+                interrupted += 1;
+                // A graceful exit 8 leaves the output exactly at the
+                // committed watermark: file length == manifest
+                // output_bytes (cumulative across segments).
+                if ck.join("ckpt.json").exists() {
+                    use cfp_trace::{json, Json};
+                    let doc = json::parse(&std::fs::read_to_string(ck.join("ckpt.json")).unwrap())
+                        .unwrap();
+                    assert_eq!(doc.get("format").and_then(Json::as_str), Some("cfp-ckpt/1"));
+                    let watermark = doc.get("output_bytes").and_then(Json::as_u64).unwrap();
+                    let len = std::fs::metadata(&assembled).unwrap().len();
+                    assert_eq!(len, watermark, "graceful stop must flush to the watermark");
+                }
+                // Grow the budget so the loop always converges, while
+                // the early rounds interrupt mid-stream.
+                deadline *= 1.6;
+            }
+            code => panic!("unexpected exit {code:?}: {stderr}"),
+        }
+    }
+    let joined = std::fs::read(&assembled).unwrap();
+    assert_eq!(joined, full.stdout, "assembled segments diverge from the uninterrupted run");
+    assert!(!ck.join("ckpt.json").exists(), "completed resume must clear the manifest");
+    // The loop is only meaningful if at least one round actually stopped
+    // early; with the starting budget of 10ms that is effectively
+    // guaranteed on any machine.
+    assert!(interrupted > 0, "no segment was ever interrupted — deadline too generous");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// SIGTERM lands mid-mine: the process exits with code 8, the committed
+/// manifest is checksum-valid (it round-trips through the strict
+/// loader), the flushed output sits exactly at its watermark, and no
+/// temp files survive.
+#[test]
+fn sigterm_mid_mine_exits_8_with_a_committed_valid_manifest() {
+    use std::process::Stdio;
+
+    // A dataset heavy enough that the run is reliably still mining when
+    // the signal arrives ~150 ms in (mining takes several seconds).
+    let dir = std::env::temp_dir().join("cfp_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sigterm_heavy.dat");
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let mut text = String::new();
+    for _ in 0..6000 {
+        let mut row = Vec::new();
+        for i in 0..72u32 {
+            if next() < 0.9 / (i as f64 / 4.0 + 1.0) {
+                row.push(i.to_string());
+            }
+        }
+        if !row.is_empty() {
+            text.push_str(&row.join(" "));
+            text.push('\n');
+        }
+    }
+    std::fs::write(&path, text).unwrap();
+
+    let scratch = ckpt_scratch("sigterm");
+    let ck = scratch.join("ck");
+    let seg1 = scratch.join("seg1.out");
+    let child = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "4",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(Stdio::from(std::fs::File::create(&seg1).unwrap()))
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let term = Command::new("kill").args(["-TERM", &child.id().to_string()]).status().unwrap();
+    assert!(term.success(), "kill -TERM failed");
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(8), "{stderr}");
+    assert!(stderr.contains("resumable watermark"), "{stderr}");
+
+    // The manifest must be present, checksum-valid, and point exactly at
+    // the flushed output length.
+    let manifest = cfp_core::ckpt::load(&ck)
+        .expect("manifest must be valid")
+        .expect("SIGTERM mid-mine must leave a committed manifest");
+    assert_eq!(manifest.output_bytes, std::fs::metadata(&seg1).unwrap().len());
+    assert!(manifest.progress.done() > 0, "watermark must show progress");
+    for entry in std::fs::read_dir(&ck).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(!name.ends_with(".tmp"), "stray temp file {name}");
+    }
+
+    // Resume (in parallel, exercising cross-thread-count resume) and
+    // verify the concatenation against an uninterrupted run.
+    let seg2 = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "4",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--resume",
+            "--threads",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(seg2.status.success(), "{}", String::from_utf8_lossy(&seg2.stderr));
+    let full =
+        Command::new(bin()).args([path.to_str().unwrap(), "--support", "4"]).output().unwrap();
+    assert!(full.status.success());
+    let mut joined = std::fs::read(&seg1).unwrap();
+    joined.extend_from_slice(&seg2.stdout);
+    assert_eq!(joined, full.stdout, "kill + resume diverged from the uninterrupted run");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Resuming against a manifest from a different run is rejected with
+/// exit 9 and a diagnostic naming the mismatch.
+#[test]
+fn resume_with_mismatched_config_exits_9() {
+    let path = write_sample();
+    let scratch = ckpt_scratch("mismatch");
+    let ck = scratch.join("ck");
+    std::fs::create_dir_all(&ck).unwrap();
+    cfp_core::ckpt::save(
+        &ck,
+        &cfp_core::Manifest {
+            input: path.to_str().unwrap().to_string(),
+            min_support: 2,
+            counts: "fnv1a:0000000000000000".into(),
+            num_items: 5,
+            progress: cfp_core::CkptProgress::Mono { items_done: 2 },
+            output_bytes: 0,
+            itemsets: 0,
+        },
+    )
+    .unwrap();
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(9));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fingerprint mismatch"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// A torn (truncated) or bit-flipped manifest is a structured exit 9 —
+/// never a panic, never silently trusted.
+#[test]
+fn torn_or_corrupted_manifest_exits_9() {
+    let path = write_sample();
+    let scratch = ckpt_scratch("torn");
+    let ck = scratch.join("ck");
+    std::fs::create_dir_all(&ck).unwrap();
+    let manifest = cfp_core::Manifest {
+        input: path.to_str().unwrap().to_string(),
+        min_support: 2,
+        counts: "fnv1a:1111111111111111".into(),
+        num_items: 5,
+        progress: cfp_core::CkptProgress::Mono { items_done: 1 },
+        output_bytes: 10,
+        itemsets: 1,
+    };
+    cfp_core::ckpt::save(&ck, &manifest).unwrap();
+    let manifest_path = ck.join("ckpt.json");
+    let full = std::fs::read(&manifest_path).unwrap();
+
+    let mut torn = full.clone();
+    torn.truncate(full.len() / 2);
+    let mut flipped = full.clone();
+    let mid = full.len() / 2;
+    flipped[mid] ^= 0xFF;
+    for damaged in [torn, flipped] {
+        std::fs::write(&manifest_path, &damaged).unwrap();
+        let out = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "2",
+                "--checkpoint-dir",
+                ck.to_str().unwrap(),
+                "--resume",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(out.status.code(), Some(9), "{stderr}");
+        assert!(!stderr.contains("panic"), "{stderr}");
+        assert!(stderr.contains("checkpoint"), "{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The state-directory lockfile: a live owner blocks with exit 10, a
+/// stale lock from a dead process is reclaimed transparently.
+#[test]
+fn locked_checkpoint_dir_exits_10_and_stale_locks_are_reclaimed() {
+    let path = write_sample();
+    let scratch = ckpt_scratch("lock");
+    let ck = scratch.join("ck");
+    std::fs::create_dir_all(&ck).unwrap();
+
+    // PID 1 is always alive: the directory is genuinely owned.
+    std::fs::write(ck.join("cfp.lock"), "1\n").unwrap();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--checkpoint-dir", ck.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(10), "{stderr}");
+    assert!(stderr.contains("locked"), "{stderr}");
+    assert!(out.stdout.is_empty(), "a locked run must not mine");
+
+    // A lock naming a dead PID is stale: reclaimed, run succeeds.
+    std::fs::write(ck.join("cfp.lock"), "3999999\n").unwrap();
+    let out = Command::new(bin())
+        .args([path.to_str().unwrap(), "--support", "2", "--checkpoint-dir", ck.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The `core.ckpt.write` failpoint: a permanently failing manifest
+/// commit aborts the run with the structured checkpoint error (exit 9)
+/// instead of mining on with silently absent crash safety. Skipped
+/// when the binary was built without the `fault` feature.
+#[test]
+fn failing_checkpoint_commit_exits_9_under_the_failpoint() {
+    let path = write_skewed();
+    let scratch = ckpt_scratch("failpoint");
+    let ck = scratch.join("ck");
+    let out = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ])
+        .env("CFP_FAULT", "core.ckpt.write=always")
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    if !cfg!(feature = "fault") {
+        // Binary built without failpoints: CFP_FAULT is silently
+        // ignored and the run must simply complete.
+        assert!(out.status.success(), "{stderr}");
+        let _ = std::fs::remove_dir_all(&scratch);
+        return;
+    }
+    assert_eq!(out.status.code(), Some(9), "{stderr}");
+    assert!(stderr.contains("core.ckpt.write"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 #[test]
 fn mem_report_requires_the_cfp_algorithm() {
     let path = write_sample();

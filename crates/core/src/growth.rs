@@ -49,6 +49,17 @@ pub struct MineOpts {
     /// memory. Armed by the supervisor's spill rung; `None` keeps every
     /// conditional structure in RAM (classic behaviour).
     pub cond_spill: Option<CondSpill>,
+    /// Cooperative cancellation, polled between top-level items (and at
+    /// scheduler task boundaries in the parallel driver). When it fires,
+    /// mining stops at the next boundary with [`CfpError::Interrupted`];
+    /// everything emitted so far sits at an exact item watermark.
+    pub cancel: Option<cfp_fault::CancelToken>,
+    /// Resume support: the first `resume_skip` top-level items (in the
+    /// descending mining order, i.e. items `n-1 … n-resume_skip`) were
+    /// fully emitted by a previous run and are skipped without emitting
+    /// anything. Progress notifications still report *global* completed
+    /// counts, so a resumed run checkpoints seamlessly.
+    pub resume_skip: u64,
 }
 
 impl MineOpts {
@@ -501,7 +512,23 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
         }
     }
     let n = array.num_items() as u32;
+    // Only the outermost loop (empty suffix) walks first-level items —
+    // those are the resumable units: cancellation is polled, completed
+    // prefixes from a previous run are skipped, and progress is reported
+    // per completed item. Recursive calls arrive with a non-empty suffix
+    // and none of that applies.
+    let top = ctx.suffix.is_empty();
     for item in (0..n).rev() {
+        if top {
+            if (item as u64) + ctx.opts.resume_skip >= n as u64 {
+                continue; // emitted by the run being resumed
+            }
+            if let Some(cancel) = &ctx.opts.cancel {
+                if cancel.is_cancelled() {
+                    return Err(CfpError::Interrupted);
+                }
+            }
+        }
         let support = array.item_support(item);
         if support < ctx.min_support {
             continue;
@@ -523,11 +550,14 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
             }
         }
         ctx.suffix.pop();
-        // Only the outermost loop (empty suffix) walks first-level items;
-        // recursive calls arrive here with the suffix still holding their
-        // conditional prefix.
-        if cfp_trace::enabled() && ctx.suffix.is_empty() {
-            cfp_trace::counters::CORE_ITEMS_MINED.inc();
+        if top {
+            if cfp_trace::enabled() {
+                cfp_trace::counters::CORE_ITEMS_MINED.inc();
+            }
+            // Every itemset of items n-1 … item is now in the sink; the
+            // output sits at an exact watermark of n-item completed
+            // top-level items (counting ones skipped on resume).
+            ctx.sink.progress(cfp_data::MineProgress::Items { done: (n - item) as u64 })?;
         }
     }
     Ok(())
@@ -909,7 +939,7 @@ mod tests {
         let opts = MineOpts {
             pool: Some(BudgetPool::new(4)),
             compact_on_pressure: true,
-            cond_spill: None,
+            ..Default::default()
         };
         let mut sink = CountingSink::new();
         let last = recoder.num_items() as u32 - 1;
@@ -926,6 +956,71 @@ mod tests {
         .expect_err("a 4-byte pool cannot hold a conditional tree root");
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("mine"), "{err}");
+    }
+
+    #[test]
+    fn cancel_and_resume_split_the_emission_stream_exactly() {
+        use cfp_data::MineProgress;
+        use cfp_fault::CancelToken;
+
+        // A sink that requests cancellation once `after` top-level items
+        // have completed — the in-process analogue of SIGTERM.
+        struct CancellingSink {
+            inner: CollectSink,
+            cancel: CancelToken,
+            after: u64,
+            watermark: u64,
+        }
+        impl ItemsetSink for CancellingSink {
+            fn emit(&mut self, itemset: &[Item], support: u64) {
+                self.inner.emit(itemset, support);
+            }
+            fn progress(&mut self, p: MineProgress<'_>) -> Result<(), CfpError> {
+                if let MineProgress::Items { done } = p {
+                    self.watermark = done;
+                    if done >= self.after {
+                        self.cancel.cancel();
+                    }
+                }
+                Ok(())
+            }
+        }
+
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut db = TransactionDb::new();
+        for _ in 0..60 {
+            let t: Vec<Item> = (0..12).filter(|_| rng.gen_bool(0.5)).collect();
+            db.push(&t);
+        }
+        let miner = CfpGrowthMiner::new();
+        let mut full = CollectSink::new();
+        miner.try_mine(&db, 3, &mut full).unwrap();
+
+        for after in [1u64, 3, 7] {
+            let cancel = CancelToken::new();
+            let mut first = CancellingSink {
+                inner: CollectSink::new(),
+                cancel: cancel.clone(),
+                after,
+                watermark: 0,
+            };
+            let opts = MineOpts { cancel: Some(cancel), ..Default::default() };
+            let err = miner.try_mine_with(&db, 3, &mut first, &opts).expect_err("cancelled");
+            assert_eq!(err.exit_code(), 8, "{err}");
+            assert_eq!(first.watermark, after, "stops at the first boundary past the trigger");
+
+            let opts = MineOpts { resume_skip: first.watermark, ..Default::default() };
+            let mut second = CollectSink::new();
+            miner.try_mine_with(&db, 3, &mut second, &opts).unwrap();
+
+            let mut joined = first.inner.itemsets;
+            joined.extend(second.itemsets);
+            assert_eq!(
+                joined, full.itemsets,
+                "pre-cancel + post-resume emission must equal the uninterrupted run (after={after})"
+            );
+        }
     }
 
     #[test]

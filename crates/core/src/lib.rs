@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod growth;
 pub mod image;
 pub mod io;
@@ -50,6 +51,7 @@ pub use cfp_array::{convert, CfpArray};
 pub use cfp_data::miner::{CollectSink, CountingSink, LengthHistogramSink, NullSink, TopKSink};
 pub use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
 pub use cfp_tree::CfpTree;
+pub use ckpt::{CkptProgress, Manifest};
 pub use growth::{build_tree, CfpGrowthMiner, MineOpts};
 pub use image::MiningImage;
 pub use io::mine_file;

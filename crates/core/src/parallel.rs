@@ -80,6 +80,16 @@ pub struct ParallelCfpGrowthMiner {
     pub compact_on_pressure: bool,
     /// How first-level items are distributed to workers.
     pub schedule: Schedule,
+    /// Cooperative cancellation, polled by every worker at task
+    /// boundaries (next to the poison check). When it fires the run
+    /// stops claiming, drains the contiguous emitted prefix, and returns
+    /// [`CfpError::Interrupted`] if any item remains unmined.
+    pub cancel: Option<cfp_fault::CancelToken>,
+    /// Resume support: the `resume_skip` highest first-level items were
+    /// fully emitted by a previous run. They are excluded from the task
+    /// queue and the ordered emitter starts below them, so this run's
+    /// output continues byte-exactly where the previous one stopped.
+    pub resume_skip: u64,
 }
 
 impl ParallelCfpGrowthMiner {
@@ -94,6 +104,8 @@ impl ParallelCfpGrowthMiner {
             worker_timeout: None,
             compact_on_pressure: false,
             schedule: Schedule::default(),
+            cancel: None,
+            resume_skip: 0,
         }
     }
 
@@ -162,17 +174,29 @@ struct OrderedEmitter<'a> {
     pending: Vec<Option<Batch>>,
     /// Highest item id not yet emitted.
     next: i64,
+    /// All first-level items, counting ones skipped on resume — progress
+    /// notifications report *global* completed counts.
+    total: u32,
     emitted: u64,
 }
 
 impl<'a> OrderedEmitter<'a> {
-    fn new(sink: &'a mut dyn ItemsetSink, n: u32) -> Self {
+    /// Emits items `max_item-1 … 0` in order; on a resume, `max_item`
+    /// sits below `total` because the higher items are already out.
+    fn new(sink: &'a mut dyn ItemsetSink, total: u32, max_item: u32) -> Self {
         OrderedEmitter {
             sink,
-            pending: (0..n).map(|_| None).collect(),
-            next: n as i64 - 1,
+            pending: (0..max_item).map(|_| None).collect(),
+            next: max_item as i64 - 1,
+            total,
             emitted: 0,
         }
+    }
+
+    /// `true` while item-tagged batches are still owed (dynamic
+    /// schedule) — the emitted stream is a strict prefix of the run.
+    fn unfinished(&self) -> bool {
+        self.next >= 0
     }
 
     fn emit_batch(&mut self, batch: Batch) {
@@ -182,21 +206,27 @@ impl<'a> OrderedEmitter<'a> {
         }
     }
 
-    fn handle(&mut self, tag: u32, batch: Batch) {
+    fn handle(&mut self, tag: u32, batch: Batch) -> Result<(), CfpError> {
         if tag == STREAM {
             self.emit_batch(batch);
-            return;
+            return Ok(());
         }
         self.pending[tag as usize] = Some(batch);
         while self.next >= 0 {
             match self.pending[self.next as usize].take() {
                 Some(batch) => {
                     self.emit_batch(batch);
+                    // Everything up to and including item `next` is now
+                    // in the sink: an exact watermark of total - next
+                    // completed first-level items.
+                    let done = (self.total as i64 - self.next) as u64;
                     self.next -= 1;
+                    self.sink.progress(cfp_data::MineProgress::Items { done })?;
                 }
                 None => break,
             }
         }
+        Ok(())
     }
 }
 
@@ -232,7 +262,9 @@ impl Miner for ParallelCfpGrowthMiner {
                     &MineOpts {
                         pool,
                         compact_on_pressure: self.compact_on_pressure,
-                        cond_spill: None,
+                        cancel: self.cancel.clone(),
+                        resume_skip: self.resume_skip,
+                        ..Default::default()
                     },
                 );
         }
@@ -274,14 +306,18 @@ impl Miner for ParallelCfpGrowthMiner {
         let opts = MineOpts {
             pool: pool.clone(),
             compact_on_pressure: self.compact_on_pressure,
-            cond_spill: None,
+            cancel: self.cancel.clone(),
+            ..Default::default()
         };
 
         // A globally single-path array needs no parallelism — and must not
         // be decomposed per item, or the emission order diverges from the
         // sequential shortcut's depth-grouped order. Mine it inline so
         // output stays byte-identical across thread counts and schedules.
-        if single_path_opt {
+        // A single-path run has no per-item watermarks, so a manifest can
+        // only ever record zero completed items — resume_skip > 0 implies
+        // the fingerprint-matched original was not single-path.
+        if single_path_opt && self.resume_skip == 0 {
             let inline = {
                 let _s = span(Phase::Mine);
                 mine_single_path_root(&array, &globals, min_support, sink, &opts)
@@ -304,7 +340,9 @@ impl Miner for ParallelCfpGrowthMiner {
         }
         let array = Arc::new(array);
         let globals = Arc::new(globals);
-        let queue = Arc::new(TaskQueue::new(&array));
+        // Items ≥ max_item were emitted by the run being resumed.
+        let max_item = (n as u64).saturating_sub(self.resume_skip) as u32;
+        let queue = Arc::new(TaskQueue::with_limit(&array, max_item));
         let poison = Arc::new(AtomicBool::new(false));
         let heartbeats: Arc<Vec<AtomicU64>> =
             Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
@@ -341,13 +379,16 @@ impl Miner for ParallelCfpGrowthMiner {
                             let mut peak = 0u64;
                             let mut tasks = 0u64;
                             let mut cost = 0u64;
-                            let mut item = n as i64 - 1 - w as i64;
+                            let mut item = max_item as i64 - 1 - w as i64;
                             // Round-robin from least to most frequent.
                             while item >= 0 {
                                 // A failed sibling poisons the run; stop at
                                 // the next work item instead of mining into
-                                // the void.
-                                if poison.load(Ordering::Relaxed) {
+                                // the void. Cancellation stops the same way
+                                // — cooperatively, at a task boundary.
+                                if poison.load(Ordering::Relaxed)
+                                    || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                                {
                                     break;
                                 }
                                 worker_tick(&heartbeats[w], schedule, tasks, 0);
@@ -427,7 +468,9 @@ impl Miner for ParallelCfpGrowthMiner {
                             let mut cost = 0u64;
                             'claims: while let Some((start, len)) = queue.claim() {
                                 for slot in start..start + len {
-                                    if poison.load(Ordering::Relaxed) {
+                                    if poison.load(Ordering::Relaxed)
+                                        || opts.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+                                    {
                                         break 'claims;
                                     }
                                     worker_tick(&heartbeats[w], schedule, tasks, fair_share);
@@ -510,12 +553,18 @@ impl Miner for ParallelCfpGrowthMiner {
         // worker timeout, poll with `recv_timeout` and watch the
         // heartbeats of unfinished workers; a window with neither a batch
         // nor a heartbeat tick is a stall.
-        let mut emitter = OrderedEmitter::new(sink, n);
+        let mut emitter = OrderedEmitter::new(sink, n, max_item);
         let mut timed_out = false;
         match self.worker_timeout {
             None => {
                 while let Ok((tag, batch)) = rx.recv() {
-                    emitter.handle(tag, batch);
+                    if let Err(e) = emitter.handle(tag, batch) {
+                        // A failed progress hook (checkpoint commit) ends
+                        // the run like a poisoned worker would.
+                        poison.store(true, Ordering::Relaxed);
+                        first_error = Some(e);
+                        break;
+                    }
                 }
             }
             Some(limit) => {
@@ -527,7 +576,11 @@ impl Miner for ParallelCfpGrowthMiner {
                     match rx.recv_timeout(tick) {
                         Ok((tag, batch)) => {
                             waited = Duration::ZERO;
-                            emitter.handle(tag, batch);
+                            if let Err(e) = emitter.handle(tag, batch) {
+                                poison.store(true, Ordering::Relaxed);
+                                first_error = Some(e);
+                                break;
+                            }
                         }
                         Err(mpsc::RecvTimeoutError::Disconnected) => break,
                         Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -564,13 +617,17 @@ impl Miner for ParallelCfpGrowthMiner {
                 // Drain whatever the cancelled workers already sent so
                 // they can finish their final flush and exit.
                 while let Ok((tag, batch)) = rx.try_recv() {
-                    if !timed_out {
-                        emitter.handle(tag, batch);
+                    if !timed_out && first_error.is_none() {
+                        if let Err(e) = emitter.handle(tag, batch) {
+                            poison.store(true, Ordering::Relaxed);
+                            first_error = Some(e);
+                        }
                     }
                 }
             }
         }
         stats.itemsets = emitter.emitted;
+        let unfinished = emitter.unfinished();
         drop(emitter);
 
         for (w, h) in handles.into_iter().enumerate() {
@@ -605,6 +662,21 @@ impl Miner for ParallelCfpGrowthMiner {
                     if first_error.is_none() {
                         first_error = Some(e);
                     }
+                }
+            }
+        }
+        if first_error.is_none() {
+            if let Some(cancel) = &self.cancel {
+                // Cancellation only counts as an interruption when work
+                // remains — a signal landing after the last item leaves a
+                // complete run. The dynamic emitter knows exactly; static
+                // streams untagged, so judge by claimed task counts.
+                let incomplete = match schedule {
+                    Schedule::Dynamic => unfinished,
+                    Schedule::Static => worker_tasks.iter().sum::<u64>() < max_item as u64,
+                };
+                if cancel.is_cancelled() && incomplete {
+                    first_error = Some(CfpError::Interrupted);
                 }
             }
         }
@@ -827,6 +899,108 @@ mod tests {
         let (_, tree) = crate::growth::try_build_tree(&db, 1, None).unwrap();
         let n = tree.num_items() as u64;
         assert_eq!(stats.worker_tasks.iter().sum::<u64>(), n);
+    }
+
+    #[test]
+    fn parallel_resume_skip_continues_byte_exactly() {
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(777);
+        let mut db = TransactionDb::new();
+        for _ in 0..150 {
+            let t: Vec<Item> = (0..20).filter(|_| rng.gen_bool(0.4)).collect();
+            db.push(&t);
+        }
+        for skip in [0u64, 1, 5, 13, 1000] {
+            let mut seq = CollectSink::new();
+            let opts = MineOpts { resume_skip: skip, ..Default::default() };
+            CfpGrowthMiner::new().try_mine_with(&db, 2, &mut seq, &opts).unwrap();
+            for threads in [2, 4] {
+                let miner = ParallelCfpGrowthMiner {
+                    resume_skip: skip,
+                    ..ParallelCfpGrowthMiner::new(threads)
+                };
+                let mut par = CollectSink::new();
+                miner.try_mine(&db, 2, &mut par).unwrap();
+                assert_eq!(
+                    par.itemsets, seq.itemsets,
+                    "resumed parallel stream must match resumed sequential (skip={skip}, \
+                     threads={threads})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cancel_stops_at_a_watermark_and_resume_completes() {
+        use cfp_data::MineProgress;
+        use cfp_fault::CancelToken;
+
+        struct CancellingSink {
+            inner: CollectSink,
+            cancel: CancelToken,
+            after: u64,
+            watermark: u64,
+        }
+        impl ItemsetSink for CancellingSink {
+            fn emit(&mut self, itemset: &[Item], support: u64) {
+                self.inner.emit(itemset, support);
+            }
+            fn progress(&mut self, p: MineProgress<'_>) -> Result<(), CfpError> {
+                if let MineProgress::Items { done } = p {
+                    self.watermark = done;
+                    if done >= self.after {
+                        self.cancel.cancel();
+                    }
+                }
+                Ok(())
+            }
+        }
+
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut db = TransactionDb::new();
+        for _ in 0..200 {
+            let t: Vec<Item> = (0..24).filter(|_| rng.gen_bool(0.4)).collect();
+            db.push(&t);
+        }
+        let mut full = CollectSink::new();
+        CfpGrowthMiner::new().try_mine(&db, 2, &mut full).unwrap();
+
+        let cancel = CancelToken::new();
+        let mut first = CancellingSink {
+            inner: CollectSink::new(),
+            cancel: cancel.clone(),
+            after: 2,
+            watermark: 0,
+        };
+        let miner =
+            ParallelCfpGrowthMiner { cancel: Some(cancel), ..ParallelCfpGrowthMiner::new(4) };
+        // The cancel lands on the caller thread mid-drain; workers may in
+        // principle have finished everything already, in which case the
+        // run legitimately completes. Either way the watermark contract
+        // must hold: emitted = the first `watermark` items' stream.
+        match miner.try_mine(&db, 2, &mut first) {
+            Err(CfpError::Interrupted) => {
+                let watermark = first.watermark;
+                assert!(watermark >= 2, "cancel fires only past the trigger");
+                let resume = ParallelCfpGrowthMiner {
+                    resume_skip: watermark,
+                    ..ParallelCfpGrowthMiner::new(4)
+                };
+                let mut second = CollectSink::new();
+                resume.try_mine(&db, 2, &mut second).unwrap();
+                let mut joined = first.inner.itemsets;
+                joined.extend(second.itemsets);
+                assert_eq!(
+                    joined, full.itemsets,
+                    "pre-cancel + post-resume must equal the uninterrupted stream"
+                );
+            }
+            Ok(_) => {
+                assert_eq!(first.inner.itemsets, full.itemsets, "a completed run is complete");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

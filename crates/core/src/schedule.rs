@@ -82,8 +82,17 @@ pub(crate) struct TaskQueue {
 
 impl TaskQueue {
     /// Builds the queue for every first-level item of `array`.
+    #[cfg(test)]
     pub fn new(array: &CfpArray) -> Self {
-        let n = array.num_items() as u32;
+        Self::with_limit(array, array.num_items() as u32)
+    }
+
+    /// Builds the queue for items `0 .. max_item` only — the resume
+    /// path's constructor: items `max_item .. n` were fully emitted by a
+    /// previous run (mining walks items in descending order) and must
+    /// not be re-claimed.
+    pub fn with_limit(array: &CfpArray, max_item: u32) -> Self {
+        let n = (array.num_items() as u32).min(max_item);
         let mut order: Vec<u32> = (0..n).collect();
         // Heaviest first; descending item id on ties keeps the order (and
         // therefore chunk boundaries) deterministic across runs.
@@ -189,6 +198,24 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s), "queue drained with unclaimed slots");
         assert!(q.claim().is_none(), "drained queue must stay drained");
+    }
+
+    #[test]
+    fn limited_queue_excludes_completed_items() {
+        let (_, tree) = crate::growth::try_build_tree(
+            &TransactionDb::from_rows(&vec![vec![0u32, 1, 2, 3, 4, 5]; 3]),
+            1,
+            None,
+        )
+        .unwrap();
+        let array = cfp_array::convert(&tree);
+        let q = TaskQueue::with_limit(&array, 4);
+        assert_eq!(q.len(), 4);
+        let mut items: Vec<u32> = q.order.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3], "items ≥ max_item are already mined");
+        let q = TaskQueue::with_limit(&array, 99);
+        assert_eq!(q.len(), array.num_items(), "limit clamps to the item count");
     }
 
     #[test]

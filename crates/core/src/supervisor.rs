@@ -155,6 +155,12 @@ pub struct Supervisor {
     /// temp directory when unset. A uniquely-named subdirectory is
     /// created per run and removed on every exit path.
     pub spill_dir: Option<PathBuf>,
+    /// Cooperative cancellation, polled at every rung and partition
+    /// boundary and threaded into each rung's miner. A fired token stops
+    /// the ladder with [`CfpError::Interrupted`] — recovery rungs never
+    /// escalate past a cancellation, because the interruption is not a
+    /// failure the ladder could repair.
+    pub cancel: Option<cfp_fault::CancelToken>,
 }
 
 impl Supervisor {
@@ -168,7 +174,13 @@ impl Supervisor {
             worker_timeout: None,
             schedule: Schedule::default(),
             spill_dir: None,
+            cancel: None,
         }
+    }
+
+    /// Whether the run's cancel token (if any) has fired.
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
     }
 
     /// Mines `db`, escalating through the recovery ladder on failure.
@@ -196,6 +208,8 @@ impl Supervisor {
             worker_timeout: self.worker_timeout,
             compact_on_pressure: false,
             schedule: self.schedule,
+            cancel: self.cancel.clone(),
+            resume_skip: 0,
         }
         .try_mine(db, min_support, &mut buf);
         let mut last_err = match first {
@@ -207,6 +221,9 @@ impl Supervisor {
         };
         if self.policy == RecoveryPolicy::Off {
             return (Err(last_err), report);
+        }
+        if self.cancelled() || matches!(last_err, CfpError::Interrupted) {
+            return (Err(CfpError::Interrupted), report);
         }
 
         // Rung 1: retry with compaction armed and the budget enforced by
@@ -224,6 +241,8 @@ impl Supervisor {
                 worker_timeout: self.worker_timeout,
                 compact_on_pressure: true,
                 schedule: self.schedule,
+                cancel: self.cancel.clone(),
+                resume_skip: 0,
             }
             .try_mine(db, min_support, &mut buf);
             let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
@@ -255,6 +274,9 @@ impl Supervisor {
         if self.policy == RecoveryPolicy::Retry {
             return (Err(last_err), report);
         }
+        if self.cancelled() || matches!(last_err, CfpError::Interrupted) {
+            return (Err(CfpError::Interrupted), report);
+        }
 
         // Rung 2: downshift to sequential mining — one conditional tree
         // live at a time instead of `threads`. Skipped when the run was
@@ -269,7 +291,12 @@ impl Supervisor {
                     db,
                     min_support,
                     &mut buf,
-                    &MineOpts { pool: pool.clone(), compact_on_pressure: true, cond_spill: None },
+                    &MineOpts {
+                        pool: pool.clone(),
+                        compact_on_pressure: true,
+                        cancel: self.cancel.clone(),
+                        ..Default::default()
+                    },
                 );
             let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
             match r {
@@ -300,13 +327,16 @@ impl Supervisor {
         if self.policy == RecoveryPolicy::Degrade {
             return (Err(last_err), report);
         }
+        if self.cancelled() || matches!(last_err, CfpError::Interrupted) {
+            return (Err(CfpError::Interrupted), report);
+        }
 
         // Rung 3: partitioned fallback mining — in RAM for the
         // `partition` policy, through disk for `spill`.
         let _s = span(Phase::Recover);
         let (rung, r) = if self.policy == RecoveryPolicy::Spill {
             rung_started(cfp_trace::Rung::Spill);
-            ("spill", self.spill_rung(db, min_support, &last_err))
+            ("spill", self.spill_rung(db, min_support, &last_err, None, None))
         } else {
             rung_started(cfp_trace::Rung::Partition);
             ("partition", self.partition_rung(db, min_support, &last_err))
@@ -375,9 +405,17 @@ impl Supervisor {
         let mut mined = 0u64;
         let miner = CfpGrowthMiner { single_path_opt: self.single_path_opt, mem_budget: None };
         while let Some((lo, hi)) = queue.pop_front() {
+            if self.cancelled() {
+                return Err((CfpError::Interrupted, mined, reclaimed));
+            }
             let proj = project(db, &recoder, lo, hi);
             let pool = self.mem_budget.map(BudgetPool::new);
-            let opts = MineOpts { pool: pool.clone(), compact_on_pressure: true, cond_spill: None };
+            let opts = MineOpts {
+                pool: pool.clone(),
+                compact_on_pressure: true,
+                cancel: self.cancel.clone(),
+                ..Default::default()
+            };
             let mut fsink = RangeFilterSink { inner: &mut buf, recoder: &recoder, lo, hi };
             let r = miner.try_mine_with(&proj, min_support, &mut fsink, &opts);
             if let Some(p) = &pool {
@@ -431,6 +469,44 @@ impl Supervisor {
         min_support: u64,
         sink: &mut dyn ItemsetSink,
     ) -> (Result<MineStats, CfpError>, RecoveryReport) {
+        self.out_of_core_impl(db, min_support, sink, false, None)
+    }
+
+    /// The checkpointable spin on [`mine_out_of_core`]
+    /// (Supervisor::mine_out_of_core): output is **streamed** to `sink`
+    /// partition by partition instead of buffered for the whole run, and
+    /// after each completed partition the sink receives a
+    /// [`cfp_data::MineProgress::SpillParts`] notification carrying the
+    /// global completed-partition count and the not-yet-mined `(lo, hi)`
+    /// ranges in processing order — exactly the state a checkpoint
+    /// manifest needs. A partition that fails and is halved never reaches
+    /// the sink (its buffered output is discarded before the halves
+    /// re-mine), so the stream always sits at a partition watermark.
+    ///
+    /// `resume` replays a previous run's final notification: `done`
+    /// completed partitions (counted into subsequent notifications, never
+    /// re-mined) and the surviving ranges to mine, in order. Because
+    /// ranges are re-projected from the database, no spill files need to
+    /// have survived the crash. Passing `None` starts a fresh run.
+    pub fn mine_out_of_core_resumable(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+        resume: Option<(u64, Vec<(u32, u32)>)>,
+    ) -> (Result<MineStats, CfpError>, RecoveryReport) {
+        self.out_of_core_impl(db, min_support, sink, true, resume)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn out_of_core_impl(
+        &self,
+        db: &TransactionDb,
+        min_support: u64,
+        sink: &mut dyn ItemsetSink,
+        stream: bool,
+        resume: Option<(u64, Vec<(u32, u32)>)>,
+    ) -> (Result<MineStats, CfpError>, RecoveryReport) {
         let mut report = RecoveryReport {
             policy: RecoveryPolicy::Spill.name().to_string(),
             ..Default::default()
@@ -443,8 +519,20 @@ impl Supervisor {
             footprint: 0,
             limit: self.mem_budget.unwrap_or(0),
         };
-        match self.spill_rung(db, min_support, &cause) {
-            Ok((stats, partitions, reclaimed, peaks, buf)) => {
+        // Each branch consumes `sink` exactly once: streaming hands it to
+        // the rung, buffering flushes into it afterwards.
+        let r = if stream {
+            self.spill_rung(db, min_support, &cause, Some(sink), resume)
+        } else {
+            self.spill_rung(db, min_support, &cause, None, resume).map(
+                |(stats, partitions, reclaimed, peaks, buf)| {
+                    flush(buf, sink);
+                    (stats, partitions, reclaimed, peaks, CollectSink::new())
+                },
+            )
+        };
+        match r {
+            Ok((stats, partitions, reclaimed, peaks, _buf)) => {
                 report.rungs.push(RungReport {
                     rung: "spill",
                     succeeded: true,
@@ -455,7 +543,6 @@ impl Supervisor {
                 report.recovered = true;
                 report.final_partitions = partitions;
                 report.partition_peaks = peaks;
-                flush(buf, sink);
                 (Ok(stats), report)
             }
             Err((e, partitions, reclaimed)) => {
@@ -487,8 +574,8 @@ impl Supervisor {
     /// (cfp_array::CfpArray::from_bytes) with a max-item range filter.
     /// Oversized conditional arrays round-trip through the same spill
     /// directory ([`CondSpill`]). A partition whose *conditional*
-    /// structures bust the budget is retracted, deleted, halved, and
-    /// sent back through the spill phase.
+    /// structures bust the budget has its buffered output discarded, its
+    /// file deleted, and its halves sent back through the spill phase.
     ///
     /// Exactness is the partition rung's Grahne & Zhu argument
     /// unchanged: the on-disk detour is a checksummed identity
@@ -501,6 +588,8 @@ impl Supervisor {
         db: &TransactionDb,
         min_support: u64,
         cause: &CfpError,
+        mut stream: Option<&mut dyn ItemsetSink>,
+        resume: Option<(u64, Vec<(u32, u32)>)>,
     ) -> Result<(MineStats, u64, u64, Vec<u64>, CollectSink), (CfpError, u64, u64)> {
         let recoder = ItemRecoder::scan(db, min_support);
         let n = recoder.num_items();
@@ -513,6 +602,7 @@ impl Supervisor {
             }
             _ => 2,
         };
+        let done0 = resume.as_ref().map(|(done, _)| *done).unwrap_or(0);
         let parent = self.spill_dir.clone().unwrap_or_else(std::env::temp_dir);
         let dir = match SpillDir::create(&parent) {
             Ok(d) => Arc::new(d),
@@ -532,17 +622,24 @@ impl Supervisor {
         // partitions to disk; without a budget nothing is oversized.
         let cond_spill = self.mem_budget.map(|b| CondSpill::new(Arc::clone(&dir), (b / 4).max(1)));
 
-        let mut ranges: VecDeque<(u32, u32)> = ranges_by_mass(&recoder, k0.min(n)).into();
+        let mut ranges: VecDeque<(u32, u32)> = match resume {
+            Some((_, remaining)) => remaining.into(),
+            None => ranges_by_mass(&recoder, k0.min(n)).into(),
+        };
         let mut entries: VecDeque<SpillEntry> = VecDeque::new();
         let mut buf = CollectSink::new();
         let mut stats = MineStats::default();
         let mut peaks: Vec<u64> = Vec::new();
         let mut reclaimed = 0u64;
         let mut mined = 0u64;
+        let mut emitted = 0u64;
         let mut seq = 0u64;
         loop {
             // Spill phase: write every queued range's array to disk.
             while let Some((lo, hi)) = ranges.pop_front() {
+                if self.cancelled() {
+                    return Err((CfpError::Interrupted, mined, reclaimed));
+                }
                 let proj = project(db, &recoder, lo, hi);
                 let pool = self.mem_budget.map(BudgetPool::new);
                 let built = crate::growth::try_build_tree_with(
@@ -581,7 +678,13 @@ impl Supervisor {
                 }
             }
             // Mine phase: load each file back and mine it zero-copy.
+            // Output goes through a per-partition buffer so a halved
+            // failure simply drops its partial output, and a streaming
+            // caller only ever sees whole partitions.
             while let Some(entry) = entries.pop_front() {
+                if self.cancelled() {
+                    return Err((CfpError::Interrupted, mined, reclaimed));
+                }
                 let SpillEntry { name, lo, hi, globals, bytes: _ } = &entry;
                 let path = dir.file(name);
                 let pool = self.mem_budget.map(BudgetPool::new);
@@ -589,7 +692,10 @@ impl Supervisor {
                     pool: pool.clone(),
                     compact_on_pressure: true,
                     cond_spill: cond_spill.clone(),
+                    cancel: self.cancel.clone(),
+                    ..Default::default()
                 };
+                let mut part_buf = CollectSink::new();
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     if cfp_fault::should_fail("core.worker") {
                         panic!("injected worker fault (failpoint core.worker)");
@@ -597,8 +703,12 @@ impl Supervisor {
                     let (array, loaded_bytes) = load_spill_array(&path)?;
                     let _spill_charge =
                         ArrayCharge::with_component(pool.clone(), Component::Spill, loaded_bytes);
-                    let mut fsink =
-                        RangeFilterSink { inner: &mut buf, recoder: &recoder, lo: *lo, hi: *hi };
+                    let mut fsink = RangeFilterSink {
+                        inner: &mut part_buf,
+                        recoder: &recoder,
+                        lo: *lo,
+                        hi: *hi,
+                    };
                     mine_loaded(
                         &array,
                         globals,
@@ -616,12 +726,32 @@ impl Supervisor {
                         dir.remove(name);
                         mined += 1;
                         peaks.push(pool.map(|p| p.peak()).unwrap_or(0));
+                        emitted += part_buf.itemsets.len() as u64;
+                        match &mut stream {
+                            Some(sink) => {
+                                for (itemset, support) in &part_buf.itemsets {
+                                    sink.emit(itemset, *support);
+                                }
+                                let remaining: Vec<(u32, u32)> = entries
+                                    .iter()
+                                    .map(|e| (e.lo, e.hi))
+                                    .chain(ranges.iter().copied())
+                                    .collect();
+                                if let Err(e) = sink.progress(cfp_data::MineProgress::SpillParts {
+                                    done: done0 + mined,
+                                    remaining: &remaining,
+                                }) {
+                                    return Err((e, mined, reclaimed));
+                                }
+                            }
+                            None => buf.itemsets.append(&mut part_buf.itemsets),
+                        }
                     }
                     Ok(Err(CfpError::MemoryExhausted { .. })) if hi - lo > 1 => {
-                        // Conditional structures still too big: retract
-                        // this range's partial output, drop its file, and
-                        // send both halves back through the spill phase.
-                        retract_range(&mut buf, &recoder, *lo, *hi);
+                        // Conditional structures still too big: drop the
+                        // partial output with its buffer, drop the file,
+                        // and send both halves back through the spill
+                        // phase.
                         dir.remove(name);
                         let mid = lo + (hi - lo) / 2;
                         ranges.push_back((*lo, mid));
@@ -650,7 +780,7 @@ impl Supervisor {
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_SPILL_PARTITIONS.record(mined);
         }
-        stats.itemsets = buf.itemsets.len() as u64;
+        stats.itemsets = emitted;
         stats.peak_bytes = peaks.iter().copied().max().unwrap_or(0);
         stats.worker_peaks = peaks.clone();
         Ok((stats, mined, reclaimed, peaks, buf))
@@ -969,6 +1099,164 @@ mod tests {
         assert_eq!(p.name(), "spill");
         let err = "disk".parse::<RecoveryPolicy>().unwrap_err();
         assert!(err.contains("spill"), "the error must list the new policy: {err}");
+    }
+
+    fn block_db() -> TransactionDb {
+        use cfp_data::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut db = TransactionDb::new();
+        for block in 0u32..3 {
+            for _ in 0..60 {
+                let t: Vec<Item> =
+                    (0..8).filter(|_| rng.gen_bool(0.6)).map(|i| block * 100 + i).collect();
+                db.push(&t);
+            }
+        }
+        db
+    }
+
+    /// One recorded `SpillParts` notification: done, remaining ranges,
+    /// itemsets emitted so far.
+    type Mark = (u64, Vec<(u32, u32)>, usize);
+
+    /// Streams into a collector while recording every `SpillParts`
+    /// notification.
+    struct MarkingSink {
+        inner: CollectSink,
+        marks: Vec<Mark>,
+        cancel_after: Option<(u64, cfp_fault::CancelToken)>,
+    }
+
+    impl ItemsetSink for MarkingSink {
+        fn emit(&mut self, itemset: &[Item], support: u64) {
+            self.inner.emit(itemset, support);
+        }
+
+        fn progress(&mut self, p: cfp_data::MineProgress<'_>) -> Result<(), CfpError> {
+            if let cfp_data::MineProgress::SpillParts { done, remaining } = p {
+                self.marks.push((done, remaining.to_vec(), self.inner.itemsets.len()));
+                if let Some((after, token)) = &self.cancel_after {
+                    if done >= *after {
+                        token.cancel();
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn a_fired_token_stops_the_ladder_without_escalation() {
+        let db = textbook();
+        let token = cfp_fault::CancelToken::new();
+        token.cancel();
+        let sup = Supervisor {
+            mem_budget: Some(16),
+            cancel: Some(token),
+            ..Supervisor::new(RecoveryPolicy::Partition)
+        };
+        let mut sink = CollectSink::new();
+        let (r, report) = sup.mine(&db, 2, &mut sink);
+        let err = r.expect_err("a cancelled run cannot complete");
+        assert_eq!(err.exit_code(), 8, "interruption must win over recovery: {err}");
+        assert!(report.rungs.is_empty(), "interruption must not climb the ladder");
+        assert!(sink.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn streaming_spill_run_matches_the_buffered_one_mark_by_mark() {
+        let db = block_db();
+        let parent = spill_parent("stream");
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut sink =
+            MarkingSink { inner: CollectSink::new(), marks: Vec::new(), cancel_after: None };
+        let (r, report) = sup.mine_out_of_core_resumable(&db, 3, &mut sink, None);
+        let stats = r.expect("streaming run");
+        assert!(report.final_partitions >= 2);
+        assert_eq!(stats.itemsets, sink.inner.itemsets.len() as u64);
+        assert_eq!(
+            sink.marks.len() as u64,
+            report.final_partitions,
+            "one notification per completed partition"
+        );
+        let last = sink.marks.last().unwrap();
+        assert_eq!(last.0, report.final_partitions);
+        assert!(last.1.is_empty(), "the final notification has nothing remaining");
+        assert_eq!(last.2, sink.inner.itemsets.len(), "the final mark covers all output");
+        assert_eq!(sink.inner.into_sorted(), reference(&db, 3));
+        assert_clean(&parent);
+    }
+
+    #[test]
+    fn resume_from_every_spill_mark_completes_the_exact_stream() {
+        let db = block_db();
+        let parent = spill_parent("resume");
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut full =
+            MarkingSink { inner: CollectSink::new(), marks: Vec::new(), cancel_after: None };
+        sup.mine_out_of_core_resumable(&db, 3, &mut full, None).0.expect("full run");
+        assert!(full.marks.len() >= 2, "need at least two partitions to test resume");
+        for (done, remaining, prefix_len) in &full.marks {
+            let mut resumed =
+                MarkingSink { inner: CollectSink::new(), marks: Vec::new(), cancel_after: None };
+            sup.mine_out_of_core_resumable(&db, 3, &mut resumed, Some((*done, remaining.clone())))
+                .0
+                .expect("resumed run");
+            let mut joined = full.inner.itemsets[..*prefix_len].to_vec();
+            joined.extend(resumed.inner.itemsets.iter().cloned());
+            assert_eq!(
+                joined, full.inner.itemsets,
+                "prefix at mark {done} + resumed tail must equal the full stream"
+            );
+            if let Some(last) = resumed.marks.last() {
+                assert_eq!(last.0 as usize, full.marks.len(), "done counts are global");
+            }
+        }
+        assert_clean(&parent);
+    }
+
+    #[test]
+    fn cancelled_spill_run_stops_at_a_partition_watermark_and_resumes() {
+        let db = block_db();
+        let parent = spill_parent("cancel");
+        let token = cfp_fault::CancelToken::new();
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            cancel: Some(token.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut first = MarkingSink {
+            inner: CollectSink::new(),
+            marks: Vec::new(),
+            cancel_after: Some((1, token)),
+        };
+        let (r, _) = sup.mine_out_of_core_resumable(&db, 3, &mut first, None);
+        let err = r.expect_err("the token fires after the first partition");
+        assert_eq!(err.exit_code(), 8, "unexpected failure: {err}");
+        let (done, remaining, prefix_len) = first.marks.last().unwrap().clone();
+        assert_eq!(prefix_len, first.inner.itemsets.len(), "output stops at the watermark");
+        assert!(!remaining.is_empty(), "work must remain after the interruption");
+
+        let sup = Supervisor {
+            spill_dir: Some(parent.clone()),
+            ..Supervisor::new(RecoveryPolicy::Spill)
+        };
+        let mut rest =
+            MarkingSink { inner: CollectSink::new(), marks: Vec::new(), cancel_after: None };
+        sup.mine_out_of_core_resumable(&db, 3, &mut rest, Some((done, remaining)))
+            .0
+            .expect("resume after interruption");
+        let mut joined = first.inner.itemsets;
+        joined.extend(rest.inner.itemsets);
+        joined.sort();
+        assert_eq!(joined, reference(&db, 3), "interrupt + resume must lose nothing");
+        assert_clean(&parent);
     }
 
     #[test]

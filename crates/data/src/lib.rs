@@ -21,6 +21,8 @@
 //! - [`spill`]: crash-safe spill files (atomic write-fsync-rename, RAII
 //!   directory cleanup, bounded retries, I/O failpoints) backing the
 //!   supervisor's out-of-core rung.
+//! - [`lock`]: PID lock files with stale-lock detection, guarding shared
+//!   spill/checkpoint directories against concurrent runs.
 //! - [`rng`]: a small deterministic PRNG (xoshiro256++) replacing the
 //!   `rand` crate, so the workspace builds without network access.
 
@@ -29,6 +31,7 @@
 pub mod count;
 pub mod double_buffer;
 pub mod fimi;
+pub mod lock;
 pub mod miner;
 pub mod partition;
 pub mod profiles;
@@ -41,5 +44,6 @@ pub mod zipf;
 pub use cfp_fault::CfpError;
 pub use count::ItemRecoder;
 pub use fimi::{ParsePolicy, ParseStats};
-pub use miner::{ItemsetSink, MineStats, Miner};
+pub use lock::DirLock;
+pub use miner::{ItemsetSink, MineProgress, MineStats, Miner};
 pub use types::{Item, TransactionDb};

@@ -1,0 +1,186 @@
+//! Single-owner locking for shared state directories.
+//!
+//! The spill rung and the checkpoint layer both persist files under a
+//! user-supplied directory (`--spill-dir`, `--checkpoint-dir`). Two
+//! concurrent runs pointed at the same directory would clobber each
+//! other's partitions and manifests, so the CLI takes a [`DirLock`] on
+//! every such directory before mining and fails fast with
+//! [`CfpError::Locked`] (exit code 10) when another *live* process
+//! already holds it.
+//!
+//! The lock is a `cfp.lock` file created with `O_CREAT|O_EXCL` and
+//! containing the owner's PID. Crashes (SIGKILL, power loss) leave the
+//! file behind, so acquisition performs **stale-lock detection**: if the
+//! recorded PID is no longer alive (no `/proc/<pid>` on Linux), the
+//! stale file is removed and acquisition retried once. An unreadable or
+//! unparsable lock file is treated as stale — it cannot name a live
+//! owner, and leaving it would wedge the directory forever.
+
+use cfp_fault::CfpError;
+use std::fs::{self, OpenOptions};
+use std::io::{ErrorKind, Write};
+use std::path::{Path, PathBuf};
+
+/// Name of the lock file inside a guarded directory.
+pub const LOCK_FILE: &str = "cfp.lock";
+
+/// An exclusive claim on a state directory, released on drop.
+///
+/// Dropping removes the lock file; a process killed before the drop
+/// leaves a stale file that the next acquirer detects and reclaims.
+#[derive(Debug)]
+pub struct DirLock {
+    path: PathBuf,
+}
+
+impl DirLock {
+    /// Claims `dir` for this process, creating the directory if needed.
+    ///
+    /// Fails with [`CfpError::Locked`] when another live process holds
+    /// the lock; stale locks (dead or unparsable owner) are reclaimed
+    /// transparently.
+    pub fn acquire(dir: &Path) -> Result<DirLock, CfpError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOCK_FILE);
+        // Two attempts: create, or (after removing a stale file) create
+        // again. A second EEXIST means we raced a live acquirer — treat
+        // it as locked rather than spinning.
+        for attempt in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    // Best-effort: a lock file without a readable PID is
+                    // simply treated as stale by the next acquirer.
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(DirLock { path });
+                }
+                Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                    let owner =
+                        fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+                    match owner {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(CfpError::Locked { path: path.display().to_string(), pid });
+                        }
+                        // Dead owner, our own stale PID, or garbage
+                        // content: reclaim.
+                        _ => {
+                            if attempt == 1 {
+                                return Err(CfpError::Locked {
+                                    path: path.display().to_string(),
+                                    pid: owner.unwrap_or(0),
+                                });
+                            }
+                            match fs::remove_file(&path) {
+                                Ok(()) => {}
+                                // Lost a reclaim race; loop and retry.
+                                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                                Err(e) => return Err(CfpError::Io(e)),
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(CfpError::Io(e)),
+            }
+        }
+        unreachable!("both acquisition attempts returned");
+    }
+
+    /// The lock file path (diagnostics and tests).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` names a live process.
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        // Without /proc we cannot probe liveness cheaply; err on the
+        // side of respecting the lock.
+        let _ = pid;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cfp-lock-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn acquire_creates_and_drop_releases() {
+        let dir = tmp_dir("basic");
+        let lock = DirLock::acquire(&dir).unwrap();
+        assert!(lock.path().exists());
+        let lock_path = lock.path().to_path_buf();
+        drop(lock);
+        assert!(!lock_path.exists(), "drop removes the lock file");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_acquire_by_live_owner_fails_structured() {
+        let dir = tmp_dir("live");
+        fs::create_dir_all(&dir).unwrap();
+        // Simulate another live process: PID 1 (init) always exists.
+        fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+        match DirLock::acquire(&dir) {
+            Err(CfpError::Locked { pid, path }) => {
+                assert_eq!(pid, 1);
+                assert!(path.ends_with(LOCK_FILE), "{path}");
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn stale_lock_is_reclaimed() {
+        let dir = tmp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        // A PID from the far end of the default pid space; if it is
+        // somehow alive on the test machine, acquisition correctly
+        // reports Locked and this test would flag it.
+        fs::write(dir.join(LOCK_FILE), "3999999\n").unwrap();
+        let lock = DirLock::acquire(&dir).expect("stale lock must be reclaimed");
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lock_content_is_stale() {
+        let dir = tmp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(LOCK_FILE), "not-a-pid\n").unwrap();
+        let lock = DirLock::acquire(&dir).expect("unparsable lock must be reclaimed");
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn own_stale_pid_is_reclaimed() {
+        let dir = tmp_dir("own");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(LOCK_FILE), format!("{}\n", std::process::id())).unwrap();
+        let lock = DirLock::acquire(&dir)
+            .expect("a lock naming our own pid is from a previous life of this pid");
+        drop(lock);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

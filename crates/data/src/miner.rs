@@ -15,11 +15,46 @@ use cfp_fault::CfpError;
 use std::collections::BinaryHeap;
 use std::time::Duration;
 
+/// A resumable-boundary notification delivered to
+/// [`ItemsetSink::progress`].
+///
+/// Miners guarantee that when a notification arrives, every itemset of
+/// the completed units (and nothing of any later unit) has already been
+/// emitted — the sink's byte stream sits at an exact watermark, which is
+/// what makes checkpoint/resume exact.
+#[derive(Clone, Copy, Debug)]
+pub enum MineProgress<'a> {
+    /// `done` top-level items are fully emitted. CFP-growth mines
+    /// first-level items in descending recoded order, so `done = d`
+    /// means items `n-1, n-2, …, n-d` are finished.
+    Items {
+        /// Completed top-level items.
+        done: u64,
+    },
+    /// `done` spill partitions are fully emitted; `remaining` holds the
+    /// not-yet-mined `(lo, hi)` recoded item ranges in the exact order
+    /// the rung will process them.
+    SpillParts {
+        /// Completed spill partitions.
+        done: u64,
+        /// Unmined ranges, in processing order.
+        remaining: &'a [(u32, u32)],
+    },
+}
+
 /// Receives frequent itemsets as they are discovered.
 pub trait ItemsetSink {
     /// Called once per frequent itemset. `itemset` contains original item
     /// ids sorted ascending; `support` is its exact support count.
     fn emit(&mut self, itemset: &[Item], support: u64);
+
+    /// Called at each resumable boundary (see [`MineProgress`]). The
+    /// default ignores it; checkpointing sinks override it to flush
+    /// output and commit a manifest. An `Err` aborts the run.
+    fn progress(&mut self, progress: MineProgress<'_>) -> Result<(), CfpError> {
+        let _ = progress;
+        Ok(())
+    }
 }
 
 /// Counts itemsets without storing them.

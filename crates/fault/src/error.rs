@@ -69,6 +69,31 @@ pub enum CfpError {
         /// The underlying failure, stringified.
         message: String,
     },
+    /// The run was stopped cooperatively at a task boundary: SIGINT or
+    /// SIGTERM arrived, or the `--deadline` wall-clock budget expired.
+    /// Buffered output has been flushed and (when checkpointing is
+    /// armed) a manifest committed, so the run is exactly resumable.
+    Interrupted,
+    /// A checkpoint manifest could not be written, or an existing one
+    /// was rejected on resume: torn/truncated JSON, a checksum or schema
+    /// mismatch, or a config fingerprint that does not match the
+    /// current run. Resuming from a wrong manifest would silently remine
+    /// wrong, so this is a hard structured error.
+    Checkpoint {
+        /// The manifest file (or directory) involved.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A shared state directory (`--spill-dir`, `--checkpoint-dir`) is
+    /// locked by another live process; running two miners against the
+    /// same directory would clobber each other's files.
+    Locked {
+        /// The lock file holding the claim.
+        path: String,
+        /// PID of the (live) process owning the lock.
+        pid: u32,
+    },
 }
 
 /// Exit code for command-line usage errors (bad flags, missing
@@ -80,7 +105,9 @@ impl CfpError {
     ///
     /// The space is documented in the README: 0 success, 1 I/O error,
     /// 2 usage error ([`EXIT_USAGE`]), 3 malformed input, 4 memory
-    /// exhausted, 5 worker panic, 6 worker timeout, 7 spill failure.
+    /// exhausted, 5 worker panic, 6 worker timeout, 7 spill failure,
+    /// 8 interrupted (resumable), 9 checkpoint invalid, 10 directory
+    /// locked by another run.
     pub fn exit_code(&self) -> i32 {
         match self {
             CfpError::Io(_) => 1,
@@ -89,6 +116,9 @@ impl CfpError {
             CfpError::WorkerPanic { .. } => 5,
             CfpError::WorkerTimeout { .. } => 6,
             CfpError::Spill { .. } => 7,
+            CfpError::Interrupted => 8,
+            CfpError::Checkpoint { .. } => 9,
+            CfpError::Locked { .. } => 10,
         }
     }
 
@@ -137,6 +167,15 @@ impl fmt::Display for CfpError {
             CfpError::Spill { op, path, message } => {
                 write!(f, "spill {op} failed at {path}: {message}")
             }
+            CfpError::Interrupted => {
+                write!(f, "interrupted at a task boundary; output is resumable")
+            }
+            CfpError::Checkpoint { path, message } => {
+                write!(f, "checkpoint rejected at {path}: {message}")
+            }
+            CfpError::Locked { path, pid } => {
+                write!(f, "directory locked by running process {pid} (lock file {path})")
+            }
         }
     }
 }
@@ -171,6 +210,11 @@ impl From<CfpError> for io::Error {
                 io::Error::new(io::ErrorKind::TimedOut, e.to_string())
             }
             CfpError::Spill { .. } => io::Error::other(e.to_string()),
+            CfpError::Interrupted => io::Error::new(io::ErrorKind::Interrupted, e.to_string()),
+            CfpError::Checkpoint { .. } => {
+                io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+            }
+            CfpError::Locked { .. } => io::Error::new(io::ErrorKind::WouldBlock, e.to_string()),
         }
     }
 }
@@ -188,6 +232,9 @@ mod tests {
             CfpError::WorkerPanic { worker: 0, message: "x".into() },
             CfpError::WorkerTimeout { worker: 0, waited_ms: 100 },
             CfpError::Spill { op: "write", path: "/tmp/p0.cfpa".into(), message: "x".into() },
+            CfpError::Interrupted,
+            CfpError::Checkpoint { path: "/ckpt/manifest.json".into(), message: "x".into() },
+            CfpError::Locked { path: "/ckpt/cfp.lock".into(), pid: 1234 },
         ];
         let mut codes: Vec<i32> = errs.iter().map(CfpError::exit_code).collect();
         codes.push(EXIT_USAGE);
@@ -196,7 +243,7 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), codes.len(), "exit codes must not collide: {codes:?}");
-        assert_eq!(codes, vec![1, 3, 4, 5, 6, 7, 2, 0]);
+        assert_eq!(codes, vec![1, 3, 4, 5, 6, 7, 8, 9, 10, 2, 0]);
     }
 
     #[test]
@@ -236,6 +283,13 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("write") && s.contains("p3.cfpa") && s.contains("space"), "{s}");
+        let e = CfpError::Checkpoint { path: "/c/manifest.json".into(), message: "torn".into() };
+        let s = e.to_string();
+        assert!(s.contains("manifest.json") && s.contains("torn"), "{s}");
+        let e = CfpError::Locked { path: "/c/cfp.lock".into(), pid: 77 };
+        let s = e.to_string();
+        assert!(s.contains("cfp.lock") && s.contains("77"), "{s}");
+        assert!(CfpError::Interrupted.to_string().contains("resumable"));
     }
 
     #[test]

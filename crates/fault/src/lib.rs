@@ -39,8 +39,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 mod error;
 
+pub use cancel::{install_signal_handlers, CancelToken};
 pub use error::{CfpError, EXIT_USAGE};
 
 /// When a configured failpoint fires.

@@ -306,6 +306,10 @@ pub static DATA_SPILL_BYTES_READ: Counter = Counter::new("data.spill_bytes_read"
 pub static DATA_SPILL_RETRIES: Counter = Counter::new("data.spill_retries");
 /// `cfp-core`: partitions mined through on-disk spill files.
 pub static CORE_SPILL_PARTITIONS: MaxGauge = MaxGauge::new("core.spill_partitions");
+/// `cfp-core`: checkpoint manifests durably committed.
+pub static CORE_CKPT_COMMITS: Counter = Counter::new("core.ckpt_commits");
+/// `cfp-core`: bytes written into committed checkpoint manifests.
+pub static CORE_CKPT_BYTES: Counter = Counter::new("core.ckpt_bytes");
 
 /// All plain counters, for snapshots.
 static COUNTERS: &[&Counter] = &[
@@ -343,6 +347,8 @@ static COUNTERS: &[&Counter] = &[
     &DATA_SPILL_BYTES_WRITTEN,
     &DATA_SPILL_BYTES_READ,
     &DATA_SPILL_RETRIES,
+    &CORE_CKPT_COMMITS,
+    &CORE_CKPT_BYTES,
 ];
 
 /// All gauges, for snapshots.

@@ -18,10 +18,10 @@
 //! singleton, uniform, and heavy-tailed regimes.
 
 use cfp_baselines::{AprioriMiner, EclatMiner};
-use cfp_core::{CfpGrowthMiner, CollectSink, Miner, ParallelCfpGrowthMiner, Schedule};
+use cfp_core::{CfpGrowthMiner, CollectSink, MineOpts, Miner, ParallelCfpGrowthMiner, Schedule};
 use cfp_data::rng::{Rng, StdRng};
 use cfp_data::zipf::Zipf;
-use cfp_data::{Item, TransactionDb};
+use cfp_data::{CfpError, Item, ItemsetSink, MineProgress, TransactionDb};
 use std::collections::BTreeSet;
 
 const SEEDS: u64 = 64;
@@ -93,6 +93,104 @@ fn sorted(mut itemsets: Vec<(Vec<Item>, u64)>) -> Vec<(Vec<Item>, u64)> {
     itemsets
 }
 
+/// Collects itemsets while requesting cancellation as soon as the
+/// watermark reaches `stop_at` completed top-level items. Also records
+/// the count of itemsets emitted at each watermark, so the caller can
+/// verify the interruption guarantee: everything up to the last
+/// reported watermark — and nothing later — was emitted.
+struct InterruptSink {
+    inner: CollectSink,
+    token: cfp_fault::CancelToken,
+    stop_at: u64,
+    /// `(watermark, itemsets emitted so far)` per progress notification.
+    watermarks: Vec<(u64, usize)>,
+}
+
+impl ItemsetSink for InterruptSink {
+    fn emit(&mut self, itemset: &[Item], support: u64) {
+        self.inner.emit(itemset, support);
+    }
+
+    fn progress(&mut self, progress: MineProgress<'_>) -> Result<(), CfpError> {
+        if let MineProgress::Items { done } = progress {
+            self.watermarks.push((done, self.inner.itemsets.len()));
+            if done >= self.stop_at {
+                self.token.cancel();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The interrupt-at-a-random-watermark configuration: cancel `miner`
+/// after a seed-derived number of completed top-level items, resume a
+/// second run with `resume_skip` at the committed watermark, and require
+/// the concatenated emission streams to be byte-for-byte the reference
+/// stream `seq_raw`. Exercises both the cooperative-cancellation
+/// boundaries and the resume-skip arithmetic on every database shape.
+fn check_interrupt_resume(
+    name: &str,
+    mine: &dyn Fn(&mut dyn ItemsetSink, MineOpts) -> Result<(), CfpError>,
+    seq_raw: &[(Vec<Item>, u64)],
+    stop_at: u64,
+    problems: &mut Vec<String>,
+) {
+    let token = cfp_fault::CancelToken::new();
+    let mut sink = InterruptSink {
+        inner: CollectSink::new(),
+        token: token.clone(),
+        stop_at,
+        watermarks: Vec::new(),
+    };
+    let opts = MineOpts { cancel: Some(token), ..MineOpts::default() };
+    let first = mine(&mut sink, opts);
+    match first {
+        Ok(()) => {
+            // The run finished before the target watermark (small
+            // database): the stream must simply be complete and exact.
+            if sink.inner.itemsets != seq_raw {
+                problems.push(format!(
+                    "{name}: uninterrupted-by-luck run diverged ({} vs {} itemsets)",
+                    sink.inner.itemsets.len(),
+                    seq_raw.len()
+                ));
+            }
+        }
+        Err(CfpError::Interrupted) => {
+            let Some(&(done, at_watermark)) = sink.watermarks.last() else {
+                problems.push(format!("{name}: interrupted without any watermark"));
+                return;
+            };
+            // Interruption guarantee: the stream stands exactly at the
+            // last notified watermark — nothing later leaked out.
+            if sink.inner.itemsets.len() != at_watermark {
+                problems.push(format!(
+                    "{name}: {} itemsets emitted but the last watermark covered {at_watermark}",
+                    sink.inner.itemsets.len()
+                ));
+                return;
+            }
+            let mut resumed = CollectSink::new();
+            let opts = MineOpts { resume_skip: done, ..MineOpts::default() };
+            if let Err(e) = mine(&mut resumed, opts) {
+                problems.push(format!("{name}: resume at watermark {done} failed with {e}"));
+                return;
+            }
+            let mut joined = sink.inner.itemsets;
+            joined.extend(resumed.itemsets);
+            if joined != seq_raw {
+                problems.push(format!(
+                    "{name}: interrupt at watermark {done} + resume diverged \
+                     ({} vs {} itemsets)",
+                    joined.len(),
+                    seq_raw.len()
+                ));
+            }
+        }
+        Err(e) => problems.push(format!("{name}: interrupt run failed with {e}")),
+    }
+}
+
 /// Summarises how `got` diverges from `oracle` (first few missing/extra
 /// entries), for the failure report.
 fn diff_summary(
@@ -141,6 +239,39 @@ fn check_seed(seed: u64) -> Result<(), String> {
             }
             problems.extend(diff_summary(&name, &oracle, &sorted(raw)));
         }
+    }
+
+    // Interrupt at a seed-derived watermark, then resume: the
+    // concatenated streams must equal the uninterrupted sequential
+    // emission exactly, both for the sequential miner and for the
+    // parallel dynamic schedule (whose ordered emitter makes the same
+    // watermark guarantee).
+    {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00C0_FFEE);
+        let stop_at = rng.gen_range(1u64..=6);
+        let seq = CfpGrowthMiner::new();
+        check_interrupt_resume(
+            "cfp-sequential/interrupt",
+            &|sink, opts| seq.try_mine_with(&case.db, case.minsup, sink, &opts).map(|_| ()),
+            &seq_raw,
+            stop_at,
+            &mut problems,
+        );
+        check_interrupt_resume(
+            "cfp-parallel/dynamicx4/interrupt",
+            &|sink, opts| {
+                let miner = ParallelCfpGrowthMiner {
+                    schedule: Schedule::Dynamic,
+                    cancel: opts.cancel,
+                    resume_skip: opts.resume_skip,
+                    ..ParallelCfpGrowthMiner::new(4)
+                };
+                miner.try_mine(&case.db, case.minsup, sink).map(|_| ())
+            },
+            &seq_raw,
+            stop_at,
+            &mut problems,
+        );
     }
 
     // Out-of-core: the spill rung run directly must produce exactly the

@@ -429,6 +429,68 @@ fn worker_panic_in_the_spill_rung_still_cleans_the_directory() {
     clear_all();
 }
 
+/// Class 9 — a failing manifest commit ("core.ckpt.write"): a
+/// checkpointing sink that propagates the commit failure through
+/// `progress()` aborts the run with the structured `Checkpoint` error
+/// (exit code 9) — mining never continues with silently absent crash
+/// safety — and with the site disarmed the same save succeeds.
+#[test]
+fn injected_checkpoint_write_failure_aborts_structurally() {
+    use cfp_core::{ckpt, CkptProgress, Manifest};
+
+    let _g = armed();
+    let db = textbook_db();
+    let dir = std::env::temp_dir().join(format!("cfp-fault-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    /// Commits a manifest at every watermark, surfacing save failures
+    /// through `progress()` exactly as the CLI's checkpoint sink does.
+    struct CommitSink {
+        inner: CountingSink,
+        dir: std::path::PathBuf,
+    }
+    impl cfp_data::ItemsetSink for CommitSink {
+        fn emit(&mut self, itemset: &[cfp_data::Item], support: u64) {
+            self.inner.emit(itemset, support);
+        }
+        fn progress(&mut self, progress: cfp_data::MineProgress<'_>) -> Result<(), CfpError> {
+            let cfp_data::MineProgress::Items { done } = progress else { return Ok(()) };
+            ckpt::save(
+                &self.dir,
+                &Manifest {
+                    input: "textbook".into(),
+                    min_support: 2,
+                    counts: "fnv1a:0".into(),
+                    num_items: 5,
+                    progress: CkptProgress::Mono { items_done: done },
+                    output_bytes: 0,
+                    itemsets: self.inner.count,
+                },
+            )
+            .map(|_| ())
+        }
+    }
+
+    configure("core.ckpt.write", FaultMode::Nth(1));
+    let mut sink = CommitSink { inner: CountingSink::new(), dir: dir.clone() };
+    let err = CfpGrowthMiner::new()
+        .try_mine(&db, 2, &mut sink)
+        .expect_err("armed manifest commit must abort the run");
+    assert_eq!(fired("core.ckpt.write"), 1);
+    assert!(matches!(err, CfpError::Checkpoint { .. }), "{err:?}");
+    assert_eq!(err.exit_code(), 9);
+    // A fired write failure must not leave a torn manifest behind: the
+    // atomic protocol fails before the rename.
+    assert!(ckpt::load(&dir).unwrap_or(None).is_none(), "a failed commit left a manifest behind");
+
+    clear_all();
+    let mut sink = CommitSink { inner: CountingSink::new(), dir: dir.clone() };
+    CfpGrowthMiner::new().try_mine(&db, 2, &mut sink).expect("disarmed commit must succeed");
+    assert!(ckpt::load(&dir).unwrap().is_some(), "disarmed run must have committed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Cross-class: an armed-but-never-fired probabilistic site (p = 0) must
 /// not perturb mining at all — the fault harness itself is inert until a
 /// trigger actually fires.
