@@ -325,6 +325,7 @@ impl cfp_data::Miner for CkptMiner {
             min_support,
             counts: cfp_core::ckpt::counts_fingerprint(&recoder),
             num_items: recoder.num_items() as u64,
+            output: "all".to_string(),
             progress: cfp_core::CkptProgress::Mono { items_done: 0 },
             output_bytes: 0,
             itemsets: 0,
@@ -367,6 +368,7 @@ fn bench_set() -> Vec<Bench> {
     let q_pool = cfp_memman::BudgetPool::unlimited();
     let k_pool = cfp_memman::BudgetPool::unlimited();
     let kc_pool = cfp_memman::BudgetPool::unlimited();
+    let kcl_pool = cfp_memman::BudgetPool::unlimited();
     let c_pool = cfp_memman::BudgetPool::unlimited();
     vec![
         Bench {
@@ -412,6 +414,23 @@ fn bench_set() -> Vec<Bench> {
             minsup: kosarak.absolute_support(&k_db, 2),
             threads: 4,
             pool: kc_pool,
+        },
+        Bench {
+            // kosarak-par4 in first-class closed mode: the wall-time
+            // delta against kosarak-par4 prices the in-recursion
+            // closure checks plus the ordered-emitter reconcile, pinned
+            // by results/BENCH_kosarak-closed.json.
+            name: "kosarak-closed",
+            miner: Box::new(cfp_core::ParallelCfpGrowthMiner {
+                schedule: cfp_core::Schedule::Dynamic,
+                pool: Some(kcl_pool.clone()),
+                output: cfp_core::OutputMode::Closed,
+                ..cfp_core::ParallelCfpGrowthMiner::new(4)
+            }),
+            dataset: "kosarak-like",
+            minsup: kosarak.absolute_support(&k_db, 2),
+            threads: 4,
+            pool: kcl_pool,
         },
         Bench {
             name: "connect-seq",

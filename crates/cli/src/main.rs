@@ -18,10 +18,21 @@
 //!   --mem-budget B     cap the build-phase arena at B bytes (k/m/g
 //!                      suffixes allowed; cfp algorithms only)
 //!   --skip-bad-lines   drop malformed input lines instead of failing
+//!   --output MODE      what the cfp engine mines: all (default; every
+//!                      frequent itemset), closed, maximal, or topk:N
+//!                      (the N highest-support itemsets). Condensed
+//!                      modes run inside the CFP-growth recursion —
+//!                      closure/maximality/top-k-bound pruning, not a
+//!                      post-hoc filter — and stream in the same
+//!                      deterministic order as all-mode (topk prints
+//!                      support-descending at the end). cfp only
 //!   --count            print only the number of frequent itemsets
 //!   --top K            print the K highest-support itemsets
+//!                      (cfp: alias for --output=topk:K)
 //!   --closed           print only closed itemsets
+//!                      (cfp: alias for --output=closed)
 //!   --maximal          print only maximal itemsets
+//!                      (cfp: alias for --output=maximal)
 //!   --rules CONF       print association rules with confidence ≥ CONF
 //!   --image PATH       also save a reusable mining image (CFP only)
 //!   --stats            print phase times and peak memory to stderr
@@ -59,9 +70,11 @@
 //!   --checkpoint-dir P crash-safe checkpointing: periodically commit a
 //!                      cfp-ckpt/1 manifest into P recording an exact
 //!                      output watermark. The directory is guarded by a
-//!                      PID lockfile. Requires the cfp algorithm, plain
-//!                      streaming output, the dynamic schedule, and
-//!                      --recover off or spill
+//!                      PID lockfile. Requires the cfp algorithm,
+//!                      streaming output (--output all, closed, or
+//!                      maximal; no --count, --top/topk, or --rules),
+//!                      the dynamic schedule, and --recover off or
+//!                      spill (condensed modes: --recover off only)
 //!   --checkpoint-every N  commit the manifest every N completed
 //!                      top-level items (default 32; spill partitions
 //!                      always commit per partition)
@@ -97,8 +110,8 @@
 
 use cfp_core::{
     CfpGrowthMiner, CollectSink, CountingSink, ItemsetSink, MineStats, Miner, MiningImage,
-    ParallelCfpGrowthMiner, RecoveryPolicy, RecoveryReport, Schedule, Supervisor, TopKSink,
-    TransactionDb,
+    OutputMode, ParallelCfpGrowthMiner, RecoveryPolicy, RecoveryReport, Schedule, Supervisor,
+    TopKSink, TransactionDb,
 };
 use cfp_data::{CfpError, ParsePolicy};
 use cfp_fault::EXIT_USAGE;
@@ -116,6 +129,7 @@ struct Options {
     schedule: Schedule,
     mem_budget: Option<u64>,
     skip_bad_lines: bool,
+    output: OutputMode,
     count_only: bool,
     top: Option<usize>,
     closed: bool,
@@ -148,6 +162,7 @@ fn print_usage() {
     eprintln!("  --algorithm cfp|fp|apriori|eclat|lcm|nonordfp|tiny|fparray");
     eprintln!("  --threads N | --schedule static|dynamic | --mem-budget BYTES[k|m|g]");
     eprintln!("  --skip-bad-lines");
+    eprintln!("  --output all|closed|maximal|topk:N");
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
     eprintln!("  --trace-out PATH | --flame-out PATH | --progress | --mem-report PATH");
@@ -183,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         schedule: Schedule::default(),
         mem_budget: None,
         skip_bad_lines: false,
+        output: OutputMode::All,
         count_only: false,
         top: None,
         closed: false,
@@ -204,6 +220,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline: None,
     };
     let mut checkpoint_every_given = false;
+    let mut output_given = false;
     // Accept `--flag=value` as well as `--flag value`.
     let args: Vec<String> = args
         .iter()
@@ -236,6 +253,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--schedule" => opts.schedule = value(arg)?.parse()?,
             "--mem-budget" => opts.mem_budget = Some(parse_bytes(&value(arg)?)?),
             "--skip-bad-lines" => opts.skip_bad_lines = true,
+            "--output" => {
+                opts.output = value(arg)?.parse()?;
+                output_given = true;
+            }
             "--count" => opts.count_only = true,
             "--top" => {
                 opts.top = Some(value(arg)?.parse().map_err(|_| "bad top-k".to_string())?);
@@ -302,6 +323,41 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             ));
         }
     }
+    if output_given {
+        if opts.output != OutputMode::All && opts.algorithm != "cfp" {
+            return Err(format!(
+                "--output={} only applies to the cfp algorithm, not {:?} (use the post-hoc \
+                 --top/--closed/--maximal flags for baselines)",
+                opts.output, opts.algorithm
+            ));
+        }
+        if opts.top.is_some() || opts.closed || opts.maximal {
+            return Err(
+                "--output cannot be combined with --top, --closed, or --maximal".to_string()
+            );
+        }
+        if opts.rules.is_some() && opts.output != OutputMode::All {
+            return Err(format!(
+                "--rules needs the full frequent set; it cannot be combined with --output={}",
+                opts.output
+            ));
+        }
+    } else if opts.algorithm == "cfp" && opts.rules.is_none() && !opts.count_only {
+        // The legacy condensed flags become first-class engine modes on
+        // the cfp pipeline (pruning inside the recursion instead of a
+        // post-hoc filter over the full set); the baselines keep the
+        // post-hoc path. Precedence mirrors the historical dispatch
+        // order: --top beats --closed beats --maximal.
+        if let Some(k) = opts.top.take() {
+            opts.output = OutputMode::TopK(k);
+        } else if opts.closed {
+            opts.output = OutputMode::Closed;
+            opts.closed = false;
+        } else if opts.maximal {
+            opts.output = OutputMode::Maximal;
+            opts.maximal = false;
+        }
+    }
     if opts.spill_dir.is_some() && opts.recover != RecoveryPolicy::Spill {
         return Err("--spill-dir requires --recover=spill".to_string());
     }
@@ -325,9 +381,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             || opts.closed
             || opts.maximal
             || opts.rules.is_some()
+            || matches!(opts.output, OutputMode::TopK(_))
         {
-            return Err("--checkpoint-dir requires plain streaming output (no --count, --top, \
-                 --closed, --maximal, or --rules)"
+            return Err("--checkpoint-dir requires streaming output (no --count, --top, \
+                 --output=topk, or --rules; baseline --closed/--maximal collect in memory)"
                 .to_string());
         }
         if opts.schedule != Schedule::Dynamic {
@@ -339,6 +396,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             return Err("--checkpoint-dir requires --recover off or spill (the other rungs \
                  re-emit output without a resumable watermark)"
                 .to_string());
+        }
+        if opts.output.is_condensed() && opts.recover != RecoveryPolicy::Off {
+            return Err(format!(
+                "--checkpoint-dir with --output={} requires --recover=off (spill partitions \
+                 cannot rebuild the cross-partition reconcile state at a mid-run watermark)",
+                opts.output
+            ));
         }
         if opts.mem_report.is_some() {
             return Err("--checkpoint-dir cannot be combined with --mem-report".to_string());
@@ -433,6 +497,7 @@ fn runner_by_name(
             worker_timeout: opts.worker_timeout,
             spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
             cancel: cancel.cloned(),
+            output: opts.output,
         }));
     }
     Ok(Runner::Plain(match opts.algorithm.as_str() {
@@ -442,16 +507,18 @@ fn runner_by_name(
             pool: pool.cloned(),
             worker_timeout: opts.worker_timeout,
             cancel: cancel.cloned(),
+            output: opts.output,
             ..ParallelCfpGrowthMiner::new(opts.threads)
         }),
         "cfp" => {
             let miner = CfpGrowthMiner { single_path_opt: true, mem_budget: opts.mem_budget };
-            if pool.is_some() || cancel.is_some() {
+            if pool.is_some() || cancel.is_some() || opts.output != OutputMode::All {
                 return Ok(Runner::Seq(
                     miner,
                     cfp_core::MineOpts {
                         pool: pool.cloned(),
                         cancel: cancel.cloned(),
+                        output: opts.output,
                         ..Default::default()
                     },
                 ));
@@ -602,6 +669,7 @@ struct CheckpointSink<'a> {
     min_support: u64,
     counts: String,
     num_items: u64,
+    output: String,
     /// Output bytes and itemsets carried over from the segment(s) this
     /// run resumed; manifests record cumulative totals so a crashed
     /// appended-to output file can be truncated to `output_bytes`.
@@ -638,6 +706,7 @@ impl CheckpointSink<'_> {
             min_support: self.min_support,
             counts: self.counts.clone(),
             num_items: self.num_items,
+            output: self.output.clone(),
             progress,
             output_bytes: self.base_bytes + self.out.get_ref().written,
             itemsets: self.base_itemsets + itemsets,
@@ -766,7 +835,13 @@ fn run_checkpointed(
             // and cleared it.
             Ok(None) => eprintln!("no checkpoint manifest in {}; starting fresh", dir.display()),
             Ok(Some(m)) => {
-                if let Err(e) = m.ensure_matches(dir, &opts.input, min_support, &counts) {
+                if let Err(e) = m.ensure_matches(
+                    dir,
+                    &opts.input,
+                    min_support,
+                    &counts,
+                    &opts.output.to_string(),
+                ) {
                     exit_for_mine_error(e);
                 }
                 let manifest_path = ckpt::manifest_path(dir).display().to_string();
@@ -817,6 +892,7 @@ fn run_checkpointed(
         min_support,
         counts,
         num_items,
+        output: opts.output.to_string(),
         base_bytes,
         base_itemsets,
         emitted: 0,
@@ -838,6 +914,7 @@ fn run_checkpointed(
             worker_timeout: opts.worker_timeout,
             spill_dir: opts.spill_dir.as_ref().map(std::path::PathBuf::from),
             cancel: cancel.cloned(),
+            output: opts.output,
         };
         let (r, report) =
             supervisor.mine_out_of_core_resumable(db, min_support, &mut sink, spill_resume);
@@ -850,6 +927,7 @@ fn run_checkpointed(
             worker_timeout: opts.worker_timeout,
             cancel: cancel.cloned(),
             resume_skip,
+            output: opts.output,
             ..ParallelCfpGrowthMiner::new(opts.threads)
         }
         .try_mine(db, min_support, &mut sink)
@@ -858,7 +936,12 @@ fn run_checkpointed(
             db,
             min_support,
             &mut sink,
-            &cfp_core::MineOpts { cancel: cancel.cloned(), resume_skip, ..Default::default() },
+            &cfp_core::MineOpts {
+                cancel: cancel.cloned(),
+                resume_skip,
+                output: opts.output,
+                ..Default::default()
+            },
         )
     };
 
@@ -1420,6 +1503,89 @@ mod tests {
             a.extend_from_slice(bad);
             assert!(parse_args(&args(&a)).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_args_output_modes() {
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--output", "closed"])).unwrap();
+        assert_eq!(o.output, OutputMode::Closed);
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--output=maximal"])).unwrap();
+        assert_eq!(o.output, OutputMode::Maximal);
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--output=topk:12"])).unwrap();
+        assert_eq!(o.output, OutputMode::TopK(12));
+        let o = parse_args(&args(&["in.dat", "--support", "2"])).unwrap();
+        assert_eq!(o.output, OutputMode::All);
+
+        // Malformed modes are usage errors.
+        for bad in ["topk:0", "topk:x", "topk:", "frequent", ""] {
+            let err =
+                parse_args(&args(&["in.dat", "--support", "2", "--output", bad])).unwrap_err();
+            assert!(err.contains("output mode"), "{bad:?}: {err}");
+        }
+
+        // The legacy condensed flags alias to engine modes on cfp…
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--closed"])).unwrap();
+        assert_eq!(o.output, OutputMode::Closed);
+        assert!(!o.closed, "aliased flag must not also trigger the post-hoc filter");
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--maximal"])).unwrap();
+        assert_eq!(o.output, OutputMode::Maximal);
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--top", "7"])).unwrap();
+        assert_eq!(o.output, OutputMode::TopK(7));
+        assert_eq!(o.top, None);
+        // …but stay post-hoc on the baselines, where --output is rejected.
+        let o = parse_args(&args(&["in.dat", "--support", "2", "--algorithm=lcm", "--closed"]))
+            .unwrap();
+        assert_eq!(o.output, OutputMode::All);
+        assert!(o.closed);
+        let err =
+            parse_args(&args(&["in.dat", "--support", "2", "--algorithm=lcm", "--output=closed"]))
+                .unwrap_err();
+        assert!(err.contains("cfp"), "{err}");
+
+        // --rules needs the full set; --output conflicts with the legacy
+        // flags it replaces. --rules with a legacy flag keeps output=All
+        // (the rules branch wins, as it always has).
+        let err = parse_args(&args(&["in.dat", "--support", "2", "--output=closed", "--maximal"]))
+            .unwrap_err();
+        assert!(err.contains("cannot be combined"), "{err}");
+        let err =
+            parse_args(&args(&["in.dat", "--support", "2", "--output=topk:3", "--rules", "0.5"]))
+                .unwrap_err();
+        assert!(err.contains("--rules"), "{err}");
+        let o =
+            parse_args(&args(&["in.dat", "--support", "2", "--rules", "0.5", "--closed"])).unwrap();
+        assert_eq!(o.output, OutputMode::All);
+
+        // Checkpointing streams closed/maximal but only on the off rung,
+        // and never top-k (no watermark over a heap).
+        let o = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir=/tmp/ck",
+            "--output=closed",
+        ]))
+        .unwrap();
+        assert_eq!(o.output, OutputMode::Closed);
+        let err = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir=/tmp/ck",
+            "--output=maximal",
+            "--recover=spill",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--recover=off"), "{err}");
+        let err = parse_args(&args(&[
+            "in.dat",
+            "--support",
+            "2",
+            "--checkpoint-dir=/tmp/ck",
+            "--output=topk:5",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("streaming"), "{err}");
     }
 
     #[test]

@@ -144,6 +144,135 @@ fn rules_and_condensed_modes_run() {
     }
 }
 
+/// Malformed `--output` values are usage errors: exit 2, a diagnostic
+/// naming the output mode, and the usage text.
+#[test]
+fn bad_output_mode_exits_2_with_usage_text() {
+    for bad in ["topk:0", "topk:x", "topk:", "frequent"] {
+        let out = Command::new(bin())
+            .args(["sample.dat", "--support", "2", "--output", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("output mode"), "{bad}: {stderr}");
+        assert!(stderr.contains("usage:"), "{bad}: {stderr}");
+    }
+}
+
+/// The engine's condensed modes agree with the post-hoc baseline path
+/// end to end, the legacy flags alias onto the engine (byte-identical
+/// commands), and each mode is byte-identical across the dynamic
+/// schedule's thread counts and set-identical under the static
+/// schedule. Top-k output is byte-identical everywhere (it drains in
+/// one deterministic sorted order).
+#[test]
+fn output_modes_are_deterministic_across_schedules_and_threads() {
+    let path = write_skewed();
+    let p = path.to_str().unwrap();
+    let sorted = |bytes: &[u8]| {
+        let mut lines: Vec<String> =
+            String::from_utf8_lossy(bytes).lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    let run = |extra: &[&str]| {
+        let mut args = vec![p, "--support", "20"];
+        args.extend_from_slice(extra);
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+
+    let full = run(&[]);
+    for (mode, legacy) in [
+        ("closed", &["--closed"][..]),
+        ("maximal", &["--maximal"][..]),
+        ("topk:25", &["--top", "25"][..]),
+    ] {
+        let output = format!("--output={mode}");
+        let seq = run(&[&output]);
+        assert_ne!(seq, full, "{mode} must actually condense the skewed dataset");
+        assert_eq!(run(legacy), seq, "legacy {legacy:?} must alias --output={mode}");
+        // The post-hoc oracle on a baseline algorithm yields the same set.
+        let oracle = if mode == "topk:25" {
+            run(&["--algorithm=lcm", "--top", "25"])
+        } else {
+            run(&["--algorithm=lcm", &format!("--{mode}")])
+        };
+        assert_eq!(sorted(&seq), sorted(&oracle), "{mode} diverges from the post-hoc oracle");
+
+        for threads in ["2", "4"] {
+            let par = run(&[&output, "--threads", threads, "--schedule=dynamic"]);
+            assert_eq!(par, seq, "{mode} dynamic x{threads} is not byte-identical");
+        }
+        let stat = run(&[&output, "--threads", "4", "--schedule=static"]);
+        if mode == "topk:25" {
+            assert_eq!(stat, seq, "top-k static must drain in the same order");
+        } else {
+            assert_eq!(sorted(&stat), sorted(&seq), "{mode} static x4 set diverged");
+        }
+    }
+
+    // topk:N returns exactly N lines when the full set is larger.
+    let top = run(&["--output=topk:25"]);
+    assert_eq!(String::from_utf8_lossy(&top).lines().count(), 25);
+}
+
+/// Condensed output survives the recovery ladder: with a budget that
+/// kills the monolithic build, `--recover=spill` must still produce
+/// exactly the unconstrained condensed set.
+#[test]
+fn condensed_output_under_spill_recovery_matches_unconstrained() {
+    let path = write_sample();
+    let db = cfp_core::TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+    let budget = (cfp_core::build_tree(&db, 2).1.arena_footprint() - 10).to_string();
+    let sorted = |bytes: &[u8]| {
+        let mut lines: Vec<String> =
+            String::from_utf8_lossy(bytes).lines().map(str::to_string).collect();
+        lines.sort();
+        lines
+    };
+    for mode in ["closed", "maximal", "topk:4"] {
+        let output = format!("--output={mode}");
+        let plain = Command::new(bin())
+            .args([path.to_str().unwrap(), "--support", "2", &output])
+            .output()
+            .unwrap();
+        assert!(plain.status.success(), "{mode}: {}", String::from_utf8_lossy(&plain.stderr));
+        let recovered = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "2",
+                &output,
+                "--mem-budget",
+                &budget,
+                "--recover=spill",
+            ])
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&recovered.stderr);
+        assert_eq!(recovered.status.code(), Some(0), "{mode}: {stderr}");
+        assert!(stderr.contains("recovered via"), "{mode}: {stderr}");
+        assert_eq!(
+            sorted(&recovered.stdout),
+            sorted(&plain.stdout),
+            "{mode}: recovery changed the condensed set"
+        );
+    }
+}
+
 #[test]
 fn image_round_trip_via_cli() {
     let path = write_sample();
@@ -969,6 +1098,138 @@ fn deadline_interrupt_resume_loop_reproduces_the_uninterrupted_stream() {
     let _ = std::fs::remove_dir_all(&scratch);
 }
 
+/// The interrupt–resume loop in closed mode: a checkpointed
+/// `--output=closed` run stopped and resumed across wall-clock budget
+/// segments must assemble byte for byte into the uninterrupted closed
+/// stream. The resumed segments re-derive the closure reconcile state
+/// for the skipped prefix silently, so this exercises the quiet-replay
+/// machinery end to end (parallel dynamic schedule included).
+#[test]
+fn closed_mode_interrupt_resume_reproduces_the_uninterrupted_stream() {
+    use std::process::Stdio;
+
+    let path = write_skewed();
+    let scratch = ckpt_scratch("closed_deadline");
+    let ck = scratch.join("ck");
+    let assembled = scratch.join("assembled.out");
+
+    let full = Command::new(bin())
+        .args([
+            path.to_str().unwrap(),
+            "--support",
+            "20",
+            "--output=closed",
+            "--threads",
+            "4",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+
+    let mut deadline = 0.01f64;
+    let mut interrupted = 0u32;
+    for round in 0.. {
+        assert!(round < 40, "resume loop did not converge");
+        let out_file =
+            std::fs::OpenOptions::new().create(true).append(true).open(&assembled).unwrap();
+        let out = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "20",
+                "--output=closed",
+                "--threads",
+                "4",
+                "--checkpoint-dir",
+                ck.to_str().unwrap(),
+                "--checkpoint-every",
+                "1",
+                "--resume",
+                "--deadline",
+                &format!("{deadline}"),
+            ])
+            .stdout(Stdio::from(out_file))
+            .output()
+            .unwrap();
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        match out.status.code() {
+            Some(0) => break,
+            Some(8) => {
+                interrupted += 1;
+                deadline *= 1.6;
+            }
+            code => panic!("unexpected exit {code:?}: {stderr}"),
+        }
+    }
+    let joined = std::fs::read(&assembled).unwrap();
+    assert_eq!(
+        joined, full.stdout,
+        "assembled closed segments diverge from the uninterrupted closed run"
+    );
+    assert!(!ck.join("ckpt.json").exists(), "completed resume must clear the manifest");
+    assert!(interrupted > 0, "no segment was ever interrupted — deadline too generous");
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// The manifest fingerprints its output mode: resuming a closed-mode
+/// checkpoint without `--output=closed` is a structured exit 9 naming
+/// the mismatch, and with the matching mode it proceeds.
+#[test]
+fn resume_under_a_different_output_mode_exits_9() {
+    let path = write_sample();
+    let scratch = ckpt_scratch("output_mismatch");
+    let ck = scratch.join("ck");
+    std::fs::create_dir_all(&ck).unwrap();
+    let db = cfp_core::TransactionDb::from_rows(&[
+        vec![1, 2, 5],
+        vec![2, 4],
+        vec![2, 3],
+        vec![1, 2, 4],
+        vec![1, 3],
+        vec![2, 3],
+        vec![1, 3],
+        vec![1, 2, 3, 5],
+        vec![1, 2, 3],
+    ]);
+    let recoder = cfp_core::ItemRecoder::scan(&db, 2);
+    cfp_core::ckpt::save(
+        &ck,
+        &cfp_core::Manifest {
+            input: path.to_str().unwrap().to_string(),
+            min_support: 2,
+            counts: cfp_core::ckpt::counts_fingerprint(&recoder),
+            num_items: recoder.num_items() as u64,
+            output: "closed".into(),
+            progress: cfp_core::CkptProgress::Mono { items_done: 1 },
+            output_bytes: 0,
+            itemsets: 0,
+        },
+    )
+    .unwrap();
+    let resume_with = |extra: &[&str]| {
+        let mut args = vec![
+            path.to_str().unwrap(),
+            "--support",
+            "2",
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+            "--resume",
+        ];
+        args.extend_from_slice(extra);
+        Command::new(bin()).args(&args).output().unwrap()
+    };
+    let out = resume_with(&[]);
+    assert_eq!(out.status.code(), Some(9));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("output mismatch"), "{stderr}");
+
+    let out = resume_with(&["--output=closed"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 /// SIGTERM lands mid-mine: the process exits with code 8, the committed
 /// manifest is checksum-valid (it round-trips through the strict
 /// loader), the flushed output sits exactly at its watermark, and no
@@ -1079,6 +1340,7 @@ fn resume_with_mismatched_config_exits_9() {
             min_support: 2,
             counts: "fnv1a:0000000000000000".into(),
             num_items: 5,
+            output: "all".into(),
             progress: cfp_core::CkptProgress::Mono { items_done: 2 },
             output_bytes: 0,
             itemsets: 0,
@@ -1115,6 +1377,7 @@ fn torn_or_corrupted_manifest_exits_9() {
         min_support: 2,
         counts: "fnv1a:1111111111111111".into(),
         num_items: 5,
+        output: "all".into(),
         progress: cfp_core::CkptProgress::Mono { items_done: 1 },
         output_bytes: 10,
         itemsets: 1,

@@ -89,6 +89,11 @@ pub struct Manifest {
     /// Frequent items after recoding (informational; implied by
     /// `counts`).
     pub num_items: u64,
+    /// The run's output mode spelling (`all`, `closed`, `maximal`,
+    /// `topk:N`) — a fingerprint: condensed modes carry reconcile state
+    /// that is not captured by the watermark, so a resume must mine the
+    /// same mode it checkpointed under.
+    pub output: String,
     /// The resumable position.
     pub progress: CkptProgress,
     /// Output bytes durably written at the watermark, *cumulative*
@@ -162,6 +167,7 @@ impl Manifest {
                     ("min_support".into(), Json::u64(self.min_support)),
                     ("counts".into(), Json::str(&self.counts)),
                     ("num_items".into(), Json::u64(self.num_items)),
+                    ("output".into(), Json::str(&self.output)),
                 ]),
             ),
             ("progress".into(), progress),
@@ -222,6 +228,9 @@ impl Manifest {
             .get("num_items")
             .and_then(Json::as_u64)
             .ok_or_else(|| err("missing config.num_items"))?;
+        // Manifests written before the output-mode fingerprint existed
+        // could only have come from full-output runs.
+        let output = config.get("output").and_then(Json::as_str).unwrap_or("all").to_string();
         let prog = doc.get("progress").ok_or_else(|| err("missing progress member"))?;
         let progress = match prog.get("mode").and_then(Json::as_str) {
             Some("mono") => CkptProgress::Mono {
@@ -263,7 +272,16 @@ impl Manifest {
             .ok_or_else(|| err("missing output_bytes"))?;
         let itemsets =
             doc.get("itemsets").and_then(Json::as_u64).ok_or_else(|| err("missing itemsets"))?;
-        Ok(Manifest { input, min_support, counts, num_items, progress, output_bytes, itemsets })
+        Ok(Manifest {
+            input,
+            min_support,
+            counts,
+            num_items,
+            output,
+            progress,
+            output_bytes,
+            itemsets,
+        })
     }
 
     /// Rejects a resume whose current run does not match the manifest's
@@ -276,6 +294,7 @@ impl Manifest {
         input: &str,
         min_support: u64,
         counts: &str,
+        output: &str,
     ) -> Result<(), CfpError> {
         let path = manifest_path(dir);
         if self.input != input {
@@ -300,6 +319,15 @@ impl Manifest {
                     "item-count fingerprint mismatch: checkpointed {}, input now scans to \
                      {counts} (the input file changed)",
                     self.counts
+                ),
+            ));
+        }
+        if self.output != output {
+            return Err(ckpt_err(
+                &path,
+                format!(
+                    "output mismatch: checkpointed --output={}, resuming --output={output}",
+                    self.output
                 ),
             ));
         }
@@ -370,6 +398,7 @@ mod tests {
             min_support: 42,
             counts: "fnv1a:00deadbeef001234".into(),
             num_items: 991,
+            output: "all".into(),
             progress: CkptProgress::Spill {
                 parts_done: 3,
                 remaining: vec![(0, 7), (7, 19), (19, 991)],
@@ -453,13 +482,16 @@ mod tests {
     fn config_fingerprint_mismatches_are_named() {
         let dir = ckpt_dir("config");
         let m = sample();
-        assert!(m.ensure_matches(&dir, "data/kosarak.dat", 42, &m.counts).is_ok());
-        let e = m.ensure_matches(&dir, "other.dat", 42, &m.counts).unwrap_err();
+        assert!(m.ensure_matches(&dir, "data/kosarak.dat", 42, &m.counts, "all").is_ok());
+        let e = m.ensure_matches(&dir, "other.dat", 42, &m.counts, "all").unwrap_err();
         assert!(e.to_string().contains("input mismatch"), "{e}");
-        let e = m.ensure_matches(&dir, "data/kosarak.dat", 41, &m.counts).unwrap_err();
+        let e = m.ensure_matches(&dir, "data/kosarak.dat", 41, &m.counts, "all").unwrap_err();
         assert!(e.to_string().contains("min_support mismatch"), "{e}");
-        let e = m.ensure_matches(&dir, "data/kosarak.dat", 42, "fnv1a:0").unwrap_err();
+        let e = m.ensure_matches(&dir, "data/kosarak.dat", 42, "fnv1a:0", "all").unwrap_err();
         assert!(e.to_string().contains("fingerprint mismatch"), "{e}");
+        assert_eq!(e.exit_code(), 9);
+        let e = m.ensure_matches(&dir, "data/kosarak.dat", 42, &m.counts, "closed").unwrap_err();
+        assert!(e.to_string().contains("output mismatch"), "{e}");
         assert_eq!(e.exit_code(), 9);
         let _ = std::fs::remove_dir_all(&dir);
     }

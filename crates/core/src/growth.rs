@@ -23,11 +23,17 @@
 
 use crate::spill::CondSpill;
 use cfp_array::{convert, CfpArray};
-use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_data::{
+    CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, OutputMode, TransactionDb,
+};
 use cfp_memman::{Arena, ArenaOptions, BudgetPool, Component, MemoryBudget, StatsReset};
 use cfp_metrics::{HeapSize, MemGauge, Stopwatch};
 use cfp_trace::{span, Phase};
 use cfp_tree::{CfpTree, CfpTreeConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Options threaded through the mine phase's conditional-tree recursion.
 ///
@@ -58,8 +64,18 @@ pub struct MineOpts {
     /// descending mining order, i.e. items `n-1 … n-resume_skip`) were
     /// fully emitted by a previous run and are skipped without emitting
     /// anything. Progress notifications still report *global* completed
-    /// counts, so a resumed run checkpoints seamlessly.
+    /// counts, so a resumed run checkpoints seamlessly. Under a
+    /// condensed [`output`](Self::output) mode the skipped items are
+    /// re-mined *silently* — their itemsets rebuild the subsumption
+    /// index without reaching the sink, so the resumed emission stream
+    /// continues byte-exactly. `resume_skip` does not compose with
+    /// [`OutputMode::TopK`].
     pub resume_skip: u64,
+    /// Which itemsets this run reports (see [`OutputMode`]). The
+    /// condensed modes run closure/maximality checks inside the
+    /// recursion; `TopK` collects into a shared bounded heap and emits
+    /// the winners, sorted, at the end of the run.
+    pub output: OutputMode,
 }
 
 impl MineOpts {
@@ -71,6 +87,193 @@ impl MineOpts {
             component,
         }
     }
+}
+
+/// Inverted index over accepted condensed itemsets, answering "is this
+/// candidate contained in an already-accepted itemset?" — with equal
+/// support for closed mode, support-agnostic for maximal mode. Itemsets
+/// are stored and queried with *original* item ids sorted ascending,
+/// exactly as they are emitted.
+#[derive(Debug, Default)]
+pub(crate) struct SubsumeIndex {
+    entries: Vec<(Vec<Item>, u64)>,
+    by_item: HashMap<Item, Vec<u32>>,
+}
+
+impl SubsumeIndex {
+    /// Records an accepted itemset.
+    pub(crate) fn insert(&mut self, set: &[Item], support: u64) {
+        let id = self.entries.len() as u32;
+        for &it in set {
+            self.by_item.entry(it).or_default().push(id);
+        }
+        self.entries.push((set.to_vec(), support));
+    }
+
+    /// True when an indexed itemset contains every item of `set` (and,
+    /// when `support` is given, has exactly that support). Candidates
+    /// are checked before insertion and the enumeration tree visits
+    /// each itemset once, so a hit is always a *proper* superset.
+    pub(crate) fn subsumes(&self, set: &[Item], support: Option<u64>) -> bool {
+        // Scan only the shortest posting list among the set's items.
+        let mut best: Option<&Vec<u32>> = None;
+        for it in set {
+            match self.by_item.get(it) {
+                None => return false,
+                Some(list) => {
+                    if best.is_none_or(|b| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+            }
+        }
+        let Some(list) = best else {
+            return false; // an empty candidate never occurs
+        };
+        list.iter().any(|&id| {
+            let (entry, sup) = &self.entries[id as usize];
+            entry.len() >= set.len()
+                && support.is_none_or(|s| *sup == s)
+                && is_subset_sorted(set, entry)
+        })
+    }
+}
+
+/// `small ⊆ big`, both sorted ascending.
+fn is_subset_sorted(small: &[Item], big: &[Item]) -> bool {
+    let mut it = big.iter();
+    small.iter().all(|s| it.any(|b| b == s))
+}
+
+/// Shared state of a streaming top-k run: a min-heap of the best `k`
+/// `(support, itemset)` pairs — higher support wins, ties broken toward
+/// the lexicographically smaller itemset — plus a monotonically rising
+/// admission bound. One instance is shared by every worker of a run, so
+/// the retained set is the true global top-k regardless of schedule.
+#[derive(Debug)]
+pub(crate) struct TopKState {
+    k: usize,
+    bound: AtomicU64,
+    heap: Mutex<TopKHeap>,
+}
+
+/// Min-heap entry order: worst retained `(support, itemset)` on top.
+type TopKHeap = BinaryHeap<Reverse<(u64, Reverse<Vec<Item>>)>>;
+
+impl TopKState {
+    pub(crate) fn new(k: usize) -> Self {
+        TopKState {
+            k,
+            bound: AtomicU64::new(0),
+            heap: Mutex::new(BinaryHeap::with_capacity(k + 1)),
+        }
+    }
+
+    /// Support of the worst retained itemset once `k` are held, else 0.
+    /// Any candidate *strictly* below the bound — and its whole subtree,
+    /// since extensions never gain support — can be pruned. The bound
+    /// only rises, so a stale read is merely conservative.
+    pub(crate) fn bound(&self) -> u64 {
+        self.bound.load(Ordering::Relaxed)
+    }
+
+    /// Offers a candidate; evicts the worst entry when over `k`.
+    pub(crate) fn offer(&self, set: &[Item], support: u64) {
+        if self.k == 0 || support < self.bound() {
+            return;
+        }
+        let mut heap = self.heap.lock().unwrap_or_else(|e| e.into_inner());
+        heap.push(Reverse((support, Reverse(set.to_vec()))));
+        if heap.len() > self.k {
+            heap.pop();
+        }
+        if heap.len() == self.k {
+            if let Some(worst) = heap.peek() {
+                self.bound.store(worst.0 .0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The retained itemsets, highest support first, ties in ascending
+    /// lexicographic order — the final emission order of a top-k run.
+    pub(crate) fn drain_sorted(&self) -> Vec<(Vec<Item>, u64)> {
+        let heap = std::mem::take(&mut *self.heap.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut v: Vec<(u64, Reverse<Vec<Item>>)> = heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v.into_iter().map(|(s, i)| (i.0, s)).collect()
+    }
+}
+
+/// Per-run (or, in the parallel driver, per-task) runtime state of the
+/// active [`OutputMode`]. The closed/maximal indexes grow as itemsets
+/// are accepted; the top-k state is shared across all workers of a run.
+#[derive(Debug)]
+pub(crate) enum ModeCtx {
+    /// Report every frequent itemset.
+    All,
+    /// Closure checking against an emitted-closed index.
+    Closed(SubsumeIndex),
+    /// Maximality pruning against an emitted-maximal index.
+    Maximal(SubsumeIndex),
+    /// Streaming top-k with a rising admission bound.
+    TopK(Arc<TopKState>),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    All,
+    Closed,
+    Maximal,
+    TopK,
+}
+
+impl ModeCtx {
+    /// Fresh per-run state for `output`.
+    pub(crate) fn new(output: OutputMode) -> Self {
+        match output {
+            OutputMode::All => ModeCtx::All,
+            OutputMode::Closed => ModeCtx::Closed(SubsumeIndex::default()),
+            OutputMode::Maximal => ModeCtx::Maximal(SubsumeIndex::default()),
+            OutputMode::TopK(k) => ModeCtx::TopK(Arc::new(TopKState::new(k))),
+        }
+    }
+
+    /// Like [`new`](Self::new), but top-k joins an existing shared
+    /// state — how parallel workers and spill partitions cooperate on
+    /// one global heap.
+    pub(crate) fn new_shared(output: OutputMode, topk: &Option<Arc<TopKState>>) -> Self {
+        match (output, topk) {
+            (OutputMode::TopK(_), Some(state)) => ModeCtx::TopK(Arc::clone(state)),
+            _ => ModeCtx::new(output),
+        }
+    }
+
+    fn kind(&self) -> ModeKind {
+        match self {
+            ModeCtx::All => ModeKind::All,
+            ModeCtx::Closed(_) => ModeKind::Closed,
+            ModeCtx::Maximal(_) => ModeKind::Maximal,
+            ModeCtx::TopK(_) => ModeKind::TopK,
+        }
+    }
+}
+
+/// Emits a finished top-k run's retained itemsets into `sink` (highest
+/// support first, ties lexicographic) and returns how many there were.
+/// No-op for every other mode.
+pub(crate) fn drain_topk(mode: &ModeCtx, sink: &mut dyn ItemsetSink) -> u64 {
+    let ModeCtx::TopK(state) = mode else {
+        return 0;
+    };
+    let winners = state.drain_sorted();
+    let n = winners.len() as u64;
+    for (set, support) in winners {
+        sink.emit(&set, support);
+        if cfp_trace::enabled() {
+            cfp_trace::counters::CORE_PATTERNS.inc();
+        }
+    }
+    n
 }
 
 /// RAII attribution of a flat CFP-array buffer to the run's budget pool.
@@ -245,6 +448,12 @@ struct Ctx<'a> {
     single_path_opt: bool,
     opts: MineOpts,
     scratch: &'a mut Scratch,
+    mode: &'a mut ModeCtx,
+    /// Suppress sink emission (and itemset counting) while re-mining
+    /// items a resumed condensed run already reported — the subsumption
+    /// index still fills, so later checks see exactly the state an
+    /// uninterrupted run would have.
+    quiet: bool,
     suffix: Vec<Item>,
     emit_buf: Vec<Item>,
     path_buf: Vec<u32>,
@@ -252,14 +461,62 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    fn emit(&mut self, support: u64) {
+    /// Sorts the current suffix into `emit_buf` — the candidate itemset
+    /// in emission form.
+    fn build_candidate(&mut self) {
         self.emit_buf.clear();
         self.emit_buf.extend_from_slice(&self.suffix);
         self.emit_buf.sort_unstable();
+    }
+
+    /// All/top-k emission of the current suffix: the classic path sends
+    /// it to the sink; a top-k run offers it to the shared heap instead
+    /// (winners reach the sink sorted, at the end of the run).
+    fn emit(&mut self, support: u64) {
+        self.build_candidate();
+        if let ModeCtx::TopK(state) = &*self.mode {
+            state.offer(&self.emit_buf, support);
+            return;
+        }
+        self.emit_candidate(support);
+    }
+
+    /// Forwards the already-built candidate in `emit_buf` to the sink,
+    /// unless this subtree is being silently re-mined after a resume.
+    fn emit_candidate(&mut self, support: u64) {
+        if self.quiet {
+            return;
+        }
         self.sink.emit(&self.emit_buf, support);
         self.itemsets += 1;
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_PATTERNS.inc();
+        }
+    }
+
+    /// Is the candidate in `emit_buf` contained in an accepted itemset?
+    /// (`Some(s)` additionally requires equal support — the closed-mode
+    /// query; `None` is the maximal-mode query.)
+    fn candidate_subsumed(&self, support: Option<u64>) -> bool {
+        match &*self.mode {
+            ModeCtx::Closed(ix) | ModeCtx::Maximal(ix) => ix.subsumes(&self.emit_buf, support),
+            _ => false,
+        }
+    }
+
+    /// Records the candidate in `emit_buf` as accepted.
+    fn insert_candidate(&mut self, support: u64) {
+        match &mut *self.mode {
+            ModeCtx::Closed(ix) | ModeCtx::Maximal(ix) => ix.insert(&self.emit_buf, support),
+            _ => {}
+        }
+    }
+
+    /// Current top-k admission bound (0 outside top-k mode).
+    fn topk_bound(&self) -> u64 {
+        match &*self.mode {
+            ModeCtx::TopK(state) => state.bound(),
+            _ => 0,
         }
     }
 }
@@ -355,26 +612,33 @@ impl CfpGrowthMiner {
             cfp_trace::counters::CORE_FIRST_LEVEL_ITEMS.record(globals.len() as u64);
         }
         let mut scratch = Scratch::default();
-        let mut ctx = Ctx {
-            sink,
-            gauge: gauge.clone(),
-            min_support,
-            single_path_opt: self.single_path_opt,
-            opts: opts.clone(),
-            scratch: &mut scratch,
-            suffix: Vec::new(),
-            emit_buf: Vec::new(),
-            path_buf: Vec::new(),
-            itemsets: 0,
-        };
-        {
+        let mut mode = ModeCtx::new(opts.output);
+        let itemsets = {
+            let mut ctx = Ctx {
+                sink,
+                gauge: gauge.clone(),
+                min_support,
+                single_path_opt: self.single_path_opt,
+                opts: opts.clone(),
+                scratch: &mut scratch,
+                mode: &mut mode,
+                quiet: false,
+                suffix: Vec::new(),
+                emit_buf: Vec::new(),
+                path_buf: Vec::new(),
+                itemsets: 0,
+            };
             let _s = span(Phase::Mine);
             mine_array(&array, &globals, &mut ctx)?;
-        }
+            ctx.itemsets
+        };
+        // A top-k run emits nothing while mining; the retained winners
+        // reach the sink here, sorted, once the bound is final.
+        let itemsets = itemsets + drain_topk(&mode, sink);
         stats.mine_time = sw.lap();
 
         gauge.free(array.heap_bytes());
-        stats.itemsets = ctx.itemsets;
+        stats.itemsets = itemsets;
         stats.peak_bytes = gauge.peak();
         stats.avg_bytes = gauge.average();
         Ok(stats)
@@ -394,6 +658,7 @@ pub(crate) fn mine_single_path_root(
     min_support: u64,
     sink: &mut dyn ItemsetSink,
     opts: &MineOpts,
+    mode: &mut ModeCtx,
 ) -> Option<u64> {
     let path = single_path(array)?;
     if cfp_trace::enabled() {
@@ -407,6 +672,8 @@ pub(crate) fn mine_single_path_root(
         single_path_opt: true,
         opts: opts.clone(),
         scratch: &mut scratch,
+        mode,
+        quiet: false,
         suffix: Vec::new(),
         emit_buf: Vec::new(),
         path_buf: Vec::new(),
@@ -421,6 +688,7 @@ pub(crate) fn mine_single_path_root(
 /// database exists anymore. Behaves exactly like the mine phase of
 /// [`CfpGrowthMiner::try_mine_with`] on the same array and returns the
 /// number of itemsets emitted.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn mine_loaded(
     array: &CfpArray,
     globals: &[Item],
@@ -428,6 +696,7 @@ pub(crate) fn mine_loaded(
     single_path_opt: bool,
     sink: &mut dyn ItemsetSink,
     opts: &MineOpts,
+    mode: &mut ModeCtx,
 ) -> Result<u64, CfpError> {
     let _s = span(Phase::Mine);
     let mut scratch = Scratch::default();
@@ -438,6 +707,8 @@ pub(crate) fn mine_loaded(
         single_path_opt,
         opts: opts.clone(),
         scratch: &mut scratch,
+        mode,
+        quiet: false,
         suffix: Vec::new(),
         emit_buf: Vec::new(),
         path_buf: Vec::new(),
@@ -463,6 +734,7 @@ pub(crate) fn mine_one_item(
     sink: &mut dyn ItemsetSink,
     opts: &MineOpts,
     scratch: &mut Scratch,
+    mode: &mut ModeCtx,
 ) -> Result<(u64, u64), CfpError> {
     let gauge = MemGauge::new();
     let mut ctx = Ctx {
@@ -472,26 +744,15 @@ pub(crate) fn mine_one_item(
         single_path_opt,
         opts: opts.clone(),
         scratch,
+        mode,
+        quiet: false,
         suffix: Vec::new(),
         emit_buf: Vec::new(),
         path_buf: Vec::new(),
         itemsets: 0,
     };
     ctx.suffix.push(globals[item as usize]);
-    ctx.emit(array.item_support(item));
-    if item > 0 {
-        if let Some((cond_array, cond_globals)) = conditional(array, item, globals, &mut ctx)? {
-            ctx.gauge.alloc(cond_array.heap_bytes());
-            let _charges = charge_cond_array(&ctx.opts.pool, &cond_array);
-            mine_array(&cond_array, &cond_globals, &mut ctx)?;
-            ctx.gauge.free(cond_array.heap_bytes());
-        }
-        if cfp_trace::events::capturing() {
-            cfp_trace::events::record(cfp_trace::events::EventKind::RecExit {
-                item: globals[item as usize],
-            });
-        }
-    }
+    mine_node(array, item, globals, array.item_support(item), &mut ctx)?;
     ctx.suffix.pop();
     if cfp_trace::enabled() {
         cfp_trace::counters::CORE_ITEMS_MINED.inc();
@@ -519,9 +780,17 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
     // and none of that applies.
     let top = ctx.suffix.is_empty();
     for item in (0..n).rev() {
+        let mut quiet_item = false;
         if top {
             if (item as u64) + ctx.opts.resume_skip >= n as u64 {
-                continue; // emitted by the run being resumed
+                // Emitted by the run being resumed. The condensed modes
+                // re-mine it silently, because the subsumption index
+                // must hold its accepted itemsets for later checks;
+                // everything else skips outright.
+                if !ctx.opts.output.is_condensed() {
+                    continue;
+                }
+                quiet_item = true;
             }
             if let Some(cancel) = &ctx.opts.cancel {
                 if cancel.is_cancelled() {
@@ -533,24 +802,14 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
         if support < ctx.min_support {
             continue;
         }
+        let was_quiet = ctx.quiet;
+        ctx.quiet = ctx.quiet || quiet_item;
         ctx.suffix.push(globals[item as usize]);
-        ctx.emit(support);
-        if item > 0 {
-            if let Some((cond_array, cond_globals)) = conditional(array, item, globals, ctx)? {
-                ctx.gauge.alloc(cond_array.heap_bytes());
-                let _charges = charge_cond_array(&ctx.opts.pool, &cond_array);
-                ctx.gauge.checkpoint();
-                mine_array(&cond_array, &cond_globals, ctx)?;
-                ctx.gauge.free(cond_array.heap_bytes());
-            }
-            if cfp_trace::events::capturing() {
-                cfp_trace::events::record(cfp_trace::events::EventKind::RecExit {
-                    item: globals[item as usize],
-                });
-            }
-        }
+        let node = mine_node(array, item, globals, support, ctx);
         ctx.suffix.pop();
-        if top {
+        ctx.quiet = was_quiet;
+        node?;
+        if top && !quiet_item {
             if cfp_trace::enabled() {
                 cfp_trace::counters::CORE_ITEMS_MINED.inc();
             }
@@ -563,15 +822,155 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
     Ok(())
 }
 
+/// Processes one node of the enumeration tree — the suffix, whose last
+/// item `item` is already pushed, with support `support` — under the
+/// active output mode: runs the mode's pruning checks, decides
+/// emission, and recurses into the conditional structure.
+fn mine_node(
+    array: &CfpArray,
+    item: u32,
+    globals: &[Item],
+    support: u64,
+    ctx: &mut Ctx<'_>,
+) -> Result<(), CfpError> {
+    match ctx.mode.kind() {
+        ModeKind::All | ModeKind::TopK => {
+            if ctx.mode.kind() == ModeKind::TopK && support < ctx.topk_bound() {
+                // Extensions never gain support: the whole subtree sits
+                // below the admission bound.
+                if cfp_trace::enabled() {
+                    cfp_trace::counters::CORE_TOPK_PRUNED.inc();
+                }
+                return Ok(());
+            }
+            ctx.emit(support);
+            if item > 0 {
+                if let Some(cond) = conditional(array, item, globals, support, ctx)? {
+                    recurse_into(cond, ctx)?;
+                }
+                record_rec_exit(item, globals);
+            }
+        }
+        ModeKind::Closed => {
+            ctx.build_candidate();
+            if ctx.candidate_subsumed(Some(support)) {
+                // An accepted closed itemset contains the candidate at
+                // equal support, so it also contains — at equal support
+                // — every extension in this subtree: nothing here is
+                // closed (the FPclose subtree prune).
+                if cfp_trace::enabled() {
+                    cfp_trace::counters::CORE_CLOSED_PRUNED.inc();
+                }
+                return Ok(());
+            }
+            let cond =
+                if item > 0 { conditional(array, item, globals, support, ctx)? } else { None };
+            if cond.as_ref().is_some_and(|c| c.support_preserved) {
+                // LCM prefix-preservation test over the conditional
+                // database: some conditional item occurs in every
+                // occurrence of the candidate, so a proper superset has
+                // equal support — not closed. The subtree still holds
+                // closed itemsets; recursion continues.
+                if cfp_trace::enabled() {
+                    cfp_trace::counters::CORE_CLOSED_PRUNED.inc();
+                }
+            } else {
+                ctx.build_candidate();
+                ctx.emit_candidate(support);
+                ctx.insert_candidate(support);
+            }
+            if item > 0 {
+                if let Some(cond) = cond {
+                    recurse_into(cond, ctx)?;
+                }
+                record_rec_exit(item, globals);
+            }
+        }
+        ModeKind::Maximal => {
+            let cond =
+                if item > 0 { conditional(array, item, globals, support, ctx)? } else { None };
+            match cond {
+                None => {
+                    // Empty tail: no frequent extension exists below the
+                    // candidate, so it is maximal unless an accepted
+                    // maximal itemset already contains it.
+                    ctx.build_candidate();
+                    if ctx.candidate_subsumed(None) {
+                        if cfp_trace::enabled() {
+                            cfp_trace::counters::CORE_MAXIMAL_PRUNED.inc();
+                        }
+                    } else {
+                        ctx.emit_candidate(support);
+                        ctx.insert_candidate(support);
+                    }
+                    if item > 0 {
+                        record_rec_exit(item, globals);
+                    }
+                }
+                Some(cond) => {
+                    // HUTMFI lookahead: when candidate ∪ tail is inside
+                    // an accepted maximal itemset, every itemset in this
+                    // subtree is a proper subset of it — prune.
+                    ctx.emit_buf.clear();
+                    ctx.emit_buf.extend_from_slice(&ctx.suffix);
+                    ctx.emit_buf.extend_from_slice(&cond.globals);
+                    ctx.emit_buf.sort_unstable();
+                    if ctx.candidate_subsumed(None) {
+                        if cfp_trace::enabled() {
+                            cfp_trace::counters::CORE_MAXIMAL_PRUNED.inc();
+                        }
+                    } else {
+                        recurse_into(cond, ctx)?;
+                    }
+                    record_rec_exit(item, globals);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Charges, mines, and releases a conditional structure.
+fn recurse_into(cond: Cond, ctx: &mut Ctx<'_>) -> Result<(), CfpError> {
+    ctx.gauge.alloc(cond.array.heap_bytes());
+    let _charges = charge_cond_array(&ctx.opts.pool, &cond.array);
+    ctx.gauge.checkpoint();
+    mine_array(&cond.array, &cond.globals, ctx)?;
+    ctx.gauge.free(cond.array.heap_bytes());
+    Ok(())
+}
+
+/// The matching exit of the RecEnter recorded inside [`conditional`].
+fn record_rec_exit(item: u32, globals: &[Item]) {
+    if cfp_trace::events::capturing() {
+        cfp_trace::events::record(cfp_trace::events::EventKind::RecExit {
+            item: globals[item as usize],
+        });
+    }
+}
+
+/// A built conditional structure, plus what closed mode learned from
+/// the frequency pass over the conditional pattern base.
+struct Cond {
+    array: CfpArray,
+    globals: Vec<Item>,
+    /// Some conditional item appears in *every* occurrence of the
+    /// candidate (`freq == support`): a proper superset has equal
+    /// support, so the candidate is not closed.
+    support_preserved: bool,
+}
+
 /// Builds the conditional CFP-array of `item`: conditional pattern base →
 /// conditional CFP-tree → conversion. Returns `None` when no conditional
-/// item stays frequent.
+/// item stays frequent. `support` is the candidate's support (the item's
+/// support within `array`), used only for the closed-mode verdict.
 fn conditional(
     array: &CfpArray,
     item: u32,
     globals: &[Item],
+    support: u64,
     ctx: &mut Ctx<'_>,
-) -> Result<Option<(CfpArray, Vec<Item>)>, CfpError> {
+) -> Result<Option<Cond>, CfpError> {
     // Pass A: conditional frequencies along all prefix paths.
     let mut freq = vec![0u64; item as usize];
     let mut path = std::mem::take(&mut ctx.path_buf);
@@ -583,6 +982,7 @@ fn conditional(
             freq[it as usize] += node.count;
         }
     }
+    let support_preserved = freq.contains(&support);
     if cfp_trace::enabled() {
         // Depth = suffix length: how many conditional levels we are down.
         cfp_trace::span::conditional_tree(ctx.suffix.len(), pattern_base);
@@ -667,7 +1067,7 @@ fn conditional(
         Some(cs) if cond_array.data_bytes() >= cs.threshold() => cs.round_trip(&cond_array)?,
         _ => cond_array,
     };
-    Ok(Some((cond_array, cond_globals)))
+    Ok(Some(Cond { array: cond_array, globals: cond_globals, support_preserved }))
 }
 
 /// If the array represents a single downward path (every item has exactly
@@ -693,8 +1093,19 @@ fn single_path(array: &CfpArray) -> Option<Vec<(u32, u64)>> {
     Some(path)
 }
 
-/// Emits every non-empty subset of a single path combined with the current
-/// suffix; a subset's support is its deepest element's count.
+/// Processes a single-path structure directly, without recursing. In
+/// all mode this emits every non-empty subset of the path combined with
+/// the current suffix (a subset's support is its deepest element's
+/// count); the other modes exploit the path shape:
+///
+/// - **top-k** skips a whole deepest-block when its uniform support sits
+///   below the admission bound;
+/// - **closed** emits only full prefixes whose next-deeper count
+///   strictly drops — any other subset keeps its support when a missing
+///   shallower (or the equal-count deeper) item is added — each still
+///   subject to the cross-branch subsumption check;
+/// - **maximal** looks ahead to the unique candidate, suffix ∪ whole
+///   path, and checks it against the emitted-maximal index.
 fn enumerate_single_path(path: &[(u32, u64)], globals: &[Item], ctx: &mut Ctx<'_>) {
     fn rec_prefix(
         path: &[(u32, u64)],
@@ -715,12 +1126,61 @@ fn enumerate_single_path(path: &[(u32, u64)], globals: &[Item], ctx: &mut Ctx<'_
         rec_prefix(path, globals, deepest, i + 1, support, ctx);
     }
 
-    for deepest in 0..path.len() {
-        let (item, count) = path[deepest];
-        ctx.suffix.push(globals[item as usize]);
-        ctx.emit(count);
-        rec_prefix(path, globals, deepest, 0, count, ctx);
-        ctx.suffix.pop();
+    match ctx.mode.kind() {
+        ModeKind::All | ModeKind::TopK => {
+            let topk = ctx.mode.kind() == ModeKind::TopK;
+            for deepest in 0..path.len() {
+                let (item, count) = path[deepest];
+                if topk && count < ctx.topk_bound() {
+                    // Every subset of this block has support `count`.
+                    if cfp_trace::enabled() {
+                        cfp_trace::counters::CORE_TOPK_PRUNED.inc();
+                    }
+                    continue;
+                }
+                ctx.suffix.push(globals[item as usize]);
+                ctx.emit(count);
+                rec_prefix(path, globals, deepest, 0, count, ctx);
+                ctx.suffix.pop();
+            }
+        }
+        ModeKind::Closed => {
+            for deepest in 0..path.len() {
+                let count = path[deepest].1;
+                if path.get(deepest + 1).is_some_and(|&(_, c)| c == count) {
+                    continue; // the next-deeper extension preserves support
+                }
+                ctx.emit_buf.clear();
+                ctx.emit_buf.extend_from_slice(&ctx.suffix);
+                ctx.emit_buf.extend(path[..=deepest].iter().map(|&(it, _)| globals[it as usize]));
+                ctx.emit_buf.sort_unstable();
+                if ctx.candidate_subsumed(Some(count)) {
+                    if cfp_trace::enabled() {
+                        cfp_trace::counters::CORE_CLOSED_PRUNED.inc();
+                    }
+                } else {
+                    ctx.emit_candidate(count);
+                    ctx.insert_candidate(count);
+                }
+            }
+        }
+        ModeKind::Maximal => {
+            let Some(&(_, count)) = path.last() else {
+                return;
+            };
+            ctx.emit_buf.clear();
+            ctx.emit_buf.extend_from_slice(&ctx.suffix);
+            ctx.emit_buf.extend(path.iter().map(|&(it, _)| globals[it as usize]));
+            ctx.emit_buf.sort_unstable();
+            if ctx.candidate_subsumed(None) {
+                if cfp_trace::enabled() {
+                    cfp_trace::counters::CORE_MAXIMAL_PRUNED.inc();
+                }
+            } else {
+                ctx.emit_candidate(count);
+                ctx.insert_candidate(count);
+            }
+        }
     }
 }
 
@@ -952,6 +1412,7 @@ mod tests {
             &mut sink,
             &opts,
             &mut Scratch::default(),
+            &mut ModeCtx::All,
         )
         .expect_err("a 4-byte pool cannot hold a conditional tree root");
         assert_eq!(err.exit_code(), 4);

@@ -72,6 +72,7 @@ impl MiningImage {
         // sequential, so the same recycling the dynamic scheduler's
         // workers use applies directly.
         let mut scratch = crate::growth::Scratch::recycling();
+        let mut mode = crate::growth::ModeCtx::All;
         for item in (0..self.globals.len() as u32).rev() {
             if self.array.item_support(item) < min_support {
                 continue;
@@ -85,6 +86,7 @@ impl MiningImage {
                 sink,
                 &crate::growth::MineOpts::default(),
                 &mut scratch,
+                &mut mode,
             )
             .unwrap_or_else(|e| panic!("{e}"));
             stats.itemsets += n;

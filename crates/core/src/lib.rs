@@ -49,7 +49,7 @@ pub mod supervisor;
 
 pub use cfp_array::{convert, CfpArray};
 pub use cfp_data::miner::{CollectSink, CountingSink, LengthHistogramSink, NullSink, TopKSink};
-pub use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+pub use cfp_data::{Item, ItemRecoder, ItemsetSink, MineStats, Miner, OutputMode, TransactionDb};
 pub use cfp_tree::CfpTree;
 pub use ckpt::{CkptProgress, Manifest};
 pub use growth::{build_tree, CfpGrowthMiner, MineOpts};

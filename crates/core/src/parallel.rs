@@ -42,12 +42,12 @@
 //! hit their individual peaks simultaneously).
 
 use crate::growth::{
-    mine_one_item, mine_single_path_root, try_build_tree_with, ArrayCharge, CfpGrowthMiner,
-    MineOpts, Scratch,
+    drain_topk, mine_one_item, mine_single_path_root, try_build_tree_with, ArrayCharge,
+    CfpGrowthMiner, MineOpts, ModeCtx, Scratch, SubsumeIndex, TopKState,
 };
 use crate::schedule::{Schedule, TaskQueue};
 use cfp_array::convert;
-use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_data::{CfpError, Item, ItemsetSink, MineStats, Miner, OutputMode, TransactionDb};
 use cfp_memman::{ArenaOptions, BudgetPool, Component};
 use cfp_metrics::{HeapSize, Stopwatch};
 use cfp_trace::{span, Phase};
@@ -89,7 +89,15 @@ pub struct ParallelCfpGrowthMiner {
     /// fully emitted by a previous run. They are excluded from the task
     /// queue and the ordered emitter starts below them, so this run's
     /// output continues byte-exactly where the previous one stopped.
+    /// In condensed modes the skipped items are still scheduled (their
+    /// itemsets seed the reconcile index) but reconciled silently.
     pub resume_skip: u64,
+    /// What the run emits: every frequent itemset, only closed or
+    /// maximal ones, or the top-k by support. Condensed modes mine with
+    /// per-task local state and reconcile at the ordered emitter, so the
+    /// output stream stays byte-identical to sequential for every thread
+    /// count and schedule.
+    pub output: OutputMode,
 }
 
 impl ParallelCfpGrowthMiner {
@@ -106,6 +114,7 @@ impl ParallelCfpGrowthMiner {
             schedule: Schedule::default(),
             cancel: None,
             resume_skip: 0,
+            output: OutputMode::default(),
         }
     }
 
@@ -162,12 +171,29 @@ impl ItemsetSink for TaskSink {
     }
 }
 
+/// Global condensed-mode reconciliation carried by the ordered emitter.
+///
+/// Workers mine with *local* subsumption indexes, which can never reject
+/// a true closed/maximal itemset (a local subsumer is itself accepted, so
+/// subsumption is transitive) but can accept candidates whose subsumer
+/// lives in another task's subtree. Replaying the per-item batches in
+/// descending item order — the exact sequential emission order — against
+/// one global index removes those false accepts: any subsumer has a top
+/// item ≥ the candidate's, so it is replayed (and indexed) no later than
+/// the candidate itself.
+struct Reconcile {
+    index: SubsumeIndex,
+    /// Closed mode: subsumption only counts at equal support.
+    closed: bool,
+}
+
 /// Forwards worker batches to the caller's sink.
 ///
-/// Item-tagged batches (dynamic schedule) are held until every batch for
-/// a higher item id has been emitted, reproducing the sequential
-/// `for item in (0..n).rev()` emission order exactly; [`STREAM`]-tagged
-/// batches (static schedule) pass straight through.
+/// Item-tagged batches (dynamic schedule, and every schedule in condensed
+/// modes) are held until every batch for a higher item id has been
+/// emitted, reproducing the sequential `for item in (0..n).rev()`
+/// emission order exactly; [`STREAM`]-tagged batches (static schedule,
+/// `all` output) pass straight through.
 struct OrderedEmitter<'a> {
     sink: &'a mut dyn ItemsetSink,
     /// Buffered batches by item id, drained from `next` downwards.
@@ -177,18 +203,40 @@ struct OrderedEmitter<'a> {
     /// All first-level items, counting ones skipped on resume — progress
     /// notifications report *global* completed counts.
     total: u32,
+    /// Tags at or above this were emitted by the run being resumed: they
+    /// replay into the reconcile index but reach neither the sink nor
+    /// the progress hook.
+    live_below: u32,
+    reconcile: Option<Reconcile>,
     emitted: u64,
 }
 
 impl<'a> OrderedEmitter<'a> {
-    /// Emits items `max_item-1 … 0` in order; on a resume, `max_item`
-    /// sits below `total` because the higher items are already out.
-    fn new(sink: &'a mut dyn ItemsetSink, total: u32, max_item: u32) -> Self {
+    /// Replays tags `sched_max-1 … 0` in order, emitting only tags below
+    /// `live_below`; on a resume, `live_below` sits below `total`
+    /// because the higher items are already out (condensed modes still
+    /// schedule them, so `sched_max` stays at `total` there).
+    fn new(
+        sink: &'a mut dyn ItemsetSink,
+        total: u32,
+        sched_max: u32,
+        live_below: u32,
+        output: OutputMode,
+    ) -> Self {
+        let reconcile = match output {
+            OutputMode::Closed => Some(Reconcile { index: SubsumeIndex::default(), closed: true }),
+            OutputMode::Maximal => {
+                Some(Reconcile { index: SubsumeIndex::default(), closed: false })
+            }
+            OutputMode::All | OutputMode::TopK(_) => None,
+        };
         OrderedEmitter {
             sink,
-            pending: (0..max_item).map(|_| None).collect(),
-            next: max_item as i64 - 1,
+            pending: (0..sched_max).map(|_| None).collect(),
+            next: sched_max as i64 - 1,
             total,
+            live_below,
+            reconcile,
             emitted: 0,
         }
     }
@@ -199,29 +247,59 @@ impl<'a> OrderedEmitter<'a> {
         self.next >= 0
     }
 
-    fn emit_batch(&mut self, batch: Batch) {
-        for (itemset, support) in batch {
-            self.sink.emit(&itemset, support);
-            self.emitted += 1;
+    /// Emits a batch; in condensed modes each candidate is first checked
+    /// against (then inserted into) the global reconcile index, and only
+    /// `live` tags reach the sink — resumed tags replay silently.
+    fn emit_batch(&mut self, batch: Batch, live: bool) {
+        match &mut self.reconcile {
+            None => {
+                for (itemset, support) in batch {
+                    self.sink.emit(&itemset, support);
+                    self.emitted += 1;
+                }
+            }
+            Some(rec) => {
+                for (itemset, support) in batch {
+                    let want = if rec.closed { Some(support) } else { None };
+                    if rec.index.subsumes(&itemset, want) {
+                        if cfp_trace::enabled() {
+                            if rec.closed {
+                                cfp_trace::counters::CORE_CLOSED_PRUNED.inc();
+                            } else {
+                                cfp_trace::counters::CORE_MAXIMAL_PRUNED.inc();
+                            }
+                        }
+                        continue;
+                    }
+                    rec.index.insert(&itemset, support);
+                    if live {
+                        self.sink.emit(&itemset, support);
+                        self.emitted += 1;
+                    }
+                }
+            }
         }
     }
 
     fn handle(&mut self, tag: u32, batch: Batch) -> Result<(), CfpError> {
         if tag == STREAM {
-            self.emit_batch(batch);
+            self.emit_batch(batch, true);
             return Ok(());
         }
         self.pending[tag as usize] = Some(batch);
         while self.next >= 0 {
             match self.pending[self.next as usize].take() {
                 Some(batch) => {
-                    self.emit_batch(batch);
+                    let live = (self.next as u32) < self.live_below;
+                    self.emit_batch(batch, live);
                     // Everything up to and including item `next` is now
                     // in the sink: an exact watermark of total - next
                     // completed first-level items.
                     let done = (self.total as i64 - self.next) as u64;
                     self.next -= 1;
-                    self.sink.progress(cfp_data::MineProgress::Items { done })?;
+                    if live {
+                        self.sink.progress(cfp_data::MineProgress::Items { done })?;
+                    }
                 }
                 None => break,
             }
@@ -264,6 +342,7 @@ impl Miner for ParallelCfpGrowthMiner {
                         compact_on_pressure: self.compact_on_pressure,
                         cancel: self.cancel.clone(),
                         resume_skip: self.resume_skip,
+                        output: self.output,
                         ..Default::default()
                     },
                 );
@@ -303,10 +382,20 @@ impl Miner for ParallelCfpGrowthMiner {
         let threads = self.threads.min(n.max(1) as usize);
         let single_path_opt = self.single_path_opt;
         let schedule = self.schedule;
+        let output = self.output;
+        // One global top-k heap shared by every worker: offers are
+        // commutative (the final content is the set of k best, fixed by
+        // the input), so the drain below is deterministic for any thread
+        // count or schedule.
+        let topk: Option<Arc<TopKState>> = match output {
+            OutputMode::TopK(k) => Some(Arc::new(TopKState::new(k))),
+            _ => None,
+        };
         let opts = MineOpts {
             pool: pool.clone(),
             compact_on_pressure: self.compact_on_pressure,
             cancel: self.cancel.clone(),
+            output,
             ..Default::default()
         };
 
@@ -320,7 +409,9 @@ impl Miner for ParallelCfpGrowthMiner {
         if single_path_opt && self.resume_skip == 0 {
             let inline = {
                 let _s = span(Phase::Mine);
-                mine_single_path_root(&array, &globals, min_support, sink, &opts)
+                let mut mode = ModeCtx::new_shared(output, &topk);
+                mine_single_path_root(&array, &globals, min_support, sink, &opts, &mut mode)
+                    .map(|itemsets| itemsets + drain_topk(&mode, sink))
             };
             if let Some(itemsets) = inline {
                 stats.mine_time = sw.lap();
@@ -340,9 +431,13 @@ impl Miner for ParallelCfpGrowthMiner {
         }
         let array = Arc::new(array);
         let globals = Arc::new(globals);
-        // Items ≥ max_item were emitted by the run being resumed.
+        // Items ≥ max_item were emitted by the run being resumed. In
+        // condensed modes they are still mined — their itemsets seed the
+        // reconcile index, exactly like the sequential quiet re-mine —
+        // and the emitter replays them without emitting.
         let max_item = (n as u64).saturating_sub(self.resume_skip) as u32;
-        let queue = Arc::new(TaskQueue::with_limit(&array, max_item));
+        let sched_max = if output.is_condensed() { n } else { max_item };
+        let queue = Arc::new(TaskQueue::with_limit(&array, sched_max));
         let poison = Arc::new(AtomicBool::new(false));
         let heartbeats: Arc<Vec<AtomicU64>> =
             Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
@@ -361,6 +456,7 @@ impl Miner for ParallelCfpGrowthMiner {
                 let poison = Arc::clone(&poison);
                 let heartbeats = Arc::clone(&heartbeats);
                 let opts = opts.clone();
+                let topk = topk.clone();
                 std::thread::spawn(move || -> Result<(u64, u64, u64), CfpError> {
                     if cfp_trace::events::capturing() {
                         // Pin this worker's event track to a stable name
@@ -379,7 +475,7 @@ impl Miner for ParallelCfpGrowthMiner {
                             let mut peak = 0u64;
                             let mut tasks = 0u64;
                             let mut cost = 0u64;
-                            let mut item = max_item as i64 - 1 - w as i64;
+                            let mut item = sched_max as i64 - 1 - w as i64;
                             // Round-robin from least to most frequent.
                             while item >= 0 {
                                 // A failed sibling poisons the run; stop at
@@ -415,23 +511,60 @@ impl Miner for ParallelCfpGrowthMiner {
                                         },
                                     );
                                 }
+                                // Condensed outputs can't stream: each
+                                // item's batch is tagged so the emitter
+                                // can reconcile subsumption in exact
+                                // descending-item order.
+                                let mut task_buf: Option<Batch> = None;
                                 let result = catch_unwind(AssertUnwindSafe(|| {
                                     if cfp_fault::should_fail("core.worker") {
                                         panic!("injected worker fault (failpoint core.worker)");
                                     }
-                                    mine_one_item(
-                                        &array,
-                                        item as u32,
-                                        &globals,
-                                        min_support,
-                                        single_path_opt,
-                                        &mut sink,
-                                        &opts,
-                                        &mut scratch,
-                                    )
+                                    let mut mode = ModeCtx::new_shared(output, &topk);
+                                    if output.is_condensed() {
+                                        let mut task = TaskSink::default();
+                                        let r = mine_one_item(
+                                            &array,
+                                            item as u32,
+                                            &globals,
+                                            min_support,
+                                            single_path_opt,
+                                            &mut task,
+                                            &opts,
+                                            &mut scratch,
+                                            &mut mode,
+                                        );
+                                        task_buf = Some(task.buf);
+                                        r
+                                    } else {
+                                        mine_one_item(
+                                            &array,
+                                            item as u32,
+                                            &globals,
+                                            min_support,
+                                            single_path_opt,
+                                            &mut sink,
+                                            &opts,
+                                            &mut scratch,
+                                            &mut mode,
+                                        )
+                                    }
                                 }));
                                 match result {
-                                    Ok(Ok((_, p))) => peak = peak.max(p),
+                                    Ok(Ok((_, p))) => {
+                                        peak = peak.max(p);
+                                        if let Some(buf) = task_buf.take() {
+                                            if sink.tx.send((item as u32, buf)).is_err()
+                                                && !poison.load(Ordering::Relaxed)
+                                            {
+                                                return Err(CfpError::WorkerPanic {
+                                                    worker: w,
+                                                    message: "result channel disconnected"
+                                                        .to_string(),
+                                                });
+                                            }
+                                        }
+                                    }
                                     Ok(Err(e)) => {
                                         poison.store(true, Ordering::Relaxed);
                                         return Err(e);
@@ -500,6 +633,12 @@ impl Miner for ParallelCfpGrowthMiner {
                                         if cfp_fault::should_fail("core.worker") {
                                             panic!("injected worker fault (failpoint core.worker)");
                                         }
+                                        // Condensed state is per task: a
+                                        // fresh local index each item,
+                                        // reconciled globally by the
+                                        // emitter. Top-k shares the one
+                                        // global heap.
+                                        let mut mode = ModeCtx::new_shared(output, &topk);
                                         mine_one_item(
                                             &array,
                                             item,
@@ -509,6 +648,7 @@ impl Miner for ParallelCfpGrowthMiner {
                                             &mut sink,
                                             &opts,
                                             &mut scratch,
+                                            &mut mode,
                                         )
                                     }));
                                     match result {
@@ -553,7 +693,7 @@ impl Miner for ParallelCfpGrowthMiner {
         // worker timeout, poll with `recv_timeout` and watch the
         // heartbeats of unfinished workers; a window with neither a batch
         // nor a heartbeat tick is a stall.
-        let mut emitter = OrderedEmitter::new(sink, n, max_item);
+        let mut emitter = OrderedEmitter::new(sink, n, sched_max, max_item, output);
         let mut timed_out = false;
         match self.worker_timeout {
             None => {
@@ -673,7 +813,8 @@ impl Miner for ParallelCfpGrowthMiner {
                 // streams untagged, so judge by claimed task counts.
                 let incomplete = match schedule {
                     Schedule::Dynamic => unfinished,
-                    Schedule::Static => worker_tasks.iter().sum::<u64>() < max_item as u64,
+                    Schedule::Static if output.is_condensed() => unfinished,
+                    Schedule::Static => worker_tasks.iter().sum::<u64>() < sched_max as u64,
                 };
                 if cancel.is_cancelled() && incomplete {
                     first_error = Some(CfpError::Interrupted);
@@ -682,6 +823,12 @@ impl Miner for ParallelCfpGrowthMiner {
         }
         if let Some(e) = first_error {
             return Err(e);
+        }
+        // Top-k emits nothing while mining (workers offer into the shared
+        // heap); the winners drain here, sorted, once the set is final.
+        if topk.is_some() {
+            let mode = ModeCtx::new_shared(output, &topk);
+            stats.itemsets += drain_topk(&mode, sink);
         }
         stats.mine_time = sw.lap();
 

@@ -36,7 +36,9 @@
 //! preserves the itemset's full global support, and a
 //! max-item filter keeps each itemset in exactly one range's output.
 
-use crate::growth::{mine_loaded, ArrayCharge, CfpGrowthMiner, MineOpts};
+use crate::growth::{
+    mine_loaded, ArrayCharge, CfpGrowthMiner, MineOpts, ModeCtx, SubsumeIndex, TopKState,
+};
 use crate::parallel::ParallelCfpGrowthMiner;
 use crate::schedule::Schedule;
 use crate::spill::{load_spill_array, write_spill_array, CondSpill};
@@ -44,7 +46,9 @@ use cfp_array::convert;
 use cfp_data::miner::CollectSink;
 use cfp_data::partition::{project, ranges_by_mass};
 use cfp_data::spill::SpillDir;
-use cfp_data::{CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, TransactionDb};
+use cfp_data::{
+    CfpError, Item, ItemRecoder, ItemsetSink, MineStats, Miner, OutputMode, TransactionDb,
+};
 use cfp_memman::{BudgetPool, Component};
 use cfp_trace::{span, Phase};
 use std::collections::VecDeque;
@@ -161,6 +165,12 @@ pub struct Supervisor {
     /// escalate past a cancellation, because the interruption is not a
     /// failure the ladder could repair.
     pub cancel: Option<cfp_fault::CancelToken>,
+    /// What every rung emits (all, closed, maximal, or top-k). The
+    /// partition and spill rungs stay exact in condensed modes by mining
+    /// ranges in descending item order and reconciling each partition's
+    /// locally-condensed output against a global subsumption index; for
+    /// top-k they mine everything and select the winners at the end.
+    pub output: OutputMode,
 }
 
 impl Supervisor {
@@ -175,6 +185,7 @@ impl Supervisor {
             schedule: Schedule::default(),
             spill_dir: None,
             cancel: None,
+            output: OutputMode::default(),
         }
     }
 
@@ -210,6 +221,7 @@ impl Supervisor {
             schedule: self.schedule,
             cancel: self.cancel.clone(),
             resume_skip: 0,
+            output: self.output,
         }
         .try_mine(db, min_support, &mut buf);
         let mut last_err = match first {
@@ -243,6 +255,7 @@ impl Supervisor {
                 schedule: self.schedule,
                 cancel: self.cancel.clone(),
                 resume_skip: 0,
+                output: self.output,
             }
             .try_mine(db, min_support, &mut buf);
             let reclaimed = pool.map(|p| p.compact_reclaimed()).unwrap_or(0);
@@ -295,6 +308,7 @@ impl Supervisor {
                         pool: pool.clone(),
                         compact_on_pressure: true,
                         cancel: self.cancel.clone(),
+                        output: self.output,
                         ..Default::default()
                     },
                 );
@@ -396,7 +410,22 @@ impl Supervisor {
             }
             _ => 2,
         };
+        let condensed = self.output.is_condensed();
+        // Top-k needs the global view: mine every partition in full and
+        // select the winners at the end. Condensed modes mine condensed
+        // per partition and reconcile below.
+        let proj_output = match self.output {
+            OutputMode::TopK(_) => OutputMode::All,
+            other => other,
+        };
         let mut queue: VecDeque<(u32, u32)> = ranges_by_mass(&recoder, k0.min(n)).into();
+        if condensed {
+            // Descending item ranges reproduce the sequential top-item
+            // order, so every cross-partition subsumer is buffered before
+            // the candidates it subsumes (a superset's maximal item is ≥
+            // the candidate's).
+            queue.make_contiguous().reverse();
+        }
 
         let mut buf = CollectSink::new();
         let mut stats = MineStats::default();
@@ -414,6 +443,7 @@ impl Supervisor {
                 pool: pool.clone(),
                 compact_on_pressure: true,
                 cancel: self.cancel.clone(),
+                output: proj_output,
                 ..Default::default()
             };
             let mut fsink = RangeFilterSink { inner: &mut buf, recoder: &recoder, lo, hi };
@@ -441,8 +471,14 @@ impl Supervisor {
                     // so the halves re-mine without duplication.
                     retract_range(&mut buf, &recoder, lo, hi);
                     let mid = lo + (hi - lo) / 2;
-                    queue.push_front((mid, hi));
-                    queue.push_front((lo, mid));
+                    if condensed {
+                        // Keep the queue strictly descending.
+                        queue.push_front((lo, mid));
+                        queue.push_front((mid, hi));
+                    } else {
+                        queue.push_front((mid, hi));
+                        queue.push_front((lo, mid));
+                    }
                 }
                 Err(e) => return Err((e, mined, reclaimed)),
             }
@@ -450,6 +486,7 @@ impl Supervisor {
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_PARTITIONS.record(mined);
         }
+        finalize_output(self.output, &mut buf);
         // itemsets counted by the projection miners include filtered-out
         // emissions; the buffered (kept) count is the real one.
         stats.itemsets = buf.itemsets.len() as u64;
@@ -507,6 +544,15 @@ impl Supervisor {
         stream: bool,
         resume: Option<(u64, Vec<(u32, u32)>)>,
     ) -> (Result<MineStats, CfpError>, RecoveryReport) {
+        // Resuming mid-run would start the reconcile index (or top-k
+        // heap) without the already-emitted partitions' contributions;
+        // the CLI restricts checkpointing of condensed/top-k runs to
+        // `--recover=off` so this path is unreachable from it.
+        assert!(
+            resume.is_none() || self.output == OutputMode::All,
+            "resumable out-of-core mining supports only OutputMode::All, not {}",
+            self.output
+        );
         let mut report = RecoveryReport {
             policy: RecoveryPolicy::Spill.name().to_string(),
             ..Default::default()
@@ -596,6 +642,20 @@ impl Supervisor {
         if n == 0 {
             return Ok((MineStats::default(), 0, 0, Vec::new(), CollectSink::new()));
         }
+        let condensed = self.output.is_condensed();
+        let proj_output = match self.output {
+            OutputMode::TopK(_) => OutputMode::All,
+            other => other,
+        };
+        // Cross-partition reconciliation state: condensed candidates are
+        // checked (then inserted) in descending-range order, so every
+        // possible subsumer is already indexed; top-k offers accumulate
+        // into one global heap drained after the last partition.
+        let mut recon = condensed.then(SubsumeIndex::default);
+        let topk_state = match self.output {
+            OutputMode::TopK(k) => Some(TopKState::new(k)),
+            _ => None,
+        };
         let k0 = match *cause {
             CfpError::MemoryExhausted { footprint, limit, .. } if limit > 0 => {
                 (2 * footprint).div_ceil(limit).max(2) as usize
@@ -624,7 +684,15 @@ impl Supervisor {
 
         let mut ranges: VecDeque<(u32, u32)> = match resume {
             Some((_, remaining)) => remaining.into(),
-            None => ranges_by_mass(&recoder, k0.min(n)).into(),
+            None => {
+                let mut r: VecDeque<(u32, u32)> = ranges_by_mass(&recoder, k0.min(n)).into();
+                if condensed {
+                    // Highest ranges first: the sequential top-item order,
+                    // which makes the per-partition reconcile exact.
+                    r.make_contiguous().reverse();
+                }
+                r
+            }
         };
         let mut entries: VecDeque<SpillEntry> = VecDeque::new();
         let mut buf = CollectSink::new();
@@ -671,11 +739,24 @@ impl Supervisor {
                     }
                     Err(CfpError::MemoryExhausted { .. }) if hi - lo > 1 => {
                         let mid = lo + (hi - lo) / 2;
-                        ranges.push_front((mid, hi));
-                        ranges.push_front((lo, mid));
+                        if condensed {
+                            ranges.push_front((lo, mid));
+                            ranges.push_front((mid, hi));
+                        } else {
+                            ranges.push_front((mid, hi));
+                            ranges.push_front((lo, mid));
+                        }
                     }
                     Err(e) => return Err((e, mined, reclaimed)),
                 }
+            }
+            if condensed {
+                // A mine-phase halving re-enters the spill phase and
+                // appends its halves behind pending entries; restore the
+                // strict descending-range mining order the reconcile
+                // relies on (already-mined partitions all sit above any
+                // requeued half, so the global order stays descending).
+                entries.make_contiguous().sort_by_key(|e| std::cmp::Reverse(e.lo));
             }
             // Mine phase: load each file back and mine it zero-copy.
             // Output goes through a per-partition buffer so a halved
@@ -693,6 +774,7 @@ impl Supervisor {
                     compact_on_pressure: true,
                     cond_spill: cond_spill.clone(),
                     cancel: self.cancel.clone(),
+                    output: proj_output,
                     ..Default::default()
                 };
                 let mut part_buf = CollectSink::new();
@@ -709,6 +791,11 @@ impl Supervisor {
                         lo: *lo,
                         hi: *hi,
                     };
+                    // A fresh local mode per partition: condensed
+                    // subsumption inside the partition is exact (the
+                    // projection preserves global supports), and cross-
+                    // partition false accepts are reconciled below.
+                    let mut mode = ModeCtx::new(proj_output);
                     mine_loaded(
                         &array,
                         globals,
@@ -716,6 +803,7 @@ impl Supervisor {
                         self.single_path_opt,
                         &mut fsink,
                         &opts,
+                        &mut mode,
                     )
                 }));
                 if let Some(p) = &pool {
@@ -726,6 +814,27 @@ impl Supervisor {
                         dir.remove(name);
                         mined += 1;
                         peaks.push(pool.map(|p| p.peak()).unwrap_or(0));
+                        if let Some(index) = &mut recon {
+                            // Drop candidates subsumed by an earlier
+                            // (higher-range) partition; survivors join
+                            // the index for the partitions below.
+                            let by_support = self.output == OutputMode::Closed;
+                            part_buf.itemsets.retain(|(set, support)| {
+                                let want = by_support.then_some(*support);
+                                if index.subsumes(set, want) {
+                                    return false;
+                                }
+                                index.insert(set, *support);
+                                true
+                            });
+                        }
+                        if let Some(state) = &topk_state {
+                            // Winners drain once the global set is final.
+                            for (set, support) in &part_buf.itemsets {
+                                state.offer(set, *support);
+                            }
+                            part_buf.itemsets.clear();
+                        }
                         emitted += part_buf.itemsets.len() as u64;
                         match &mut stream {
                             Some(sink) => {
@@ -777,6 +886,18 @@ impl Supervisor {
                 break;
             }
         }
+        if let Some(state) = &topk_state {
+            let winners = state.drain_sorted();
+            emitted += winners.len() as u64;
+            match &mut stream {
+                Some(sink) => {
+                    for (set, support) in &winners {
+                        sink.emit(set, *support);
+                    }
+                }
+                None => buf.itemsets.extend(winners),
+            }
+        }
         if cfp_trace::enabled() {
             cfp_trace::counters::CORE_SPILL_PARTITIONS.record(mined);
         }
@@ -816,6 +937,39 @@ fn rung_started(rung: cfp_trace::Rung) {
 fn flush(buf: CollectSink, sink: &mut dyn ItemsetSink) {
     for (itemset, support) in &buf.itemsets {
         sink.emit(itemset, *support);
+    }
+}
+
+/// Post-processes a partitioned rung's buffered output for the run's
+/// output mode. Condensed modes replay the buffer — accumulated in
+/// descending range order — against one global subsumption index,
+/// dropping candidates whose subsumer lives in an earlier (higher)
+/// partition; same-partition subsumption was already handled by that
+/// partition's local index. Top-k replaces the buffer with the k
+/// best-supported itemsets under the deterministic (support desc, set
+/// lex asc) order.
+fn finalize_output(output: OutputMode, buf: &mut CollectSink) {
+    match output {
+        OutputMode::All => {}
+        OutputMode::Closed | OutputMode::Maximal => {
+            let closed = output == OutputMode::Closed;
+            let mut index = SubsumeIndex::default();
+            buf.itemsets.retain(|(set, support)| {
+                let want = if closed { Some(*support) } else { None };
+                if index.subsumes(set, want) {
+                    return false;
+                }
+                index.insert(set, *support);
+                true
+            });
+        }
+        OutputMode::TopK(k) => {
+            let state = TopKState::new(k);
+            for (set, support) in &buf.itemsets {
+                state.offer(set, *support);
+            }
+            buf.itemsets = state.drain_sorted();
+        }
     }
 }
 

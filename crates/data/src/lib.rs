@@ -45,5 +45,5 @@ pub use cfp_fault::CfpError;
 pub use count::ItemRecoder;
 pub use fimi::{ParsePolicy, ParseStats};
 pub use lock::DirLock;
-pub use miner::{ItemsetSink, MineProgress, MineStats, Miner};
+pub use miner::{ItemsetSink, MineProgress, MineStats, Miner, OutputMode};
 pub use types::{Item, TransactionDb};

@@ -13,7 +13,70 @@
 use crate::types::{Item, TransactionDb};
 use cfp_fault::CfpError;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
 use std::time::Duration;
+
+/// Which itemsets a mining run reports.
+///
+/// `All` is the classic behaviour. The condensed modes are *first-class
+/// miners*, not post-hoc filters: closure checking, maximality pruning
+/// and the rising top-k support bound run inside the CFP-growth
+/// recursion, so the full frequent set is never materialized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Every frequent itemset.
+    #[default]
+    All,
+    /// Only closed itemsets: no proper superset has equal support.
+    Closed,
+    /// Only maximal itemsets: no proper superset is frequent.
+    Maximal,
+    /// The `k` highest-support itemsets, ties broken lexicographically
+    /// (smaller itemset wins), emitted sorted at the end of the run.
+    TopK(usize),
+}
+
+impl OutputMode {
+    /// True for the modes whose emission depends on previously emitted
+    /// itemsets (closed/maximal subsumption indexes).
+    pub fn is_condensed(&self) -> bool {
+        matches!(self, OutputMode::Closed | OutputMode::Maximal)
+    }
+}
+
+impl fmt::Display for OutputMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputMode::All => f.write_str("all"),
+            OutputMode::Closed => f.write_str("closed"),
+            OutputMode::Maximal => f.write_str("maximal"),
+            OutputMode::TopK(k) => write!(f, "topk:{k}"),
+        }
+    }
+}
+
+impl FromStr for OutputMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "all" => Ok(OutputMode::All),
+            "closed" => Ok(OutputMode::Closed),
+            "maximal" => Ok(OutputMode::Maximal),
+            _ => match s.strip_prefix("topk:") {
+                Some(n) => match n.parse::<usize>() {
+                    Ok(k) if k >= 1 => Ok(OutputMode::TopK(k)),
+                    Ok(_) => Err(format!("invalid output mode '{s}': topk wants k >= 1")),
+                    Err(_) => Err(format!("invalid output mode '{s}': topk wants an integer")),
+                },
+                None => {
+                    Err(format!("invalid output mode '{s}' (expected all|closed|maximal|topk:N)"))
+                }
+            },
+        }
+    }
+}
 
 /// A resumable-boundary notification delivered to
 /// [`ItemsetSink::progress`].
@@ -110,11 +173,19 @@ impl ItemsetSink for CollectSink {
 }
 
 /// Keeps the `k` itemsets with the highest support.
+///
+/// Ties at the cut-off are broken *lexicographically* (the smaller
+/// itemset wins), so the retained set — and therefore the output of a
+/// top-k run — is a deterministic function of the emitted multiset,
+/// independent of emission order, thread count, or schedule.
 #[derive(Debug)]
 pub struct TopKSink {
     k: usize,
-    // Min-heap via Reverse ordering on (support, itemset).
-    heap: BinaryHeap<std::cmp::Reverse<(u64, Vec<Item>)>>,
+    // Min-heap (via the outer Reverse) ordered by "goodness": higher
+    // support is better, and among equal supports the lexicographically
+    // smaller itemset is better (hence the inner Reverse on the
+    // itemset). `pop` therefore evicts the worst retained entry.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, std::cmp::Reverse<Vec<Item>>)>>,
 }
 
 impl TopKSink {
@@ -123,11 +194,23 @@ impl TopKSink {
         TopKSink { k, heap: BinaryHeap::with_capacity(k + 1) }
     }
 
-    /// The retained itemsets, highest support first.
+    /// Support of the worst retained itemset once `k` are held; 0 while
+    /// the heap is still filling. A streaming miner may prune any
+    /// candidate whose support is *strictly* below this bound.
+    pub fn bound(&self) -> u64 {
+        if self.heap.len() < self.k {
+            return 0;
+        }
+        self.heap.peek().map_or(0, |r| r.0 .0)
+    }
+
+    /// The retained itemsets, highest support first, ties in ascending
+    /// lexicographic order.
     pub fn into_sorted(self) -> Vec<(Vec<Item>, u64)> {
-        let mut v: Vec<(u64, Vec<Item>)> = self.heap.into_iter().map(|r| r.0).collect();
+        let mut v: Vec<(u64, std::cmp::Reverse<Vec<Item>>)> =
+            self.heap.into_iter().map(|r| r.0).collect();
         v.sort_by(|a, b| b.cmp(a));
-        v.into_iter().map(|(s, i)| (i, s)).collect()
+        v.into_iter().map(|(s, i)| (i.0, s)).collect()
     }
 }
 
@@ -136,7 +219,7 @@ impl ItemsetSink for TopKSink {
         if self.k == 0 {
             return;
         }
-        self.heap.push(std::cmp::Reverse((support, itemset.to_vec())));
+        self.heap.push(std::cmp::Reverse((support, std::cmp::Reverse(itemset.to_vec()))));
         if self.heap.len() > self.k {
             self.heap.pop();
         }
@@ -283,6 +366,53 @@ mod tests {
         let mut s = TopKSink::new(0);
         s.emit(&[1], 5);
         assert!(s.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn topk_breaks_support_ties_lexicographically() {
+        // Four itemsets tie at support 7; only two fit. The retained
+        // pair must be the lexicographically smallest two, regardless of
+        // emission order — repeat with the reverse order to prove it.
+        for rev in [false, true] {
+            let mut emits: Vec<Vec<Item>> = vec![vec![9], vec![2, 4], vec![2, 3], vec![1, 100]];
+            if rev {
+                emits.reverse();
+            }
+            let mut s = TopKSink::new(2);
+            for e in &emits {
+                s.emit(e, 7);
+            }
+            let v = s.into_sorted();
+            assert_eq!(v, vec![(vec![1, 100], 7), (vec![2, 3], 7)]);
+        }
+    }
+
+    #[test]
+    fn topk_bound_rises_as_the_heap_fills() {
+        let mut s = TopKSink::new(2);
+        assert_eq!(s.bound(), 0);
+        s.emit(&[1], 5);
+        assert_eq!(s.bound(), 0, "bound is inactive until k are held");
+        s.emit(&[2], 9);
+        assert_eq!(s.bound(), 5);
+        s.emit(&[3], 7);
+        assert_eq!(s.bound(), 7);
+    }
+
+    #[test]
+    fn output_mode_parses_and_displays() {
+        assert_eq!("all".parse::<OutputMode>().unwrap(), OutputMode::All);
+        assert_eq!("closed".parse::<OutputMode>().unwrap(), OutputMode::Closed);
+        assert_eq!("maximal".parse::<OutputMode>().unwrap(), OutputMode::Maximal);
+        assert_eq!("topk:50".parse::<OutputMode>().unwrap(), OutputMode::TopK(50));
+        for bad in ["topk:0", "topk:x", "topk:", "frequent", "", "topk:-3"] {
+            assert!(bad.parse::<OutputMode>().is_err(), "{bad} must not parse");
+        }
+        for m in [OutputMode::All, OutputMode::Closed, OutputMode::Maximal, OutputMode::TopK(7)] {
+            assert_eq!(m.to_string().parse::<OutputMode>().unwrap(), m, "round trip {m}");
+        }
+        assert!(OutputMode::Closed.is_condensed());
+        assert!(!OutputMode::TopK(3).is_condensed());
     }
 
     #[test]

@@ -310,6 +310,15 @@ pub static CORE_SPILL_PARTITIONS: MaxGauge = MaxGauge::new("core.spill_partition
 pub static CORE_CKPT_COMMITS: Counter = Counter::new("core.ckpt_commits");
 /// `cfp-core`: bytes written into committed checkpoint manifests.
 pub static CORE_CKPT_BYTES: Counter = Counter::new("core.ckpt_bytes");
+/// `cfp-core`: candidates suppressed by the in-recursion closure check
+/// (subsumption hits and support-preserving extensions).
+pub static CORE_CLOSED_PRUNED: Counter = Counter::new("core.closed_pruned");
+/// `cfp-core`: candidates/subtrees suppressed by the maximality check
+/// (subset hits against the emitted-maximal index and lookahead prunes).
+pub static CORE_MAXIMAL_PRUNED: Counter = Counter::new("core.maximal_pruned");
+/// `cfp-core`: subtrees pruned because their support fell below the
+/// rising top-k admission bound.
+pub static CORE_TOPK_PRUNED: Counter = Counter::new("core.topk_pruned");
 
 /// All plain counters, for snapshots.
 static COUNTERS: &[&Counter] = &[
@@ -341,6 +350,9 @@ static COUNTERS: &[&Counter] = &[
     &CORE_TASKS_STOLEN,
     &CORE_RECOVERY_RUNGS,
     &CORE_ITEMS_MINED,
+    &CORE_CLOSED_PRUNED,
+    &CORE_MAXIMAL_PRUNED,
+    &CORE_TOPK_PRUNED,
     &DATA_SKIPPED_LINES,
     &DATA_BAD_TOKENS,
     &DATA_SPILL_FILES,

@@ -169,6 +169,7 @@ fn sample_manifest() -> Manifest {
         min_support: 57,
         counts: "fnv1a:00ff00ff00ff00ff".into(),
         num_items: 16470,
+        output: "all".into(),
         progress: CkptProgress::Spill { parts_done: 3, remaining: vec![(12, 400), (401, 950)] },
         output_bytes: 123_456_789,
         itemsets: 54_321,

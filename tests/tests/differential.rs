@@ -311,6 +311,168 @@ fn check_seed(seed: u64) -> Result<(), String> {
     }
 }
 
+/// The deterministic top-k oracle: the k highest-support itemsets of
+/// the full frequent set, ties broken by ascending lexicographic
+/// itemset — exactly the engine's drain order.
+fn topk_oracle(full: &[(Vec<Item>, u64)], k: usize) -> Vec<(Vec<Item>, u64)> {
+    let mut v = full.to_vec();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+/// Mines one seed's database through the sequential engine in `output`
+/// mode.
+fn mine_seq_mode(
+    db: &TransactionDb,
+    minsup: u64,
+    output: cfp_core::OutputMode,
+) -> Result<Vec<(Vec<Item>, u64)>, CfpError> {
+    let mut sink = CollectSink::new();
+    CfpGrowthMiner::new().try_mine_with(
+        db,
+        minsup,
+        &mut sink,
+        &MineOpts { output, ..MineOpts::default() },
+    )?;
+    Ok(sink.itemsets)
+}
+
+/// Runs the condensed-output matrix on one seed: for each of closed,
+/// maximal, and a seed-derived topk:N, the sequential engine must match
+/// the post-hoc oracle (`cfp_rules::condensed` over the apriori full
+/// set), the parallel dynamic schedule must reproduce the sequential
+/// emission byte for byte at 1, 2, and 8 threads, and the static
+/// schedule must produce the same set.
+fn check_seed_condensed(seed: u64) -> Result<(), String> {
+    use cfp_core::OutputMode;
+    let case = generate(seed);
+    let full = sorted(mine_raw(&AprioriMiner::new(), &case.db, case.minsup));
+    let k = StdRng::seed_from_u64(seed ^ 0x70F0_0D5E).gen_range(1usize..=8);
+    let mut problems: Vec<String> = Vec::new();
+
+    type OracleRows = Vec<(Vec<Item>, u64)>;
+    let modes: [(OutputMode, OracleRows); 3] = [
+        (OutputMode::Closed, sorted(cfp_rules::closed_itemsets(&full))),
+        (OutputMode::Maximal, sorted(cfp_rules::maximal_itemsets(&full))),
+        (OutputMode::TopK(k), topk_oracle(&full, k)),
+    ];
+    for (output, oracle) in &modes {
+        let name = |cfg: &str| format!("{output}/{cfg}");
+        let seq_raw = match mine_seq_mode(&case.db, case.minsup, *output) {
+            Ok(raw) => raw,
+            Err(e) => {
+                problems.push(format!("{}: failed with {e}", name("seq")));
+                continue;
+            }
+        };
+        // Top-k drains in oracle order, so its raw emission is directly
+        // comparable; the condensed modes stream in recursion order and
+        // are compared as sets.
+        let seq_cmp = if matches!(output, OutputMode::TopK(_)) {
+            seq_raw.clone()
+        } else {
+            sorted(seq_raw.clone())
+        };
+        problems.extend(diff_summary(&name("seq"), oracle, &seq_cmp));
+
+        for threads in [1usize, 2, 8] {
+            let miner = ParallelCfpGrowthMiner {
+                schedule: Schedule::Dynamic,
+                output: *output,
+                ..ParallelCfpGrowthMiner::new(threads)
+            };
+            let raw = mine_raw(&miner, &case.db, case.minsup);
+            if raw != seq_raw {
+                problems.push(format!(
+                    "{}: emission order diverged from sequential ({} vs {} itemsets)",
+                    name(&format!("dynamicx{threads}")),
+                    raw.len(),
+                    seq_raw.len()
+                ));
+            }
+        }
+        let miner = ParallelCfpGrowthMiner {
+            schedule: Schedule::Static,
+            output: *output,
+            ..ParallelCfpGrowthMiner::new(4)
+        };
+        let raw = mine_raw(&miner, &case.db, case.minsup);
+        let raw_cmp = if matches!(output, OutputMode::TopK(_)) { raw } else { sorted(raw) };
+        problems.extend(diff_summary(&name("staticx4"), oracle, &raw_cmp));
+
+        // Interrupt + resume keeps the condensed stream exact: the
+        // resumed run silently re-derives the reconcile state for the
+        // skipped prefix, so the concatenation must reproduce the
+        // uninterrupted emission. (Top-k cannot resume — the heap has
+        // no output watermark — and the CLI rejects that combination.)
+        if !matches!(output, OutputMode::TopK(_)) {
+            let stop_at = StdRng::seed_from_u64(seed ^ 0xC105_EDCA).gen_range(1u64..=6);
+            let seq = CfpGrowthMiner::new();
+            check_interrupt_resume(
+                &name("seq/interrupt"),
+                &|sink, opts| {
+                    seq.try_mine_with(
+                        &case.db,
+                        case.minsup,
+                        sink,
+                        &MineOpts { output: *output, ..opts },
+                    )
+                    .map(|_| ())
+                },
+                &seq_raw,
+                stop_at,
+                &mut problems,
+            );
+            check_interrupt_resume(
+                &name("dynamicx4/interrupt"),
+                &|sink, opts| {
+                    let miner = ParallelCfpGrowthMiner {
+                        schedule: Schedule::Dynamic,
+                        output: *output,
+                        cancel: opts.cancel,
+                        resume_skip: opts.resume_skip,
+                        ..ParallelCfpGrowthMiner::new(4)
+                    };
+                    miner.try_mine(&case.db, case.minsup, sink).map(|_| ())
+                },
+                &seq_raw,
+                stop_at,
+                &mut problems,
+            );
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "shape {} ({} txns, minsup {}, k {k}): {}",
+            case.shape,
+            case.db.len(),
+            case.minsup,
+            problems.join("\n  ")
+        ))
+    }
+}
+
+#[test]
+fn every_condensed_configuration_matches_the_oracle_on_every_seed() {
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for seed in 0..SEEDS {
+        if let Err(detail) = check_seed_condensed(seed) {
+            failures.push((seed, detail));
+        }
+    }
+    if let Some((seed, detail)) = failures.first() {
+        panic!(
+            "{} of {SEEDS} seeds failed; minimal failing seed {seed}:\n  {detail}\n\
+             (reproduce with check_seed_condensed({seed}))",
+            failures.len()
+        );
+    }
+}
+
 #[test]
 fn every_miner_configuration_agrees_on_every_seed() {
     let mut failures: Vec<(u64, String)> = Vec::new();

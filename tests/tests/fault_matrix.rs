@@ -463,6 +463,7 @@ fn injected_checkpoint_write_failure_aborts_structurally() {
                     min_support: 2,
                     counts: "fnv1a:0".into(),
                     num_items: 5,
+                    output: "all".into(),
                     progress: CkptProgress::Mono { items_done: done },
                     output_bytes: 0,
                     itemsets: self.inner.count,
