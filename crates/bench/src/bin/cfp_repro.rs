@@ -42,6 +42,14 @@
 //!   Prints the validated manifest JSON, or fails with its structured
 //!   error (exit 9 on a torn/corrupt manifest, 1 when none exists).
 //!
+//! cfp-repro postmortem BLACKBOX
+//!   Verifies a `cfp-blackbox/1` flight-recorder dump's checksum and
+//!   renders it as a readable report: the fatal error and exit code,
+//!   run context, phase times, latency percentiles, memory state,
+//!   degradation rungs, counters, and the last events per thread.
+//!   BLACKBOX is the blackbox.json file or the directory holding it.
+//!   Exits 1 when the file is unreadable, corrupt, or mis-checksummed.
+//!
 //! cfp-repro inspect [--out PATH] [--support N] PROFILE
 //!   Mines a synthetic dataset profile sequentially with an attribution
 //!   pool and emits the cfp-memstat/1 document (stdout by default):
@@ -72,6 +80,7 @@ fn main() {
         Some("inspect") => run_inspect(&args[1..]),
         Some("ckpt-trim") => run_ckpt_trim(&args[1..]),
         Some("ckpt-info") => run_ckpt_info(&args[1..]),
+        Some("postmortem") => run_postmortem(&args[1..]),
         _ => {}
     }
     let mut csv_dir: Option<PathBuf> = None;
@@ -85,7 +94,7 @@ fn main() {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]\n       cfp-repro inspect [--out PATH] [--support N] PROFILE\n       cfp-repro ckpt-trim OUTPUT CKPT_DIR\n       cfp-repro ckpt-info CKPT_DIR"
+            "usage: cfp-repro [--csv DIR] <table1|table2|table3|fig6a|fig6b|fig7|fig8a|fig8d|summary|ablation|capacity|parallel|skew|profile|all> ...\n       cfp-repro bench [--out DIR]\n       cfp-repro compare BASELINE CANDIDATE [--threshold PCT]\n       cfp-repro inspect [--out PATH] [--support N] PROFILE\n       cfp-repro ckpt-trim OUTPUT CKPT_DIR\n       cfp-repro ckpt-info CKPT_DIR\n       cfp-repro postmortem BLACKBOX"
         );
         std::process::exit(2);
     }
@@ -519,6 +528,30 @@ fn run_ckpt_info(args: &[String]) -> ! {
         Err(e) => {
             eprintln!("cfp-repro: {e}");
             std::process::exit(e.exit_code());
+        }
+    }
+}
+
+/// `cfp-repro postmortem BLACKBOX` — verify and render a flight-recorder
+/// dump. Accepts the blackbox.json file itself or the `--blackbox`
+/// directory that contains it.
+fn run_postmortem(args: &[String]) -> ! {
+    let [path] = args else {
+        eprintln!("usage: cfp-repro postmortem BLACKBOX");
+        std::process::exit(2);
+    };
+    let mut path = PathBuf::from(path);
+    if path.is_dir() {
+        path = path.join("blackbox.json");
+    }
+    match cfp_trace::blackbox::load(&path) {
+        Ok(body) => {
+            print!("{}", cfp_trace::blackbox::render(&body));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("cfp-repro: {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
 }

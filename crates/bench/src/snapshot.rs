@@ -40,20 +40,32 @@ pub struct BenchSnapshot {
     pub peak_bytes: u64,
     /// Dynamic-schedule steals during the mine phase.
     pub steals: u64,
+    /// Condensed-mode pruning counters (`core.closed_pruned`,
+    /// `core.maximal_pruned`, `core.topk_pruned`), present only when the
+    /// run pruned anything — all-itemsets benchmarks (and snapshots
+    /// taken before this field existed) omit the block entirely.
+    pub pruning: Vec<(String, u64)>,
     /// Per-component memory attribution (absent in snapshots taken
     /// before the memstat report existed — old files must keep parsing).
     pub memstat: Option<MemSummary>,
 }
 
+/// The pruning counters a snapshot pins, in registry order.
+const PRUNING_COUNTERS: [&str; 3] =
+    ["core.closed_pruned", "core.maximal_pruned", "core.topk_pruned"];
+
 impl BenchSnapshot {
     /// Reduces a traced run report to a snapshot.
     pub fn from_report(name: &str, report: &RunReport) -> Self {
-        let steals = report
-            .counters
-            .iter()
-            .find(|&&(n, _)| n == "core.tasks_stolen")
-            .map(|&(_, v)| v)
-            .unwrap_or(0);
+        let counter = |name: &str| {
+            report.counters.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+        };
+        let steals = counter("core.tasks_stolen");
+        let mut pruning: Vec<(String, u64)> =
+            PRUNING_COUNTERS.iter().map(|&n| (n.to_string(), counter(n))).collect();
+        if pruning.iter().all(|&(_, v)| v == 0) {
+            pruning.clear();
+        }
         BenchSnapshot {
             name: name.to_string(),
             dataset: report.dataset.clone(),
@@ -64,6 +76,7 @@ impl BenchSnapshot {
             phases: report.phases.iter().map(|p| (p.name.to_string(), p.nanos)).collect(),
             peak_bytes: report.peak_bytes,
             steals,
+            pruning,
             memstat: report.memstat.clone(),
         }
     }
@@ -96,6 +109,14 @@ impl BenchSnapshot {
             ("peak_bytes".into(), Json::u64(self.peak_bytes)),
             ("steals".into(), Json::u64(self.steals)),
         ];
+        if !self.pruning.is_empty() {
+            fields.push((
+                "pruning".into(),
+                Json::Obj(
+                    self.pruning.iter().map(|(name, v)| (name.clone(), Json::u64(*v))).collect(),
+                ),
+            ));
+        }
         if let Some(m) = &self.memstat {
             fields.push(("memstat".into(), m.to_json()));
         }
@@ -130,6 +151,19 @@ impl BenchSnapshot {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("snapshot field \"phases\" missing or not an object".into()),
         };
+        // Optional, like memstat: absent in all-itemsets runs and in
+        // snapshots written before condensed mining existed.
+        let pruning = match doc.get("pruning") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(name, v)| {
+                    v.as_u64()
+                        .map(|n| (name.clone(), n))
+                        .ok_or_else(|| format!("pruning counter {name:?} is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
         Ok(BenchSnapshot {
             name: str_field("name")?,
             dataset: str_field("dataset")?,
@@ -140,6 +174,7 @@ impl BenchSnapshot {
             phases,
             peak_bytes: u64_field("peak_bytes")?,
             steals: u64_field("steals")?,
+            pruning,
             memstat: doc.get("memstat").map(MemSummary::from_json),
         })
     }
@@ -218,6 +253,20 @@ pub fn compare(
             candidate.phases.iter().find(|(n, _)| n == name).map(|&(_, nanos)| nanos).unwrap_or(0);
         deltas.push(delta(&format!("phase {name}"), *base_nanos, cand_nanos, threshold_pct));
     }
+    // Pruning counters are correctness numbers like itemsets: for the same
+    // dataset and mode the miner must prune the same sets, so any drift is
+    // flagged regardless of the percentage threshold. Snapshots without
+    // the block (all-itemsets runs, pre-condensed baselines) skip these
+    // rows entirely.
+    if !baseline.pruning.is_empty() && !candidate.pruning.is_empty() {
+        for (name, base_pruned) in &baseline.pruning {
+            let cand_pruned =
+                candidate.pruning.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+            let mut row = delta(&format!("pruning {name}"), *base_pruned, cand_pruned, 0.0);
+            row.regressed = *base_pruned != cand_pruned;
+            deltas.push(row);
+        }
+    }
     if let (Some(base_mem), Some(cand_mem)) = (&baseline.memstat, &candidate.memstat) {
         deltas.push(delta("mem pool_peak", base_mem.pool_peak, cand_mem.pool_peak, threshold_pct));
         for (name, base_peak) in &base_mem.component_peaks {
@@ -261,8 +310,17 @@ mod tests {
             ],
             peak_bytes: peak,
             steals: 0,
+            pruning: vec![],
             memstat: None,
         }
+    }
+
+    fn pruning(closed: u64, maximal: u64, topk: u64) -> Vec<(String, u64)> {
+        vec![
+            ("core.closed_pruned".into(), closed),
+            ("core.maximal_pruned".into(), maximal),
+            ("core.topk_pruned".into(), topk),
+        ]
     }
 
     fn mem(pool_peak: u64, tree_peak: u64, arrays_peak: u64) -> MemSummary {
@@ -382,6 +440,70 @@ mod tests {
     }
 
     #[test]
+    fn pruning_counters_round_trip_and_are_omitted_when_empty() {
+        let mut snap = snapshot(100, 200, 300);
+        snap.pruning = pruning(42, 7, 0);
+        let text = snap.to_json().to_pretty();
+        assert!(text.contains("\"pruning\""), "{text}");
+        assert!(text.contains("core.closed_pruned"), "{text}");
+        let parsed = BenchSnapshot::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, snap);
+        // An all-itemsets snapshot omits the block, and a document without
+        // it (an old baseline) parses back to the empty vec.
+        let bare = snapshot(100, 200, 300);
+        let bare_text = bare.to_json().to_pretty();
+        assert!(!bare_text.contains("pruning"), "{bare_text}");
+        let reparsed = BenchSnapshot::from_json(&json::parse(&bare_text).unwrap()).unwrap();
+        assert!(reparsed.pruning.is_empty());
+    }
+
+    #[test]
+    fn from_report_surfaces_nonzero_pruning_counters() {
+        let mut report = RunReport {
+            dataset: "kosarak-like".into(),
+            transactions: 1000,
+            support: 8,
+            algorithm: "cfp-growth-closed".into(),
+            threads: 1,
+            schedule: None,
+            itemsets: 77,
+            wall_nanos: 5_000,
+            phases: vec![],
+            counters: vec![("core.closed_pruned", 55), ("core.patterns", 77)],
+            histograms: vec![],
+            peak_bytes: 9_000,
+            final_bytes: 0,
+            samples: vec![],
+            degradation: None,
+            events: None,
+            memstat: None,
+        };
+        let snap = BenchSnapshot::from_report("kosarak-closed", &report);
+        assert_eq!(snap.pruning, pruning(55, 0, 0));
+        // All-zero pruning (an all-itemsets run) keeps the block out.
+        report.counters = vec![("core.patterns", 77)];
+        let bare = BenchSnapshot::from_report("kosarak-seq", &report);
+        assert!(bare.pruning.is_empty());
+    }
+
+    #[test]
+    fn pruning_drift_always_regresses() {
+        let mut base = snapshot(100, 100, 100);
+        base.pruning = pruning(42, 0, 0);
+        let mut drifted = base.clone();
+        drifted.pruning = pruning(41, 0, 0);
+        let deltas = compare(&base, &drifted, 1_000_000.0);
+        let row = deltas.iter().find(|d| d.metric == "pruning core.closed_pruned").unwrap();
+        assert!(row.regressed, "{row:?}");
+        // Identical pruning passes, and snapshots without the block skip
+        // the rows entirely (old baseline vs new candidate).
+        assert!(compare(&base, &base, 10.0).iter().all(|d| !d.regressed));
+        let old = snapshot(100, 100, 100);
+        let deltas = compare(&old, &base, 10.0);
+        assert!(deltas.iter().all(|d| !d.metric.starts_with("pruning ")), "{deltas:?}");
+    }
+
+    #[test]
     fn itemsets_mismatch_always_regresses() {
         let base = snapshot(100, 100, 100);
         let mut wrong = base.clone();
@@ -430,5 +552,6 @@ mod tests {
         assert_eq!(snap.itemsets, 77);
         assert_eq!(snap.threads, 4);
         assert_eq!(snap.phases, vec![("mine".to_string(), 4_000)]);
+        assert!(snap.pruning.is_empty());
     }
 }

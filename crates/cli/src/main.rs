@@ -142,6 +142,9 @@ struct Options {
     flame_out: Option<String>,
     progress: bool,
     mem_report: Option<String>,
+    metrics_out: Option<String>,
+    metrics_every: Duration,
+    blackbox: Option<String>,
     recover: RecoveryPolicy,
     spill_dir: Option<String>,
     worker_timeout: Option<Duration>,
@@ -166,9 +169,29 @@ fn print_usage() {
     eprintln!("  --count | --top K | --closed | --maximal");
     eprintln!("  --rules CONF | --image PATH | --stats | --profile PATH");
     eprintln!("  --trace-out PATH | --flame-out PATH | --progress | --mem-report PATH");
+    eprintln!("  --metrics-out PATH [--metrics-every DUR] | --blackbox DIR");
     eprintln!("  --recover off|retry|degrade|partition|spill | --spill-dir PATH");
     eprintln!("  --worker-timeout SECONDS");
     eprintln!("  --checkpoint-dir PATH | --checkpoint-every N | --resume | --deadline SECONDS");
+}
+
+/// Parses a duration with an optional `ms`/`s`/`m` suffix (bare numbers
+/// are seconds), e.g. `250ms`, `1.5s`, `2m`.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (digits, scale) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1e-3)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1.0)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = digits.parse().map_err(|_| format!("bad duration {s:?}"))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("duration {s:?} must be positive"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
 }
 
 /// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
@@ -211,6 +234,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         flame_out: None,
         progress: false,
         mem_report: None,
+        metrics_out: None,
+        metrics_every: Duration::from_secs(1),
+        blackbox: None,
         recover: RecoveryPolicy::Off,
         spill_dir: None,
         worker_timeout: None,
@@ -220,6 +246,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline: None,
     };
     let mut checkpoint_every_given = false;
+    let mut metrics_every_given = false;
     let mut output_given = false;
     // Accept `--flag=value` as well as `--flag value`.
     let args: Vec<String> = args
@@ -273,6 +300,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--flame-out" => opts.flame_out = Some(value(arg)?),
             "--progress" => opts.progress = true,
             "--mem-report" => opts.mem_report = Some(value(arg)?),
+            "--metrics-out" => opts.metrics_out = Some(value(arg)?),
+            "--metrics-every" => {
+                opts.metrics_every = parse_duration(&value(arg)?)?;
+                metrics_every_given = true;
+            }
+            "--blackbox" => opts.blackbox = Some(value(arg)?),
             "--recover" => opts.recover = value(arg)?.parse()?,
             "--spill-dir" => opts.spill_dir = Some(value(arg)?),
             "--worker-timeout" => {
@@ -360,6 +393,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.spill_dir.is_some() && opts.recover != RecoveryPolicy::Spill {
         return Err("--spill-dir requires --recover=spill".to_string());
+    }
+    if metrics_every_given && opts.metrics_out.is_none() {
+        return Err("--metrics-every requires --metrics-out".to_string());
     }
     if opts.mem_report.is_some() && opts.algorithm != "cfp" {
         return Err(format!(
@@ -449,6 +485,7 @@ impl Runner {
             Runner::Seq(m, mine_opts) => m.try_mine_with(db, min_support, sink, mine_opts),
             Runner::Supervised(s) => {
                 let (r, report) = s.mine(db, min_support, sink);
+                stash_blackbox_degradation(&report);
                 *degradation = Some(report);
                 r
             }
@@ -796,11 +833,84 @@ fn report_trace_stats() {
     );
 }
 
+/// `--blackbox` arming state: the report directory plus the run-identity
+/// context, set once before mining starts so any dying path can dump.
+struct BlackboxArm {
+    dir: std::path::PathBuf,
+    context: Vec<(String, String)>,
+}
+
+static BLACKBOX_ARM: std::sync::OnceLock<BlackboxArm> = std::sync::OnceLock::new();
+/// Degradation state stashed for the flight recorder: the recovery
+/// report lives in locals the exit paths cannot reach, so supervised
+/// runs deposit a copy here as soon as the supervisor returns.
+static BLACKBOX_DEGRADATION: std::sync::Mutex<Option<cfp_trace::DegradationReport>> =
+    std::sync::Mutex::new(None);
+
+/// Converts the supervisor's recovery report into the trace-layer shape
+/// shared by `--profile` and the blackbox.
+fn to_trace_degradation(d: &RecoveryReport) -> cfp_trace::DegradationReport {
+    cfp_trace::DegradationReport {
+        policy: d.policy.clone(),
+        rungs: d
+            .rungs
+            .iter()
+            .map(|r| cfp_trace::RungOutcome {
+                rung: r.rung.to_string(),
+                succeeded: r.succeeded,
+                reclaimed_bytes: r.reclaimed_bytes,
+                partitions: r.partitions,
+                error: r.error.clone(),
+            })
+            .collect(),
+        recovered: d.recovered,
+        final_partitions: d.final_partitions,
+    }
+}
+
+/// Makes a supervised run's ladder activity visible to a later blackbox
+/// dump. No-op unless `--blackbox` is armed.
+fn stash_blackbox_degradation(report: &RecoveryReport) {
+    if BLACKBOX_ARM.get().is_some() && !report.rungs.is_empty() {
+        *BLACKBOX_DEGRADATION.lock().unwrap() = Some(to_trace_degradation(report));
+    }
+}
+
+/// Exit code reported in a blackbox dump for a main-thread panic (the
+/// process code the Rust runtime uses for unwound panics).
+const PANIC_EXIT_CODE: i32 = 101;
+
+/// Dumps a `cfp-blackbox/1` post-mortem if `--blackbox` is armed and the
+/// exit code is one the flight recorder covers: the structured pipeline
+/// failures (3–10) and panics. Usage (2) and plain I/O (1) exits carry
+/// no mining state worth a report.
+fn dump_blackbox(error: &str, code: i32) {
+    let Some(arm) = BLACKBOX_ARM.get() else { return };
+    if !(3..=10).contains(&code) && code != PANIC_EXIT_CODE {
+        return;
+    }
+    let degradation = BLACKBOX_DEGRADATION.lock().unwrap().take();
+    let report = cfp_trace::BlackboxReport::capture(
+        error,
+        code as i64,
+        arm.context.clone(),
+        None,
+        degradation,
+    );
+    match report.write(&arm.dir) {
+        Ok(path) => eprintln!("cfp-mine: blackbox report written to {}", path.display()),
+        Err(e) => eprintln!("cfp-mine: cannot write blackbox report: {e}"),
+    }
+}
+
 /// Reports a pipeline failure and exits with its documented code. The
 /// diagnostic names the failing phase (the `Display` of
-/// `CfpError::MemoryExhausted` includes it).
+/// `CfpError::MemoryExhausted` includes it). When `--blackbox` is armed
+/// this is also the flight recorder's dump point: every structured
+/// mining failure funnels through here.
 fn exit_for_mine_error(e: CfpError) -> ! {
     eprintln!("cfp-mine: {e}");
+    dump_blackbox(&e.to_string(), e.exit_code());
     exit(e.exit_code());
 }
 
@@ -881,6 +991,13 @@ fn run_checkpointed(
             Err(e) => exit_for_mine_error(e),
         }
     }
+    if cfp_trace::enabled() {
+        // Surface the resume point in the --progress heartbeat and the
+        // metrics export (first-level items for mono runs, partitions
+        // for spill runs; 0 = started fresh).
+        let watermark = resume_skip.max(spill_resume.as_ref().map_or(0, |(done, _)| *done));
+        cfp_trace::counters::CORE_RESUME_WATERMARK.record(watermark);
+    }
 
     let stdout = std::io::stdout();
     let mut sink = CheckpointSink {
@@ -918,6 +1035,7 @@ fn run_checkpointed(
         };
         let (r, report) =
             supervisor.mine_out_of_core_resumable(db, min_support, &mut sink, spill_resume);
+        stash_blackbox_degradation(&report);
         *degradation = Some(report);
         r
     } else if opts.threads > 1 {
@@ -1012,15 +1130,60 @@ fn main() {
     let tracing = opts.trace_out.is_some() || opts.flame_out.is_some();
     // --mem-report needs the counter registry live for its distribution
     // summaries; counters are observational and never change output.
-    if profiling || tracing || opts.progress || opts.mem_report.is_some() {
+    // --metrics-out and --blackbox read the same registry (and the
+    // latency histograms), so they arm it too.
+    if profiling
+        || tracing
+        || opts.progress
+        || opts.mem_report.is_some()
+        || opts.metrics_out.is_some()
+        || opts.blackbox.is_some()
+    {
         cfp_trace::set_enabled(true);
     }
-    if tracing {
+    if tracing || opts.blackbox.is_some() {
         // Event capture is gated separately from the counters so plain
-        // `--profile` runs do not pay the per-event ring-buffer cost.
+        // `--profile` runs do not pay the per-event ring-buffer cost;
+        // the flight recorder needs the rings for its last-N events.
         cfp_trace::events::set_capture(true);
         cfp_trace::events::name_thread("main");
     }
+    if let Some(dir) = &opts.blackbox {
+        // Create the directory up front: a run dying of ENOSPC or a
+        // panic should not also have to mkdir on the way down.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cfp-mine: cannot create blackbox directory {dir}: {e}");
+            exit(1);
+        }
+        let context = vec![
+            ("dataset".to_string(), opts.input.clone()),
+            ("algorithm".to_string(), opts.algorithm.clone()),
+            ("threads".to_string(), opts.threads.max(1).to_string()),
+            ("output".to_string(), opts.output.to_string()),
+            ("recover".to_string(), format!("{:?}", opts.recover).to_lowercase()),
+        ];
+        let _ = BLACKBOX_ARM.set(BlackboxArm { dir: std::path::PathBuf::from(dir), context });
+        // A main-thread panic bypasses every structured exit path; hook
+        // it so the flight recorder still fires (worker panics are
+        // caught and arrive as CfpError::WorkerPanic instead).
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            default_hook(info);
+            dump_blackbox(&format!("panic: {info}"), PANIC_EXIT_CODE);
+        }));
+    }
+    let metrics = opts.metrics_out.as_ref().map(|path| {
+        let labels = vec![
+            ("dataset".to_string(), opts.input.clone()),
+            ("algorithm".to_string(), opts.algorithm.clone()),
+            ("threads".to_string(), opts.threads.max(1).to_string()),
+        ];
+        cfp_trace::MetricsExporter::start(
+            std::path::PathBuf::from(path),
+            opts.metrics_every,
+            labels,
+        )
+    });
     let run_started = std::time::Instant::now();
     let sampler = (profiling || opts.trace_out.is_some())
         .then(|| cfp_trace::MemSampler::start(std::time::Duration::from_millis(10)));
@@ -1047,6 +1210,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("cfp-mine: {}: {e}", opts.input);
+                dump_blackbox(&format!("{}: {e}", opts.input), e.exit_code());
                 exit(e.exit_code());
             }
         }
@@ -1175,6 +1339,12 @@ fn main() {
     if let Some(meter) = meter {
         meter.stop();
     }
+    if let Some(exporter) = metrics {
+        // Flushes one final snapshot, so even runs shorter than the
+        // interval leave a complete export behind.
+        let path = exporter.stop();
+        eprintln!("metrics written to {} (and {}.jsonl)", path.display(), path.display());
+    }
     // Freeze the timeline before any export reads it; the tracks are
     // shared by the Chrome export, the flame export, and the profile
     // report's events summary.
@@ -1283,22 +1453,7 @@ fn main() {
         // healthy runs keep the section absent so the schema stays
         // backward-compatible.
         if let Some(d) = degradation.as_ref().filter(|d| !d.rungs.is_empty()) {
-            report = report.with_degradation(cfp_trace::DegradationReport {
-                policy: d.policy.clone(),
-                rungs: d
-                    .rungs
-                    .iter()
-                    .map(|r| cfp_trace::RungOutcome {
-                        rung: r.rung.to_string(),
-                        succeeded: r.succeeded,
-                        reclaimed_bytes: r.reclaimed_bytes,
-                        partitions: r.partitions,
-                        error: r.error.clone(),
-                    })
-                    .collect(),
-                recovered: d.recovered,
-                final_partitions: d.final_partitions,
-            });
+            report = report.with_degradation(to_trace_degradation(d));
         }
         report = report.with_events(cfp_trace::events::summarize(&tracks));
         // Fold the memory summary in when --mem-report also ran, so

@@ -294,6 +294,52 @@ fn image_round_trip_via_cli() {
     std::fs::remove_file(&image).ok();
 }
 
+/// Arming the live-telemetry surfaces must not change a single output
+/// byte: `--metrics-out` + `--blackbox` together, sequentially and on 4
+/// threads, against bare runs. A clean run must also leave no blackbox
+/// dump behind, while the metrics files must exist and carry their
+/// schemas.
+#[test]
+fn metrics_and_blackbox_leave_output_byte_identical() {
+    let path = write_sample();
+    let dir = std::env::temp_dir().join(format!("cfp_cli_telemetry_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.prom");
+    let blackbox = dir.join("bb");
+    for threads in ["1", "4"] {
+        let bare = Command::new(bin())
+            .args([path.to_str().unwrap(), "--support", "2", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(bare.status.success(), "{}", String::from_utf8_lossy(&bare.stderr));
+        let armed = Command::new(bin())
+            .args([
+                path.to_str().unwrap(),
+                "--support",
+                "2",
+                "--threads",
+                threads,
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--metrics-every",
+                "50ms",
+                "--blackbox",
+                blackbox.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(armed.status.success(), "{}", String::from_utf8_lossy(&armed.stderr));
+        assert_eq!(armed.stdout, bare.stdout, "--threads {threads} output diverged when armed");
+    }
+    assert!(!blackbox.join("blackbox.json").exists(), "clean run must not leave a blackbox dump");
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(prom.contains("cfp_run_info"), "{prom}");
+    let jsonl = std::fs::read_to_string(dir.join("metrics.prom.jsonl")).unwrap();
+    let last = jsonl.lines().last().expect("at least one JSONL record");
+    assert!(last.contains("\"schema\":\"cfp-metrics/1\""), "{last}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Golden test for the machine-readable run report: `--profile` must emit
 /// a valid `cfp-profile/2` document whose structure downstream tooling can
 /// rely on. Parsed with the same zero-dependency parser shipped in

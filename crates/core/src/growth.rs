@@ -751,9 +751,11 @@ pub(crate) fn mine_one_item(
         path_buf: Vec::new(),
         itemsets: 0,
     };
+    let task_t0 = cfp_trace::hist::maybe_now();
     ctx.suffix.push(globals[item as usize]);
     mine_node(array, item, globals, array.item_support(item), &mut ctx)?;
     ctx.suffix.pop();
+    cfp_trace::hist::record_since(&cfp_trace::hist::CORE_MINE_TASK_NANOS, task_t0);
     if cfp_trace::enabled() {
         cfp_trace::counters::CORE_ITEMS_MINED.inc();
     }
@@ -804,11 +806,13 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
         }
         let was_quiet = ctx.quiet;
         ctx.quiet = ctx.quiet || quiet_item;
+        let task_t0 = if top { cfp_trace::hist::maybe_now() } else { None };
         ctx.suffix.push(globals[item as usize]);
         let node = mine_node(array, item, globals, support, ctx);
         ctx.suffix.pop();
         ctx.quiet = was_quiet;
         node?;
+        cfp_trace::hist::record_since(&cfp_trace::hist::CORE_MINE_TASK_NANOS, task_t0);
         if top && !quiet_item {
             if cfp_trace::enabled() {
                 cfp_trace::counters::CORE_ITEMS_MINED.inc();
@@ -816,7 +820,11 @@ fn mine_array(array: &CfpArray, globals: &[Item], ctx: &mut Ctx<'_>) -> Result<(
             // Every itemset of items n-1 … item is now in the sink; the
             // output sits at an exact watermark of n-item completed
             // top-level items (counting ones skipped on resume).
-            ctx.sink.progress(cfp_data::MineProgress::Items { done: (n - item) as u64 })?;
+            let emit_t0 = cfp_trace::hist::maybe_now();
+            let emitted =
+                ctx.sink.progress(cfp_data::MineProgress::Items { done: (n - item) as u64 });
+            cfp_trace::hist::record_since(&cfp_trace::hist::CORE_EMIT_NANOS, emit_t0);
+            emitted?;
         }
     }
     Ok(())

@@ -298,7 +298,10 @@ impl<'a> OrderedEmitter<'a> {
                     let done = (self.total as i64 - self.next) as u64;
                     self.next -= 1;
                     if live {
-                        self.sink.progress(cfp_data::MineProgress::Items { done })?;
+                        let emit_t0 = cfp_trace::hist::maybe_now();
+                        let emitted = self.sink.progress(cfp_data::MineProgress::Items { done });
+                        cfp_trace::hist::record_since(&cfp_trace::hist::CORE_EMIT_NANOS, emit_t0);
+                        emitted?;
                     }
                 }
                 None => break,

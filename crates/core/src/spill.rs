@@ -25,6 +25,7 @@ fn spill_err(op: &'static str, path: &Path, e: io::Error) -> CfpError {
 /// and returns the file's byte size. Failures (ENOSPC, short writes,
 /// injected faults) come back as [`CfpError::Spill`] with `op: "write"`.
 pub(crate) fn write_spill_array(path: &Path, array: &CfpArray) -> Result<u64, CfpError> {
+    let _t = cfp_trace::hist::timer(&cfp_trace::hist::DATA_SPILL_WRITE_NANOS);
     write_atomic(path, |w| array.write_to(w)).map_err(|e| spill_err("write", path, e))
 }
 
@@ -34,6 +35,7 @@ pub(crate) fn write_spill_array(path: &Path, array: &CfpArray) -> Result<u64, Cf
 /// A failing read maps to `op: "read"`; a checksum or schema mismatch in
 /// the loaded bytes — a torn or corrupt file — maps to `op: "map"`.
 pub(crate) fn load_spill_array(path: &Path) -> Result<(CfpArray, u64), CfpError> {
+    let _t = cfp_trace::hist::timer(&cfp_trace::hist::DATA_SPILL_LOAD_NANOS);
     let buf = read_back(path).map_err(|e| spill_err("read", path, e))?;
     let bytes = buf.len() as u64;
     let array = CfpArray::from_bytes(buf).map_err(|e| spill_err("map", path, e))?;

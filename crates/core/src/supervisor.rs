@@ -708,6 +708,7 @@ impl Supervisor {
                 if self.cancelled() {
                     return Err((CfpError::Interrupted, mined, reclaimed));
                 }
+                let proj_t0 = cfp_trace::hist::maybe_now();
                 let proj = project(db, &recoder, lo, hi);
                 let pool = self.mem_budget.map(BudgetPool::new);
                 let built = crate::growth::try_build_tree_with(
@@ -731,11 +732,21 @@ impl Supervisor {
                         let globals: Vec<Item> = (0..proj_recoder.num_items() as u32)
                             .map(|i| proj_recoder.original(i))
                             .collect();
+                        cfp_trace::hist::record_since(
+                            &cfp_trace::hist::CORE_SPILL_PROJECT_NANOS,
+                            proj_t0,
+                        );
                         let name = format!("p{seq}.cfpa");
                         seq += 1;
                         let bytes = write_spill_array(&dir.file(&name), &array)
                             .map_err(|e| (e, mined, reclaimed))?;
                         entries.push_back(SpillEntry { name, lo, hi, globals, bytes });
+                        if cfp_trace::enabled() {
+                            // Live denominator for the progress
+                            // heartbeat's `spill k/n` (grows when a
+                            // too-big partition is halved and respilled).
+                            cfp_trace::counters::CORE_SPILL_PARTITIONS.record(seq);
+                        }
                     }
                     Err(CfpError::MemoryExhausted { .. }) if hi - lo > 1 => {
                         let mid = lo + (hi - lo) / 2;
@@ -778,6 +789,7 @@ impl Supervisor {
                     ..Default::default()
                 };
                 let mut part_buf = CollectSink::new();
+                let mine_t0 = cfp_trace::hist::maybe_now();
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     if cfp_fault::should_fail("core.worker") {
                         panic!("injected worker fault (failpoint core.worker)");
@@ -806,6 +818,7 @@ impl Supervisor {
                         &mut mode,
                     )
                 }));
+                cfp_trace::hist::record_since(&cfp_trace::hist::CORE_SPILL_MINE_NANOS, mine_t0);
                 if let Some(p) = &pool {
                     reclaimed += p.compact_reclaimed();
                 }
@@ -813,6 +826,9 @@ impl Supervisor {
                     Ok(Ok(_)) => {
                         dir.remove(name);
                         mined += 1;
+                        if cfp_trace::enabled() {
+                            cfp_trace::counters::CORE_SPILL_PARTS_DONE.inc();
+                        }
                         peaks.push(pool.map(|p| p.peak()).unwrap_or(0));
                         if let Some(index) = &mut recon {
                             // Drop candidates subsumed by an earlier
@@ -846,10 +862,16 @@ impl Supervisor {
                                     .map(|e| (e.lo, e.hi))
                                     .chain(ranges.iter().copied())
                                     .collect();
-                                if let Err(e) = sink.progress(cfp_data::MineProgress::SpillParts {
+                                let emit_t0 = cfp_trace::hist::maybe_now();
+                                let sent = sink.progress(cfp_data::MineProgress::SpillParts {
                                     done: done0 + mined,
                                     remaining: &remaining,
-                                }) {
+                                });
+                                cfp_trace::hist::record_since(
+                                    &cfp_trace::hist::CORE_EMIT_NANOS,
+                                    emit_t0,
+                                );
+                                if let Err(e) = sent {
                                     return Err((e, mined, reclaimed));
                                 }
                             }

@@ -167,7 +167,10 @@ impl DoubleBufferedReader {
     /// The previous buffer should be handed back via
     /// [`recycle`](Self::recycle) to keep both buffers circulating.
     pub fn next_chunk(&mut self) -> io::Result<Option<TransactionDb>> {
-        match self.filled_rx.recv() {
+        let wait_t0 = cfp_trace::hist::maybe_now();
+        let received = self.filled_rx.recv();
+        cfp_trace::hist::record_since(&cfp_trace::hist::DATA_BUFFER_WAIT_NANOS, wait_t0);
+        match received {
             Ok(Filled::Chunk(db)) => Ok(Some(db)),
             Ok(Filled::Err(e)) => Err(e),
             Err(_) => Ok(None), // worker finished and dropped its sender

@@ -304,7 +304,9 @@ pub static DATA_SPILL_BYTES_WRITTEN: Counter = Counter::new("data.spill_bytes_wr
 pub static DATA_SPILL_BYTES_READ: Counter = Counter::new("data.spill_bytes_read");
 /// `cfp-data`: transient spill I/O errors absorbed by retry-with-backoff.
 pub static DATA_SPILL_RETRIES: Counter = Counter::new("data.spill_retries");
-/// `cfp-core`: partitions mined through on-disk spill files.
+/// `cfp-core`: spill partitions written to disk so far (the `n` of the
+/// progress heartbeat's `spill k/n`; grows when a too-big partition is
+/// halved and respilled).
 pub static CORE_SPILL_PARTITIONS: MaxGauge = MaxGauge::new("core.spill_partitions");
 /// `cfp-core`: checkpoint manifests durably committed.
 pub static CORE_CKPT_COMMITS: Counter = Counter::new("core.ckpt_commits");
@@ -319,6 +321,12 @@ pub static CORE_MAXIMAL_PRUNED: Counter = Counter::new("core.maximal_pruned");
 /// `cfp-core`: subtrees pruned because their support fell below the
 /// rising top-k admission bound.
 pub static CORE_TOPK_PRUNED: Counter = Counter::new("core.topk_pruned");
+/// `cfp-core`: spill-rung partitions mined to completion so far (the
+/// `k` of the progress heartbeat's `spill k/n`).
+pub static CORE_SPILL_PARTS_DONE: Counter = Counter::new("core.spill_parts_done");
+/// `cfp-cli`: first-level watermark a checkpointed run resumed from
+/// (0 when the run started fresh).
+pub static CORE_RESUME_WATERMARK: MaxGauge = MaxGauge::new("core.resume_watermark");
 
 /// All plain counters, for snapshots.
 static COUNTERS: &[&Counter] = &[
@@ -361,6 +369,7 @@ static COUNTERS: &[&Counter] = &[
     &DATA_SPILL_RETRIES,
     &CORE_CKPT_COMMITS,
     &CORE_CKPT_BYTES,
+    &CORE_SPILL_PARTS_DONE,
 ];
 
 /// All gauges, for snapshots.
@@ -376,6 +385,7 @@ static MAX_GAUGES: &[&MaxGauge] = &[
     &CORE_PARTITIONS,
     &CORE_SPILL_PARTITIONS,
     &CORE_FIRST_LEVEL_ITEMS,
+    &CORE_RESUME_WATERMARK,
 ];
 
 /// Name/value pairs for every counter, gauge, and max-gauge, sorted by

@@ -33,6 +33,14 @@
 //!   emitted by `cfp-mine --mem-report` — per-component attribution,
 //!   reconciliation audit, structure analytics, and the compression
 //!   table.
+//! - [`hist`]: log-linear (HDR-style) fixed-memory latency histograms
+//!   with lock-free atomic buckets, mergeable across workers.
+//! - [`metrics`]: live export of the registry — Prometheus text
+//!   exposition plus a `"cfp-metrics/1"` JSONL stream, rewritten
+//!   atomically every `--metrics-every` interval.
+//! - [`blackbox`]: the flight recorder — checksummed `"cfp-blackbox/1"`
+//!   post-mortems dumped on error exits, rendered by
+//!   `cfp-repro postmortem`.
 //!
 //! # Cost when disabled
 //!
@@ -58,21 +66,27 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod chrome;
 pub mod counters;
 pub mod events;
 pub mod flame;
+pub mod hist;
 pub mod json;
 pub mod memstat;
+pub mod metrics;
 pub mod progress;
 pub mod report;
 pub mod sampler;
 pub mod span;
 
+pub use blackbox::BlackboxReport;
 pub use counters::{Counter, Histogram, MaxGauge};
 pub use events::{Event, EventKind, EventsSummary, Rung, TrackDump};
+pub use hist::{HistSnapshot, HistSummary, LatencyHisto};
 pub use json::Json;
 pub use memstat::{MemStatReport, MemSummary};
+pub use metrics::{MetricsExporter, MetricsSnapshot};
 pub use progress::ProgressMeter;
 pub use report::{DegradationReport, RunReport, RungOutcome};
 pub use sampler::{MemSampler, Sample};
@@ -115,6 +129,7 @@ pub fn set_enabled(on: bool) {
 /// `counters::tests`).
 pub fn reset() {
     counters::reset_all();
+    hist::reset_all();
     span::reset();
     events::reset();
 }
